@@ -1,0 +1,110 @@
+use regcluster_matrix::{CondId, GeneId};
+use serde::{Deserialize, Serialize};
+
+/// A plain bicluster: a gene set × condition set, both sorted.
+///
+/// This is the common output currency of the baseline algorithms; unlike a
+/// `RegCluster` (in `regcluster-core`) it carries no chain order or
+/// orientation information (the baselines' models have none).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bicluster {
+    /// Member genes, sorted ascending.
+    pub genes: Vec<GeneId>,
+    /// Member conditions, sorted ascending.
+    pub conds: Vec<CondId>,
+}
+
+impl Bicluster {
+    /// Builds a bicluster, normalizing (sorting + deduplicating) both sets.
+    pub fn new(mut genes: Vec<GeneId>, mut conds: Vec<CondId>) -> Self {
+        genes.sort_unstable();
+        genes.dedup();
+        conds.sort_unstable();
+        conds.dedup();
+        Self { genes, conds }
+    }
+
+    /// Number of member genes.
+    pub fn n_genes(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Number of member conditions.
+    pub fn n_conds(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// True when both sets of `self` are subsets of `other`'s.
+    pub fn is_contained_in(&self, other: &Bicluster) -> bool {
+        self.genes
+            .iter()
+            .all(|g| other.genes.binary_search(g).is_ok())
+            && self
+                .conds
+                .iter()
+                .all(|c| other.conds.binary_search(c).is_ok())
+    }
+}
+
+/// Drops every bicluster contained in another one (keeping the first of
+/// exact duplicates), preserving order.
+pub(crate) fn retain_maximal(mut clusters: Vec<Bicluster>) -> Vec<Bicluster> {
+    let mut keep = vec![true; clusters.len()];
+    for i in 0..clusters.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..clusters.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if clusters[i] == clusters[j] {
+                if i < j {
+                    keep[j] = false;
+                }
+            } else if clusters[j].is_contained_in(&clusters[i]) {
+                keep[j] = false;
+            }
+        }
+    }
+    let mut idx = 0;
+    clusters.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes() {
+        let b = Bicluster::new(vec![3, 1, 3], vec![2, 0, 2]);
+        assert_eq!(b.genes, vec![1, 3]);
+        assert_eq!(b.conds, vec![0, 2]);
+        assert_eq!(b.n_genes(), 2);
+        assert_eq!(b.n_conds(), 2);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Bicluster::new(vec![0, 1, 2], vec![0, 1]);
+        let small = Bicluster::new(vec![0, 2], vec![1]);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+        assert!(big.is_contained_in(&big));
+    }
+
+    #[test]
+    fn retain_maximal_removes_contained_and_duplicates() {
+        let a = Bicluster::new(vec![0, 1, 2], vec![0, 1]);
+        let b = Bicluster::new(vec![0, 1], vec![0, 1]); // contained in a
+        let c = Bicluster::new(vec![5, 6], vec![2]); // independent
+        let d = a.clone(); // duplicate
+        let out = retain_maximal(vec![a.clone(), b, c.clone(), d]);
+        assert_eq!(out, vec![a, c]);
+    }
+}

@@ -1,0 +1,563 @@
+//! Cheng & Church δ-biclustering (ISMB 2000).
+//!
+//! A bicluster `(I, J)` is scored by its **mean squared residue**
+//!
+//! ```text
+//! H(I, J) = (1 / |I||J|) Σ_{i∈I, j∈J} (a_ij − a_iJ − a_Ij + a_IJ)²,
+//! ```
+//!
+//! where `a_iJ`, `a_Ij`, `a_IJ` are row, column and overall means. A
+//! δ-bicluster has `H ≤ δ`. The algorithm repeatedly extracts one bicluster
+//! from the working matrix:
+//!
+//! 1. **multiple node deletion** — while `H > δ`, drop every row/column
+//!    whose mean residue exceeds `α · H` (only applied while the dimension
+//!    is large, per the original paper);
+//! 2. **single node deletion** — while `H > δ`, drop the single row or
+//!    column with the largest mean residue;
+//! 3. **node addition** — add back every column, row, and **inverted row**
+//!    (a row whose negation fits; Cheng & Church's device for co-regulated
+//!    but anti-correlated genes) whose mean residue is `≤ H`;
+//! 4. **masking** — replace the discovered cells with random values and
+//!    repeat for the next bicluster.
+//!
+//! The paper cites this algorithm as \[6\] and contrasts reg-cluster against
+//! its additive-model coherence, which cannot express scaling.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use regcluster_matrix::ExpressionMatrix;
+
+use crate::Bicluster;
+
+/// Parameters of the Cheng–Church extraction loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChengChurchParams {
+    /// Maximum acceptable mean squared residue `δ`.
+    pub delta: f64,
+    /// Multiple-deletion aggressiveness `α > 1`.
+    pub alpha: f64,
+    /// Number of biclusters to extract.
+    pub n_clusters: usize,
+    /// Multiple node deletion is applied while the dimension exceeds this
+    /// (100 rows / 100 columns in the original paper).
+    pub multiple_deletion_threshold: usize,
+    /// Range of the masking values (should match the data range).
+    pub mask_range: (f64, f64),
+    /// Seed for the masking RNG.
+    pub seed: u64,
+}
+
+impl Default for ChengChurchParams {
+    fn default() -> Self {
+        Self {
+            delta: 0.5,
+            alpha: 1.2,
+            n_clusters: 10,
+            multiple_deletion_threshold: 100,
+            mask_range: (0.0, 10.0),
+            seed: 0,
+        }
+    }
+}
+
+/// A δ-bicluster with its inversion flags and final score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcBicluster {
+    /// The gene × condition sets.
+    pub bicluster: Bicluster,
+    /// Parallel to `bicluster.genes`: `true` for rows added in inverted
+    /// (anti-correlated) form.
+    pub inverted: Vec<bool>,
+    /// Mean squared residue of the final bicluster.
+    pub msr: f64,
+}
+
+/// Working view: row/column index lists into the (masked) matrix.
+struct View {
+    rows: Vec<usize>,
+    /// Parallel to `rows`: whether the row participates inverted.
+    row_sign: Vec<f64>,
+    cols: Vec<usize>,
+}
+
+/// Cell accessor honoring inversion: an inverted row contributes `−a_ij`.
+#[inline]
+fn cell(data: &[f64], n_cols: usize, row: usize, sign: f64, col: usize) -> f64 {
+    sign * data[row * n_cols + col]
+}
+
+/// Mean squared residue plus per-row and per-column mean residues.
+fn residues(data: &[f64], n_cols: usize, v: &View) -> (f64, Vec<f64>, Vec<f64>) {
+    let nr = v.rows.len();
+    let nc = v.cols.len();
+    let mut row_mean = vec![0.0f64; nr];
+    let mut col_mean = vec![0.0f64; nc];
+    let mut total = 0.0f64;
+    for (ri, (&r, &s)) in v.rows.iter().zip(&v.row_sign).enumerate() {
+        for (ci, &c) in v.cols.iter().enumerate() {
+            let x = cell(data, n_cols, r, s, c);
+            row_mean[ri] += x;
+            col_mean[ci] += x;
+            total += x;
+        }
+    }
+    for m in &mut row_mean {
+        *m /= nc as f64;
+    }
+    for m in &mut col_mean {
+        *m /= nr as f64;
+    }
+    let overall = total / (nr * nc) as f64;
+
+    let mut h = 0.0f64;
+    let mut row_res = vec![0.0f64; nr];
+    let mut col_res = vec![0.0f64; nc];
+    for (ri, (&r, &s)) in v.rows.iter().zip(&v.row_sign).enumerate() {
+        for (ci, &c) in v.cols.iter().enumerate() {
+            let resid = cell(data, n_cols, r, s, c) - row_mean[ri] - col_mean[ci] + overall;
+            let sq = resid * resid;
+            h += sq;
+            row_res[ri] += sq;
+            col_res[ci] += sq;
+        }
+    }
+    h /= (nr * nc) as f64;
+    for m in &mut row_res {
+        *m /= nc as f64;
+    }
+    for m in &mut col_res {
+        *m /= nr as f64;
+    }
+    (h, row_res, col_res)
+}
+
+/// Mean residue of an external row against the bicluster's column structure;
+/// `sign` applies the inversion test.
+fn row_residue_against(
+    data: &[f64],
+    n_cols: usize,
+    v: &View,
+    row: usize,
+    sign: f64,
+    col_mean: &[f64],
+    overall: f64,
+) -> f64 {
+    let nc = v.cols.len();
+    let mut mean = 0.0;
+    for &c in &v.cols {
+        mean += cell(data, n_cols, row, sign, c);
+    }
+    mean /= nc as f64;
+    let mut acc = 0.0;
+    for (ci, &c) in v.cols.iter().enumerate() {
+        let r = cell(data, n_cols, row, sign, c) - mean - col_mean[ci] + overall;
+        acc += r * r;
+    }
+    acc / nc as f64
+}
+
+/// Means needed by the addition phase.
+fn means(data: &[f64], n_cols: usize, v: &View) -> (Vec<f64>, Vec<f64>, f64) {
+    let nr = v.rows.len();
+    let nc = v.cols.len();
+    let mut row_mean = vec![0.0f64; nr];
+    let mut col_mean = vec![0.0f64; nc];
+    let mut total = 0.0;
+    for (ri, (&r, &s)) in v.rows.iter().zip(&v.row_sign).enumerate() {
+        for (ci, &c) in v.cols.iter().enumerate() {
+            let x = cell(data, n_cols, r, s, c);
+            row_mean[ri] += x;
+            col_mean[ci] += x;
+            total += x;
+        }
+    }
+    for m in &mut row_mean {
+        *m /= nc as f64;
+    }
+    for m in &mut col_mean {
+        *m /= nr as f64;
+    }
+    (row_mean, col_mean, total / (nr * nc) as f64)
+}
+
+/// Extracts `n_clusters` δ-biclusters.
+///
+/// Returns fewer clusters when extraction degenerates (a bicluster shrinks
+/// to a single row or column).
+pub fn cheng_church(matrix: &ExpressionMatrix, params: &ChengChurchParams) -> Vec<CcBicluster> {
+    assert!(params.delta >= 0.0, "delta must be ≥ 0");
+    assert!(params.alpha > 1.0, "alpha must be > 1");
+    let n_rows = matrix.n_genes();
+    let n_cols = matrix.n_conditions();
+    let mut data: Vec<f64> = matrix.flat_values().to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut out = Vec::new();
+
+    for _ in 0..params.n_clusters {
+        let mut v = View {
+            rows: (0..n_rows).collect(),
+            row_sign: vec![1.0; n_rows],
+            cols: (0..n_cols).collect(),
+        };
+
+        // Phase 1: multiple node deletion.
+        loop {
+            if v.rows.len() <= 1 || v.cols.len() <= 1 {
+                break;
+            }
+            let (h, row_res, col_res) = residues(&data, n_cols, &v);
+            if h <= params.delta {
+                break;
+            }
+            let mut changed = false;
+            if v.rows.len() > params.multiple_deletion_threshold {
+                let cut = params.alpha * h;
+                let before = v.rows.len();
+                let keep: Vec<bool> = row_res.iter().map(|&r| r <= cut).collect();
+                filter_parallel(&mut v.rows, &mut v.row_sign, &keep);
+                changed |= v.rows.len() != before;
+            }
+            if v.cols.len() > params.multiple_deletion_threshold && v.rows.len() > 1 {
+                let (h2, _, col_res2) = residues(&data, n_cols, &v);
+                if h2 > params.delta {
+                    let cut = params.alpha * h2;
+                    let before = v.cols.len();
+                    v.cols = v
+                        .cols
+                        .iter()
+                        .zip(&col_res2)
+                        .filter(|&(_, &r)| r <= cut)
+                        .map(|(&c, _)| c)
+                        .collect();
+                    changed |= v.cols.len() != before;
+                }
+            }
+            let _ = col_res;
+            if !changed {
+                break;
+            }
+        }
+
+        // Phase 2: single node deletion.
+        loop {
+            if v.rows.len() <= 1 || v.cols.len() <= 1 {
+                break;
+            }
+            let (h, row_res, col_res) = residues(&data, n_cols, &v);
+            if h <= params.delta {
+                break;
+            }
+            let (ri, rmax) = argmax(&row_res);
+            let (ci, cmax) = argmax(&col_res);
+            if rmax >= cmax {
+                v.rows.remove(ri);
+                v.row_sign.remove(ri);
+            } else {
+                v.cols.remove(ci);
+            }
+        }
+
+        // Phase 3: node addition (columns, rows, inverted rows).
+        loop {
+            let mut changed = false;
+            // Column addition.
+            {
+                let (h, _, _) = residues(&data, n_cols, &v);
+                let (row_mean, _, overall) = means(&data, n_cols, &v);
+                let nr = v.rows.len();
+                let in_cols: std::collections::HashSet<usize> = v.cols.iter().copied().collect();
+                let mut added = Vec::new();
+                for c in 0..n_cols {
+                    if in_cols.contains(&c) {
+                        continue;
+                    }
+                    let mut cmean = 0.0;
+                    for (&r, &s) in v.rows.iter().zip(&v.row_sign) {
+                        cmean += cell(&data, n_cols, r, s, c);
+                    }
+                    cmean /= nr as f64;
+                    let mut acc = 0.0;
+                    for (ri, (&r, &s)) in v.rows.iter().zip(&v.row_sign).enumerate() {
+                        let resid = cell(&data, n_cols, r, s, c) - row_mean[ri] - cmean + overall;
+                        acc += resid * resid;
+                    }
+                    if acc / nr as f64 <= h {
+                        added.push(c);
+                    }
+                }
+                if !added.is_empty() {
+                    v.cols.extend(added);
+                    v.cols.sort_unstable();
+                    changed = true;
+                }
+            }
+            // Row addition (plain and inverted).
+            {
+                let (h, _, _) = residues(&data, n_cols, &v);
+                let (_, col_mean, overall) = means(&data, n_cols, &v);
+                let in_rows: std::collections::HashSet<usize> = v.rows.iter().copied().collect();
+                let mut added = Vec::new();
+                for r in 0..n_rows {
+                    if in_rows.contains(&r) {
+                        continue;
+                    }
+                    if row_residue_against(&data, n_cols, &v, r, 1.0, &col_mean, overall) <= h {
+                        added.push((r, 1.0));
+                    } else if row_residue_against(&data, n_cols, &v, r, -1.0, &col_mean, overall)
+                        <= h
+                    {
+                        added.push((r, -1.0));
+                    }
+                }
+                if !added.is_empty() {
+                    for (r, s) in added {
+                        v.rows.push(r);
+                        v.row_sign.push(s);
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        if v.rows.len() <= 1 || v.cols.len() <= 1 {
+            break; // degenerate; no more signal to extract
+        }
+        let (h, _, _) = residues(&data, n_cols, &v);
+
+        // Sort members and record.
+        let mut pairs: Vec<(usize, f64)> = v
+            .rows
+            .iter()
+            .copied()
+            .zip(v.row_sign.iter().copied())
+            .collect();
+        pairs.sort_by_key(|&(r, _)| r);
+        let genes: Vec<usize> = pairs.iter().map(|&(r, _)| r).collect();
+        let inverted: Vec<bool> = pairs.iter().map(|&(_, s)| s < 0.0).collect();
+        let mut conds = v.cols.clone();
+        conds.sort_unstable();
+        out.push(CcBicluster {
+            bicluster: Bicluster {
+                genes: genes.clone(),
+                conds: conds.clone(),
+            },
+            inverted,
+            msr: h,
+        });
+
+        // Phase 4: mask with random values.
+        for &r in &genes {
+            for &c in &conds {
+                data[r * n_cols + c] = rng.gen_range(params.mask_range.0..params.mask_range.1);
+            }
+        }
+    }
+    out
+}
+
+fn filter_parallel(rows: &mut Vec<usize>, signs: &mut Vec<f64>, keep: &[bool]) {
+    let mut i = 0;
+    rows.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    let mut i = 0;
+    signs.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &v) in values.iter().enumerate() {
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+/// Mean squared residue of an explicit bicluster of `matrix` (no
+/// inversions) — exposed for tests and for scoring external cluster sets.
+pub fn mean_squared_residue(matrix: &ExpressionMatrix, bc: &Bicluster) -> f64 {
+    let v = View {
+        rows: bc.genes.clone(),
+        row_sign: vec![1.0; bc.genes.len()],
+        cols: bc.conds.clone(),
+    };
+    residues(matrix.flat_values(), matrix.n_conditions(), &v).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn msr_zero_for_additive_model() {
+        // a_ij = r_i + c_j has residue exactly 0.
+        let m = matrix(vec![
+            vec![1.0, 2.0, 4.0],
+            vec![3.0, 4.0, 6.0],
+            vec![0.0, 1.0, 3.0],
+        ]);
+        let bc = Bicluster::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert!(mean_squared_residue(&m, &bc) < 1e-12);
+    }
+
+    #[test]
+    fn msr_positive_for_multiplicative_model() {
+        // A scaling pattern is NOT additive; MSR must be clearly positive.
+        let m = matrix(vec![
+            vec![1.0, 2.0, 4.0],
+            vec![2.0, 4.0, 8.0],
+            vec![4.0, 8.0, 16.0],
+        ]);
+        let bc = Bicluster::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert!(mean_squared_residue(&m, &bc) > 0.1);
+    }
+
+    #[test]
+    fn finds_planted_additive_bicluster() {
+        // 6 structured genes (rows = base + row offset) + 6 noise genes.
+        let base = [0.0f64, 5.0, 2.0, 8.0, 4.0];
+        let mut rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| base.iter().map(|&v| v + i as f64).collect())
+            .collect();
+        // Deterministic pseudo-noise rows.
+        for i in 0..6 {
+            rows.push(
+                (0..5)
+                    .map(|j| ((i * 37 + j * 101 + 13) % 97) as f64 / 9.7)
+                    .collect(),
+            );
+        }
+        let m = matrix(rows);
+        let params = ChengChurchParams {
+            delta: 0.05,
+            alpha: 1.2,
+            n_clusters: 1,
+            multiple_deletion_threshold: 100,
+            mask_range: (0.0, 10.0),
+            seed: 1,
+        };
+        let found = cheng_church(&m, &params);
+        assert_eq!(found.len(), 1);
+        let bc = &found[0].bicluster;
+        assert!(found[0].msr <= 0.05 + 1e-9);
+        // All six structured genes must be present.
+        for g in 0..6 {
+            assert!(
+                bc.genes.contains(&g),
+                "gene {g} missing from {:?}",
+                bc.genes
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_rows_are_added() {
+        // 5 additive genes plus one exact mirror gene.
+        let base = [0.0f64, 5.0, 2.0, 8.0, 4.0];
+        let mut rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| base.iter().map(|&v| v + i as f64).collect())
+            .collect();
+        rows.push(base.iter().map(|&v| -v).collect());
+        // Noise rows so deletion has something to remove.
+        for i in 0..5 {
+            rows.push(
+                (0..5)
+                    .map(|j| ((i * 53 + j * 71 + 7) % 89) as f64 / 8.9)
+                    .collect(),
+            );
+        }
+        let m = matrix(rows);
+        let params = ChengChurchParams {
+            delta: 0.05,
+            n_clusters: 1,
+            ..ChengChurchParams::default()
+        };
+        let found = cheng_church(&m, &params);
+        assert_eq!(found.len(), 1);
+        let cc = &found[0];
+        let mirror_pos = cc.bicluster.genes.iter().position(|&g| g == 5);
+        assert!(
+            mirror_pos.is_some(),
+            "mirror gene not included: {:?}",
+            cc.bicluster.genes
+        );
+        assert!(
+            cc.inverted[mirror_pos.unwrap()],
+            "mirror gene must be flagged inverted"
+        );
+    }
+
+    #[test]
+    fn masking_lets_multiple_clusters_emerge() {
+        // Two disjoint additive blocks on disjoint conditions.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            let mut r = vec![0.0f64; 8];
+            for (j, item) in r.iter_mut().enumerate().take(4) {
+                *item = [0.0, 4.0, 1.0, 6.0][j] + i as f64;
+            }
+            for (j, item) in r.iter_mut().enumerate().skip(4) {
+                *item = (((i * 31 + j * 17) % 23) as f64) / 2.3 + 20.0;
+            }
+            rows.push(r);
+        }
+        for i in 0..5 {
+            let mut r = vec![0.0f64; 8];
+            for (j, item) in r.iter_mut().enumerate().take(4) {
+                *item = (((i * 41 + j * 29) % 19) as f64) / 1.9 + 20.0;
+            }
+            for (j, item) in r.iter_mut().enumerate().skip(4) {
+                *item = [2.0, 7.0, 0.0, 5.0][j - 4] + (i as f64) * 1.5;
+            }
+            rows.push(r);
+        }
+        let m = matrix(rows);
+        let params = ChengChurchParams {
+            delta: 0.05,
+            n_clusters: 2,
+            mask_range: (0.0, 25.0),
+            ..ChengChurchParams::default()
+        };
+        let found = cheng_church(&m, &params);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].msr <= 0.05 + 1e-9);
+        assert!(found[1].msr <= 0.05 + 1e-9);
+        // The two clusters concentrate on different condition halves.
+        let c0_low = found[0].bicluster.conds.iter().filter(|&&c| c < 4).count();
+        let c1_low = found[1].bicluster.conds.iter().filter(|&&c| c < 4).count();
+        assert_ne!(
+            c0_low > 2,
+            c1_low > 2,
+            "clusters should use different condition halves"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let m = matrix(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let params = ChengChurchParams {
+            alpha: 1.0,
+            ..ChengChurchParams::default()
+        };
+        cheng_church(&m, &params);
+    }
+}

@@ -1,0 +1,376 @@
+//! MicroCluster — the 2D core of TriCluster (Zhao & Zaki, SIGMOD 2005),
+//! the paper's pure-*scaling* comparator \[26\], mined natively.
+//!
+//! TriCluster's model on a gene × condition slice: a cluster is valid when
+//! for every condition pair `(a, b)` the **expression ratios**
+//! `d_gb / d_ga` of all member genes agree within a multiplicative
+//! tolerance (`max/min ≤ 1 + ε`). That is exactly the pure scaling pattern
+//! `d_i = s1 · d_j` of the paper's Equation 2 family; shifting-and-scaling
+//! patterns blow the ratio range up, which is the limitation §1.3 points
+//! out ("the coexistence of positively and negatively correlated genes
+//! would lead to a rather large … expression ratio range").
+//!
+//! The algorithm follows TriCluster's first phase:
+//!
+//! 1. for every ordered condition pair `(a, b)`, sort the genes by ratio
+//!    and extract the maximal ratio-range windows with ≥ `MinG` genes —
+//!    these form a **multigraph** over conditions whose edges carry gene
+//!    sets;
+//! 2. depth-first extend condition sets along the edges, intersecting the
+//!    gene sets, pruning when the intersection drops below `MinG`;
+//! 3. validate every candidate against the pairwise ratio-range definition
+//!    and keep the maximal biclusters.
+//!
+//! Complementary to [`crate::scaling`] (pCluster after a log transform):
+//! the two find the same family on clean data but tolerate noise
+//! differently (multiplicative band here, additive log-space band there).
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::bicluster::retain_maximal;
+use crate::Bicluster;
+
+/// Parameters of the MicroCluster miner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroClusterParams {
+    /// Multiplicative ratio tolerance: a window is coherent when
+    /// `max_ratio / min_ratio ≤ 1 + epsilon`.
+    pub epsilon: f64,
+    /// Minimum genes per cluster.
+    pub min_genes: usize,
+    /// Minimum conditions per cluster.
+    pub min_conds: usize,
+    /// Cap on reported clusters.
+    pub max_clusters: usize,
+    /// Bound on DFS states visited (a completeness budget, like
+    /// [`crate::pcluster::PClusterParams::clique_budget`]): generous for
+    /// real workloads, prevents blow-ups at extreme ε.
+    pub state_budget: usize,
+}
+
+impl Default for MicroClusterParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.01,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 100,
+            state_budget: 100_000,
+        }
+    }
+}
+
+/// One multigraph edge: condition pair plus a coherent gene set.
+struct Edge {
+    a: CondId,
+    b: CondId,
+    genes: Vec<GeneId>,
+}
+
+/// Maximal ratio windows for one ordered condition pair.
+fn ratio_windows(
+    matrix: &ExpressionMatrix,
+    a: CondId,
+    b: CondId,
+    params: &MicroClusterParams,
+) -> Vec<Vec<GeneId>> {
+    let mut ratios: Vec<(f64, GeneId)> = (0..matrix.n_genes())
+        .filter_map(|g| {
+            let da = matrix.value(g, a);
+            let db = matrix.value(g, b);
+            // TriCluster's ratios are defined on positive expression; skip
+            // genes where the ratio is undefined or non-positive.
+            (da > 0.0 && db > 0.0).then(|| (db / da, g))
+        })
+        .collect();
+    if ratios.len() < params.min_genes {
+        return Vec::new();
+    }
+    ratios.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let band = 1.0 + params.epsilon;
+
+    let mut out = Vec::new();
+    let n = ratios.len();
+    let mut end = 0usize;
+    let mut prev_end = 0usize;
+    for start in 0..n {
+        if end < start {
+            end = start;
+        }
+        while end < n && ratios[end].0 <= ratios[start].0 * band {
+            end += 1;
+        }
+        if (start == 0 || prev_end < end) && end - start >= params.min_genes {
+            let mut genes: Vec<GeneId> = ratios[start..end].iter().map(|&(_, g)| g).collect();
+            genes.sort_unstable();
+            out.push(genes);
+        }
+        prev_end = end;
+        if end == n && ratios[n - 1].0 <= ratios[start].0 * band {
+            break;
+        }
+    }
+    out
+}
+
+fn intersect_sorted(a: &[GeneId], b: &[GeneId]) -> Vec<GeneId> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Pairwise ratio-coherence check straight from the model definition.
+fn is_valid(matrix: &ExpressionMatrix, genes: &[GeneId], conds: &[CondId], epsilon: f64) -> bool {
+    for (ai, &a) in conds.iter().enumerate() {
+        for &b in &conds[ai + 1..] {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &g in genes {
+                let da = matrix.value(g, a);
+                let db = matrix.value(g, b);
+                if da <= 0.0 || db <= 0.0 {
+                    return false;
+                }
+                let r = db / da;
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+            if hi > lo * (1.0 + epsilon) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Mines pure-scaling biclusters via the ratio-range multigraph.
+///
+/// Output clusters are maximal and pairwise-validated against the model
+/// definition; genes with non-positive values on a cluster's conditions
+/// can never be members (TriCluster's ratios are undefined there).
+pub fn microcluster(matrix: &ExpressionMatrix, params: &MicroClusterParams) -> Vec<Bicluster> {
+    assert!(params.epsilon >= 0.0, "epsilon must be ≥ 0");
+    assert!(
+        params.min_genes >= 2 && params.min_conds >= 2,
+        "clusters need ≥ 2 genes and ≥ 2 conditions"
+    );
+    let n_conds = matrix.n_conditions();
+    if n_conds < params.min_conds {
+        return Vec::new();
+    }
+
+    // Phase 1: the condition multigraph. Ordered pairs (a < b) suffice —
+    // the reverse edge carries the reciprocal ratios and the same windows.
+    let mut edges: Vec<Edge> = Vec::new();
+    for a in 0..n_conds {
+        for b in a + 1..n_conds {
+            for genes in ratio_windows(matrix, a, b, params) {
+                edges.push(Edge { a, b, genes });
+            }
+        }
+    }
+
+    // Phase 2: DFS over condition sets. A state is (condition set, gene
+    // intersection); extend with any edge connecting a member condition to
+    // a new one.
+    let mut out: Vec<Bicluster> = Vec::new();
+    let mut stack: Vec<(Vec<CondId>, Vec<GeneId>)> = edges
+        .iter()
+        .map(|e| (vec![e.a, e.b], e.genes.clone()))
+        .collect();
+    let mut seen: std::collections::HashSet<(Vec<CondId>, Vec<GeneId>)> =
+        std::collections::HashSet::new();
+    let mut budget = params.state_budget;
+    while let Some((conds, genes)) = stack.pop() {
+        if budget == 0 {
+            break;
+        }
+        if !seen.insert((conds.clone(), genes.clone())) {
+            continue;
+        }
+        budget -= 1;
+        if conds.len() >= params.min_conds && is_valid(matrix, &genes, &conds, params.epsilon) {
+            out.push(Bicluster::new(genes.clone(), conds.clone()));
+        }
+        for e in &edges {
+            let has_a = conds.contains(&e.a);
+            let has_b = conds.contains(&e.b);
+            if has_a == has_b {
+                continue; // either disconnected or already inside
+            }
+            let next_cond = if has_a { e.b } else { e.a };
+            let next_genes = intersect_sorted(&genes, &e.genes);
+            if next_genes.len() < params.min_genes {
+                continue;
+            }
+            let mut next_conds = conds.clone();
+            next_conds.push(next_cond);
+            next_conds.sort_unstable();
+            stack.push((next_conds, next_genes));
+        }
+    }
+
+    let mut out = retain_maximal(out);
+    out.sort_by(|x, y| {
+        (y.n_genes() * y.n_conds())
+            .cmp(&(x.n_genes() * x.n_conds()))
+            .then_with(|| x.genes.cmp(&y.genes))
+            .then_with(|| x.conds.cmp(&y.conds))
+    });
+    out.truncate(params.max_clusters);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn finds_exact_scaling_family() {
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows = vec![
+            base.to_vec(),
+            base.iter().map(|v| v * 3.0).collect(),
+            base.iter().map(|v| v * 0.5).collect(),
+            vec![9.0, 1.0, 7.0, 2.0, 3.0], // noise
+        ];
+        let m = matrix(rows);
+        let params = MicroClusterParams {
+            epsilon: 1e-9,
+            min_genes: 3,
+            min_conds: 5,
+            ..Default::default()
+        };
+        let found = microcluster(&m, &params);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1, 2]);
+        assert_eq!(found[0].conds, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn subspace_scaling_is_found() {
+        // Scaling only on conditions {0, 2, 3}; other columns scrambled.
+        let rows = vec![
+            vec![1.0, 9.0, 2.0, 4.0, 6.0],
+            vec![2.0, 3.0, 4.0, 8.0, 1.0],
+            vec![5.0, 1.0, 10.0, 20.0, 3.0],
+        ];
+        let m = matrix(rows);
+        let params = MicroClusterParams {
+            epsilon: 1e-9,
+            min_genes: 3,
+            min_conds: 3,
+            ..Default::default()
+        };
+        let found = microcluster(&m, &params);
+        assert!(
+            found
+                .iter()
+                .any(|b| b.genes == vec![0, 1, 2] && b.conds == vec![0, 2, 3]),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn misses_shifting_and_mixed_patterns() {
+        // Pure shift: ratios are not constant.
+        let base = [1.0f64, 4.0, 2.0, 8.0];
+        let m = matrix(vec![base.to_vec(), base.iter().map(|v| v + 5.0).collect()]);
+        let params = MicroClusterParams {
+            epsilon: 0.05,
+            min_genes: 2,
+            min_conds: 4,
+            ..Default::default()
+        };
+        assert!(microcluster(&m, &params).is_empty());
+        // Shifting-and-scaling: also invisible.
+        let m = matrix(vec![
+            base.to_vec(),
+            base.iter().map(|v| 2.0 * v + 3.0).collect(),
+        ]);
+        assert!(microcluster(&m, &params).is_empty());
+    }
+
+    #[test]
+    fn every_output_is_ratio_coherent() {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                (0..5)
+                    .map(|j| 1.0 + ((i * 31 + j * 17 + 5) % 23) as f64)
+                    .collect()
+            })
+            .collect();
+        let m = matrix(rows);
+        let params = MicroClusterParams {
+            epsilon: 0.3,
+            min_genes: 2,
+            min_conds: 2,
+            ..Default::default()
+        };
+        for bc in microcluster(&m, &params) {
+            assert!(is_valid(&m, &bc.genes, &bc.conds, params.epsilon + 1e-12));
+            assert!(bc.n_genes() >= 2 && bc.n_conds() >= 2);
+        }
+    }
+
+    #[test]
+    fn tolerance_band_admits_near_scalings() {
+        let base = [1.0f64, 4.0, 2.0, 8.0];
+        let rows = vec![
+            base.to_vec(),
+            // Ratios 2.0, 2.04, 1.95, 2.02 — within a 5% band, not 0.1%.
+            vec![2.0, 8.16, 3.9, 16.16],
+        ];
+        let m = matrix(rows);
+        let tight = MicroClusterParams {
+            epsilon: 0.001,
+            min_genes: 2,
+            min_conds: 4,
+            ..Default::default()
+        };
+        assert!(microcluster(&m, &tight).is_empty());
+        let loose = MicroClusterParams {
+            epsilon: 0.05,
+            min_genes: 2,
+            min_conds: 4,
+            ..Default::default()
+        };
+        assert_eq!(microcluster(&m, &loose).len(), 1);
+    }
+
+    #[test]
+    fn non_positive_values_are_excluded_not_fatal() {
+        let rows = vec![
+            vec![1.0, 2.0, 4.0],
+            vec![2.0, 4.0, 8.0],
+            vec![-1.0, 3.0, 6.0], // undefined ratio on c0
+        ];
+        let m = matrix(rows);
+        let params = MicroClusterParams {
+            epsilon: 1e-9,
+            min_genes: 2,
+            min_conds: 3,
+            ..Default::default()
+        };
+        let found = microcluster(&m, &params);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1]);
+    }
+}

@@ -1,0 +1,309 @@
+//! OP-Cluster: order-preserving clustering with similarity grouping
+//! (Liu & Wang, ICDM 2003) — the paper's tendency-based comparator \[18\].
+//!
+//! Each gene's conditions are sorted by expression value and chopped into
+//! **groups**: a condition joins the current group while its value is
+//! within the grouping threshold `δ_g` of the group's first value
+//! (OP-Cluster's default `δ_g` is a multiple of the average closest-pair
+//! difference of the profile). A gene *supports* an ordered condition
+//! sequence if each next condition falls in a strictly later group, i.e.
+//! the gene "rises" across the sequence up to similarity. An OP-cluster is
+//! a sequence of at least `MinC` conditions supported by at least `MinG`
+//! genes.
+//!
+//! §1.3 of the reg-cluster paper criticizes exactly this grouping device:
+//! with threshold 0.8 and sorted values `{15, 20, 43, 43.5, 44}`, the
+//! values 43, 43.5 and 44 collapse into one group although the outer pair
+//! differs by 1.0 > 0.8 — so the model can neither impose a non-trivial
+//! regulation threshold consistently nor distinguish regulated from
+//! non-regulated pairs. The unit tests reproduce that example.
+//!
+//! Mining is a depth-first search over condition sequences with projected
+//! support sets (the OPC-tree collapsed to its traversal); support is
+//! anti-monotone in sequence extension, so `MinG` prunes exactly.
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::bicluster::retain_maximal;
+use crate::Bicluster;
+
+/// Parameters of the OP-Cluster miner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpClusterParams {
+    /// Grouping-threshold multiplier: `δ_g = multiplier ·` (mean adjacent
+    /// difference of the gene's sorted profile). `0` disables grouping
+    /// (pure ordering, every condition its own group unless values tie).
+    pub group_multiplier: f64,
+    /// Minimum supporting genes.
+    pub min_genes: usize,
+    /// Minimum sequence length.
+    pub min_conds: usize,
+    /// Cap on reported clusters (largest support first).
+    pub max_clusters: usize,
+}
+
+impl Default for OpClusterParams {
+    fn default() -> Self {
+        Self {
+            group_multiplier: 1.0,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 100,
+        }
+    }
+}
+
+/// Per-gene group index of every condition: `group[c]` is the rank of the
+/// similarity group containing condition `c` in the gene's value order.
+pub fn condition_groups(profile: &[f64], multiplier: f64) -> Vec<usize> {
+    let n = profile.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| profile[a].total_cmp(&profile[b]).then(a.cmp(&b)));
+    // OP-Cluster's default grouping threshold: multiplier × mean adjacent
+    // difference of the sorted profile.
+    let mean_gap = if n < 2 {
+        0.0
+    } else {
+        order
+            .windows(2)
+            .map(|w| profile[w[1]] - profile[w[0]])
+            .sum::<f64>()
+            / (n - 1) as f64
+    };
+    let delta = multiplier * mean_gap;
+
+    let mut groups = vec![0usize; n];
+    let mut current = 0usize;
+    let mut prev = profile[order[0]];
+    for (i, &c) in order.iter().enumerate() {
+        // Adjacent-difference grouping (the original model): a condition
+        // chains onto the group while it is within δ of its *predecessor*,
+        // so a group can transitively span more than δ — the inconsistency
+        // §1.3 of the reg-cluster paper criticizes.
+        if i > 0 && profile[c] - prev > delta {
+            current += 1;
+        }
+        prev = profile[c];
+        groups[c] = current;
+    }
+    groups
+}
+
+/// Mines OP-clusters.
+///
+/// Output biclusters are maximal; the `conds` of each bicluster are the
+/// sequence's conditions (the shared rising order is recoverable by sorting
+/// them by any member's values).
+pub fn op_cluster(matrix: &ExpressionMatrix, params: &OpClusterParams) -> Vec<Bicluster> {
+    assert!(
+        params.group_multiplier >= 0.0,
+        "group multiplier must be ≥ 0"
+    );
+    assert!(
+        params.min_conds >= 2,
+        "sequences need at least 2 conditions"
+    );
+    let n_genes = matrix.n_genes();
+    let n_conds = matrix.n_conditions();
+
+    let groups: Vec<Vec<usize>> = (0..n_genes)
+        .map(|g| condition_groups(matrix.row(g), params.group_multiplier))
+        .collect();
+
+    let mut out: Vec<Bicluster> = Vec::new();
+    let mut seq: Vec<CondId> = Vec::new();
+
+    // DFS with projected support.
+    fn recurse(
+        groups: &[Vec<usize>],
+        n_conds: usize,
+        params: &OpClusterParams,
+        seq: &mut Vec<CondId>,
+        support: &[GeneId],
+        out: &mut Vec<Bicluster>,
+    ) {
+        if seq.len() >= params.min_conds {
+            out.push(Bicluster::new(support.to_vec(), seq.clone()));
+        }
+        for c in 0..n_conds {
+            if seq.contains(&c) {
+                continue;
+            }
+            let last = *seq.last().expect("sequence non-empty in recursion");
+            let next: Vec<GeneId> = support
+                .iter()
+                .copied()
+                .filter(|&g| groups[g][c] > groups[g][last])
+                .collect();
+            if next.len() < params.min_genes {
+                continue;
+            }
+            seq.push(c);
+            recurse(groups, n_conds, params, seq, &next, out);
+            seq.pop();
+        }
+    }
+
+    for first in 0..n_conds {
+        let support: Vec<GeneId> = (0..n_genes).collect();
+        seq.push(first);
+        recurse(&groups, n_conds, params, &mut seq, &support, &mut out);
+        seq.pop();
+    }
+
+    let mut out = retain_maximal(out);
+    out.sort_by(|a, b| {
+        b.n_genes()
+            .cmp(&a.n_genes())
+            .then_with(|| b.n_conds().cmp(&a.n_conds()))
+            .then_with(|| a.conds.cmp(&b.conds))
+    });
+    out.truncate(params.max_clusters);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn grouping_reproduces_the_papers_section_1_3_criticism() {
+        // g2's values on c2, c10, c8, c4, c6 (sorted: 15, 20, 43, 43.5, 44)
+        // with grouping threshold 0.8: 43, 43.5, 44 collapse into one group
+        // even though 44 − 43 = 1.0 exceeds the threshold — the tendency
+        // model lumps a "regulated" pair while separating smaller gaps.
+        let profile = [15.0, 20.0, 43.0, 43.5, 44.0];
+        // An absolute threshold of 0.8 = multiplier × mean gap (29/4 = 7.25)
+        // → multiplier ≈ 0.1103…
+        let groups = condition_groups(&profile, 0.8 / 7.25);
+        assert_eq!(groups[0], 0); // 15
+        assert_eq!(groups[1], 1); // 20
+        assert_eq!(groups[2], 2); // 43
+        assert_eq!(groups[3], 2); // 43.5 within 0.8 of 43
+        assert_eq!(groups[4], 2); // 44 — grouped although 44 − 43 > 0.8
+    }
+
+    #[test]
+    fn groups_with_zero_multiplier_split_everything_but_ties() {
+        let groups = condition_groups(&[3.0, 1.0, 1.0, 2.0], 0.0);
+        assert_eq!(groups, vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn finds_shared_rising_sequences() {
+        // g0..g2 rise along c2 < c0 < c1 with arbitrary magnitudes; g3 does
+        // not.
+        let rows = vec![
+            vec![5.0, 9.0, 1.0],
+            vec![2.0, 2.5, 0.1],
+            vec![4.0, 8.0, 3.0],
+            vec![9.0, 1.0, 5.0],
+        ];
+        let m = matrix(rows);
+        let params = OpClusterParams {
+            group_multiplier: 0.0,
+            min_genes: 3,
+            min_conds: 3,
+            max_clusters: 10,
+        };
+        let found = op_cluster(&m, &params);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1, 2]);
+        assert_eq!(found[0].conds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grouping_tolerates_small_disorder() {
+        // g1's c0 and c2 are nearly tied (within its grouping threshold),
+        // so it still supports the sequence despite the tiny inversion.
+        let rows = vec![
+            vec![1.0, 5.0, 9.0],
+            vec![1.05, 5.0, 1.0], // c2 ≈ c0, both far below c1
+        ];
+        let m = matrix(rows);
+        let strict = OpClusterParams {
+            group_multiplier: 0.0,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 10,
+        };
+        // Without grouping, only c0 < c1 is shared.
+        let found = op_cluster(&m, &strict);
+        assert!(found
+            .iter()
+            .all(|b| !(b.conds == vec![1, 2] && b.n_genes() == 2)));
+        let grouped = OpClusterParams {
+            group_multiplier: 0.5,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 10,
+        };
+        // With grouping, g1 treats c2 and c0 as similar, so c2 < c1 (and
+        // c0 < c1) are supported by both genes.
+        let found = op_cluster(&m, &grouped);
+        assert!(
+            found
+                .iter()
+                .any(|b| b.genes == vec![0, 1] && b.conds.contains(&1)),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn support_is_antimonotone() {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..5)
+                    .map(|j| ((i * 17 + j * 29 + 3) % 19) as f64)
+                    .collect()
+            })
+            .collect();
+        let m = matrix(rows);
+        let params = OpClusterParams {
+            group_multiplier: 0.0,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 100,
+        };
+        for bc in op_cluster(&m, &params) {
+            // Every reported cluster re-validates: each gene's groups rise
+            // along the sequence order (recover order by the first gene).
+            let first = m.row(bc.genes[0]);
+            let mut order = bc.conds.clone();
+            order.sort_by(|&a, &b| first[a].total_cmp(&first[b]));
+            for &g in &bc.genes {
+                let groups = condition_groups(m.row(g), 0.0);
+                for w in order.windows(2) {
+                    assert!(groups[w[0]] < groups[w[1]]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incoherent_tendencies_are_accepted() {
+        // Same order, wildly different ratios — OP-Cluster groups them (no
+        // coherence guarantee), unlike reg-cluster with a tight ε.
+        let rows = vec![
+            vec![0.0, 1.0, 2.0, 30.0],
+            vec![0.0, 10.0, 10.5, 11.0],
+            vec![0.0, 0.2, 15.0, 15.4],
+        ];
+        let m = matrix(rows);
+        let params = OpClusterParams {
+            group_multiplier: 0.0,
+            min_genes: 3,
+            min_conds: 4,
+            max_clusters: 10,
+        };
+        let found = op_cluster(&m, &params);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,363 @@
+//! OPSM: the order-preserving submatrix problem (Ben-Dor, Chor, Karp &
+//! Yakhini, RECOMB 2002) — the tendency-based baseline family.
+//!
+//! A complete model is an ordered list of `s` columns; a row *supports* it
+//! when its values strictly increase along the list. OPSM looks for a model
+//! with many supporting rows. This is the "synchronous tendency" notion the
+//! paper's tendency-based comparators (\[3\], \[18\], \[19\]) build on: rows only
+//! share an *ordering*, with **no coherence guarantee** — which is exactly
+//! the weakness reg-cluster's ε constraint addresses (Figure 4's outlier is
+//! invisible to OPSM).
+//!
+//! The implementation is Ben-Dor's growing partial-model search: a partial
+//! model fixes the first `i` and last `j` columns of the eventual order; a
+//! row supports it if both fixed stretches increase, the prefix stays below
+//! the suffix, and enough unused columns have values strictly in between to
+//! fill the middle. The `ℓ` highest-support partial models are kept at each
+//! growth step (a beam search, as in the original paper).
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::bicluster::retain_maximal;
+use crate::Bicluster;
+
+/// Parameters of the OPSM search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsmParams {
+    /// Model size `s` (number of ordered columns).
+    pub size: usize,
+    /// Beam width `ℓ` (partial models kept per growth step).
+    pub beam_width: usize,
+    /// Minimum supporting rows for a model to be reported.
+    pub min_genes: usize,
+    /// Maximum number of models reported.
+    pub max_models: usize,
+}
+
+impl Default for OpsmParams {
+    fn default() -> Self {
+        Self {
+            size: 4,
+            beam_width: 100,
+            min_genes: 2,
+            max_models: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PartialModel {
+    /// First columns of the order (lowest values), in order.
+    prefix: Vec<CondId>,
+    /// Last columns of the order (highest values), in order.
+    suffix: Vec<CondId>,
+}
+
+impl PartialModel {
+    fn len(&self) -> usize {
+        self.prefix.len() + self.suffix.len()
+    }
+    fn uses(&self, c: CondId) -> bool {
+        self.prefix.contains(&c) || self.suffix.contains(&c)
+    }
+}
+
+/// Does `row` support the partial model given the eventual size `s`?
+fn supports_partial(row: &[f64], m: &PartialModel, s: usize) -> bool {
+    for w in m.prefix.windows(2) {
+        if row[w[0]] >= row[w[1]] {
+            return false;
+        }
+    }
+    for w in m.suffix.windows(2) {
+        if row[w[0]] >= row[w[1]] {
+            return false;
+        }
+    }
+    let hi_of_prefix = row[*m.prefix.last().expect("prefix never empty")];
+    let lo_of_suffix = row[*m.suffix.first().expect("suffix never empty")];
+    if hi_of_prefix >= lo_of_suffix {
+        return false;
+    }
+    let middle_needed = s - m.len();
+    if middle_needed == 0 {
+        return true;
+    }
+    let mut middle_available = 0usize;
+    for (c, &v) in row.iter().enumerate() {
+        if !m.uses(c) && v > hi_of_prefix && v < lo_of_suffix {
+            middle_available += 1;
+            if middle_available >= middle_needed {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn support_count(matrix: &ExpressionMatrix, m: &PartialModel, s: usize) -> usize {
+    matrix
+        .rows()
+        .filter(|(_, row)| supports_partial(row, m, s))
+        .count()
+}
+
+/// Rows whose values strictly increase along a complete column order.
+fn supporting_rows(matrix: &ExpressionMatrix, order: &[CondId]) -> Vec<GeneId> {
+    matrix
+        .rows()
+        .filter(|(_, row)| order.windows(2).all(|w| row[w[0]] < row[w[1]]))
+        .map(|(g, _)| g)
+        .collect()
+}
+
+/// Finds up to `max_models` order-preserving submatrices of `size` columns
+/// with at least `min_genes` supporting rows, best-supported first.
+///
+/// Output is maximal (no bicluster contained in another) and every reported
+/// row strictly increases along the model order (re-verified).
+pub fn opsm(matrix: &ExpressionMatrix, params: &OpsmParams) -> Vec<Bicluster> {
+    assert!(params.size >= 2, "model size must be ≥ 2");
+    assert!(params.beam_width >= 1, "beam width must be ≥ 1");
+    let n_conds = matrix.n_conditions();
+    if n_conds < params.size {
+        return Vec::new();
+    }
+
+    // Seed beam: all ordered (first, last) column pairs.
+    let mut beam: Vec<(usize, PartialModel)> = Vec::new();
+    for a in 0..n_conds {
+        for b in 0..n_conds {
+            if a == b {
+                continue;
+            }
+            let m = PartialModel {
+                prefix: vec![a],
+                suffix: vec![b],
+            };
+            let score = support_count(matrix, &m, params.size);
+            if score > 0 {
+                beam.push((score, m));
+            }
+        }
+    }
+    trim_beam(&mut beam, params.beam_width);
+
+    // Grow to full size, alternating prefix / suffix extension.
+    while beam.first().is_some_and(|(_, m)| m.len() < params.size) {
+        let mut next: Vec<(usize, PartialModel)> = Vec::new();
+        for (_, m) in &beam {
+            let grow_prefix = m.prefix.len() <= m.suffix.len();
+            for c in 0..n_conds {
+                if m.uses(c) {
+                    continue;
+                }
+                let mut grown = m.clone();
+                if grow_prefix {
+                    grown.prefix.push(c);
+                } else {
+                    grown.suffix.insert(0, c);
+                }
+                let score = support_count(matrix, &grown, params.size);
+                if score >= params.min_genes.max(1) {
+                    next.push((score, grown));
+                }
+            }
+        }
+        trim_beam(&mut next, params.beam_width);
+        if next.is_empty() {
+            return Vec::new();
+        }
+        beam = next;
+    }
+
+    // Materialize complete models.
+    let mut out: Vec<Bicluster> = Vec::new();
+    for (_, m) in beam {
+        let order: Vec<CondId> = m.prefix.iter().chain(m.suffix.iter()).copied().collect();
+        let rows = supporting_rows(matrix, &order);
+        if rows.len() >= params.min_genes {
+            out.push(Bicluster::new(rows, order));
+        }
+    }
+    let mut out = retain_maximal(out);
+    out.sort_by(|a, b| {
+        b.n_genes()
+            .cmp(&a.n_genes())
+            .then_with(|| a.conds.cmp(&b.conds))
+    });
+    // Diverse top-k: the beam tends to retain many column-order variants of
+    // the single best-supported submatrix; keep only models whose gene sets
+    // differ substantially so `max_models` covers distinct structures.
+    let mut picked: Vec<Bicluster> = Vec::new();
+    for bc in out {
+        if picked.len() >= params.max_models {
+            break;
+        }
+        if picked.iter().all(|p| gene_jaccard(p, &bc) < 0.5) {
+            picked.push(bc);
+        }
+    }
+    picked
+}
+
+fn gene_jaccard(a: &Bicluster, b: &Bicluster) -> f64 {
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.genes.len() && j < b.genes.len() {
+        match a.genes[i].cmp(&b.genes[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.genes.len() + b.genes.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+fn trim_beam(beam: &mut Vec<(usize, PartialModel)>, width: usize) {
+    beam.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.prefix.cmp(&b.1.prefix))
+            .then_with(|| a.1.suffix.cmp(&b.1.suffix))
+    });
+    beam.dedup_by(|a, b| a.1 == b.1);
+    beam.truncate(width);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn finds_rows_sharing_an_order() {
+        // g0..g2 rise along c3 < c0 < c4 < c1 with different step sizes
+        // (incoherent, but order-preserving); g3 breaks the order.
+        let rows = vec![
+            vec![2.0, 9.0, 5.0, 1.0, 4.0],
+            vec![3.0, 8.0, 0.5, 0.1, 6.0],
+            vec![1.5, 7.0, 9.5, 1.0, 2.0],
+            vec![9.0, 1.0, 5.0, 8.0, 2.0],
+        ];
+        let m = matrix(rows);
+        let params = OpsmParams {
+            size: 4,
+            beam_width: 50,
+            min_genes: 3,
+            max_models: 5,
+        };
+        let found = opsm(&m, &params);
+        assert!(!found.is_empty());
+        let best = &found[0];
+        assert_eq!(best.genes, vec![0, 1, 2]);
+        let mut conds = best.conds.clone();
+        conds.sort_unstable();
+        assert_eq!(conds, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn full_row_order_with_size_equals_conds() {
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+            vec![3.0, 2.0, 1.0],
+        ];
+        let m = matrix(rows);
+        let params = OpsmParams {
+            size: 3,
+            beam_width: 20,
+            min_genes: 2,
+            max_models: 3,
+        };
+        let found = opsm(&m, &params);
+        assert!(found.iter().any(|b| b.genes == vec![0, 1]));
+    }
+
+    #[test]
+    fn every_reported_row_is_order_preserving() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 29 + j * 13 + 3) % 31) as f64)
+                    .collect()
+            })
+            .collect();
+        let m = matrix(rows);
+        let params = OpsmParams {
+            size: 3,
+            beam_width: 100,
+            min_genes: 2,
+            max_models: 10,
+        };
+        for bc in opsm(&m, &params) {
+            // Recover the order by sorting conds by the first member row.
+            let first = m.row(bc.genes[0]);
+            let mut order = bc.conds.clone();
+            order.sort_by(|&a, &b| first[a].total_cmp(&first[b]));
+            for &g in &bc.genes {
+                let row = m.row(g);
+                for w in order.windows(2) {
+                    assert!(row[w[0]] < row[w[1]], "row {g} breaks the shared order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_models_when_columns_insufficient() {
+        let m = matrix(vec![vec![1.0, 2.0]]);
+        let params = OpsmParams {
+            size: 3,
+            ..Default::default()
+        };
+        assert!(opsm(&m, &params).is_empty());
+    }
+
+    #[test]
+    fn min_genes_filters_weak_models() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        let m = matrix(rows);
+        let params = OpsmParams {
+            size: 3,
+            beam_width: 10,
+            min_genes: 2,
+            max_models: 5,
+        };
+        assert!(opsm(&m, &params).is_empty());
+    }
+
+    #[test]
+    fn opsm_accepts_incoherent_tendencies_unlike_regcluster() {
+        // Figure 4's point: same order, wildly different ratios — OPSM
+        // happily groups them.
+        let rows = vec![
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![0.0, 0.1, 0.2, 9.0],
+            vec![0.0, 5.0, 5.1, 5.2],
+        ];
+        let m = matrix(rows);
+        let params = OpsmParams {
+            size: 4,
+            beam_width: 50,
+            min_genes: 3,
+            max_models: 5,
+        };
+        let found = opsm(&m, &params);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1, 2]);
+    }
+}

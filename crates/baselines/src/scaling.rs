@@ -1,0 +1,121 @@
+//! Pure *scaling*-pattern mining via pCluster in log space.
+//!
+//! Equation 1 of the paper: `d_ic = s1 · d_jc  ⇒  log d_ic = log d_jc +
+//! log s1`, so a pure scaling pattern in the raw data is a pure shifting
+//! pattern in log space. pCluster and δ-cluster rely on exactly this global
+//! transform; Tricluster's 2D restriction is the same model mined natively.
+//! This module is the workspace's stand-in for the "pure scaling" baseline
+//! family (substitution S3 of DESIGN.md).
+
+use regcluster_matrix::{transform, ExpressionMatrix, MatrixError};
+
+use crate::pcluster::{pcluster, PClusterParams};
+use crate::Bicluster;
+
+/// Why the scaling miner could not run.
+#[derive(Debug)]
+pub enum ScalingError {
+    /// The matrix contains non-positive values, so the log transform the
+    /// prior work prescribes is undefined.
+    NotPositive(MatrixError),
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::NotPositive(e) => {
+                write!(f, "scaling miner requires positive expression values: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// Mines pure scaling patterns: `delta` is the maximum pScore in **log₂
+/// space**, i.e. the allowed wobble of `log₂(d_i / d_j)` within a cluster.
+///
+/// # Errors
+///
+/// Returns [`ScalingError::NotPositive`] when any value is `≤ 0`.
+pub fn scaling_pcluster(
+    matrix: &ExpressionMatrix,
+    params: &PClusterParams,
+) -> Result<Vec<Bicluster>, ScalingError> {
+    let logged = transform::log_transform(matrix, 2.0).map_err(ScalingError::NotPositive)?;
+    Ok(pcluster(&logged, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn finds_exact_scaling_family() {
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows = vec![
+            base.to_vec(),
+            base.iter().map(|v| v * 3.0).collect(),
+            base.iter().map(|v| v * 0.5).collect(),
+            vec![9.0, 1.0, 7.0, 2.0, 3.0], // noise
+        ];
+        let m = matrix(rows);
+        let params = PClusterParams {
+            delta: 1e-9,
+            min_genes: 3,
+            min_conds: 5,
+            ..Default::default()
+        };
+        let found = scaling_pcluster(&m, &params).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].genes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn misses_shifting_family_in_raw_space() {
+        // A pure SHIFT is not a scaling pattern: log(d + s) is not a shift
+        // of log d.
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows = vec![base.to_vec(), base.iter().map(|v| v + 5.0).collect()];
+        let m = matrix(rows);
+        let params = PClusterParams {
+            delta: 0.05,
+            min_genes: 2,
+            min_conds: 5,
+            ..Default::default()
+        };
+        assert!(scaling_pcluster(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn misses_shifting_and_scaling_patterns() {
+        // The paper's motivating case: d1 = 2·d0 + 3 is neither pure shift
+        // nor pure scale; the log trick does not rescue it.
+        let g0 = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows = vec![g0.to_vec(), g0.iter().map(|v| 2.0 * v + 3.0).collect()];
+        let m = matrix(rows);
+        let params = PClusterParams {
+            delta: 0.1,
+            min_genes: 2,
+            min_conds: 4,
+            ..Default::default()
+        };
+        assert!(scaling_pcluster(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_non_positive_values() {
+        let m = matrix(vec![vec![1.0, -2.0], vec![3.0, 4.0]]);
+        let params = PClusterParams::default();
+        assert!(matches!(
+            scaling_pcluster(&m, &params),
+            Err(ScalingError::NotPositive(_))
+        ));
+    }
+}

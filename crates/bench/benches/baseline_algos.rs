@@ -1,0 +1,91 @@
+//! Benchmarks of the baseline algorithms on the comparison workload, so the
+//! runtime column of the comparison experiment has a tracked counterpart.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use regcluster_baselines::{
+    cheng_church, floc, op_cluster, opsm, pcluster, ChengChurchParams, FlocParams, OpClusterParams,
+    OpsmParams, PClusterParams,
+};
+use regcluster_core::{mine, MiningParams};
+use regcluster_datagen::{generate, PatternKind, SyntheticConfig};
+use regcluster_matrix::ExpressionMatrix;
+
+fn workload() -> ExpressionMatrix {
+    let cfg = SyntheticConfig {
+        n_genes: 300,
+        n_conds: 15,
+        n_clusters: 3,
+        cluster_gene_frac: 0.04,
+        neg_fraction: 0.0,
+        plant_gamma: 0.08,
+        pattern: PatternKind::ShiftOnly,
+        ..SyntheticConfig::default()
+    };
+    generate(&cfg).expect("feasible").matrix
+}
+
+fn bench_all(c: &mut Criterion) {
+    let m = workload();
+    let mut group = c.benchmark_group("baselines_300x15");
+    group.sample_size(10);
+
+    let params = MiningParams::new(8, 4, 0.05, 0.02).expect("valid");
+    group.bench_function("reg_cluster", |b| {
+        b.iter(|| black_box(mine(&m, &params).expect("mining succeeds")));
+    });
+
+    let pc = PClusterParams {
+        delta: 0.15,
+        min_genes: 8,
+        min_conds: 4,
+        ..Default::default()
+    };
+    group.bench_function("pcluster", |b| {
+        b.iter(|| black_box(pcluster(&m, &pc)));
+    });
+
+    let op = OpsmParams {
+        size: 4,
+        beam_width: 100,
+        min_genes: 8,
+        max_models: 5,
+    };
+    group.bench_function("opsm", |b| {
+        b.iter(|| black_box(opsm(&m, &op)));
+    });
+
+    let cc = ChengChurchParams {
+        delta: 0.2,
+        n_clusters: 3,
+        ..ChengChurchParams::default()
+    };
+    group.bench_function("cheng_church", |b| {
+        b.iter(|| black_box(cheng_church(&m, &cc)));
+    });
+
+    let oc = OpClusterParams {
+        group_multiplier: 0.25,
+        min_genes: 8,
+        min_conds: 4,
+        max_clusters: 20,
+    };
+    group.bench_function("op_cluster", |b| {
+        b.iter(|| black_box(op_cluster(&m, &oc)));
+    });
+
+    let fl = FlocParams {
+        delta: 0.2,
+        min_genes: 8,
+        min_conds: 4,
+        ..FlocParams::default()
+    };
+    group.bench_function("floc", |b| {
+        b.iter(|| black_box(floc(&m, &fl)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the coherence sliding window (the per-candidate inner
+//! step of the miner: sort genes by H-score, emit maximal ε-windows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use regcluster_core::coherence::maximal_windows;
+
+/// Deterministic pseudo-random scores, pre-sorted as the miner would.
+fn scores(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(12345) % 100_000;
+            x as f64 / 100_000.0
+        })
+        .collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_windows");
+    for n in [100usize, 1000, 10_000] {
+        let s = scores(n);
+        group.bench_with_input(BenchmarkId::new("eps_0.01", n), &n, |b, _| {
+            b.iter(|| black_box(maximal_windows(black_box(&s), 0.01, 20)));
+        });
+        group.bench_with_input(BenchmarkId::new("eps_0.5", n), &n, |b, _| {
+            b.iter(|| black_box(maximal_windows(black_box(&s), 0.5, 20)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_plus_window(c: &mut Criterion) {
+    // The full per-candidate cost: sorting members by score + windowing.
+    let mut group = c.benchmark_group("sort_and_window");
+    for n in [100usize, 1000, 10_000] {
+        let mut raw: Vec<f64> = scores(n);
+        // Deterministic shuffle-ish perturbation to undo the ordering.
+        raw.reverse();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = raw.clone();
+                v.sort_by(f64::total_cmp);
+                black_box(maximal_windows(&v, 0.05, 20))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windows, bench_sort_plus_window);
+criterion_main!(benches);

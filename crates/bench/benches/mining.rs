@@ -1,0 +1,61 @@
+//! End-to-end mining benchmarks: the paper's running example, a mid-sized
+//! synthetic workload, and the sequential-vs-parallel ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use regcluster_core::{mine, mine_parallel, MiningParams};
+use regcluster_datagen::{generate, running_example, SyntheticConfig};
+
+fn bench_running_example(c: &mut Criterion) {
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).expect("valid");
+    c.bench_function("mine_running_example", |b| {
+        b.iter(|| black_box(mine(&m, &params).expect("mining succeeds")));
+    });
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_synthetic");
+    group.sample_size(10);
+    for n_genes in [500usize, 1500, 3000] {
+        let cfg = SyntheticConfig {
+            n_genes,
+            ..SyntheticConfig::default()
+        };
+        let data = generate(&cfg).expect("feasible");
+        let min_g = ((0.01 * n_genes as f64) as usize).max(2);
+        let params = MiningParams::new(min_g, 6, 0.1, 0.01).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n_genes), &n_genes, |b, _| {
+            b.iter(|| black_box(mine(&data.matrix, &params).expect("mining succeeds")));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: root-level parallelism. Chains rooted at different conditions
+/// are independent, so the speedup measures how evenly the enumeration tree
+/// splits across roots.
+fn bench_parallel(c: &mut Criterion) {
+    let cfg = SyntheticConfig {
+        n_genes: 3000,
+        ..SyntheticConfig::default()
+    };
+    let data = generate(&cfg).expect("feasible");
+    let params = MiningParams::new(30, 6, 0.1, 0.01).expect("valid");
+    let mut group = c.benchmark_group("mine_parallel_3000");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(mine_parallel(&data.matrix, &params, t).expect("mining succeeds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_running_example,
+    bench_synthetic,
+    bench_parallel
+);
+criterion_main!(benches);

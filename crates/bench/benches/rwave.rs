@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the `RWave^γ` model — construction cost and the
+//! ablation justifying it: answering "is this condition pair regulated?"
+//! through the pointer index versus rescanning the raw profile.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use regcluster_core::rwave::RWaveModel;
+use regcluster_datagen::{generate, SyntheticConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwave_build");
+    for n_conds in [17usize, 30, 60] {
+        let cfg = SyntheticConfig {
+            n_genes: 1000,
+            n_conds,
+            n_clusters: 10,
+            ..SyntheticConfig::default()
+        };
+        let data = generate(&cfg).expect("feasible");
+        group.bench_with_input(BenchmarkId::new("1000_genes", n_conds), &n_conds, |b, _| {
+            b.iter(|| {
+                for (_, row) in data.matrix.rows() {
+                    let (lo, hi) = row
+                        .iter()
+                        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                            (l.min(v), h.max(v))
+                        });
+                    black_box(RWaveModel::build(row, 0.1 * (hi - lo)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the two exactly-equivalent implementations of the regulation
+/// query — the O(1) direct value comparison `is_up_regulated` (what the
+/// miner uses in its innermost loop) vs the pointer-index binary search
+/// `is_up_regulated_via_pointers` (the paper's Lemma 3.1 device, still used
+/// for successor *ranges* and the max-chain tables).
+fn bench_query(c: &mut Criterion) {
+    let cfg = SyntheticConfig {
+        n_genes: 1,
+        n_conds: 60,
+        n_clusters: 0,
+        ..Default::default()
+    };
+    let data = generate(&cfg).expect("feasible");
+    let row = data.matrix.row(0).to_vec();
+    let (lo, hi) = row
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let gamma = 0.1 * (hi - lo);
+    let model = RWaveModel::build(&row, gamma);
+    let n = model.len();
+
+    let mut group = c.benchmark_group("regulation_query");
+    group.bench_function("value_compare", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in 0..n {
+                for bb in a..n {
+                    acc += usize::from(model.is_up_regulated(black_box(a), black_box(bb)));
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("pointer_search", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in 0..n {
+                for bb in a..n {
+                    acc += usize::from(
+                        model.is_up_regulated_via_pointers(black_box(a), black_box(bb)),
+                    );
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

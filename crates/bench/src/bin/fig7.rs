@@ -1,0 +1,138 @@
+//! Figure 7 — "Evaluation of Efficiency on Synthetic Datasets".
+//!
+//! Reproduces the paper's three scalability panels. Generator defaults are
+//! the paper's (`#g = 3000`, `#cond = 30`, `#clus = 30`, clusters of average
+//! dimensionality 6 with `0.01 · #g` genes, planted at `γ = 0.15`, `ε = 0`);
+//! mining uses the paper's Figure 7 parameters `MinG = 0.01 · #g`,
+//! `MinC = 6`, `γ = 0.1`, `ε = 0.01`. Each panel varies one generator input
+//! while holding the other two at their defaults:
+//!
+//! * panel (a): runtime vs number of genes — the paper reports slightly
+//!   more than linear growth;
+//! * panel (b): runtime vs number of conditions — worse than linear (the
+//!   enumeration examines condition permutations);
+//! * panel (c): runtime vs number of embedded clusters — approximately
+//!   linear.
+//!
+//! Run with `--quick` for a reduced sweep. Results are written to
+//! `results/fig7_*.json`.
+
+use regcluster_bench::plot::{line_chart, Series};
+use regcluster_bench::{quick_mode, series_table, time, write_json, write_text, SeriesPoint};
+use regcluster_core::{mine, MiningParams};
+use regcluster_datagen::{generate, SyntheticConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7Output {
+    panel: &'static str,
+    mining_gamma: f64,
+    mining_epsilon: f64,
+    repetitions: usize,
+    points: Vec<SeriesPoint>,
+}
+
+const MINING_GAMMA: f64 = 0.1;
+const MINING_EPSILON: f64 = 0.01;
+
+fn run_point(config: &SyntheticConfig, reps: usize) -> SeriesPoint {
+    let mut total = 0.0;
+    let mut n_clusters = 0;
+    for rep in 0..reps {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed + rep as u64;
+        let data = generate(&cfg).expect("generator config is feasible");
+        let min_g = ((0.01 * cfg.n_genes as f64).round() as usize).max(2);
+        let params =
+            MiningParams::new(min_g, 6, MINING_GAMMA, MINING_EPSILON).expect("mining params valid");
+        let (clusters, secs) = time(|| mine(&data.matrix, &params).expect("mining succeeds"));
+        total += secs;
+        n_clusters = clusters.len();
+    }
+    SeriesPoint {
+        x: 0.0,
+        runtime_s: total / reps as f64,
+        n_clusters,
+    }
+}
+
+fn sweep(
+    panel: &'static str,
+    header: &str,
+    xs: &[usize],
+    reps: usize,
+    make: impl Fn(usize) -> SyntheticConfig,
+) {
+    let mut points = Vec::new();
+    for &x in xs {
+        let cfg = make(x);
+        let mut p = run_point(&cfg, reps);
+        p.x = x as f64;
+        eprintln!(
+            "  {panel}: x = {x}: {:.3}s, {} clusters",
+            p.runtime_s, p.n_clusters
+        );
+        points.push(p);
+    }
+    println!("\nFigure 7 panel — runtime vs {header}");
+    print!("{}", series_table(header, &points));
+    let curve = Series::solid(
+        "reg-cluster",
+        points.iter().map(|p| (p.x, p.runtime_s)).collect(),
+    );
+    write_text(
+        &format!("fig7_{panel}.svg"),
+        &line_chart(
+            &format!("Figure 7: runtime vs {header}"),
+            header,
+            "runtime (s)",
+            &[curve],
+        ),
+    );
+    write_json(
+        &format!("fig7_{panel}.json"),
+        &Fig7Output {
+            panel,
+            mining_gamma: MINING_GAMMA,
+            mining_epsilon: MINING_EPSILON,
+            repetitions: reps,
+            points,
+        },
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    let reps = if quick { 1 } else { 3 };
+    let (genes_axis, conds_axis, clus_axis): (Vec<usize>, Vec<usize>, Vec<usize>) = if quick {
+        (vec![1000, 2000, 3000], vec![20, 30], vec![10, 30])
+    } else {
+        (
+            vec![1000, 2000, 3000, 4000, 5000, 7500, 10000],
+            vec![10, 15, 20, 25, 30, 35, 40],
+            vec![10, 20, 30, 40, 50, 60],
+        )
+    };
+
+    println!("reg-cluster efficiency on synthetic data (Figure 7)");
+    println!(
+        "defaults: #g = 3000, #cond = 30, #clus = 30; MinG = 0.01·#g, MinC = 6, γ = {MINING_GAMMA}, ε = {MINING_EPSILON}; {reps} repetition(s) per point"
+    );
+
+    sweep("genes", "#genes", &genes_axis, reps, |g| SyntheticConfig {
+        n_genes: g,
+        ..SyntheticConfig::default()
+    });
+    sweep("conds", "#conditions", &conds_axis, reps, |c| {
+        SyntheticConfig {
+            n_conds: c,
+            ..SyntheticConfig::default()
+        }
+    });
+    sweep("clusters", "#clusters", &clus_axis, reps, |k| {
+        SyntheticConfig {
+            n_clusters: k,
+            ..SyntheticConfig::default()
+        }
+    });
+}

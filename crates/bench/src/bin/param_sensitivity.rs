@@ -1,0 +1,135 @@
+//! Parameter-sensitivity experiment — how γ and ε shape the output on the
+//! (simulated) yeast benchmark.
+//!
+//! The paper picks `γ = 0.05`, `ε = 1.0` for its §5.2 run and notes that a
+//! tighter γ yields fewer genes per cluster. This sweep makes the two dials
+//! measurable: cluster count, mean size and runtime as one threshold varies
+//! with the other fixed at the paper's setting. Expected shape: raising γ
+//! prunes chains (fewer, smaller clusters, faster); raising ε widens
+//! windows (more and larger clusters, slower) until it saturates.
+//! Results: `results/param_sensitivity.json` + SVGs.
+
+use regcluster_bench::plot::{line_chart, Series};
+use regcluster_bench::{quick_mode, time, write_json, write_text};
+use regcluster_core::{mine, MiningParams, RegCluster};
+use regcluster_datagen::{yeast_like, YeastConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    gamma: f64,
+    epsilon: f64,
+    n_clusters: usize,
+    mean_genes: f64,
+    mean_conds: f64,
+    runtime_s: f64,
+}
+
+fn run_point(matrix: &regcluster_matrix::ExpressionMatrix, gamma: f64, epsilon: f64) -> Point {
+    let params = MiningParams::new(20, 6, gamma, epsilon).expect("valid parameters");
+    let (clusters, secs) = time(|| mine(matrix, &params).expect("mining succeeds"));
+    let n = clusters.len();
+    let mean_genes = if n == 0 {
+        0.0
+    } else {
+        clusters.iter().map(RegCluster::n_genes).sum::<usize>() as f64 / n as f64
+    };
+    let mean_conds = if n == 0 {
+        0.0
+    } else {
+        clusters.iter().map(RegCluster::n_conditions).sum::<usize>() as f64 / n as f64
+    };
+    Point {
+        gamma,
+        epsilon,
+        n_clusters: n,
+        mean_genes,
+        mean_conds,
+        runtime_s: secs,
+    }
+}
+
+fn main() {
+    let cfg = if quick_mode() {
+        YeastConfig {
+            n_genes: 800,
+            n_modules: 6,
+            ..YeastConfig::default()
+        }
+    } else {
+        YeastConfig::default()
+    };
+    let data = yeast_like(&cfg).expect("feasible");
+    println!(
+        "parameter sensitivity on the simulated yeast matrix ({} × {})",
+        data.matrix.n_genes(),
+        data.matrix.n_conditions()
+    );
+
+    let gammas = [0.01, 0.02, 0.03, 0.05, 0.07, 0.09, 0.12];
+    let epsilons = [0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0];
+
+    let mut points = Vec::new();
+    println!("\nγ sweep at ε = 1.0 (the paper's ε):");
+    println!(
+        "{:>7} {:>9} {:>11} {:>11} {:>9}",
+        "γ", "clusters", "mean genes", "mean conds", "time(s)"
+    );
+    for &g in &gammas {
+        let p = run_point(&data.matrix, g, 1.0);
+        println!(
+            "{:>7.2} {:>9} {:>11.1} {:>11.1} {:>9.2}",
+            p.gamma, p.n_clusters, p.mean_genes, p.mean_conds, p.runtime_s
+        );
+        points.push(p);
+    }
+    println!("\nε sweep at γ = 0.05 (the paper's γ):");
+    println!(
+        "{:>7} {:>9} {:>11} {:>11} {:>9}",
+        "ε", "clusters", "mean genes", "mean conds", "time(s)"
+    );
+    for &e in &epsilons {
+        let p = run_point(&data.matrix, 0.05, e);
+        println!(
+            "{:>7.2} {:>9} {:>11.1} {:>11.1} {:>9.2}",
+            p.epsilon, p.n_clusters, p.mean_genes, p.mean_conds, p.runtime_s
+        );
+        points.push(p);
+    }
+
+    let gamma_curve = Series::solid(
+        "clusters",
+        points
+            .iter()
+            .filter(|p| p.epsilon == 1.0)
+            .map(|p| (p.gamma, p.n_clusters as f64))
+            .collect(),
+    );
+    write_text(
+        "param_sensitivity_gamma.svg",
+        &line_chart(
+            "Clusters vs regulation threshold γ (ε = 1.0)",
+            "γ",
+            "clusters",
+            &[gamma_curve],
+        ),
+    );
+    let eps_curve = Series::solid(
+        "clusters",
+        points
+            .iter()
+            .filter(|p| p.gamma == 0.05)
+            .map(|p| (p.epsilon, p.n_clusters as f64))
+            .collect(),
+    );
+    write_text(
+        "param_sensitivity_epsilon.svg",
+        &line_chart(
+            "Clusters vs coherence threshold ε (γ = 0.05)",
+            "ε",
+            "clusters",
+            &[eps_curve],
+        ),
+    );
+    write_json("param_sensitivity.json", &points);
+}

@@ -1,0 +1,297 @@
+//! Minimal self-contained SVG line charts, so the experiment binaries can
+//! regenerate the paper's *figures* (Figure 7 runtime curves, Figure 8
+//! expression profiles) and not just their numbers. No drawing dependency:
+//! the charts are hand-assembled SVG with linear axes, tick labels, a
+//! legend, and optional dashed strokes (used for n-members, matching the
+//! paper's solid/dashed convention).
+
+/// One polyline of a chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` data points (at least one).
+    pub points: Vec<(f64, f64)>,
+    /// Render dashed (the paper's n-member style) instead of solid.
+    pub dashed: bool,
+}
+
+impl Series {
+    /// Solid series.
+    pub fn solid(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            dashed: false,
+        }
+    }
+
+    /// Dashed series.
+    pub fn dashed(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            dashed: true,
+        }
+    }
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 170.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let s = format!("{v:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders a line chart as a standalone SVG document.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or any series has no points (a chart of
+/// nothing is a caller bug).
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty(), "chart needs at least one series");
+    assert!(
+        series.iter().all(|s| !s.points.is_empty()),
+        "series need points"
+    );
+
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    // Pad the y range a little so lines do not hug the frame.
+    let pad = (y_hi - y_lo) * 0.06;
+    let (y_lo, y_hi) = (y_lo - pad, y_hi + pad);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = move |y: f64| MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{:.1}" y="28" font-size="17" text-anchor="middle" font-weight="bold">{}</text>
+"##,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(title)
+    ));
+
+    // Axes frame.
+    svg.push_str(&format!(
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333" stroke-width="1"/>
+"##
+    ));
+
+    // Ticks and grid.
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = sx(t);
+        svg.push_str(&format!(
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>
+<text x="{x:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>
+"##,
+            MARGIN_T,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 18.0,
+            fmt_tick(t)
+        ));
+    }
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = sy(t);
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="end">{}</text>
+"##,
+            MARGIN_L + plot_w,
+            MARGIN_L - 8.0,
+            y + 4.0,
+            fmt_tick(t)
+        ));
+    }
+
+    // Axis labels.
+    svg.push_str(&format!(
+        r##"<text x="{:.1}" y="{:.1}" font-size="14" text-anchor="middle">{}</text>
+<text x="18" y="{:.1}" font-size="14" text-anchor="middle" transform="rotate(-90 18 {:.1})">{}</text>
+"##,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 12.0,
+        xml_escape(x_label),
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(y_label)
+    ));
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let dash = if s.dashed {
+            r##" stroke-dasharray="7 4""##
+        } else {
+            ""
+        };
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        svg.push_str(&format!(
+            r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"{dash}/>
+"##,
+            pts.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                r##"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>
+"##,
+                sx(x),
+                sy(y)
+            ));
+        }
+        // Legend entry (cap at what fits).
+        if i < 14 {
+            let ly = MARGIN_T + 8.0 + i as f64 * 20.0;
+            svg.push_str(&format!(
+                r##"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"{dash}/>
+<text x="{:.1}" y="{:.1}" font-size="12">{}</text>
+"##,
+                WIDTH - MARGIN_R + 12.0,
+                WIDTH - MARGIN_R + 40.0,
+                WIDTH - MARGIN_R + 46.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_all_parts() {
+        let s = vec![
+            Series::solid("a", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]),
+            Series::dashed("b", vec![(0.0, 2.0), (2.0, 0.0)]),
+        ];
+        let svg = line_chart("Title & Co", "x axis", "y axis", &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("Title &amp; Co"));
+        assert!(svg.contains("x axis"));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn single_point_and_flat_series_do_not_panic() {
+        let s = vec![Series::solid("p", vec![(5.0, 5.0)])];
+        let svg = line_chart("t", "x", "y", &s);
+        assert!(svg.contains("<circle"));
+        let s = vec![Series::solid("flat", vec![(0.0, 2.0), (1.0, 2.0)])];
+        line_chart("t", "x", "y", &s);
+    }
+
+    #[test]
+    fn coordinates_map_monotonically() {
+        let s = vec![Series::solid("a", vec![(0.0, 0.0), (10.0, 10.0)])];
+        let svg = line_chart("t", "x", "y", &s);
+        // The polyline's first point is left of and below (larger y) the
+        // second.
+        let poly = svg
+            .split("points=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
+        let coords: Vec<f64> = poly.split([' ', ',']).map(|v| v.parse().unwrap()).collect();
+        assert!(coords[0] < coords[2], "x increases rightward");
+        assert!(coords[1] > coords[3], "y increases upward (smaller svg y)");
+    }
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let t = nice_ticks(0.0, 10.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&10.0));
+        assert!(t.len() >= 4 && t.len() <= 12);
+        let t = nice_ticks(0.137, 0.91, 6);
+        assert!(t.iter().all(|&v| (0.137..=0.911).contains(&v)));
+        assert_eq!(nice_ticks(3.0, 3.0, 5), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_chart_panics() {
+        line_chart("t", "x", "y", &[]);
+    }
+}

@@ -1,0 +1,568 @@
+//! Command-line argument parsing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use regcluster_core::{MiningParams, RegulationThreshold};
+use regcluster_datagen::{PatternKind, SyntheticConfig};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Mine reg-clusters from a matrix file.
+    Mine {
+        /// Input matrix path.
+        input: String,
+        /// Mining parameters.
+        params: MiningParams,
+        /// Worker threads (1 = sequential).
+        threads: usize,
+        /// Optional JSON output path (stdout table otherwise).
+        output: Option<String>,
+        /// Missing-value handling: `none`, `row-mean`, `col-mean`.
+        impute: String,
+        /// Print search-effort statistics (nodes, prunings) after mining.
+        stats: bool,
+    },
+    /// Generate a synthetic dataset.
+    Generate {
+        /// Output matrix path.
+        output: String,
+        /// Generator configuration.
+        config: SyntheticConfig,
+        /// Optional ground-truth JSON path.
+        ground_truth: Option<String>,
+    },
+    /// Generate the simulated yeast benchmark (matrix + GO annotations).
+    GenerateYeast {
+        /// Output matrix path.
+        output: String,
+        /// Path for the synthetic GO database (JSON).
+        go: Option<String>,
+        /// Path for the planted-module ground truth (JSON).
+        modules: Option<String>,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// GO-term enrichment of mined clusters against an annotation database.
+    Enrich {
+        /// Mined clusters (JSON, as written by `mine --output`).
+        clusters: String,
+        /// GO database (JSON, as written by `generate-yeast --go`).
+        go: String,
+        /// How many clusters to report (largest first).
+        top: usize,
+    },
+    /// Score mined clusters against ground truth.
+    Eval {
+        /// Mined clusters (JSON, as written by `mine --output`).
+        clusters: String,
+        /// Ground truth (JSON, as written by `generate --ground-truth`).
+        ground_truth: String,
+    },
+    /// Print matrix statistics.
+    Info {
+        /// Input matrix path.
+        input: String,
+    },
+    /// Run one of the baseline biclustering algorithms.
+    Baseline {
+        /// Input matrix path.
+        input: String,
+        /// Algorithm name: `pcluster`, `scaling`, `opsm`, `op-cluster`,
+        /// `cheng-church`, `floc`.
+        algorithm: String,
+        /// Model tolerance (pScore δ / residue δ, meaning depends on the
+        /// algorithm).
+        delta: f64,
+        /// Minimum genes per cluster.
+        min_genes: usize,
+        /// Minimum conditions per cluster.
+        min_conds: usize,
+    },
+    /// Print a gene's RWave^γ model (ordering + regulation pointers).
+    RWave {
+        /// Input matrix path.
+        input: String,
+        /// Gene label to inspect.
+        gene: String,
+        /// Regulation threshold (fraction of the gene's range).
+        gamma: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `regcluster help`.
+pub const USAGE: &str = "\
+regcluster — mining shifting-and-scaling co-regulation patterns (ICDE 2006)
+
+USAGE:
+  regcluster mine --input <matrix.tsv> [options]
+      --min-genes <N>        minimum genes per cluster (default 20)
+      --min-conds <N>        minimum chain length (default 6)
+      --gamma <F>            regulation threshold, fraction of range (default 0.05)
+      --gamma-absolute <F>   use an absolute regulation threshold instead
+      --epsilon <F>          coherence threshold (default 1.0)
+      --threads <N>          worker threads (default 1)
+      --max-clusters <N>     stop after N clusters
+      --maximal-only         drop clusters contained in another
+      --impute <MODE>        none | row-mean | col-mean (default none)
+      --stats                print search-effort statistics (single-threaded)
+      --output <file.json>   write clusters as JSON instead of a table
+
+  regcluster generate --output <matrix.tsv> [options]
+      --genes <N>            number of genes (default 3000)
+      --conds <N>            number of conditions (default 30)
+      --clusters <N>         embedded clusters (default 30)
+      --pattern <KIND>       shift-scale | shift-only | scale-only | tendency
+      --plant-gamma <F>      regulation margin of planted clusters (default 0.15)
+      --neg-fraction <F>     fraction of negated member genes (default 0.25)
+      --gene-frac <F>        average fraction of genes per cluster (default 0.01)
+      --seed <N>             RNG seed (default 42)
+      --ground-truth <file.json>  also write the planted clusters
+
+  regcluster generate-yeast --output <matrix.tsv> [--go <go.json>]
+      [--modules <modules.json>] [--seed <N>]
+      writes the simulated 2884×17 yeast benchmark with its synthetic GO
+      annotation database and planted-module ground truth
+
+  regcluster enrich --clusters <found.json> --go <go.json> [--top <N>]
+      prints the top GO term per category for each mined cluster
+      (the paper's Table 2 layout)
+
+  regcluster eval --clusters <found.json> --ground-truth <truth.json>
+
+  regcluster info --input <matrix.tsv>
+
+  regcluster baseline --input <matrix.tsv> --algorithm <NAME> [options]
+      NAME: pcluster | scaling | opsm | op-cluster | cheng-church | floc
+      --delta <F>            model tolerance (default 0.1)
+      --min-genes <N>        minimum genes (default 5)
+      --min-conds <N>        minimum conditions (default 3)
+
+  regcluster rwave --input <matrix.tsv> --gene <label> [--gamma <F>]
+      prints the gene's RWave^γ model: the condition ordering and the
+      bordering regulation pointers (default γ = 0.15)
+";
+
+fn take_options(rest: &[String]) -> Result<HashMap<String, String>, ParseError> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        let Some(stripped) = arg.strip_prefix("--") else {
+            return Err(ParseError(format!(
+                "unexpected argument {arg:?} (options start with --)"
+            )));
+        };
+        if let Some((k, v)) = stripped.split_once('=') {
+            opts.insert(k.to_string(), v.to_string());
+            i += 1;
+        } else if is_boolean_flag(stripped) {
+            opts.insert(stripped.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| ParseError(format!("option --{stripped} needs a value")))?;
+            opts.insert(stripped.to_string(), v.clone());
+            i += 2;
+        }
+    }
+    Ok(opts)
+}
+
+fn is_boolean_flag(name: &str) -> bool {
+    matches!(name, "maximal-only" | "help" | "stats")
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("cannot parse --{key} value {v:?}"))),
+    }
+}
+
+fn require(opts: &HashMap<String, String>, key: &str) -> Result<String, ParseError> {
+    opts.get(key)
+        .cloned()
+        .ok_or_else(|| ParseError(format!("missing required option --{key}")))
+}
+
+fn check_known(opts: &HashMap<String, String>, known: &[&str]) -> Result<(), ParseError> {
+    for k in opts.keys() {
+        if !known.contains(&k.as_str()) {
+            return Err(ParseError(format!("unknown option --{k}")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem encountered.
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "mine" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &[
+                    "input",
+                    "min-genes",
+                    "min-conds",
+                    "gamma",
+                    "gamma-absolute",
+                    "epsilon",
+                    "threads",
+                    "max-clusters",
+                    "maximal-only",
+                    "impute",
+                    "output",
+                    "stats",
+                ],
+            )?;
+            let input = require(&opts, "input")?;
+            let min_genes = get(&opts, "min-genes", 20usize)?;
+            let min_conds = get(&opts, "min-conds", 6usize)?;
+            let epsilon = get(&opts, "epsilon", 1.0f64)?;
+            let mut params = MiningParams::new(min_genes, min_conds, 0.05, epsilon)
+                .map_err(|e| ParseError(e.to_string()))?;
+            if let Some(abs) = opts.get("gamma-absolute") {
+                let v: f64 = abs
+                    .parse()
+                    .map_err(|_| ParseError(format!("cannot parse --gamma-absolute {abs:?}")))?;
+                params = params
+                    .with_threshold(RegulationThreshold::Absolute(v))
+                    .map_err(|e| ParseError(e.to_string()))?;
+            } else {
+                let gamma = get(&opts, "gamma", 0.05f64)?;
+                params = params
+                    .with_threshold(RegulationThreshold::FractionOfRange(gamma))
+                    .map_err(|e| ParseError(e.to_string()))?;
+            }
+            if let Some(cap) = opts.get("max-clusters") {
+                let cap: usize = cap
+                    .parse()
+                    .map_err(|_| ParseError(format!("cannot parse --max-clusters {cap:?}")))?;
+                params = params.with_max_clusters(cap);
+            }
+            if opts.contains_key("maximal-only") {
+                params = params.with_maximal_only();
+            }
+            let impute = get(&opts, "impute", "none".to_string())?;
+            if !["none", "row-mean", "col-mean"].contains(&impute.as_str()) {
+                return Err(ParseError(format!(
+                    "--impute must be none, row-mean or col-mean, got {impute:?}"
+                )));
+            }
+            Ok(Command::Mine {
+                input,
+                params,
+                threads: get(&opts, "threads", 1usize)?,
+                output: opts.get("output").cloned(),
+                impute,
+                stats: opts.contains_key("stats"),
+            })
+        }
+        "generate" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &[
+                    "output",
+                    "genes",
+                    "conds",
+                    "clusters",
+                    "pattern",
+                    "plant-gamma",
+                    "neg-fraction",
+                    "gene-frac",
+                    "seed",
+                    "ground-truth",
+                ],
+            )?;
+            let output = require(&opts, "output")?;
+            let pattern = match opts.get("pattern").map(String::as_str).unwrap_or("shift-scale") {
+                "shift-scale" => PatternKind::ShiftScale,
+                "shift-only" => PatternKind::ShiftOnly,
+                "scale-only" => PatternKind::ScaleOnly,
+                "tendency" => PatternKind::Tendency,
+                other => {
+                    return Err(ParseError(format!(
+                        "--pattern must be shift-scale, shift-only, scale-only or tendency, got {other:?}"
+                    )))
+                }
+            };
+            let defaults = SyntheticConfig::default();
+            let config = SyntheticConfig {
+                n_genes: get(&opts, "genes", defaults.n_genes)?,
+                n_conds: get(&opts, "conds", defaults.n_conds)?,
+                n_clusters: get(&opts, "clusters", defaults.n_clusters)?,
+                plant_gamma: get(&opts, "plant-gamma", defaults.plant_gamma)?,
+                neg_fraction: get(&opts, "neg-fraction", defaults.neg_fraction)?,
+                cluster_gene_frac: get(&opts, "gene-frac", defaults.cluster_gene_frac)?,
+                seed: get(&opts, "seed", defaults.seed)?,
+                pattern,
+                ..defaults
+            };
+            Ok(Command::Generate {
+                output,
+                config,
+                ground_truth: opts.get("ground-truth").cloned(),
+            })
+        }
+        "generate-yeast" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["output", "go", "modules", "seed"])?;
+            Ok(Command::GenerateYeast {
+                output: require(&opts, "output")?,
+                go: opts.get("go").cloned(),
+                modules: opts.get("modules").cloned(),
+                seed: get(&opts, "seed", 2006u64)?,
+            })
+        }
+        "enrich" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["clusters", "go", "top"])?;
+            Ok(Command::Enrich {
+                clusters: require(&opts, "clusters")?,
+                go: require(&opts, "go")?,
+                top: get(&opts, "top", 5usize)?,
+            })
+        }
+        "eval" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["clusters", "ground-truth"])?;
+            Ok(Command::Eval {
+                clusters: require(&opts, "clusters")?,
+                ground_truth: require(&opts, "ground-truth")?,
+            })
+        }
+        "info" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["input"])?;
+            Ok(Command::Info {
+                input: require(&opts, "input")?,
+            })
+        }
+        "baseline" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &["input", "algorithm", "delta", "min-genes", "min-conds"],
+            )?;
+            let algorithm = require(&opts, "algorithm")?;
+            const KNOWN: [&str; 6] = [
+                "pcluster",
+                "scaling",
+                "opsm",
+                "op-cluster",
+                "cheng-church",
+                "floc",
+            ];
+            if !KNOWN.contains(&algorithm.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown algorithm {algorithm:?}; expected one of {KNOWN:?}"
+                )));
+            }
+            Ok(Command::Baseline {
+                input: require(&opts, "input")?,
+                algorithm,
+                delta: get(&opts, "delta", 0.1f64)?,
+                min_genes: get(&opts, "min-genes", 5usize)?,
+                min_conds: get(&opts, "min-conds", 3usize)?,
+            })
+        }
+        "rwave" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["input", "gene", "gamma"])?;
+            Ok(Command::RWave {
+                input: require(&opts, "input")?,
+                gene: require(&opts, "gene")?,
+                gamma: get(&opts, "gamma", 0.15f64)?,
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown subcommand {other:?}; try `regcluster help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&sv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&sv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn mine_defaults_and_overrides() {
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--min-genes=5",
+            "--gamma",
+            "0.1",
+            "--epsilon",
+            "0.2",
+            "--threads",
+            "4",
+            "--maximal-only",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mine {
+                input,
+                params,
+                threads,
+                output,
+                impute,
+                stats,
+            } => {
+                assert_eq!(input, "m.tsv");
+                assert!(!stats);
+                assert_eq!(params.min_genes, 5);
+                assert_eq!(params.min_conds, 6);
+                assert_eq!(params.gamma, RegulationThreshold::FractionOfRange(0.1));
+                assert_eq!(params.epsilon, 0.2);
+                assert!(params.maximal_only);
+                assert_eq!(threads, 4);
+                assert_eq!(output, None);
+                assert_eq!(impute, "none");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mine_with_absolute_gamma() {
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--gamma-absolute",
+            "2.5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mine { params, .. } => {
+                assert_eq!(params.gamma, RegulationThreshold::Absolute(2.5));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mine_requires_input() {
+        let err = parse_args(&sv(&["mine", "--min-genes", "3"])).unwrap_err();
+        assert!(err.0.contains("--input"));
+    }
+
+    #[test]
+    fn rejects_unknown_options_and_bad_values() {
+        assert!(parse_args(&sv(&["mine", "--input", "x", "--bogus", "1"])).is_err());
+        assert!(parse_args(&sv(&["mine", "--input", "x", "--min-genes", "abc"])).is_err());
+        assert!(parse_args(&sv(&["mine", "--input", "x", "--impute", "magic"])).is_err());
+        assert!(parse_args(&sv(&["frobnicate"])).is_err());
+        assert!(parse_args(&sv(&["mine", "positional"])).is_err());
+    }
+
+    #[test]
+    fn generate_parses_pattern_and_seed() {
+        let cmd = parse_args(&sv(&[
+            "generate",
+            "--output",
+            "out.tsv",
+            "--genes",
+            "500",
+            "--pattern",
+            "scale-only",
+            "--seed=7",
+            "--ground-truth",
+            "gt.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                output,
+                config,
+                ground_truth,
+            } => {
+                assert_eq!(output, "out.tsv");
+                assert_eq!(config.n_genes, 500);
+                assert_eq!(config.pattern, PatternKind::ScaleOnly);
+                assert_eq!(config.seed, 7);
+                assert_eq!(ground_truth.as_deref(), Some("gt.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&sv(&["generate", "--output", "x", "--pattern", "weird"])).is_err());
+    }
+
+    #[test]
+    fn eval_and_info() {
+        assert_eq!(
+            parse_args(&sv(&[
+                "eval",
+                "--clusters",
+                "a.json",
+                "--ground-truth",
+                "b.json"
+            ]))
+            .unwrap(),
+            Command::Eval {
+                clusters: "a.json".into(),
+                ground_truth: "b.json".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["info", "--input", "m.tsv"])).unwrap(),
+            Command::Info {
+                input: "m.tsv".into()
+            }
+        );
+        assert!(parse_args(&sv(&["eval", "--clusters", "a.json"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_for_option_errors() {
+        let err = parse_args(&sv(&["mine", "--input"])).unwrap_err();
+        assert!(err.0.contains("needs a value"));
+    }
+}

@@ -1,0 +1,728 @@
+//! Command execution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use regcluster_core::{mine, mine_parallel, MiningParams, RegCluster};
+use regcluster_datagen::{generate, PlantedCluster};
+use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
+use regcluster_matrix::{io, missing, ExpressionMatrix};
+
+use crate::args::{Command, USAGE};
+
+/// A failure while executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// File or parse problem on an input matrix.
+    Matrix(regcluster_matrix::MatrixError),
+    /// Invalid mining parameters.
+    Core(regcluster_core::CoreError),
+    /// Generator failure.
+    Datagen(regcluster_datagen::DatagenError),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Plain I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Matrix(e) => write!(f, "matrix error: {e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Datagen(e) => write!(f, "{e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<regcluster_matrix::MatrixError> for CliError {
+    fn from(e: regcluster_matrix::MatrixError) -> Self {
+        CliError::Matrix(e)
+    }
+}
+impl From<regcluster_core::CoreError> for CliError {
+    fn from(e: regcluster_core::CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+impl From<regcluster_datagen::DatagenError> for CliError {
+    fn from(e: regcluster_datagen::DatagenError) -> Self {
+        CliError::Datagen(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The JSON document written by `mine --output` and read back by `eval`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MineOutput {
+    /// Parameters of the run.
+    pub params: MiningParams,
+    /// Matrix dimensions, for sanity checks.
+    pub n_genes: usize,
+    /// Number of conditions.
+    pub n_conds: usize,
+    /// The mined clusters.
+    pub clusters: Vec<RegCluster>,
+}
+
+fn load_matrix(path: &str, impute_mode: &str) -> Result<ExpressionMatrix, CliError> {
+    match impute_mode {
+        "none" => Ok(io::read_matrix_file(path)?),
+        mode => {
+            let ragged = io::read_ragged_file(path)?;
+            let strategy = match mode {
+                "row-mean" => missing::Imputation::RowMean,
+                "col-mean" => missing::Imputation::ColumnMean,
+                other => unreachable!("parser rejects impute mode {other}"),
+            };
+            Ok(missing::impute(&ragged, strategy)?)
+        }
+    }
+}
+
+/// Executes a parsed command and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the failure; the binary prints it to
+/// stderr and exits non-zero.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Info { input } => {
+            let m = io::read_matrix_file(input)?;
+            let (lo, hi) = m
+                .flat_values()
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
+            Ok(format!(
+                "{}: {} genes × {} conditions, values in [{lo}, {hi}]\n",
+                input,
+                m.n_genes(),
+                m.n_conditions()
+            ))
+        }
+        Command::Baseline {
+            input,
+            algorithm,
+            delta,
+            min_genes,
+            min_conds,
+        } => {
+            use regcluster_baselines as bl;
+            let m = io::read_matrix_file(input)?;
+            let start = std::time::Instant::now();
+            let found: Vec<bl::Bicluster> = match algorithm.as_str() {
+                "pcluster" => bl::pcluster(
+                    &m,
+                    &bl::PClusterParams {
+                        delta: *delta,
+                        min_genes: *min_genes,
+                        min_conds: *min_conds,
+                        ..Default::default()
+                    },
+                ),
+                "scaling" => bl::scaling_pcluster(
+                    &m,
+                    &bl::PClusterParams {
+                        delta: *delta,
+                        min_genes: *min_genes,
+                        min_conds: *min_conds,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| {
+                    CliError::Matrix(regcluster_matrix::MatrixError::Transform(e.to_string()))
+                })?,
+                "opsm" => bl::opsm(
+                    &m,
+                    &bl::OpsmParams {
+                        size: *min_conds,
+                        beam_width: 100,
+                        min_genes: *min_genes,
+                        max_models: 10,
+                    },
+                ),
+                "op-cluster" => bl::op_cluster(
+                    &m,
+                    &bl::OpClusterParams {
+                        group_multiplier: *delta,
+                        min_genes: *min_genes,
+                        min_conds: *min_conds,
+                        max_clusters: 50,
+                    },
+                ),
+                "cheng-church" => bl::cheng_church(
+                    &m,
+                    &bl::ChengChurchParams {
+                        delta: *delta,
+                        n_clusters: 10,
+                        ..Default::default()
+                    },
+                )
+                .into_iter()
+                .map(|cc| cc.bicluster)
+                .collect(),
+                "floc" => bl::floc(
+                    &m,
+                    &bl::FlocParams {
+                        delta: *delta,
+                        min_genes: *min_genes,
+                        min_conds: *min_conds,
+                        ..Default::default()
+                    },
+                ),
+                other => unreachable!("parser rejects algorithm {other}"),
+            };
+            let mut text = format!(
+                "{algorithm}: {} biclusters in {:.3}s\n",
+                found.len(),
+                start.elapsed().as_secs_f64()
+            );
+            text.push_str("id\tgenes\tconds\n");
+            for (i, b) in found.iter().enumerate() {
+                text.push_str(&format!("{i}\t{}\t{}\n", b.n_genes(), b.n_conds()));
+            }
+            Ok(text)
+        }
+        Command::RWave { input, gene, gamma } => {
+            let m = io::read_matrix_file(input)?;
+            let Some(g) = m.gene_index(gene) else {
+                return Err(CliError::Matrix(
+                    regcluster_matrix::MatrixError::IndexOutOfBounds(format!(
+                        "gene {gene:?} not found"
+                    )),
+                ));
+            };
+            let row = m.row(g);
+            let threshold = regcluster_core::RegulationThreshold::FractionOfRange(*gamma);
+            threshold.validate()?;
+            let gamma_i = threshold.resolve(row);
+            let model = regcluster_core::rwave::RWaveModel::build(row, gamma_i);
+            let order: Vec<String> = (0..model.len())
+                .map(|r| {
+                    format!(
+                        "{}({})",
+                        m.condition_name(model.cond_at(r)),
+                        model.value_at(r)
+                    )
+                })
+                .collect();
+            let pointers: Vec<String> = model
+                .pointers()
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{} ↰ {}",
+                        m.condition_name(model.cond_at(p.lo as usize)),
+                        m.condition_name(model.cond_at(p.hi as usize))
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "RWave^{gamma} model of {gene} (γ_i = {gamma_i}):\norder:    {}\npointers: {}\n",
+                order.join(" ≤ "),
+                if pointers.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    pointers.join(", ")
+                }
+            ))
+        }
+        Command::Mine {
+            input,
+            params,
+            threads,
+            output,
+            impute,
+            stats,
+        } => {
+            let m = load_matrix(input, impute)?;
+            let start = std::time::Instant::now();
+            let mut stat_counters = regcluster_core::MiningStats::default();
+            let clusters = if *threads > 1 {
+                mine_parallel(&m, params, *threads)?
+            } else if *stats {
+                regcluster_core::mine_with_observer(&m, params, &mut stat_counters)?
+            } else {
+                mine(&m, params)?
+            };
+            let elapsed = start.elapsed();
+            let mut text = format!(
+                "mined {} reg-clusters from {} genes × {} conditions in {:.3}s\n",
+                clusters.len(),
+                m.n_genes(),
+                m.n_conditions(),
+                elapsed.as_secs_f64()
+            );
+            if *stats {
+                if *threads > 1 {
+                    text.push_str("(statistics are only collected single-threaded)\n");
+                } else {
+                    text.push_str(&stat_counters.summary());
+                    text.push('\n');
+                }
+            }
+            if !clusters.is_empty() {
+                text.push_str(&report::overlap_summary(&clusters));
+                text.push('\n');
+            }
+            match output {
+                Some(path) => {
+                    let doc = MineOutput {
+                        params: params.clone(),
+                        n_genes: m.n_genes(),
+                        n_conds: m.n_conditions(),
+                        clusters,
+                    };
+                    std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+                    text.push_str(&format!("clusters written to {path}\n"));
+                }
+                None => {
+                    text.push_str(&report::cluster_table(&m, &clusters));
+                }
+            }
+            Ok(text)
+        }
+        Command::Generate {
+            output,
+            config,
+            ground_truth,
+        } => {
+            let data = generate(config)?;
+            io::write_matrix_file(&data.matrix, output)?;
+            let mut text = format!(
+                "wrote {} genes × {} conditions with {} embedded clusters to {output}\n",
+                config.n_genes,
+                config.n_conds,
+                data.planted.len()
+            );
+            if let Some(path) = ground_truth {
+                std::fs::write(path, serde_json::to_string_pretty(&data.planted)?)?;
+                text.push_str(&format!("ground truth written to {path}\n"));
+            }
+            Ok(text)
+        }
+        Command::GenerateYeast {
+            output,
+            go,
+            modules,
+            seed,
+        } => {
+            let cfg = regcluster_datagen::YeastConfig {
+                seed: *seed,
+                ..Default::default()
+            };
+            let data = regcluster_datagen::yeast_like(&cfg)?;
+            io::write_matrix_file(&data.matrix, output)?;
+            let mut text = format!(
+                "wrote simulated yeast benchmark ({} genes × {} conditions, {} modules) to {output}\n",
+                cfg.n_genes,
+                cfg.n_conds,
+                data.modules.len()
+            );
+            if let Some(path) = go {
+                std::fs::write(path, serde_json::to_string_pretty(&data.go)?)?;
+                text.push_str(&format!("GO database written to {path}\n"));
+            }
+            if let Some(path) = modules {
+                std::fs::write(path, serde_json::to_string_pretty(&data.modules)?)?;
+                text.push_str(&format!("module ground truth written to {path}\n"));
+            }
+            Ok(text)
+        }
+        Command::Enrich { clusters, go, top } => {
+            let found: MineOutput = serde_json::from_str(&std::fs::read_to_string(clusters)?)?;
+            let db: regcluster_datagen::GoDatabase =
+                serde_json::from_str(&std::fs::read_to_string(go)?)?;
+            let mut ordered: Vec<&RegCluster> = found.clusters.iter().collect();
+            ordered.sort_by_key(|c| std::cmp::Reverse(c.n_cells()));
+            ordered.truncate(*top);
+            let rows: Vec<(String, Vec<regcluster_eval::Enrichment>)> = ordered
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let enr = regcluster_eval::enrich(&db, &c.genes());
+                    let tops = regcluster_eval::top_terms_by_category(&enr)
+                        .into_iter()
+                        .cloned()
+                        .collect();
+                    (
+                        format!("cluster {i} ({}×{})", c.n_genes(), c.n_conditions()),
+                        tops,
+                    )
+                })
+                .collect();
+            Ok(report::go_table(&rows))
+        }
+        Command::Eval {
+            clusters,
+            ground_truth,
+        } => {
+            let found: MineOutput = serde_json::from_str(&std::fs::read_to_string(clusters)?)?;
+            let truth: Vec<PlantedCluster> =
+                serde_json::from_str(&std::fs::read_to_string(ground_truth)?)?;
+            let found_shapes: Vec<ClusterShape> =
+                found.clusters.iter().map(ClusterShape::from).collect();
+            let truth_shapes: Vec<ClusterShape> = truth.iter().map(ClusterShape::from).collect();
+            let rec = recovery(&truth_shapes, &found_shapes);
+            let rel = relevance(&found_shapes, &truth_shapes);
+            let stats = overlap::overlap_stats(&found.clusters);
+            Ok(format!(
+                "found {} clusters vs {} planted\nrecovery  {rec:.4}\nrelevance {rel:.4}\nmax pairwise cell overlap {:.1}%\n",
+                found.clusters.len(),
+                truth.len(),
+                stats.max_percent
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("regcluster-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&Command::Help).unwrap();
+        assert!(out.contains("regcluster mine"));
+    }
+
+    #[test]
+    fn generate_mine_eval_roundtrip() {
+        let dir = tmpdir();
+        let matrix = dir.join("m.tsv");
+        let truth = dir.join("gt.json");
+        let found = dir.join("found.json");
+
+        let cmd = parse_args(&sv(&[
+            "generate",
+            "--output",
+            matrix.to_str().unwrap(),
+            "--genes",
+            "200",
+            "--conds",
+            "14",
+            "--clusters",
+            "2",
+            "--gene-frac",
+            "0.05",
+            "--seed",
+            "5",
+            "--ground-truth",
+            truth.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("2 embedded clusters"), "{out}");
+
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "4",
+            "--gamma",
+            "0.1",
+            "--epsilon",
+            "0.01",
+            "--output",
+            found.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("mined"), "{out}");
+
+        let cmd = parse_args(&sv(&[
+            "eval",
+            "--clusters",
+            found.to_str().unwrap(),
+            "--ground-truth",
+            truth.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("recovery"), "{out}");
+        // The planted clusters should be fully recovered.
+        let rec_line = out.lines().find(|l| l.starts_with("recovery")).unwrap();
+        let rec: f64 = rec_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(rec > 0.99, "recovery {rec} too low:\n{out}");
+    }
+
+    #[test]
+    fn mine_prints_table_without_output_file() {
+        let dir = tmpdir();
+        let matrix = dir.join("running.tsv");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &matrix).unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--stats",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("mined 1 reg-clusters"), "{out}");
+        assert!(out.contains("c7 < c9 < c5 < c1 < c3"), "{out}");
+        assert!(out.contains("nodes"), "stats requested: {out}");
+    }
+
+    #[test]
+    fn mine_with_imputation_handles_missing_values() {
+        let dir = tmpdir();
+        let path = dir.join("holes.tsv");
+        std::fs::write(&path, "GENE\tc1\tc2\tc3\ng1\t1\tNA\t3\ng2\t2\t2.5\t4\n").unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            path.to_str().unwrap(),
+            "--min-genes",
+            "2",
+            "--min-conds",
+            "2",
+            "--gamma",
+            "0.1",
+            "--epsilon",
+            "1.0",
+            "--impute",
+            "row-mean",
+        ]))
+        .unwrap();
+        assert!(run(&cmd).is_ok());
+        // Without imputation the same file must fail.
+        let cmd = parse_args(&sv(&["mine", "--input", path.to_str().unwrap()])).unwrap();
+        assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn info_reports_dimensions() {
+        let dir = tmpdir();
+        let path = dir.join("info.tsv");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &path).unwrap();
+        let out = run(&Command::Info {
+            input: path.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(out.contains("3 genes × 10 conditions"), "{out}");
+        assert!(out.contains("[-15, 45]"), "{out}");
+    }
+
+    #[test]
+    fn yeast_generate_mine_enrich_pipeline() {
+        let dir = tmpdir();
+        let matrix = dir.join("yeast.tsv");
+        let go = dir.join("go.json");
+        let found = dir.join("yfound.json");
+
+        // Small seed-controlled run would still be 2884 genes; use the
+        // library directly for a small dataset but exercise the CLI
+        // round-trip for enrich on its files.
+        let cfg = regcluster_datagen::YeastConfig {
+            n_genes: 400,
+            n_modules: 3,
+            genes_per_module: (20, 25),
+            ..Default::default()
+        };
+        let data = regcluster_datagen::yeast_like(&cfg).unwrap();
+        regcluster_matrix::io::write_matrix_file(&data.matrix, &matrix).unwrap();
+        std::fs::write(&go, serde_json::to_string(&data.go).unwrap()).unwrap();
+
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "20",
+            "--min-conds",
+            "6",
+            "--gamma",
+            "0.05",
+            "--epsilon",
+            "1.0",
+            "--output",
+            found.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cmd).unwrap();
+
+        let cmd = parse_args(&sv(&[
+            "enrich",
+            "--clusters",
+            found.to_str().unwrap(),
+            "--go",
+            go.to_str().unwrap(),
+            "--top",
+            "2",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("cluster 0"), "{out}");
+        assert!(out.contains("p="), "{out}");
+    }
+
+    #[test]
+    fn generate_yeast_writes_all_artifacts() {
+        // The full 2884×17 generation is fast; exercise the real subcommand.
+        let dir = tmpdir();
+        let matrix = dir.join("full-yeast.tsv");
+        let go = dir.join("full-go.json");
+        let modules = dir.join("full-modules.json");
+        let cmd = parse_args(&sv(&[
+            "generate-yeast",
+            "--output",
+            matrix.to_str().unwrap(),
+            "--go",
+            go.to_str().unwrap(),
+            "--modules",
+            modules.to_str().unwrap(),
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("2884 genes × 17 conditions"), "{out}");
+        assert!(go.exists() && modules.exists());
+        let m = regcluster_matrix::io::read_matrix_file(&matrix).unwrap();
+        assert_eq!(m.n_genes(), 2884);
+    }
+
+    #[test]
+    fn baseline_subcommand_runs_each_algorithm() {
+        let dir = tmpdir();
+        let path = dir.join("baseline.tsv");
+        // A matrix with a clear shifting family so pcluster finds something.
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| base.iter().map(|v| v + i as f64).collect())
+            .collect();
+        let genes = (0..5).map(|i| format!("g{i}")).collect();
+        let conds = (0..5).map(|i| format!("c{i}")).collect();
+        let m = regcluster_matrix::ExpressionMatrix::from_rows(genes, conds, rows).unwrap();
+        regcluster_matrix::io::write_matrix_file(&m, &path).unwrap();
+
+        for algo in [
+            "pcluster",
+            "scaling",
+            "opsm",
+            "op-cluster",
+            "cheng-church",
+            "floc",
+        ] {
+            let cmd = parse_args(&sv(&[
+                "baseline",
+                "--input",
+                path.to_str().unwrap(),
+                "--algorithm",
+                algo,
+                "--delta",
+                "0.2",
+                "--min-genes",
+                "3",
+                "--min-conds",
+                "3",
+            ]))
+            .unwrap();
+            let out = run(&cmd).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains(algo), "{out}");
+        }
+        // pcluster specifically must find the 5-gene shifting family.
+        let cmd = parse_args(&sv(&[
+            "baseline",
+            "--input",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "pcluster",
+            "--delta",
+            "0.001",
+            "--min-genes",
+            "5",
+            "--min-conds",
+            "5",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("1 biclusters"), "{out}");
+        // Unknown algorithm is a parse error.
+        assert!(parse_args(&sv(&["baseline", "--input", "x", "--algorithm", "magic"])).is_err());
+    }
+
+    #[test]
+    fn rwave_prints_model() {
+        let dir = tmpdir();
+        let path = dir.join("rwave.tsv");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &path).unwrap();
+        let cmd = parse_args(&sv(&[
+            "rwave",
+            "--input",
+            path.to_str().unwrap(),
+            "--gene",
+            "g1",
+            "--gamma",
+            "0.15",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("γ_i = 4.5"), "{out}");
+        assert!(out.contains("c2 ↰ c9"), "{out}");
+        assert!(out.contains("c1 ↰ c3"), "{out}");
+        // Unknown gene errors cleanly.
+        let cmd = parse_args(&sv(&[
+            "rwave",
+            "--input",
+            path.to_str().unwrap(),
+            "--gene",
+            "nope",
+        ]))
+        .unwrap();
+        assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let err = run(&Command::Info {
+            input: "/nonexistent/m.tsv".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Matrix(_)));
+    }
+}

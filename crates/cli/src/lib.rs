@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `regcluster` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `mine` — mine reg-clusters from a tab-delimited expression matrix;
+//! * `generate` — write a synthetic dataset (and its ground truth);
+//! * `eval` — score mined clusters against a ground-truth file;
+//! * `info` — print matrix statistics.
+//!
+//! The argument parser is hand-rolled (the workspace's dependency policy
+//! favours a small, auditable surface over pulling in a CLI framework); it
+//! supports `--flag value` and `--flag=value` forms and produces precise
+//! error messages. All logic lives in this library so it is unit-testable;
+//! the binary is a thin wrapper.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};
+pub use commands::{run, CliError};

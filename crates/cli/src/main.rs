@@ -1,0 +1,25 @@
+//! The `regcluster` binary: a thin wrapper around the library.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match regcluster_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `regcluster help`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match regcluster_cli::run(&command) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

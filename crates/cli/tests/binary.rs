@@ -1,0 +1,148 @@
+//! End-to-end tests of the compiled `regcluster` binary: real process, real
+//! argv, real exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_regcluster"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regcluster-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("regcluster mine"));
+    assert!(text.contains("regcluster baseline"));
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_stderr() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"), "{err}");
+
+    let out = bin().args(["mine", "--input"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["info", "--input", "/definitely/not/here.tsv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = tmpdir();
+    let matrix = dir.join("data.tsv");
+    let truth = dir.join("truth.json");
+    let found = dir.join("found.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--output",
+            matrix.to_str().unwrap(),
+            "--genes",
+            "200",
+            "--conds",
+            "14",
+            "--clusters",
+            "2",
+            "--gene-frac",
+            "0.05",
+            "--seed",
+            "5",
+            "--ground-truth",
+            truth.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "5",
+            "--min-conds",
+            "4",
+            "--gamma",
+            "0.1",
+            "--epsilon",
+            "0.01",
+            "--stats",
+            "--output",
+            found.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mined"), "{text}");
+    assert!(text.contains("nodes"), "{text}");
+
+    let out = bin()
+        .args([
+            "eval",
+            "--clusters",
+            found.to_str().unwrap(),
+            "--ground-truth",
+            truth.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let rec: f64 = text
+        .lines()
+        .find(|l| l.starts_with("recovery"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(rec > 0.99, "{text}");
+}
+
+#[test]
+fn rwave_subcommand_via_binary() {
+    let dir = tmpdir();
+    let matrix = dir.join("running.tsv");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+    let out = bin()
+        .args([
+            "rwave",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--gene",
+            "g2",
+            "--gamma",
+            "0.15",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("γ_i = 4.5"), "{text}");
+    assert!(text.contains("c10 ↰ c5"), "{text}");
+}

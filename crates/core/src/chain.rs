@@ -1,0 +1,70 @@
+//! Representative regulation chains.
+
+use regcluster_matrix::CondId;
+use serde::{Deserialize, Serialize};
+
+/// An ordered series of conditions connected by regulation pointers:
+/// `c_{k1} ↰ c_{k2} ↰ … ↰ c_{km}` (§4 of the paper).
+///
+/// The chain is stored in regulation order: a **p-member** gene's expression
+/// strictly increases along it (each step exceeding the gene's `γ_i`), an
+/// **n-member** gene's expression strictly decreases along it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegulationChain(pub Vec<CondId>);
+
+impl RegulationChain {
+    /// Chain length (number of conditions).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty chain (the root of the enumeration tree).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The inverted chain `c_{km} ↰ … ↰ c_{k1}` — the chain that this
+    /// chain's n-members follow as p-members.
+    #[must_use]
+    pub fn invert(&self) -> Self {
+        let mut v = self.0.clone();
+        v.reverse();
+        Self(v)
+    }
+
+    /// Renders the chain with condition labels, e.g. `c7 ↰ c9 ↰ c5`.
+    pub fn display_with(&self, names: &[String]) -> String {
+        let parts: Vec<&str> = self.0.iter().map(|&c| names[c].as_str()).collect();
+        parts.join(" ↰ ")
+    }
+}
+
+impl std::fmt::Display for RegulationChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|c| format!("#{c}")).collect();
+        write!(f, "{}", parts.join(" ↰ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_reverses() {
+        let c = RegulationChain(vec![6, 8, 4, 0, 2]);
+        assert_eq!(c.invert().0, vec![2, 0, 4, 8, 6]);
+        assert_eq!(c.invert().invert(), c);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert!(RegulationChain(vec![]).is_empty());
+    }
+
+    #[test]
+    fn displays_with_labels() {
+        let names: Vec<String> = (1..=10).map(|i| format!("c{i}")).collect();
+        let c = RegulationChain(vec![6, 8, 4]);
+        assert_eq!(c.display_with(&names), "c7 ↰ c9 ↰ c5");
+        assert_eq!(format!("{c}"), "#6 ↰ #8 ↰ #4");
+    }
+}

@@ -1,0 +1,429 @@
+//! The reg-cluster output type and its model validator.
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+use serde::{Deserialize, Serialize};
+
+use crate::chain::RegulationChain;
+use crate::coherence::h_series;
+use crate::params::MiningParams;
+
+/// A mined reg-cluster (Definition 3.2 of the paper).
+///
+/// `chain` is the representative regulation chain; `p_members` follow it
+/// (expression strictly increasing with every step regulated), `n_members`
+/// follow its inversion (negatively co-regulated). Member lists are sorted
+/// by gene id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegCluster {
+    /// The representative regulation chain, in regulation order.
+    pub chain: Vec<CondId>,
+    /// Genes complying with the chain (positively co-regulated majority).
+    pub p_members: Vec<GeneId>,
+    /// Genes complying with the inverted chain (negatively co-regulated).
+    pub n_members: Vec<GeneId>,
+}
+
+/// Why a cluster failed model validation. Produced by
+/// [`RegCluster::validate`], which re-checks Definition 3.2 against the raw
+/// matrix (used by tests and by downstream consumers that want a guarantee
+/// independent of the miner).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Fewer genes than `MinG` or fewer conditions than `MinC`.
+    TooSmall {
+        /// Member genes present.
+        genes: usize,
+        /// Chain conditions present.
+        conds: usize,
+    },
+    /// A p-member does not increase strictly along the chain, or an n-member
+    /// does not decrease strictly.
+    NotMonotonic {
+        /// The offending gene.
+        gene: GeneId,
+    },
+    /// An adjacent chain step of some member does not exceed its `γ_i`.
+    NotRegulated {
+        /// The offending gene.
+        gene: GeneId,
+        /// Zero-based index of the adjacent chain pair.
+        step: usize,
+        /// The (oriented) expression difference observed.
+        diff: f64,
+        /// The gene's resolved regulation threshold.
+        gamma_i: f64,
+    },
+    /// The H-score spread at some step exceeds `ε`.
+    NotCoherent {
+        /// Zero-based index of the adjacent chain pair.
+        step: usize,
+        /// Observed `max − min` of the members' H-scores.
+        spread: f64,
+    },
+    /// The chain is not representative: fewer p-members than n-members (or a
+    /// tie with the wrong orientation).
+    NotRepresentative,
+    /// A gene id or condition id exceeds the matrix bounds, or a gene is
+    /// listed as both p- and n-member.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::TooSmall { genes, conds } => {
+                write!(f, "cluster too small: {genes} genes × {conds} conditions")
+            }
+            ValidationError::NotMonotonic { gene } => {
+                write!(f, "gene {gene} is not strictly monotonic along the chain")
+            }
+            ValidationError::NotRegulated {
+                gene,
+                step,
+                diff,
+                gamma_i,
+            } => write!(
+                f,
+                "gene {gene} step {step} has |Δ| = {diff} ≤ γ_i = {gamma_i}"
+            ),
+            ValidationError::NotCoherent { step, spread } => {
+                write!(f, "H-score spread {spread} at step {step} exceeds ε")
+            }
+            ValidationError::NotRepresentative => write!(f, "chain is not representative"),
+            ValidationError::Malformed(m) => write!(f, "malformed cluster: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl RegCluster {
+    /// All member genes (p-members then n-members), sorted by gene id.
+    pub fn genes(&self) -> Vec<GeneId> {
+        let mut all: Vec<GeneId> = self
+            .p_members
+            .iter()
+            .chain(self.n_members.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Number of member genes.
+    pub fn n_genes(&self) -> usize {
+        self.p_members.len() + self.n_members.len()
+    }
+
+    /// Number of chain conditions.
+    pub fn n_conditions(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Number of matrix cells covered (`genes × conditions`).
+    pub fn n_cells(&self) -> usize {
+        self.n_genes() * self.n_conditions()
+    }
+
+    /// The chain as a [`RegulationChain`].
+    pub fn regulation_chain(&self) -> RegulationChain {
+        RegulationChain(self.chain.clone())
+    }
+
+    /// True when the cluster covers cell `(gene, condition)`.
+    pub fn contains_cell(&self, gene: GeneId, cond: CondId) -> bool {
+        self.chain.contains(&cond)
+            && (self.p_members.binary_search(&gene).is_ok()
+                || self.n_members.binary_search(&gene).is_ok())
+    }
+
+    /// Number of cells shared with another cluster.
+    pub fn cell_overlap(&self, other: &RegCluster) -> usize {
+        let shared_conds = self
+            .chain
+            .iter()
+            .filter(|c| other.chain.contains(c))
+            .count();
+        if shared_conds == 0 {
+            return 0;
+        }
+        let genes = self.genes();
+        let other_genes = other.genes();
+        let shared_genes = genes
+            .iter()
+            .filter(|g| other_genes.binary_search(g).is_ok())
+            .count();
+        shared_genes * shared_conds
+    }
+
+    /// True when this cluster's genes and conditions are both subsets of
+    /// `other`'s (used by the `maximal_only` post-filter).
+    pub fn is_subcluster_of(&self, other: &RegCluster) -> bool {
+        let other_genes = other.genes();
+        self.chain.iter().all(|c| other.chain.contains(c))
+            && self
+                .genes()
+                .iter()
+                .all(|g| other_genes.binary_search(g).is_ok())
+    }
+
+    /// Re-checks Definition 3.2 directly against the raw matrix:
+    ///
+    /// 1. size bounds (`MinG`, `MinC`);
+    /// 2. every p-member strictly increases along the chain with every step
+    ///    `> γ_i`; every n-member strictly decreases with every step
+    ///    `< −γ_i` (the regulation constraint implied by the RWave chain);
+    /// 3. the H-score spread across all members is `≤ ε` at every adjacent
+    ///    step (the coherence constraint), with a small tolerance for
+    ///    floating-point rounding;
+    /// 4. representativeness: `|pX| > |nX|`, or a tie with
+    ///    `chain[0] < chain[1]`.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`ValidationError`].
+    pub fn validate(
+        &self,
+        matrix: &ExpressionMatrix,
+        params: &MiningParams,
+    ) -> Result<(), ValidationError> {
+        if self.n_genes() < params.min_genes || self.chain.len() < params.min_conds {
+            return Err(ValidationError::TooSmall {
+                genes: self.n_genes(),
+                conds: self.chain.len(),
+            });
+        }
+        for &c in &self.chain {
+            if c >= matrix.n_conditions() {
+                return Err(ValidationError::Malformed(format!(
+                    "condition {c} out of bounds"
+                )));
+            }
+        }
+        for &g in self.p_members.iter().chain(self.n_members.iter()) {
+            if g >= matrix.n_genes() {
+                return Err(ValidationError::Malformed(format!(
+                    "gene {g} out of bounds"
+                )));
+            }
+        }
+        if self.p_members.iter().any(|g| self.n_members.contains(g)) {
+            return Err(ValidationError::Malformed(
+                "gene is both p- and n-member".into(),
+            ));
+        }
+
+        // Regulation + monotonicity per member.
+        for (&g, sign) in self
+            .p_members
+            .iter()
+            .map(|g| (g, 1.0))
+            .chain(self.n_members.iter().map(|g| (g, -1.0)))
+        {
+            let row = matrix.row(g);
+            let gamma_i = params.gamma.resolve(row);
+            for (step, w) in self.chain.windows(2).enumerate() {
+                let diff = (row[w[1]] - row[w[0]]) * sign;
+                if diff <= 0.0 {
+                    return Err(ValidationError::NotMonotonic { gene: g });
+                }
+                if diff <= gamma_i {
+                    return Err(ValidationError::NotRegulated {
+                        gene: g,
+                        step,
+                        diff,
+                        gamma_i,
+                    });
+                }
+            }
+        }
+
+        // Coherence across members at every step.
+        let series: Vec<Vec<f64>> = self
+            .p_members
+            .iter()
+            .chain(self.n_members.iter())
+            .map(|&g| h_series(matrix.row(g), &self.chain))
+            .collect();
+        let tol = 1e-9;
+        for step in 0..self.chain.len() - 1 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in &series {
+                lo = lo.min(s[step]);
+                hi = hi.max(s[step]);
+            }
+            if hi - lo > params.epsilon + tol {
+                return Err(ValidationError::NotCoherent {
+                    step,
+                    spread: hi - lo,
+                });
+            }
+        }
+
+        // Representativeness.
+        let (p, n) = (self.p_members.len(), self.n_members.len());
+        if p < n || (p == n && self.chain[0] >= self.chain[1]) {
+            return Err(ValidationError::NotRepresentative);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_example() -> ExpressionMatrix {
+        ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g2".into(), "g3".into()],
+            (1..=10).map(|i| format!("c{i}")).collect(),
+            vec![
+                vec![10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0],
+                vec![20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0],
+                vec![6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn the_cluster() -> RegCluster {
+        RegCluster {
+            chain: vec![6, 8, 4, 0, 2],
+            p_members: vec![0, 2],
+            n_members: vec![1],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = the_cluster();
+        assert_eq!(c.genes(), vec![0, 1, 2]);
+        assert_eq!(c.n_genes(), 3);
+        assert_eq!(c.n_conditions(), 5);
+        assert_eq!(c.n_cells(), 15);
+        assert!(c.contains_cell(1, 8));
+        assert!(!c.contains_cell(1, 5));
+        assert_eq!(c.regulation_chain().0, vec![6, 8, 4, 0, 2]);
+    }
+
+    #[test]
+    fn overlap_and_subcluster() {
+        let a = the_cluster();
+        let b = RegCluster {
+            chain: vec![6, 8],
+            p_members: vec![0],
+            n_members: vec![],
+        };
+        assert_eq!(a.cell_overlap(&b), 2);
+        assert!(b.is_subcluster_of(&a));
+        assert!(!a.is_subcluster_of(&b));
+        let c = RegCluster {
+            chain: vec![3, 5],
+            p_members: vec![0, 2],
+            n_members: vec![],
+        };
+        assert_eq!(a.cell_overlap(&c), 0);
+    }
+
+    #[test]
+    fn running_example_cluster_validates() {
+        let m = running_example();
+        let p = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        the_cluster().validate(&m, &p).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_too_small() {
+        let m = running_example();
+        let p = MiningParams::new(4, 5, 0.15, 0.1).unwrap();
+        assert!(matches!(
+            the_cluster().validate(&m, &p),
+            Err(ValidationError::TooSmall { genes: 3, conds: 5 })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_direction() {
+        let m = running_example();
+        let p = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        // Swap g2 into the p-members: its profile decreases along the chain.
+        let bad = RegCluster {
+            chain: vec![6, 8, 4, 0, 2],
+            p_members: vec![0, 1],
+            n_members: vec![2],
+        };
+        assert!(matches!(
+            bad.validate(&m, &p),
+            Err(ValidationError::NotMonotonic { gene: 1 })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_unregulated_step() {
+        let m = running_example();
+        // Tighten γ so a 5-unit step (e.g. g1's c9→c5) stops qualifying:
+        // γ = 0.2 ⇒ γ_1 = 6.
+        let p = MiningParams::new(3, 5, 0.2, 0.1).unwrap();
+        assert!(matches!(
+            the_cluster().validate(&m, &p),
+            Err(ValidationError::NotRegulated { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_incoherent_member() {
+        let m = running_example();
+        let p = MiningParams::new(2, 3, 0.15, 0.1).unwrap();
+        // Chain c2 ↰ c10 ↰ c8 (Figure 4): g2's score 4.6 vs 0.5263.
+        let bad = RegCluster {
+            chain: vec![1, 9, 7],
+            p_members: vec![0, 1, 2],
+            n_members: vec![],
+        };
+        assert!(matches!(
+            bad.validate(&m, &p),
+            Err(ValidationError::NotCoherent { step: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_non_representative() {
+        let m = running_example();
+        let p = MiningParams::new(1, 5, 0.15, 0.1).unwrap();
+        // The inverted chain has g2 as its only p-member: 1 < 2 n-members.
+        let inv = RegCluster {
+            chain: vec![2, 0, 4, 8, 6],
+            p_members: vec![1],
+            n_members: vec![0, 2],
+        };
+        assert!(matches!(
+            inv.validate(&m, &p),
+            Err(ValidationError::NotRepresentative)
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        let m = running_example();
+        let p = MiningParams::new(1, 2, 0.15, 0.1).unwrap();
+        let oob = RegCluster {
+            chain: vec![0, 99],
+            p_members: vec![0],
+            n_members: vec![],
+        };
+        assert!(matches!(
+            oob.validate(&m, &p),
+            Err(ValidationError::Malformed(_))
+        ));
+        let dup = RegCluster {
+            chain: vec![6, 8],
+            p_members: vec![0],
+            n_members: vec![0],
+        };
+        assert!(matches!(
+            dup.validate(&m, &p),
+            Err(ValidationError::Malformed(_))
+        ));
+    }
+}

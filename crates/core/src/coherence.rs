@@ -1,0 +1,241 @@
+//! Shifting-and-scaling coherence (§3.2 of the paper).
+//!
+//! Lemma 3.2 states that profiles `d_i` and `d_j` over an ordered condition
+//! set `Y = {c_1, …, c_n}` are related by `d_i = s1 · d_j + s2` **iff** all
+//! their adjacent-step ratios relative to the baseline step `(c_1, c_2)`
+//! coincide. The ratio is the coherence score
+//!
+//! ```text
+//! H(i, c1, c2, ck, ck+1) = (d_i[ck+1] − d_i[ck]) / (d_i[c2] − d_i[c1])   (Eq. 7)
+//! ```
+//!
+//! A reg-cluster allows the scores of its member genes to spread by at most
+//! `ε` at every step (Definition 3.2(2)). The miner enforces this with a
+//! sliding window over genes sorted by score: each maximal window of spread
+//! `≤ ε` and length `≥ MinG` forms a validated gene subset (§4, step 5).
+
+/// The coherence score of Equation 7 for one gene.
+///
+/// `baseline` is the expression difference over the chain's first two
+/// conditions `(d[c2] − d[c1])`, `step` the difference over the adjacent
+/// pair under test `(d[ck+1] − d[ck])`. For an n-member (inverted chain)
+/// both differences flip sign, leaving the score unchanged — which is what
+/// lets positively and negatively co-regulated genes share one window.
+///
+/// # Panics
+///
+/// Panics (debug) on a zero baseline; the miner guarantees the baseline pair
+/// is regulated, so its difference exceeds `γ_i ≥ 0`.
+#[inline]
+pub fn h_score(step: f64, baseline: f64) -> f64 {
+    debug_assert!(
+        baseline != 0.0,
+        "baseline pair must be regulated (non-zero difference)"
+    );
+    step / baseline
+}
+
+/// Computes the full H-score series of a gene profile along an ordered
+/// condition chain: one score per adjacent pair, including the trivial
+/// leading `1.0` of the baseline pair itself.
+///
+/// Convenience for tests, validation and reporting; the miner computes
+/// scores incrementally.
+///
+/// # Panics
+///
+/// Panics if the chain has fewer than two conditions or the baseline
+/// difference is zero.
+pub fn h_series(profile: &[f64], chain: &[usize]) -> Vec<f64> {
+    assert!(chain.len() >= 2, "a chain needs at least two conditions");
+    let baseline = profile[chain[1]] - profile[chain[0]];
+    assert!(baseline != 0.0, "baseline pair must have distinct values");
+    chain
+        .windows(2)
+        .map(|w| h_score(profile[w[1]] - profile[w[0]], baseline))
+        .collect()
+}
+
+/// A maximal window over score-sorted genes: the half-open index range
+/// `[start, end)` into the sorted slice.
+pub type Window = (usize, usize);
+
+/// Finds all maximal windows of `sorted_scores` whose spread
+/// (`max − min`) is at most `epsilon` and whose length is at least
+/// `min_len`.
+///
+/// `sorted_scores` must be sorted ascending (checked in debug builds).
+/// Windows are returned left to right; they may overlap, mirroring the
+/// paper's sliding-window partitioning whose validated gene subsets `X''`
+/// "may overlap".
+///
+/// ```
+/// use regcluster_core::coherence::maximal_windows;
+///
+/// let scores = [0.0, 0.4, 0.8, 1.2];
+/// // Spread budget 0.8: two maximal, overlapping windows.
+/// assert_eq!(maximal_windows(&scores, 0.8, 2), vec![(0, 3), (1, 4)]);
+/// // Nothing coherent enough for four genes at once.
+/// assert!(maximal_windows(&scores, 0.8, 4).is_empty());
+/// ```
+pub fn maximal_windows(sorted_scores: &[f64], epsilon: f64, min_len: usize) -> Vec<Window> {
+    debug_assert!(
+        sorted_scores.windows(2).all(|w| w[0] <= w[1]),
+        "scores must be sorted ascending"
+    );
+    let n = sorted_scores.len();
+    let mut out = Vec::new();
+    if n == 0 || min_len == 0 || min_len > n {
+        return out;
+    }
+    let mut end = 0usize;
+    let mut prev_end = 0usize;
+    for start in 0..n {
+        if end < start {
+            end = start;
+        }
+        while end < n && sorted_scores[end] - sorted_scores[start] <= epsilon {
+            end += 1;
+        }
+        // The window [start, end) is maximal to the right by construction;
+        // it is maximal to the left iff shrinking did occur when start
+        // advanced (otherwise it is contained in [start-1, prev_end)).
+        if (start == 0 || prev_end < end) && end - start >= min_len {
+            out.push((start, end));
+        }
+        prev_end = end;
+        if end == n && sorted_scores[n - 1] - sorted_scores[start] <= epsilon {
+            // Every later window is a suffix of this one; none can be maximal.
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_series_of_running_example() {
+        // Figure 2: all three genes share scores [1.0, 0.5, 1.0, 0.5] along
+        // the chain c7, c9, c5, c1, c3 (indices 6, 8, 4, 0, 2).
+        let chain = [6usize, 8, 4, 0, 2];
+        let g1 = [10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0];
+        let g2 = [20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0];
+        let g3 = [6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0];
+        for g in [&g1[..], &g2[..], &g3[..]] {
+            let h = h_series(g, &chain);
+            let expect = [1.0, 0.5, 1.0, 0.5];
+            assert_eq!(h.len(), 4);
+            for (a, b) in h.iter().zip(expect.iter()) {
+                assert!((a - b).abs() < 1e-12, "{h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn h_scores_of_figure_4_outlier() {
+        // Projection on c2, c10, c8: H(1) = H(3) = 0.5263…, H(2) = 4.6.
+        let g1 = [10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0];
+        let g2 = [20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0];
+        let g3 = [6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0];
+        let chain = [1usize, 9, 7];
+        let h1 = h_series(&g1, &chain)[1];
+        let h2 = h_series(&g2, &chain)[1];
+        let h3 = h_series(&g3, &chain)[1];
+        assert!((h1 - 5.0 / 9.5).abs() < 1e-12);
+        assert!((h3 - 2.0 / 3.8).abs() < 1e-12);
+        assert!((h2 - 4.6).abs() < 1e-12);
+        assert!((h1 - 0.5263).abs() < 1e-3);
+        assert!((h1 - h3).abs() < 1e-12, "g1 and g3 agree exactly");
+    }
+
+    #[test]
+    fn h_score_sign_invariance_for_inverted_chains() {
+        // Negating a profile (perfect negative correlation) leaves the score
+        // unchanged because both step and baseline flip sign.
+        assert_eq!(h_score(2.0, 4.0), h_score(-2.0, -4.0));
+    }
+
+    #[test]
+    fn windows_basic() {
+        let scores = [0.0, 0.05, 0.1, 1.0, 1.02, 1.04, 1.06];
+        let w = maximal_windows(&scores, 0.1, 2);
+        assert_eq!(w, vec![(0, 3), (3, 7)]);
+    }
+
+    #[test]
+    fn windows_overlap() {
+        let scores = [0.0, 0.4, 0.8, 1.2];
+        let w = maximal_windows(&scores, 0.8, 2);
+        // [0,0.4,0.8] and [0.4,0.8,1.2] overlap and are both maximal.
+        assert_eq!(w, vec![(0, 3), (1, 4)]);
+    }
+
+    #[test]
+    fn windows_respect_min_len() {
+        let scores = [0.0, 1.0, 2.0, 2.05];
+        assert!(maximal_windows(&scores, 0.1, 3).is_empty());
+        assert_eq!(maximal_windows(&scores, 0.1, 2), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn window_covering_everything_is_unique() {
+        let scores = [1.0, 1.1, 1.2];
+        assert_eq!(maximal_windows(&scores, 10.0, 1), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn zero_epsilon_groups_exact_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.7, 0.7];
+        let w = maximal_windows(&scores, 0.0, 2);
+        assert_eq!(w, vec![(0, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(maximal_windows(&[], 0.1, 1).is_empty());
+        assert!(maximal_windows(&[1.0], 0.1, 2).is_empty());
+        assert_eq!(maximal_windows(&[1.0], 0.1, 1), vec![(0, 1)]);
+        assert!(maximal_windows(&[1.0, 2.0], 0.5, 0).is_empty());
+    }
+
+    #[test]
+    fn singleton_windows_between_distant_scores() {
+        let scores = [0.0, 10.0, 20.0];
+        assert_eq!(
+            maximal_windows(&scores, 1.0, 1),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn all_windows_are_valid_and_maximal_property() {
+        // Deterministic mini-fuzz across several configurations.
+        let cases: Vec<(Vec<f64>, f64)> = vec![
+            (vec![0.0, 0.1, 0.2, 0.3, 0.4], 0.15),
+            (vec![0.0, 0.0, 0.0, 5.0], 0.0),
+            (vec![-3.0, -1.0, 0.0, 0.5, 0.6, 9.0], 1.0),
+        ];
+        for (scores, eps) in cases {
+            let ws = maximal_windows(&scores, eps, 1);
+            for &(s, e) in &ws {
+                assert!(scores[e - 1] - scores[s] <= eps);
+                if s > 0 {
+                    assert!(scores[e - 1] - scores[s - 1] > eps, "extensible left");
+                }
+                if e < scores.len() {
+                    assert!(scores[e] - scores[s] > eps, "extensible right");
+                }
+            }
+            // Every index is covered by at least one window when min_len = 1.
+            for i in 0..scores.len() {
+                assert!(
+                    ws.iter().any(|&(s, e)| s <= i && i < e),
+                    "index {i} uncovered"
+                );
+            }
+        }
+    }
+}

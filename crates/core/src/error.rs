@@ -1,0 +1,18 @@
+use std::fmt;
+
+/// Errors produced by reg-cluster mining entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A mining parameter is out of its valid domain.
+    InvalidParams(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid mining parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

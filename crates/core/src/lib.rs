@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! The **reg-cluster** model and mining algorithm.
+//!
+//! This crate implements the primary contribution of Xu, Lu, Tung & Wang,
+//! *Mining Shifting-and-Scaling Co-Regulation Patterns on Gene Expression
+//! Profiles* (ICDE 2006): a biclustering model in which the expression
+//! profiles of all member genes over an ordered chain of conditions are
+//! related by `d_i = s1 · d_j + s2` — an arbitrary shifting-and-scaling
+//! transform whose scaling factor `s1` may be **negative**, capturing
+//! anti-correlated (negatively co-regulated) genes — subject to two
+//! constraints:
+//!
+//! * a **regulation constraint** `γ`: every adjacent pair of chain conditions
+//!   differs by more than the per-gene threshold `γ_i` (by default
+//!   `γ · range(g_i)`, Equation 4 of the paper), enforced through the
+//!   [`rwave::RWaveModel`] index of Definition 3.1; and
+//! * a **coherence constraint** `ε`: the normalized step ratios
+//!   ([`coherence::h_score`], Equation 7) of all member genes agree within
+//!   `ε` on every adjacent chain pair, which by Lemma 3.2 is necessary and
+//!   sufficient for the shifting-and-scaling relationship.
+//!
+//! # Quick start
+//!
+//! ```
+//! use regcluster_matrix::ExpressionMatrix;
+//! use regcluster_core::{mine, MiningParams};
+//!
+//! // Table 1 of the paper (the "running dataset").
+//! let matrix = ExpressionMatrix::from_rows(
+//!     vec!["g1".into(), "g2".into(), "g3".into()],
+//!     (1..=10).map(|i| format!("c{i}")).collect(),
+//!     vec![
+//!         vec![10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0],
+//!         vec![20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0],
+//!         vec![6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0],
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+//! let clusters = mine(&matrix, &params).unwrap();
+//!
+//! // The unique reg-cluster of the running example: chain c7 ↰ c9 ↰ c5 ↰ c1 ↰ c3
+//! // with p-members {g1, g3} and n-member {g2} (Figures 2 and 6).
+//! assert_eq!(clusters.len(), 1);
+//! let c = &clusters[0];
+//! assert_eq!(c.chain, vec![6, 8, 4, 0, 2]);
+//! assert_eq!(c.p_members, vec![0, 2]);
+//! assert_eq!(c.n_members, vec![1]);
+//! ```
+
+mod error;
+
+pub mod chain;
+pub mod cluster;
+pub mod coherence;
+pub mod miner;
+pub mod observer;
+pub mod params;
+pub mod postprocess;
+pub mod rwave;
+pub mod threshold;
+
+pub use chain::RegulationChain;
+pub use cluster::{RegCluster, ValidationError};
+pub use error::CoreError;
+pub use miner::{mine, mine_containing, mine_parallel, mine_with_observer, Miner};
+pub use observer::{MineObserver, MiningStats, NoopObserver, PruneRule, TraceEvent, TraceObserver};
+pub use params::MiningParams;
+pub use threshold::RegulationThreshold;

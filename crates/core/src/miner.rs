@@ -1,0 +1,944 @@
+//! The reg-cluster mining algorithm (§4, Figure 5 of the paper).
+//!
+//! The miner performs a **bi-directional depth-first search** over
+//! *representative regulation chains*. A node of the enumeration tree is a
+//! partial chain `C.Y = c_{k1} ↰ … ↰ c_{km}` together with its member genes:
+//! **p-members** whose expression strictly increases along the chain (each
+//! step crossing a regulation pointer of their `RWave^γ` model) and
+//! **n-members** whose expression strictly decreases (they follow the
+//! inverted chain — the negatively co-regulated genes). Extension candidates
+//! are the regulation successors of the chain tail in the p-members' models
+//! (Lemma 3.1); each candidate's gene set is sorted by coherence score
+//! (Equation 7) and partitioned into maximal ε-windows of at least `MinG`
+//! genes, every window spawning a child node.
+//!
+//! The four pruning strategies of the paper are implemented exactly:
+//!
+//! 1. **MinG pruning** — a node with fewer than `MinG` member genes is
+//!    abandoned (extension only sheds genes);
+//! 2. **MinC pruning** — a gene whose longest possible chain through the
+//!    candidate falls short of `MinC` is dropped (powered by the
+//!    precomputed max-chain tables of [`RWaveModel`]);
+//! 3. **Redundant pruning** — (a) a node whose p-members number fewer than
+//!    `MinG/2` can never be representative (`|pX| ≥ |nX|` must hold at
+//!    output, so `2·|pX| ≥ MinG`); (b) a node whose validated cluster was
+//!    already emitted roots a redundant subtree;
+//! 4. **Coherence pruning** — a candidate with no valid ε-window is skipped.
+//!
+//! Thanks to (2) and (3)(a), only p-members need to be scanned for extension
+//! candidates: a candidate supported solely by n-members leads to a node
+//! with zero p-members, which (3)(a) prunes immediately.
+
+use std::collections::HashSet;
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::coherence::maximal_windows;
+use crate::observer::{MineObserver, NoopObserver, PruneRule};
+use crate::rwave::RWaveModel;
+use crate::{CoreError, MiningParams, RegCluster};
+
+/// Direction in which a gene follows the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// p-member: expression increases along the chain.
+    Fwd,
+    /// n-member: expression decreases along the chain (inverted chain).
+    Bwd,
+}
+
+/// A gene participating in the current node.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    gene: GeneId,
+    dir: Dir,
+    /// The baseline difference `d[c_{k2}] − d[c_{k1}]` (signed; negative for
+    /// n-members). Set when the chain reaches length 2; `0.0` before that.
+    denom: f64,
+}
+
+/// Reusable mining engine: builds the per-gene `RWave^γ` models once and can
+/// then mine from all roots (sequentially or in parallel).
+pub struct Miner<'a> {
+    matrix: &'a ExpressionMatrix,
+    params: &'a MiningParams,
+    models: Vec<RWaveModel>,
+}
+
+/// Per-run mutable state threaded through the recursion.
+struct RunState<'o> {
+    out: Vec<RegCluster>,
+    emitted: HashSet<(Vec<CondId>, Vec<GeneId>)>,
+    observer: &'o mut dyn MineObserver,
+    max_clusters: Option<usize>,
+    /// Query mining: abandon any node that loses this gene (sound because
+    /// member sets only shrink along a path).
+    required: Option<GeneId>,
+    stop: bool,
+}
+
+impl<'a> Miner<'a> {
+    /// Builds the `RWave^γ` models for every gene.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] when the parameters fail
+    /// validation.
+    pub fn new(matrix: &'a ExpressionMatrix, params: &'a MiningParams) -> Result<Self, CoreError> {
+        params.validate()?;
+        let models = (0..matrix.n_genes())
+            .map(|g| {
+                let row = matrix.row(g);
+                RWaveModel::build(row, params.gamma.resolve(row))
+            })
+            .collect();
+        Ok(Self {
+            matrix,
+            params,
+            models,
+        })
+    }
+
+    /// The per-gene models (exposed for inspection and reporting).
+    pub fn models(&self) -> &[RWaveModel] {
+        &self.models
+    }
+
+    /// Mines every representative regulation chain rooted at every
+    /// condition, in condition order, reporting events to `observer`.
+    ///
+    /// The result is sorted canonically (by chain, then members) so that
+    /// sequential and parallel runs compare equal.
+    pub fn mine_all(&self, observer: &mut dyn MineObserver) -> Vec<RegCluster> {
+        let mut state = RunState {
+            out: Vec::new(),
+            emitted: HashSet::new(),
+            observer,
+            max_clusters: self.params.max_clusters,
+            required: None,
+            stop: false,
+        };
+        for root in 0..self.matrix.n_conditions() {
+            if state.stop {
+                break;
+            }
+            self.mine_root_into(root, &mut state);
+        }
+        let mut out = state.out;
+        finalize(&mut out, self.params);
+        out
+    }
+
+    /// Query mining: only clusters containing `gene` are produced, with the
+    /// search pruned the moment a subtree loses that gene — typically far
+    /// cheaper than full mining plus filtering when the gene's profile is
+    /// selective.
+    ///
+    /// The result equals `mine_all` filtered to clusters containing `gene`
+    /// (asserted by tests).
+    pub fn mine_containing(
+        &self,
+        gene: GeneId,
+        observer: &mut dyn MineObserver,
+    ) -> Vec<RegCluster> {
+        let mut state = RunState {
+            out: Vec::new(),
+            emitted: HashSet::new(),
+            observer,
+            max_clusters: self.params.max_clusters,
+            required: Some(gene),
+            stop: false,
+        };
+        for root in 0..self.matrix.n_conditions() {
+            if state.stop {
+                break;
+            }
+            self.mine_root_into(root, &mut state);
+        }
+        let mut out = state.out;
+        finalize(&mut out, self.params);
+        out
+    }
+
+    /// Mines only the subtree rooted at condition `root`. Used by the
+    /// parallel driver; results are **not** post-filtered or sorted.
+    pub fn mine_root(&self, root: CondId, observer: &mut dyn MineObserver) -> Vec<RegCluster> {
+        let mut state = RunState {
+            out: Vec::new(),
+            emitted: HashSet::new(),
+            observer,
+            max_clusters: self.params.max_clusters,
+            required: None,
+            stop: false,
+        };
+        self.mine_root_into(root, &mut state);
+        state.out
+    }
+
+    fn mine_root_into(&self, root: CondId, state: &mut RunState<'_>) {
+        let min_c = self.params.min_conds;
+        let mut members = Vec::new();
+        for (g, model) in self.models.iter().enumerate() {
+            let r = model.rank_of(root);
+            if model.max_chain_fwd(r) >= min_c {
+                members.push(Member {
+                    gene: g,
+                    dir: Dir::Fwd,
+                    denom: 0.0,
+                });
+            }
+            if model.max_chain_bwd(r) >= min_c {
+                members.push(Member {
+                    gene: g,
+                    dir: Dir::Bwd,
+                    denom: 0.0,
+                });
+            }
+        }
+        let mut chain = vec![root];
+        self.recurse(&mut chain, &members, state);
+    }
+
+    fn recurse(&self, chain: &mut Vec<CondId>, members: &[Member], state: &mut RunState<'_>) {
+        if state.stop {
+            return;
+        }
+        let n_fwd = members.iter().filter(|m| m.dir == Dir::Fwd).count();
+        let n_bwd = members.len() - n_fwd;
+        // At depth 1 a gene may appear once per direction; count genes, not
+        // entries (members are generated gene-ascending there, and are
+        // unique per gene from depth 2 on).
+        let distinct = if chain.len() == 1 {
+            count_distinct_genes(members)
+        } else {
+            members.len()
+        };
+        state.observer.node_entered(chain, n_fwd, n_bwd);
+
+        // Query mining: every cluster of this subtree lacks the required
+        // gene once it has left the member set.
+        if let Some(g) = state.required {
+            if !members.iter().any(|m| m.gene == g) {
+                return;
+            }
+        }
+        // Pruning (1): MinG.
+        if distinct < self.params.min_genes {
+            state.observer.pruned(chain, PruneRule::MinGenes);
+            return;
+        }
+        // Pruning (3)(a): too few p-members to ever be representative.
+        if 2 * n_fwd < self.params.min_genes {
+            state.observer.pruned(chain, PruneRule::FewPMembers);
+            return;
+        }
+
+        // Step 3 of Figure 5: output a validated representative chain.
+        if chain.len() >= self.params.min_conds
+            && (n_fwd > n_bwd || (n_fwd == n_bwd && chain[0] < chain[1]))
+        {
+            let cluster = build_cluster(chain, members);
+            let key = (cluster.chain.clone(), cluster.genes());
+            // Pruning (3)(b): an already-emitted cluster roots a redundant
+            // subtree.
+            if !state.emitted.insert(key) {
+                state.observer.pruned(chain, PruneRule::Duplicate);
+                return;
+            }
+            state.observer.cluster_emitted(&cluster);
+            state.out.push(cluster);
+            if state.max_clusters.is_some_and(|cap| state.out.len() >= cap) {
+                state.stop = true;
+                return;
+            }
+        }
+
+        // Step 4: candidate regulation successors, scanned from p-members
+        // only, with per-gene MinC pruning (2). `need` is the minimum
+        // max-chain length a candidate must support: the chain grows to
+        // `len + 1` conditions and must be extensible to `MinC`.
+        let last = *chain.last().expect("chain is never empty here");
+        let need = self.params.min_conds.saturating_sub(chain.len());
+        let n_conds = self.matrix.n_conditions();
+        let mut is_candidate = vec![false; n_conds];
+        let mut any = false;
+        for m in members.iter().filter(|m| m.dir == Dir::Fwd) {
+            let model = &self.models[m.gene];
+            if let Some(start) = model.successor_start(model.rank_of(last)) {
+                for r in start..n_conds {
+                    // max_chain_fwd is non-increasing in rank, so the first
+                    // failure ends the scan.
+                    if model.max_chain_fwd(r) < need {
+                        break;
+                    }
+                    is_candidate[model.cond_at(r)] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+
+        // Step 5: for each candidate, select matching genes, apply the
+        // coherence sliding window, recurse into every validated window.
+        let mut scored: Vec<(f64, Member)> = Vec::new();
+        for c_i in 0..n_conds {
+            if !is_candidate[c_i] || state.stop {
+                continue;
+            }
+            scored.clear();
+            for m in members {
+                let model = &self.models[m.gene];
+                let r_last = model.rank_of(last);
+                let r_i = model.rank_of(c_i);
+                let ok = match m.dir {
+                    Dir::Fwd => {
+                        r_i > r_last
+                            && model.is_up_regulated(r_last, r_i)
+                            && model.max_chain_fwd(r_i) >= need
+                    }
+                    Dir::Bwd => {
+                        r_i < r_last
+                            && model.is_up_regulated(r_i, r_last)
+                            && model.max_chain_bwd(r_i) >= need
+                    }
+                };
+                if !ok {
+                    continue;
+                }
+                let row = self.matrix.row(m.gene);
+                let mut next = *m;
+                let step = row[c_i] - row[last];
+                if chain.len() == 1 {
+                    // This step becomes the baseline pair (c_{k1}, c_{k2}).
+                    next.denom = step;
+                    scored.push((1.0, next));
+                } else {
+                    scored.push((step / next.denom, next));
+                }
+            }
+            if chain.len() == 1 {
+                // All scores are 1.0 by definition; no window needed.
+                let children: Vec<Member> = scored.iter().map(|&(_, m)| m).collect();
+                chain.push(c_i);
+                self.recurse(chain, &children, state);
+                chain.pop();
+            } else if scored.len() < self.params.min_genes {
+                // Pruning (1) fires before the coherence test when the
+                // candidate's gene set is already below MinG.
+                chain.push(c_i);
+                state.observer.pruned(chain, PruneRule::MinGenes);
+                chain.pop();
+            } else {
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let hs: Vec<f64> = scored.iter().map(|&(h, _)| h).collect();
+                let windows = maximal_windows(&hs, self.params.epsilon, self.params.min_genes);
+                if windows.is_empty() {
+                    // Pruning (4): no coherent interval of MinG genes.
+                    chain.push(c_i);
+                    state.observer.pruned(chain, PruneRule::Coherence);
+                    chain.pop();
+                    continue;
+                }
+                // `windows` borrows nothing from `scored`, so the clone per
+                // child is the only allocation on this path.
+                for (s, e) in windows {
+                    let children: Vec<Member> = scored[s..e].iter().map(|&(_, m)| m).collect();
+                    chain.push(c_i);
+                    self.recurse(chain, &children, state);
+                    chain.pop();
+                }
+            }
+        }
+    }
+}
+
+fn count_distinct_genes(members: &[Member]) -> usize {
+    let mut distinct = 0;
+    let mut prev = usize::MAX;
+    for m in members {
+        if m.gene != prev {
+            distinct += 1;
+            prev = m.gene;
+        }
+    }
+    distinct
+}
+
+fn build_cluster(chain: &[CondId], members: &[Member]) -> RegCluster {
+    let mut p: Vec<GeneId> = members
+        .iter()
+        .filter(|m| m.dir == Dir::Fwd)
+        .map(|m| m.gene)
+        .collect();
+    let mut n: Vec<GeneId> = members
+        .iter()
+        .filter(|m| m.dir == Dir::Bwd)
+        .map(|m| m.gene)
+        .collect();
+    p.sort_unstable();
+    n.sort_unstable();
+    RegCluster {
+        chain: chain.to_vec(),
+        p_members: p,
+        n_members: n,
+    }
+}
+
+/// Canonical ordering + optional maximal-only post-filter, shared by the
+/// sequential and parallel drivers.
+fn finalize(out: &mut Vec<RegCluster>, params: &MiningParams) {
+    if params.maximal_only {
+        let snapshot = out.clone();
+        out.retain(|c| {
+            !snapshot
+                .iter()
+                .any(|other| other != c && c.is_subcluster_of(other))
+        });
+    }
+    out.sort_by(|a, b| {
+        a.chain
+            .cmp(&b.chain)
+            .then_with(|| a.p_members.cmp(&b.p_members))
+            .then_with(|| a.n_members.cmp(&b.n_members))
+    });
+    if let Some(cap) = params.max_clusters {
+        out.truncate(cap);
+    }
+}
+
+/// Mines all reg-clusters of `matrix` under `params`.
+///
+/// Output clusters satisfy Definition 3.2 with respect to `γ` and `ε` and
+/// are at least `MinG × MinC` in size; each is the maximal coherent gene
+/// window for its representative chain. The result is sorted canonically.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters.
+pub fn mine(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+) -> Result<Vec<RegCluster>, CoreError> {
+    mine_with_observer(matrix, params, &mut NoopObserver)
+}
+
+/// Like [`mine`], reporting enumeration-tree events to `observer`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters.
+pub fn mine_with_observer(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    observer: &mut dyn MineObserver,
+) -> Result<Vec<RegCluster>, CoreError> {
+    let miner = Miner::new(matrix, params)?;
+    Ok(miner.mine_all(observer))
+}
+
+/// Mines only the reg-clusters containing `gene` (query mining), pruning
+/// subtrees that lose the gene. Equivalent to filtering [`mine`]'s output.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters or an
+/// out-of-range gene id.
+pub fn mine_containing(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    gene: GeneId,
+) -> Result<Vec<RegCluster>, CoreError> {
+    if gene >= matrix.n_genes() {
+        return Err(CoreError::InvalidParams(format!(
+            "gene {gene} out of range (matrix has {} genes)",
+            matrix.n_genes()
+        )));
+    }
+    let miner = Miner::new(matrix, params)?;
+    Ok(miner.mine_containing(gene, &mut NoopObserver))
+}
+
+/// Mines with the enumeration-tree roots (level-1 conditions) distributed
+/// over `n_threads` worker threads.
+///
+/// Chains starting at different roots can never collide, so each worker
+/// keeps an independent duplicate-elimination set and the merged result
+/// equals the sequential one (asserted by tests). With `max_clusters` set,
+/// the cap is applied to the merged, canonically-sorted result, so the
+/// *surviving* clusters may differ from a sequential early-stop run.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters or a zero
+/// thread count.
+pub fn mine_parallel(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    n_threads: usize,
+) -> Result<Vec<RegCluster>, CoreError> {
+    if n_threads == 0 {
+        return Err(CoreError::InvalidParams("n_threads must be ≥ 1".into()));
+    }
+    let miner = Miner::new(matrix, params)?;
+    let n_conds = matrix.n_conditions();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<RegCluster> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..n_threads.min(n_conds) {
+            let miner = &miner;
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let root = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if root >= n_conds {
+                        break;
+                    }
+                    local.extend(miner.mine_root(root, &mut NoopObserver));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("mining worker panicked"));
+        }
+    })
+    .expect("crossbeam scope panicked");
+
+    finalize(&mut out, params);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{PruneRule, TraceObserver};
+
+    /// Table 1 of the paper.
+    pub(crate) fn running_example() -> ExpressionMatrix {
+        ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g2".into(), "g3".into()],
+            (1..=10).map(|i| format!("c{i}")).collect(),
+            vec![
+                vec![10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0],
+                vec![20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0],
+                vec![6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn running_example_yields_the_papers_cluster() {
+        let m = running_example();
+        let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        // c7 ↰ c9 ↰ c5 ↰ c1 ↰ c3 (0-based condition ids 6, 8, 4, 0, 2).
+        assert_eq!(c.chain, vec![6, 8, 4, 0, 2]);
+        assert_eq!(c.p_members, vec![0, 2]); // g1, g3
+        assert_eq!(c.n_members, vec![1]); // g2
+        c.validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn enumeration_tree_matches_figure_6() {
+        let m = running_example();
+        let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        let mut trace = TraceObserver::default();
+        let clusters = mine_with_observer(&m, &params, &mut trace).unwrap();
+        assert_eq!(clusters.len(), 1);
+
+        // Level-1 survivors: only c2, c3, c7 (ids 1, 2, 6) proceed past the
+        // root prunings; c3 falls to (3)(a) with a single p-member.
+        let few_p = trace.pruned_by(PruneRule::FewPMembers);
+        assert!(
+            few_p.contains(&&[2usize][..]),
+            "c3 pruned by (3)(a): {few_p:?}"
+        );
+
+        // c2's subtree: c2c1 and c2c9 die to MinG pruning (1); c2c10c8 too.
+        let min_g = trace.pruned_by(PruneRule::MinGenes);
+        assert!(
+            min_g.contains(&&[1usize, 0][..]),
+            "c2c1 pruned by (1): {min_g:?}"
+        );
+        assert!(
+            min_g.contains(&&[1usize, 8][..]),
+            "c2c9 pruned by (1): {min_g:?}"
+        );
+        assert!(
+            min_g.contains(&&[1usize, 9, 7][..]),
+            "c2c10c8 pruned by (1): {min_g:?}"
+        );
+        // c7c10 dies to MinG pruning as well.
+        assert!(
+            min_g.contains(&&[6usize, 9][..]),
+            "c7c10 pruned by (1): {min_g:?}"
+        );
+
+        // c2c10c5 dies to coherence pruning (4): H(g2) = 2 vs 0.5263.
+        let coh = trace.pruned_by(PruneRule::Coherence);
+        assert!(
+            coh.contains(&&[1usize, 9, 4][..]),
+            "c2c10c5 pruned by (4): {coh:?}"
+        );
+
+        // The explored interior nodes include exactly the paper's path
+        // c7 → c7c9 → c7c9c5 → c7c9c5c1 → c7c9c5c1c3.
+        let nodes = trace.nodes();
+        for prefix in [
+            &[6usize][..],
+            &[6, 8][..],
+            &[6, 8, 4][..],
+            &[6, 8, 4, 0][..],
+            &[6, 8, 4, 0, 2][..],
+        ] {
+            assert!(nodes.contains(&prefix), "missing node {prefix:?}");
+        }
+        assert_eq!(trace.n_emitted(), 1);
+    }
+
+    #[test]
+    fn gamma_zero_on_running_example_still_finds_superset() {
+        // With γ = 0 every strict change is a regulation; the paper's chain
+        // must still be found (possibly among more clusters).
+        let m = running_example();
+        let params = MiningParams::new(3, 5, 0.0, 0.1).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert!(clusters
+            .iter()
+            .any(|c| c.chain == vec![6, 8, 4, 0, 2] && c.n_members == vec![1]));
+        for c in &clusters {
+            c.validate(&m, &params).unwrap();
+        }
+    }
+
+    #[test]
+    fn stricter_epsilon_excludes_nothing_here_but_stricter_gamma_does() {
+        let m = running_example();
+        // The three genes agree exactly, so ε = 0 still finds the cluster.
+        let params = MiningParams::new(3, 5, 0.15, 0.0).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        // γ = 0.2 breaks the 5-unit steps of g1 (γ_1 = 6): nothing survives.
+        let params = MiningParams::new(3, 5, 0.2, 0.1).unwrap();
+        assert!(mine(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_conds_six_finds_nothing_on_running_example() {
+        let m = running_example();
+        let params = MiningParams::new(3, 6, 0.15, 0.1).unwrap();
+        assert!(mine(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_genes_two_splits_into_pairs() {
+        let m = running_example();
+        let params = MiningParams::new(2, 5, 0.15, 0.1).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        // The 3-gene cluster is still found; with MinG = 2 additional
+        // chains (and the g1–g3-only windows) may appear. All must validate.
+        assert!(clusters
+            .iter()
+            .any(|c| c.p_members == vec![0, 2] && c.n_members == vec![1]));
+        for c in &clusters {
+            c.validate(&m, &params).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_output_cluster_validates() {
+        let m = running_example();
+        for (min_g, min_c, gamma, eps) in [
+            (2, 3, 0.1, 0.2),
+            (2, 4, 0.05, 0.5),
+            (3, 3, 0.15, 1.0),
+            (2, 2, 0.0, 0.0),
+        ] {
+            let params = MiningParams::new(min_g, min_c, gamma, eps).unwrap();
+            for c in mine(&m, &params).unwrap() {
+                c.validate(&m, &params)
+                    .unwrap_or_else(|e| panic!("invalid cluster {c:?} under {params:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_clusters_in_output() {
+        let m = running_example();
+        let params = MiningParams::new(2, 3, 0.1, 0.5).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        let mut keys: Vec<_> = clusters
+            .iter()
+            .map(|c| (c.chain.clone(), c.genes()))
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let m = running_example();
+        for (min_g, min_c, gamma, eps) in [(3, 5, 0.15, 0.1), (2, 3, 0.05, 0.5), (2, 2, 0.0, 0.2)] {
+            let params = MiningParams::new(min_g, min_c, gamma, eps).unwrap();
+            let seq = mine(&m, &params).unwrap();
+            for threads in [1, 2, 4] {
+                let par = mine_parallel(&m, &params, threads).unwrap();
+                assert_eq!(seq, par, "threads={threads} params={params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_zero_threads() {
+        let m = running_example();
+        let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        assert!(mine_parallel(&m, &params, 0).is_err());
+    }
+
+    #[test]
+    fn max_clusters_caps_output() {
+        let m = running_example();
+        let params = MiningParams::new(2, 3, 0.1, 0.5).unwrap();
+        let all = mine(&m, &params).unwrap();
+        assert!(all.len() > 1, "need multiple clusters for this test");
+        let capped_params = params.clone().with_max_clusters(1);
+        let capped = mine(&m, &capped_params).unwrap();
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn maximal_only_removes_contained_clusters() {
+        let m = running_example();
+        let params = MiningParams::new(2, 3, 0.1, 0.5).unwrap();
+        let all = mine(&m, &params).unwrap();
+        let maximal_params = params.clone().with_maximal_only();
+        let maximal = mine(&m, &maximal_params).unwrap();
+        assert!(maximal.len() <= all.len());
+        for c in &maximal {
+            assert!(!maximal.iter().any(|o| o != c && c.is_subcluster_of(o)));
+        }
+        // Every dropped cluster is contained in some maximal one.
+        for c in &all {
+            assert!(
+                maximal.contains(c) || maximal.iter().any(|o| c.is_subcluster_of(o)),
+                "dropped cluster {c:?} not contained in any survivor"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_trigger_duplicate_pruning() {
+        // Engineered so that two overlapping ε-windows at the second chain
+        // step converge to the identical cluster one step later, firing
+        // pruning (3)(b). H-scores at step c1→c2 are [0.4, 0.8, 0.8, 1.2]
+        // (windows {g0,g1,g2} and {g1,g2,g3} at ε = 0.4); at step c2→c3
+        // g0 (H = 3.0) and g3 (H = 0.4) each fall out of their branch's
+        // window, leaving {g1, g2} twice.
+        let m = ExpressionMatrix::from_flat_unlabeled(
+            4,
+            4,
+            vec![
+                0.0, 10.0, 14.0, 44.0, //
+                0.0, 10.0, 18.0, 28.0, //
+                0.0, 10.0, 18.0, 28.0, //
+                0.0, 10.0, 22.0, 26.0,
+            ],
+        )
+        .unwrap();
+        let params = MiningParams::new(2, 4, 0.0, 0.4)
+            .unwrap()
+            .with_threshold(crate::RegulationThreshold::Absolute(2.0))
+            .unwrap();
+        let mut trace = TraceObserver::default();
+        let clusters = mine_with_observer(&m, &params, &mut trace).unwrap();
+        assert!(
+            !trace.pruned_by(PruneRule::Duplicate).is_empty(),
+            "duplicate pruning should fire: {:?}",
+            trace.events
+        );
+        // The duplicated cluster is reported exactly once.
+        let hits: Vec<_> = clusters
+            .iter()
+            .filter(|c| c.chain == vec![0, 1, 2, 3] && c.genes() == vec![1, 2])
+            .collect();
+        assert_eq!(hits.len(), 1, "{clusters:?}");
+        for c in &clusters {
+            c.validate(&m, &params).unwrap();
+        }
+    }
+
+    #[test]
+    fn mine_containing_equals_filtered_full_mine() {
+        let m = running_example();
+        for (min_g, min_c, gamma, eps) in [(3, 5, 0.15, 0.1), (2, 3, 0.05, 0.5), (2, 2, 0.0, 0.2)] {
+            let params = MiningParams::new(min_g, min_c, gamma, eps).unwrap();
+            let all = mine(&m, &params).unwrap();
+            for gene in 0..m.n_genes() {
+                let queried = mine_containing(&m, &params, gene).unwrap();
+                let filtered: Vec<RegCluster> = all
+                    .iter()
+                    .filter(|c| c.genes().binary_search(&gene).is_ok())
+                    .cloned()
+                    .collect();
+                assert_eq!(queried, filtered, "gene {gene} under {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mine_containing_rejects_out_of_range_gene() {
+        let m = running_example();
+        let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        assert!(mine_containing(&m, &params, 99).is_err());
+    }
+
+    #[test]
+    fn duplicate_gene_profiles_cluster_together() {
+        // Identical rows are perfect shifting images (s1 = 1, s2 = 0) and
+        // must all land in one cluster.
+        let base = [0.0, 2.0, 4.0, 6.0];
+        let mut values = Vec::new();
+        for _ in 0..4 {
+            values.extend(base.iter().copied());
+        }
+        let m = ExpressionMatrix::from_flat_unlabeled(4, 4, values).unwrap();
+        let params = MiningParams::new(4, 4, 0.1, 0.0).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].p_members, vec![0, 1, 2, 3]);
+        clusters[0].validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn two_condition_matrix_minimal_chains() {
+        // MinC = 2 on a 2-condition matrix: chains are single regulated
+        // pairs; both orientations resolve through the tie-break.
+        let m = ExpressionMatrix::from_flat_unlabeled(3, 2, vec![0.0, 5.0, 1.0, 7.0, 9.0, 2.0])
+            .unwrap();
+        let params = MiningParams::new(2, 2, 0.1, 10.0).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        for c in &clusters {
+            c.validate(&m, &params).unwrap();
+            assert_eq!(c.n_conditions(), 2);
+        }
+        // g0 and g1 rise c0→c1, g2 falls: the majority chain is [0, 1].
+        assert!(clusters
+            .iter()
+            .any(|c| c.chain == vec![0, 1] && c.p_members == vec![0, 1]));
+    }
+
+    #[test]
+    fn gamma_one_requires_full_range_steps() {
+        // γ = 1.0 makes γ_i the entire range: no strict step can exceed it,
+        // so nothing is ever regulated.
+        let m = ExpressionMatrix::from_flat_unlabeled(
+            3,
+            4,
+            vec![0.0, 1.0, 2.0, 3.0, 0.0, 2.0, 4.0, 6.0, 1.0, 5.0, 2.0, 8.0],
+        )
+        .unwrap();
+        let params = MiningParams::new(2, 2, 1.0, 1.0).unwrap();
+        assert!(mine(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_negative_values_are_handled() {
+        let base: Vec<f64> = vec![-9.0, -7.0, -4.0, -1.0];
+        let mut values = Vec::new();
+        for k in 1..=3 {
+            values.extend(base.iter().map(|v| v * k as f64 / 3.0 - 1.0));
+        }
+        let m = ExpressionMatrix::from_flat_unlabeled(3, 4, values).unwrap();
+        let params = MiningParams::new(3, 4, 0.1, 0.01).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].n_genes(), 3);
+        clusters[0].validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn flat_matrix_produces_nothing() {
+        let m = ExpressionMatrix::from_flat_unlabeled(4, 6, vec![1.0; 24]).unwrap();
+        let params = MiningParams::new(2, 2, 0.1, 0.5).unwrap();
+        assert!(mine(&m, &params).unwrap().is_empty());
+    }
+
+    #[test]
+    fn perfect_negative_pair_clusters_together() {
+        // g0 rises 0,2,4,6; g1 = -g0 falls. A 2-gene cluster over the full
+        // chain exists with one p-member and one n-member — but a tie means
+        // representativeness needs chain[0] < chain[1].
+        let m = ExpressionMatrix::from_flat_unlabeled(
+            2,
+            4,
+            vec![0.0, 2.0, 4.0, 6.0, 0.0, -2.0, -4.0, -6.0],
+        )
+        .unwrap();
+        let params = MiningParams::new(2, 4, 0.1, 0.01).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.chain, vec![0, 1, 2, 3]);
+        assert_eq!(c.p_members, vec![0]);
+        assert_eq!(c.n_members, vec![1]);
+        c.validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn shifting_and_scaling_family_clusters_fully() {
+        // Five genes, all affine images (positive and negative scalings) of
+        // one base profile with strong steps.
+        let base = [0.0, 1.0, 2.5, 4.0, 6.0];
+        let transforms: [(f64, f64); 5] = [
+            (1.0, 0.0),
+            (2.0, 3.0),
+            (0.5, -1.0),
+            (-1.5, 2.0),
+            (-3.0, 0.0),
+        ];
+        let rows: Vec<Vec<f64>> = transforms
+            .iter()
+            .map(|&(s1, s2)| base.iter().map(|&v| s1 * v + s2).collect())
+            .collect();
+        let genes = (0..5).map(|i| format!("g{i}")).collect();
+        let conds = (0..5).map(|i| format!("c{i}")).collect();
+        let m = ExpressionMatrix::from_rows(genes, conds, rows).unwrap();
+        let params = MiningParams::new(5, 5, 0.15, 1e-9).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.chain, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.p_members, vec![0, 1, 2]);
+        assert_eq!(c.n_members, vec![3, 4]);
+        c.validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn outlier_gene_is_excluded_by_coherence() {
+        // Four coherent genes plus one with the right tendency but wrong
+        // ratios (the Figure 4 situation).
+        let base = [0.0, 2.0, 4.0, 6.0];
+        let mut rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| base.iter().map(|&v| (i as f64 + 1.0) * v).collect())
+            .collect();
+        rows.push(vec![0.0, 5.0, 8.0, 11.0]); // same order, regulated, incoherent steps
+        let genes = (0..5).map(|i| format!("g{i}")).collect();
+        let conds = (0..4).map(|i| format!("c{i}")).collect();
+        let m = ExpressionMatrix::from_rows(genes, conds, rows).unwrap();
+        let params = MiningParams::new(4, 4, 0.15, 0.01).unwrap();
+        let clusters = mine(&m, &params).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].p_members, vec![0, 1, 2, 3]);
+        assert!(clusters[0].n_members.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Mining parameters (the inputs of Figure 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, RegulationThreshold};
+
+/// Parameters of a reg-cluster mining run.
+///
+/// These correspond one-to-one to the inputs of the paper's algorithm
+/// (Figure 5): `MinG`, `MinC`, the regulation threshold `γ` and the coherence
+/// threshold `ε`. Two engineering extensions are available: an output cap
+/// (`max_clusters`) as a safety valve for exploratory parameter settings, and
+/// a post-filter that keeps only clusters not fully contained in another
+/// (`maximal_only`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiningParams {
+    /// `MinG` — minimum number of member genes (p-members + n-members).
+    pub min_genes: usize,
+    /// `MinC` — minimum regulation-chain length (number of conditions).
+    pub min_conds: usize,
+    /// Regulation threshold strategy resolving to per-gene `γ_i`.
+    pub gamma: RegulationThreshold,
+    /// `ε` — maximum allowed spread of coherence scores at each chain step.
+    pub epsilon: f64,
+    /// Optional cap on the number of emitted clusters; mining stops once
+    /// reached. `None` (default) mines exhaustively like the paper.
+    pub max_clusters: Option<usize>,
+    /// When `true`, drop every cluster whose gene set and condition set are
+    /// both subsets of another reported cluster's. The paper reports all
+    /// validated chains (overlap between clusters is expected and reported in
+    /// its §5.2); this post-filter is off by default.
+    pub maximal_only: bool,
+}
+
+impl MiningParams {
+    /// Creates parameters with the paper's default threshold strategy
+    /// (fraction of per-gene range, Equation 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if any value is out of domain;
+    /// see [`MiningParams::validate`].
+    pub fn new(
+        min_genes: usize,
+        min_conds: usize,
+        gamma: f64,
+        epsilon: f64,
+    ) -> Result<Self, CoreError> {
+        let p = Self {
+            min_genes,
+            min_conds,
+            gamma: RegulationThreshold::FractionOfRange(gamma),
+            epsilon,
+            max_clusters: None,
+            maximal_only: false,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Replaces the regulation-threshold strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the strategy's parameter is out of domain.
+    pub fn with_threshold(mut self, gamma: RegulationThreshold) -> Result<Self, CoreError> {
+        gamma.validate()?;
+        self.gamma = gamma;
+        Ok(self)
+    }
+
+    /// Caps the number of emitted clusters.
+    #[must_use]
+    pub fn with_max_clusters(mut self, cap: usize) -> Self {
+        self.max_clusters = Some(cap);
+        self
+    }
+
+    /// Enables the maximal-only post-filter.
+    #[must_use]
+    pub fn with_maximal_only(mut self) -> Self {
+        self.maximal_only = true;
+        self
+    }
+
+    /// Checks all parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// * `min_genes == 0` or `min_conds < 2` (a regulation chain needs at
+    ///   least one regulated pair);
+    /// * `epsilon` negative or non-finite;
+    /// * threshold strategy out of domain.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.min_genes == 0 {
+            return Err(CoreError::InvalidParams("min_genes must be ≥ 1".into()));
+        }
+        if self.min_conds < 2 {
+            return Err(CoreError::InvalidParams(
+                "min_conds must be ≥ 2 (a chain needs at least one regulated pair)".into(),
+            ));
+        }
+        if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
+            return Err(CoreError::InvalidParams(format!(
+                "epsilon must be a finite value ≥ 0, got {}",
+                self.epsilon
+            )));
+        }
+        self.gamma.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_and_defaults() {
+        let p = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        assert_eq!(p.min_genes, 3);
+        assert_eq!(p.min_conds, 5);
+        assert_eq!(p.gamma, RegulationThreshold::FractionOfRange(0.15));
+        assert_eq!(p.epsilon, 0.1);
+        assert_eq!(p.max_clusters, None);
+        assert!(!p.maximal_only);
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        assert!(MiningParams::new(0, 5, 0.1, 0.1).is_err());
+        assert!(MiningParams::new(3, 1, 0.1, 0.1).is_err());
+        assert!(MiningParams::new(3, 5, -0.1, 0.1).is_err());
+        assert!(MiningParams::new(3, 5, 1.1, 0.1).is_err());
+        assert!(MiningParams::new(3, 5, 0.1, -1.0).is_err());
+        assert!(MiningParams::new(3, 5, 0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = MiningParams::new(3, 5, 0.15, 0.1)
+            .unwrap()
+            .with_threshold(RegulationThreshold::Absolute(2.0))
+            .unwrap()
+            .with_max_clusters(10)
+            .with_maximal_only();
+        assert_eq!(p.gamma, RegulationThreshold::Absolute(2.0));
+        assert_eq!(p.max_clusters, Some(10));
+        assert!(p.maximal_only);
+    }
+
+    #[test]
+    fn with_threshold_rejects_bad_strategy() {
+        let p = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+        assert!(p
+            .with_threshold(RegulationThreshold::Absolute(-1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn epsilon_zero_is_legal() {
+        assert!(MiningParams::new(2, 2, 0.0, 0.0).is_ok());
+    }
+}

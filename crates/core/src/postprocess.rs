@@ -1,0 +1,322 @@
+//! Optional cluster post-processing.
+//!
+//! §5.2 of the paper notes that the reported yeast clusters overlap by up
+//! to 85% and that "we did not perform any splitting and merging of
+//! clusters" — implying such post-processing is the standard next step.
+//! This module provides it as an *optional* stage, clearly separated from
+//! the mining algorithm:
+//!
+//! * [`merge_overlapping`] greedily merges clusters whose cell-level
+//!   Jaccard similarity exceeds a threshold, unioning genes (per
+//!   orientation) and intersecting chains so the merged object remains a
+//!   plain [`RegCluster`]. The merged cluster is *not* guaranteed to
+//!   satisfy Definition 3.2 for the original ε (union of windows can
+//!   exceed the spread), so callers who need the guarantee should
+//!   re-validate and keep only conforming results —
+//!   [`merge_overlapping_validated`] does exactly that.
+//! * [`deduplicate_by_genes`] keeps, per distinct gene set, only the
+//!   cluster with the longest chain — a lighter-weight way to shrink the
+//!   subchain redundancy of strongly structured data.
+
+use regcluster_matrix::{CondId, ExpressionMatrix};
+
+use crate::{MiningParams, RegCluster};
+
+fn jaccard_cells(a: &RegCluster, b: &RegCluster) -> f64 {
+    let inter = a.cell_overlap(b);
+    let union = a.n_cells() + b.n_cells() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+fn merge_pair(a: &RegCluster, b: &RegCluster) -> Option<RegCluster> {
+    // Chains must be consistently ordered on their shared conditions; the
+    // merged chain is `a`'s chain restricted to conditions present in both
+    // (intersection keeps every member gene monotone).
+    let shared: Vec<CondId> = a
+        .chain
+        .iter()
+        .copied()
+        .filter(|c| b.chain.contains(c))
+        .collect();
+    if shared.len() < 2 {
+        return None;
+    }
+    let b_order: Vec<usize> = shared
+        .iter()
+        .map(|c| b.chain.iter().position(|x| x == c).expect("shared"))
+        .collect();
+    let same_direction = b_order.windows(2).all(|w| w[0] < w[1]);
+    let inverted = b_order.windows(2).all(|w| w[0] > w[1]);
+    if !same_direction && !inverted {
+        return None;
+    }
+    let mut p = a.p_members.clone();
+    let mut n = a.n_members.clone();
+    // If b follows the shared conditions in the opposite direction, its
+    // orientations flip relative to a's chain.
+    let (b_p, b_n) = if same_direction {
+        (&b.p_members, &b.n_members)
+    } else {
+        (&b.n_members, &b.p_members)
+    };
+    p.extend(b_p.iter().copied());
+    n.extend(b_n.iter().copied());
+    p.sort_unstable();
+    p.dedup();
+    n.sort_unstable();
+    n.dedup();
+    // A gene claimed by both orientations is contradictory; refuse to merge.
+    if p.iter().any(|g| n.binary_search(g).is_ok()) {
+        return None;
+    }
+    Some(RegCluster {
+        chain: shared,
+        p_members: p,
+        n_members: n,
+    })
+}
+
+/// Greedily merges cluster pairs whose cell-level Jaccard similarity is at
+/// least `min_jaccard` (processing the most similar pair first), until no
+/// pair qualifies. Merged clusters may violate the mining ε; see
+/// [`merge_overlapping_validated`].
+pub fn merge_overlapping(clusters: &[RegCluster], min_jaccard: f64) -> Vec<RegCluster> {
+    assert!(
+        (0.0..=1.0).contains(&min_jaccard),
+        "min_jaccard must be a fraction"
+    );
+    let mut pool: Vec<RegCluster> = clusters.to_vec();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..pool.len() {
+            for j in i + 1..pool.len() {
+                let sim = jaccard_cells(&pool[i], &pool[j]);
+                if sim >= min_jaccard && best.is_none_or(|(_, _, s)| sim > s) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        match merge_pair(&pool[i], &pool[j]) {
+            Some(merged) => {
+                pool.swap_remove(j);
+                pool.swap_remove(i);
+                pool.push(merged);
+            }
+            None => {
+                // Incompatible chains: treat the pair as unmergeable by
+                // removing the smaller of the two from further pairing…
+                // keeping both in the output. Simplest correct behaviour:
+                // stop trying (further best pairs would loop forever).
+                break;
+            }
+        }
+    }
+    pool.sort_by(|a, b| {
+        a.chain
+            .cmp(&b.chain)
+            .then_with(|| a.p_members.cmp(&b.p_members))
+    });
+    pool
+}
+
+/// Like [`merge_overlapping`], but a merge is only committed when the
+/// merged cluster still satisfies Definition 3.2 (re-validated against the
+/// matrix), so the output carries the same guarantees as the miner's.
+pub fn merge_overlapping_validated(
+    clusters: &[RegCluster],
+    min_jaccard: f64,
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+) -> Vec<RegCluster> {
+    assert!(
+        (0.0..=1.0).contains(&min_jaccard),
+        "min_jaccard must be a fraction"
+    );
+    let mut pool: Vec<RegCluster> = clusters.to_vec();
+    let mut frozen: Vec<(usize, usize)> = Vec::new(); // unmergeable pairs by identity
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..pool.len() {
+            for j in i + 1..pool.len() {
+                if frozen.contains(&(i, j)) {
+                    continue;
+                }
+                let sim = jaccard_cells(&pool[i], &pool[j]);
+                if sim >= min_jaccard && best.is_none_or(|(_, _, s)| sim > s) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        let merged = merge_pair(&pool[i], &pool[j])
+            .filter(|m| m.chain.len() >= params.min_conds)
+            .filter(|m| m.validate(matrix, params).is_ok());
+        match merged {
+            Some(m) => {
+                pool.swap_remove(j);
+                pool.swap_remove(i);
+                pool.push(m);
+                frozen.clear(); // indices shifted; recompute lazily
+            }
+            None => frozen.push((i, j)),
+        }
+    }
+    pool.sort_by(|a, b| {
+        a.chain
+            .cmp(&b.chain)
+            .then_with(|| a.p_members.cmp(&b.p_members))
+    });
+    pool
+}
+
+/// Keeps one cluster per distinct (gene set, orientation split): the one
+/// with the longest chain, ties broken lexicographically.
+pub fn deduplicate_by_genes(clusters: &[RegCluster]) -> Vec<RegCluster> {
+    use std::collections::HashMap;
+    let mut best: HashMap<(Vec<usize>, Vec<usize>), RegCluster> = HashMap::new();
+    for c in clusters {
+        let key = (c.p_members.clone(), c.n_members.clone());
+        match best.get(&key) {
+            Some(prev)
+                if prev.chain.len() > c.chain.len()
+                    || (prev.chain.len() == c.chain.len() && prev.chain <= c.chain) => {}
+            _ => {
+                best.insert(key, c.clone());
+            }
+        }
+    }
+    let mut out: Vec<RegCluster> = best.into_values().collect();
+    out.sort_by(|a, b| {
+        a.chain
+            .cmp(&b.chain)
+            .then_with(|| a.p_members.cmp(&b.p_members))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(chain: Vec<usize>, p: Vec<usize>, n: Vec<usize>) -> RegCluster {
+        RegCluster {
+            chain,
+            p_members: p,
+            n_members: n,
+        }
+    }
+
+    #[test]
+    fn merges_highly_overlapping_pair() {
+        let a = c(vec![0, 1, 2, 3], vec![0, 1, 2], vec![]);
+        let b = c(vec![0, 1, 2, 3], vec![0, 1, 3], vec![]);
+        let merged = merge_overlapping(&[a, b], 0.4);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].p_members, vec![0, 1, 2, 3]);
+        assert_eq!(merged[0].chain, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn does_not_merge_disjoint() {
+        let a = c(vec![0, 1], vec![0, 1], vec![]);
+        let b = c(vec![4, 5], vec![7, 8], vec![]);
+        let merged = merge_overlapping(&[a.clone(), b.clone()], 0.1);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_respects_inverted_chains() {
+        // b's chain runs the other way, so its p-members become n-members
+        // relative to a's orientation.
+        let a = c(vec![0, 1, 2], vec![0, 1], vec![5]);
+        let b = c(vec![2, 1, 0], vec![5, 6], vec![0, 1]);
+        let merged = merge_pair(&a, &b).expect("compatible chains");
+        assert_eq!(merged.chain, vec![0, 1, 2]);
+        assert_eq!(merged.p_members, vec![0, 1]);
+        assert_eq!(merged.n_members, vec![5, 6]);
+    }
+
+    #[test]
+    fn merge_refuses_contradictory_orientation() {
+        let a = c(vec![0, 1, 2], vec![0], vec![1]);
+        let b = c(vec![0, 1, 2], vec![1], vec![0]);
+        assert!(merge_pair(&a, &b).is_none());
+    }
+
+    #[test]
+    fn merge_refuses_incompatible_orders() {
+        let a = c(vec![0, 1, 2], vec![0], vec![]);
+        let b = c(vec![1, 0, 2], vec![1], vec![]);
+        assert!(merge_pair(&a, &b).is_none());
+    }
+
+    #[test]
+    fn merged_chain_is_shared_conditions_only() {
+        let a = c(vec![0, 1, 2, 3], vec![0, 1], vec![]);
+        let b = c(vec![1, 2, 3, 4], vec![2, 3], vec![]);
+        let merged = merge_pair(&a, &b).unwrap();
+        assert_eq!(merged.chain, vec![1, 2, 3]);
+        assert_eq!(merged.p_members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validated_merge_only_keeps_conforming_results() {
+        use regcluster_matrix::ExpressionMatrix;
+        // Two perfectly coherent halves that merge into a coherent whole.
+        let base = [0.0f64, 2.0, 4.0, 6.0];
+        let rows: Vec<Vec<f64>> = (1..=4)
+            .map(|k| base.iter().map(|&v| k as f64 * v).collect())
+            .collect();
+        let m =
+            ExpressionMatrix::from_flat_unlabeled(4, 4, rows.iter().flatten().copied().collect())
+                .unwrap();
+        let params = MiningParams::new(2, 3, 0.1, 0.01).unwrap();
+        let a = c(vec![0, 1, 2, 3], vec![0, 1], vec![]);
+        let b = c(vec![0, 1, 2, 3], vec![1, 2, 3], vec![]);
+        let merged = merge_overlapping_validated(&[a, b], 0.2, &m, &params);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].p_members, vec![0, 1, 2, 3]);
+        merged[0].validate(&m, &params).unwrap();
+    }
+
+    #[test]
+    fn validated_merge_keeps_pair_apart_when_result_invalid() {
+        use regcluster_matrix::ExpressionMatrix;
+        // g0/g1 coherent; g2 shares the order but with different ratios, so
+        // the merged triple violates ε and the merge must be refused.
+        let m = ExpressionMatrix::from_flat_unlabeled(
+            3,
+            4,
+            vec![
+                0.0, 2.0, 4.0, 6.0, //
+                0.0, 4.0, 8.0, 12.0, //
+                0.0, 5.0, 6.0, 11.0,
+            ],
+        )
+        .unwrap();
+        let params = MiningParams::new(2, 4, 0.1, 0.01).unwrap();
+        let a = c(vec![0, 1, 2, 3], vec![0, 1], vec![]);
+        let b = c(vec![0, 1, 2, 3], vec![1, 2], vec![]);
+        let merged = merge_overlapping_validated(&[a.clone(), b.clone()], 0.2, &m, &params);
+        assert_eq!(
+            merged.len(),
+            2,
+            "incoherent merge must be rejected: {merged:?}"
+        );
+    }
+
+    #[test]
+    fn dedup_by_genes_keeps_longest_chain() {
+        let a = c(vec![0, 1, 2], vec![0, 1], vec![]);
+        let b = c(vec![0, 1], vec![0, 1], vec![]);
+        let d = c(vec![5, 6], vec![3], vec![4]);
+        let out = deduplicate_by_genes(&[a.clone(), b, d.clone()]);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&a));
+        assert!(out.contains(&d));
+    }
+}

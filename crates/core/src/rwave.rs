@@ -1,0 +1,502 @@
+//! The `RWave^γ` regulation model (Definition 3.1 of the paper).
+//!
+//! For one gene, the model is the non-descending ordering of all conditions
+//! by expression value, annotated with **regulation pointers**: non-nested
+//! rank intervals `lo ↰ hi` such that the expression difference between the
+//! conditions at ranks `hi` and `lo` exceeds the gene's regulation threshold
+//! `γ_i`. A pointer `lo ↰ hi` certifies that *every* condition at rank
+//! `≤ lo` is a regulation predecessor of *every* condition at rank `≥ hi`
+//! (Lemma 3.1), so the regulation relationship of any condition pair is
+//! answered by a single binary search instead of checking all `C(n,2)` pairs.
+//!
+//! Construction follows the paper's algorithm (Figure 5): conditions are
+//! scanned in value order; each condition links to its *closest* regulation
+//! predecessor unless an existing pointer is already nested inside that span.
+//! Because values are scanned in non-descending order the closest-predecessor
+//! rank is non-decreasing, which makes the nesting test O(1): a new pointer
+//! is embedded-free iff its predecessor rank is strictly beyond the last
+//! pointer's.
+//!
+//! The model additionally precomputes, for every rank, the length of the
+//! longest regulation chain that can start there (forward, toward higher
+//! values) or end there (backward). These power the miner's MinC pruning
+//! (pruning strategy (2)). The greedy recurrence
+//! `maxlen(r) = 1 + maxlen(hi of first pointer with lo ≥ r)` is exact
+//! because `maxlen` is non-increasing in rank (proved by induction: the
+//! first-usable-pointer head `hi(r)` is non-decreasing in `r`).
+
+use regcluster_matrix::CondId;
+
+/// A regulation pointer in rank coordinates: the condition at rank `hi` is
+/// up-regulated w.r.t. the condition at rank `lo` (difference `> γ_i`), and
+/// the interval is minimal (no other pointer nests inside `[lo, hi]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pointer {
+    /// Rank of the lower (predecessor) end.
+    pub lo: u32,
+    /// Rank of the upper (successor) end.
+    pub hi: u32,
+}
+
+/// The `RWave^γ` model of a single gene.
+#[derive(Debug, Clone)]
+pub struct RWaveModel {
+    /// `order[rank] = condition id`, ranks sorted by non-descending value
+    /// (ties broken by condition id for determinism).
+    order: Vec<u32>,
+    /// `rank[condition id] = rank`.
+    rank: Vec<u32>,
+    /// `values[rank]` = expression level at that rank (non-descending).
+    values: Vec<f64>,
+    /// Regulation pointers with strictly increasing `lo` and `hi`.
+    pointers: Vec<Pointer>,
+    /// `maxlen_fwd[rank]` = length of the longest regulation chain starting
+    /// at `rank` and moving toward higher values.
+    maxlen_fwd: Vec<u32>,
+    /// `maxlen_bwd[rank]` = length of the longest regulation chain starting
+    /// at `rank` and moving toward lower values.
+    maxlen_bwd: Vec<u32>,
+    /// The resolved per-gene regulation threshold `γ_i`.
+    gamma: f64,
+}
+
+impl RWaveModel {
+    /// Builds the model for one gene profile with resolved threshold
+    /// `gamma_i`.
+    ///
+    /// ```
+    /// use regcluster_core::rwave::RWaveModel;
+    ///
+    /// // g1 of the paper's running example, γ_1 = 0.15 · range = 4.5.
+    /// let g1 = [10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0];
+    /// let model = RWaveModel::build(&g1, 4.5);
+    ///
+    /// // Pointer structure of Figure 3, in rank coordinates.
+    /// let pointers: Vec<(u32, u32)> =
+    ///     model.pointers().iter().map(|p| (p.lo, p.hi)).collect();
+    /// assert_eq!(pointers, vec![(1, 2), (3, 4), (5, 6), (6, 9)]);
+    ///
+    /// // 5-chains start only at the two lowest conditions (c7, c2).
+    /// assert_eq!(model.max_chain_fwd(0), 5);
+    /// assert_eq!(model.max_chain_fwd(2), 4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty or `gamma_i` is negative/non-finite
+    /// (enforced upstream by parameter validation).
+    pub fn build(profile: &[f64], gamma_i: f64) -> Self {
+        assert!(!profile.is_empty(), "profile must be non-empty");
+        assert!(
+            gamma_i.is_finite() && gamma_i >= 0.0,
+            "gamma_i must be finite and ≥ 0"
+        );
+        let n = profile.len();
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            profile[a as usize]
+                .total_cmp(&profile[b as usize])
+                .then(a.cmp(&b))
+        });
+        let mut rank = vec![0u32; n];
+        for (r, &c) in order.iter().enumerate() {
+            rank[c as usize] = r as u32;
+        }
+        let values: Vec<f64> = order.iter().map(|&c| profile[c as usize]).collect();
+
+        // Pointer construction: for each rank j, the closest regulation
+        // predecessor is the largest rank p with values[j] − values[p] > γ_i
+        // (strict, per Equation 3 — evaluated as exactly that expression so
+        // the pointer relation coincides bit-for-bit with the direct
+        // difference test used by `is_up_regulated`). Skip if the last
+        // pointer already has the same predecessor (it would be nested
+        // inside the new span).
+        let mut pointers: Vec<Pointer> = Vec::new();
+        for j in 1..n {
+            // partition_point over the monotone predicate
+            // values[j] − v > γ_i ⇒ p = idx − 1.
+            let idx = values[..j].partition_point(|v| values[j] - *v > gamma_i);
+            if idx == 0 {
+                continue; // no regulation predecessor for rank j
+            }
+            let p = (idx - 1) as u32;
+            if pointers.last().is_none_or(|pt| pt.lo < p) {
+                pointers.push(Pointer {
+                    lo: p,
+                    hi: j as u32,
+                });
+            }
+        }
+
+        // Maximal chain lengths by the exact greedy recurrence.
+        let mut maxlen_fwd = vec![1u32; n];
+        for r in (0..n).rev() {
+            // First pointer with lo >= r.
+            let i = pointers.partition_point(|pt| (pt.lo as usize) < r);
+            if i < pointers.len() {
+                let hi = pointers[i].hi as usize;
+                maxlen_fwd[r] = 1 + maxlen_fwd[hi];
+            }
+        }
+        let mut maxlen_bwd = vec![1u32; n];
+        for r in 0..n {
+            // Last pointer with hi <= r.
+            let i = pointers.partition_point(|pt| (pt.hi as usize) <= r);
+            if i > 0 {
+                let lo = pointers[i - 1].lo as usize;
+                maxlen_bwd[r] = 1 + maxlen_bwd[lo];
+            }
+        }
+
+        Self {
+            order,
+            rank,
+            values,
+            pointers,
+            maxlen_fwd,
+            maxlen_bwd,
+            gamma: gamma_i,
+        }
+    }
+
+    /// Number of conditions in the model.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the model covers no conditions (never happens for models
+    /// built from a valid matrix; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The resolved per-gene threshold `γ_i`.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Rank of condition `c` in the value ordering.
+    #[inline]
+    pub fn rank_of(&self, c: CondId) -> usize {
+        self.rank[c] as usize
+    }
+
+    /// Condition id at rank `r`.
+    #[inline]
+    pub fn cond_at(&self, r: usize) -> CondId {
+        self.order[r] as CondId
+    }
+
+    /// Expression value at rank `r`.
+    #[inline]
+    pub fn value_at(&self, r: usize) -> f64 {
+        self.values[r]
+    }
+
+    /// The regulation pointers, ordered by strictly increasing `lo`/`hi`.
+    #[inline]
+    pub fn pointers(&self) -> &[Pointer] {
+        &self.pointers
+    }
+
+    /// Smallest rank `s` such that every condition at rank `≥ s` is a
+    /// regulation successor of the condition at rank `r` (Lemma 3.1), or
+    /// `None` when `r` has no regulation successor.
+    pub fn successor_start(&self, r: usize) -> Option<usize> {
+        let i = self.pointers.partition_point(|pt| (pt.lo as usize) < r);
+        self.pointers.get(i).map(|pt| pt.hi as usize)
+    }
+
+    /// Largest rank `p` such that every condition at rank `≤ p` is a
+    /// regulation predecessor of the condition at rank `r` (Lemma 3.1), or
+    /// `None` when `r` has no regulation predecessor.
+    pub fn predecessor_end(&self, r: usize) -> Option<usize> {
+        let i = self.pointers.partition_point(|pt| (pt.hi as usize) <= r);
+        i.checked_sub(1).map(|i| self.pointers[i].lo as usize)
+    }
+
+    /// True when the condition at rank `hi_rank` is up-regulated w.r.t. the
+    /// condition at rank `lo_rank`: their expression difference exceeds
+    /// `γ_i`, which (a proved and tested property of the pointer
+    /// construction) holds **iff** the two ranks are separated by at least
+    /// one regulation pointer. Answered by the O(1) value comparison; see
+    /// [`RWaveModel::is_up_regulated_via_pointers`] for the pointer-walk
+    /// variant and the `regulation_query` bench for the measured gap.
+    #[inline]
+    pub fn is_up_regulated(&self, lo_rank: usize, hi_rank: usize) -> bool {
+        debug_assert!(lo_rank <= hi_rank);
+        self.values[hi_rank] - self.values[lo_rank] > self.gamma
+    }
+
+    /// The pointer-indexed regulation query (one binary search), exactly
+    /// equivalent to [`RWaveModel::is_up_regulated`] — kept public so the
+    /// equivalence is testable and benchmarkable.
+    #[inline]
+    pub fn is_up_regulated_via_pointers(&self, lo_rank: usize, hi_rank: usize) -> bool {
+        debug_assert!(lo_rank <= hi_rank);
+        match self.successor_start(lo_rank) {
+            Some(s) => s <= hi_rank,
+            None => false,
+        }
+    }
+
+    /// Length of the longest regulation chain starting at rank `r` and
+    /// moving toward higher expression values.
+    #[inline]
+    pub fn max_chain_fwd(&self, r: usize) -> usize {
+        self.maxlen_fwd[r] as usize
+    }
+
+    /// Length of the longest regulation chain starting at rank `r` and
+    /// moving toward lower expression values.
+    #[inline]
+    pub fn max_chain_bwd(&self, r: usize) -> usize {
+        self.maxlen_bwd[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// g1 of the running dataset (Table 1); γ_1 = 0.15 · 30 = 4.5.
+    const G1: [f64; 10] = [10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0];
+    /// g2; γ_2 = 0.15 · 30 = 4.5.
+    const G2: [f64; 10] = [20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0];
+    /// g3; γ_3 = 0.15 · 12 = 1.8.
+    const G3: [f64; 10] = [6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0];
+
+    fn m1() -> RWaveModel {
+        RWaveModel::build(&G1, 4.5)
+    }
+    fn m2() -> RWaveModel {
+        RWaveModel::build(&G2, 4.5)
+    }
+    fn m3() -> RWaveModel {
+        RWaveModel::build(&G3, 1.8)
+    }
+
+    #[test]
+    fn ordering_is_nondescending_with_id_tiebreak() {
+        let m = m1();
+        // sorted: c7(-15) c2(-14.5) c9(-5) c10(-5) c5(0) c8(0) c1(10) c4(10.5) c6(14.5) c3(15)
+        let expected: Vec<usize> = vec![6, 1, 8, 9, 4, 7, 0, 3, 5, 2];
+        let order: Vec<usize> = (0..10).map(|r| m.cond_at(r)).collect();
+        assert_eq!(order, expected);
+        for r in 1..10 {
+            assert!(m.value_at(r) >= m.value_at(r - 1));
+        }
+        for c in 0..10 {
+            assert_eq!(m.cond_at(m.rank_of(c)), c);
+        }
+    }
+
+    #[test]
+    fn g1_pointers_match_figure_3() {
+        let m = m1();
+        let pts: Vec<(u32, u32)> = m.pointers().iter().map(|p| (p.lo, p.hi)).collect();
+        // Bordering pairs of the RWave^{0.15} model for g1 (Figure 3):
+        // (c2 ↰ c9), (c10 ↰ c5), (c8 ↰ c1), (c1 ↰ c3) in rank coordinates.
+        assert_eq!(pts, vec![(1, 2), (3, 4), (5, 6), (6, 9)]);
+    }
+
+    #[test]
+    fn g2_pointers_match_figure_3() {
+        let m = m2();
+        let pts: Vec<(u32, u32)> = m.pointers().iter().map(|p| (p.lo, p.hi)).collect();
+        assert_eq!(pts, vec![(1, 2), (3, 4), (4, 5), (5, 6)]);
+    }
+
+    #[test]
+    fn g3_pointers_match_g1_structure() {
+        // g3 is a perfect shifting-and-scaling image of g1, so its RWave
+        // structure coincides.
+        let m = m3();
+        let pts: Vec<(u32, u32)> = m.pointers().iter().map(|p| (p.lo, p.hi)).collect();
+        assert_eq!(pts, vec![(1, 2), (3, 4), (5, 6), (6, 9)]);
+    }
+
+    #[test]
+    fn pointers_are_non_nested_and_regulated() {
+        for m in [m1(), m2(), m3()] {
+            for w in m.pointers().windows(2) {
+                assert!(w[0].lo < w[1].lo, "lo strictly increasing");
+                assert!(w[0].hi < w[1].hi, "hi strictly increasing");
+            }
+            for p in m.pointers() {
+                assert!(
+                    m.value_at(p.hi as usize) - m.value_at(p.lo as usize) > m.gamma(),
+                    "pointer span must exceed γ_i"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predecessors_of_c6_for_g1_match_paper() {
+        // Paper §3.1: the regulation predecessors of c6 (index 5) for g1 are
+        // exactly {c7, c2, c10, c9, c8, c5}, found via the nearest pointer
+        // before it; and c6 has no regulation successors.
+        let m = m1();
+        let r_c6 = m.rank_of(5);
+        assert_eq!(r_c6, 8);
+        let p_end = m.predecessor_end(r_c6).unwrap();
+        assert_eq!(p_end, 5);
+        let preds: Vec<usize> = (0..=p_end).map(|r| m.cond_at(r)).collect();
+        let mut sorted = preds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 4, 6, 7, 8, 9]); // c2, c5, c7, c8, c9, c10
+        assert_eq!(m.successor_start(r_c6), None);
+    }
+
+    #[test]
+    fn pointer_query_equals_value_query_exhaustively() {
+        // The two implementations of the regulation relation must agree on
+        // every rank pair, bit-for-bit, including threshold-boundary data.
+        let boundary = [0.0f64, 1.0, 2.0, 2.0 + 1e-15, 3.0, 4.5];
+        for (profile, gamma) in [
+            (G1.to_vec(), 4.5),
+            (G2.to_vec(), 4.5),
+            (G3.to_vec(), 1.8),
+            (boundary.to_vec(), 2.0),
+            (vec![5.0; 4], 0.0),
+        ] {
+            let m = RWaveModel::build(&profile, gamma);
+            for a in 0..m.len() {
+                for b in a..m.len() {
+                    assert_eq!(
+                        m.is_up_regulated(a, b),
+                        m.is_up_regulated_via_pointers(a, b),
+                        "ranks ({a}, {b}) on {profile:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_1_predecessor_soundness() {
+        // Every (pred, succ) pair certified by the model must differ by more
+        // than γ_i — for all three genes and all rank pairs.
+        for (profile, gamma) in [(G1, 4.5), (G2, 4.5), (G3, 1.8)] {
+            let m = RWaveModel::build(&profile, gamma);
+            for a in 0..m.len() {
+                for b in a..m.len() {
+                    if m.is_up_regulated(a, b) {
+                        assert!(m.value_at(b) - m.value_at(a) > gamma);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn running_example_chain_is_fully_regulated() {
+        // The chain c7 ↰ c9 ↰ c5 ↰ c1 ↰ c3 of Figure 2, forward for g1/g3
+        // and backward (inverted) for g2.
+        let chain = [6usize, 8, 4, 0, 2];
+        for m in [m1(), m3()] {
+            for w in chain.windows(2) {
+                assert!(m.is_up_regulated(m.rank_of(w[0]), m.rank_of(w[1])));
+            }
+        }
+        let m = m2();
+        for w in chain.windows(2) {
+            assert!(m.is_up_regulated(m.rank_of(w[1]), m.rank_of(w[0])));
+        }
+    }
+
+    #[test]
+    fn max_chain_lengths_for_running_example() {
+        let m = m1();
+        // Forward chains of length ≥ 5 start only at c7 (rank 0) and c2 (rank 1).
+        assert_eq!(m.max_chain_fwd(0), 5);
+        assert_eq!(m.max_chain_fwd(1), 5);
+        assert_eq!(m.max_chain_fwd(2), 4);
+        assert_eq!(m.max_chain_fwd(6), 2);
+        assert_eq!(m.max_chain_fwd(9), 1);
+        let m = m2();
+        assert_eq!(m.max_chain_fwd(0), 5);
+        assert_eq!(m.max_chain_fwd(1), 5);
+        assert_eq!(m.max_chain_fwd(2), 4);
+        // Backward from the top of g2 (c7 at rank 9) a 5-chain exists.
+        assert_eq!(m.max_chain_bwd(9), 5);
+    }
+
+    #[test]
+    fn max_chain_is_consistent_with_exhaustive_search() {
+        // Brute-force the longest chain by dynamic programming over all rank
+        // pairs and compare with the greedy table.
+        for (profile, gamma) in [(G1, 4.5), (G2, 4.5), (G3, 1.8)] {
+            let m = RWaveModel::build(&profile, gamma);
+            let n = m.len();
+            let mut best = vec![1usize; n];
+            for a in (0..n).rev() {
+                for b in a + 1..n {
+                    if m.is_up_regulated(a, b) {
+                        best[a] = best[a].max(1 + best[b]);
+                    }
+                }
+            }
+            for (r, &expected) in best.iter().enumerate() {
+                assert_eq!(m.max_chain_fwd(r), expected, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gamma_links_strictly_increasing_values() {
+        let m = RWaveModel::build(&[3.0, 1.0, 2.0], 0.0);
+        // Every strictly-greater pair is regulated.
+        assert!(m.is_up_regulated(0, 1));
+        assert!(m.is_up_regulated(1, 2));
+        assert!(m.is_up_regulated(0, 2));
+        assert_eq!(m.max_chain_fwd(0), 3);
+    }
+
+    #[test]
+    fn ties_are_never_regulated_at_zero_gamma() {
+        let m = RWaveModel::build(&[5.0, 5.0, 5.0], 0.0);
+        assert!(m.pointers().is_empty());
+        assert_eq!(m.max_chain_fwd(0), 1);
+        assert_eq!(m.successor_start(0), None);
+        assert_eq!(m.predecessor_end(2), None);
+    }
+
+    #[test]
+    fn flat_profile_has_no_structure() {
+        let m = RWaveModel::build(&[1.0; 4], 0.5);
+        assert!(m.pointers().is_empty());
+        for r in 0..4 {
+            assert_eq!(m.max_chain_fwd(r), 1);
+            assert_eq!(m.max_chain_bwd(r), 1);
+        }
+    }
+
+    #[test]
+    fn single_condition_model() {
+        let m = RWaveModel::build(&[2.0], 0.1);
+        assert_eq!(m.len(), 1);
+        assert!(m.pointers().is_empty());
+        assert_eq!(m.max_chain_fwd(0), 1);
+    }
+
+    #[test]
+    fn forward_backward_symmetry() {
+        // Negating a profile mirrors the model: maxlen_fwd of the original at
+        // rank r equals maxlen_bwd of the negation at rank n-1-r.
+        let profile = G1;
+        let neg: Vec<f64> = profile.iter().map(|v| -v).collect();
+        let a = RWaveModel::build(&profile, 4.5);
+        let b = RWaveModel::build(&neg, 4.5);
+        let n = profile.len();
+        for r in 0..n {
+            assert_eq!(a.max_chain_fwd(r), b.max_chain_bwd(n - 1 - r));
+            assert_eq!(a.max_chain_bwd(r), b.max_chain_fwd(n - 1 - r));
+        }
+    }
+}

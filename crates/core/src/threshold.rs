@@ -1,0 +1,194 @@
+//! Per-gene regulation thresholds.
+//!
+//! Section 3.1 of the paper defines the default threshold as a fraction of
+//! each gene's expression range (Equation 4) and explicitly notes that
+//! "in practice, other regulation thresholds, such as the average difference
+//! between every pair of conditions whose values are closest \[18\], normalized
+//! threshold \[17\], average expression value \[5\], etc., can be used where
+//! appropriate". All four are implemented here; every variant resolves to a
+//! concrete `γ_i ≥ 0` for a given gene profile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Strategy for deriving the per-gene regulation threshold `γ_i`.
+///
+/// The motivation for a *local* (per-gene) threshold rather than a global one
+/// is that individual genes have very different sensitivities to stimuli: the
+/// paper cites hormone-inducible genes whose response magnitudes differ by
+/// orders of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RegulationThreshold {
+    /// `γ_i = γ · (max_j d_ij − min_j d_ij)` — Equation 4, the paper's
+    /// default. `γ` must lie in `[0, 1]`.
+    FractionOfRange(f64),
+    /// A fixed absolute threshold shared by all genes. Must be `≥ 0`.
+    Absolute(f64),
+    /// `γ_i = multiplier ·` (mean difference between adjacent values of the
+    /// sorted profile) — the closest-pair criterion of OP-Cluster
+    /// (Liu & Wang \[18\]). The multiplier must be `≥ 0`.
+    AvgClosestPairDiff(f64),
+    /// `γ_i = γ · mean_j |d_ij|` — threshold proportional to the average
+    /// expression magnitude (Chen, Filkov & Skiena \[5\]). `γ` must be `≥ 0`.
+    FractionOfAvgExpression(f64),
+}
+
+impl RegulationThreshold {
+    /// Validates the strategy's parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for out-of-domain or non-finite
+    /// parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            RegulationThreshold::FractionOfRange(g) => {
+                if !(g.is_finite() && (0.0..=1.0).contains(&g)) {
+                    return Err(CoreError::InvalidParams(format!(
+                        "fraction-of-range γ must be in [0, 1], got {g}"
+                    )));
+                }
+            }
+            RegulationThreshold::Absolute(g) => {
+                if !(g.is_finite() && g >= 0.0) {
+                    return Err(CoreError::InvalidParams(format!(
+                        "absolute γ must be ≥ 0, got {g}"
+                    )));
+                }
+            }
+            RegulationThreshold::AvgClosestPairDiff(m) => {
+                if !(m.is_finite() && m >= 0.0) {
+                    return Err(CoreError::InvalidParams(format!(
+                        "closest-pair multiplier must be ≥ 0, got {m}"
+                    )));
+                }
+            }
+            RegulationThreshold::FractionOfAvgExpression(g) => {
+                if !(g.is_finite() && g >= 0.0) {
+                    return Err(CoreError::InvalidParams(format!(
+                        "fraction-of-average γ must be ≥ 0, got {g}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the concrete threshold `γ_i` for one gene profile.
+    ///
+    /// The profile must be non-empty; this is guaranteed by
+    /// [`ExpressionMatrix`](regcluster_matrix::ExpressionMatrix) construction.
+    pub fn resolve(&self, profile: &[f64]) -> f64 {
+        debug_assert!(!profile.is_empty());
+        match *self {
+            RegulationThreshold::FractionOfRange(g) => {
+                let (lo, hi) = min_max(profile);
+                g * (hi - lo)
+            }
+            RegulationThreshold::Absolute(g) => g,
+            RegulationThreshold::AvgClosestPairDiff(m) => {
+                if profile.len() < 2 {
+                    return 0.0;
+                }
+                let mut sorted = profile.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let sum: f64 = sorted.windows(2).map(|w| w[1] - w[0]).sum();
+                m * sum / (sorted.len() - 1) as f64
+            }
+            RegulationThreshold::FractionOfAvgExpression(g) => {
+                let mean_abs = profile.iter().map(|v| v.abs()).sum::<f64>() / profile.len() as f64;
+                g * mean_abs
+            }
+        }
+    }
+}
+
+fn min_max(profile: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in profile {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_of_range_matches_equation_4() {
+        // g1 of the running example: range [-15, 15], γ = 0.15 → γ_1 = 4.5.
+        let g1 = [10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0];
+        let t = RegulationThreshold::FractionOfRange(0.15);
+        assert!((t.resolve(&g1) - 4.5).abs() < 1e-12);
+        // g3: range [-4, 8] → γ_3 = 1.8.
+        let g3 = [6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0];
+        assert!((t.resolve(&g3) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_ignores_profile() {
+        let t = RegulationThreshold::Absolute(2.5);
+        assert_eq!(t.resolve(&[0.0, 100.0]), 2.5);
+        assert_eq!(t.resolve(&[5.0]), 2.5);
+    }
+
+    #[test]
+    fn closest_pair_averages_adjacent_gaps() {
+        // sorted: 1, 2, 4, 8 → gaps 1, 2, 4 → mean 7/3.
+        let t = RegulationThreshold::AvgClosestPairDiff(1.0);
+        assert!((t.resolve(&[8.0, 1.0, 4.0, 2.0]) - 7.0 / 3.0).abs() < 1e-12);
+        let t2 = RegulationThreshold::AvgClosestPairDiff(0.5);
+        assert!((t2.resolve(&[8.0, 1.0, 4.0, 2.0]) - 7.0 / 6.0).abs() < 1e-12);
+        assert_eq!(t.resolve(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn fraction_of_avg_expression_uses_magnitudes() {
+        let t = RegulationThreshold::FractionOfAvgExpression(0.1);
+        // mean |v| of [-4, 4] is 4.
+        assert!((t.resolve(&[-4.0, 4.0]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_accepts_good_domains() {
+        assert!(RegulationThreshold::FractionOfRange(0.0).validate().is_ok());
+        assert!(RegulationThreshold::FractionOfRange(1.0).validate().is_ok());
+        assert!(RegulationThreshold::Absolute(0.0).validate().is_ok());
+        assert!(RegulationThreshold::AvgClosestPairDiff(3.0)
+            .validate()
+            .is_ok());
+        assert!(RegulationThreshold::FractionOfAvgExpression(2.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(RegulationThreshold::FractionOfRange(-0.1)
+            .validate()
+            .is_err());
+        assert!(RegulationThreshold::FractionOfRange(1.5)
+            .validate()
+            .is_err());
+        assert!(RegulationThreshold::FractionOfRange(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(RegulationThreshold::Absolute(-1.0).validate().is_err());
+        assert!(RegulationThreshold::AvgClosestPairDiff(-0.5)
+            .validate()
+            .is_err());
+        assert!(RegulationThreshold::FractionOfAvgExpression(f64::INFINITY)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn flat_profile_resolves_to_zero_threshold() {
+        let t = RegulationThreshold::FractionOfRange(0.15);
+        assert_eq!(t.resolve(&[3.0, 3.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+use std::fmt;
+
+/// Errors produced by the dataset generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatagenError {
+    /// A configuration value is out of its valid domain.
+    InvalidConfig(String),
+    /// The requested clusters need more disjoint genes or conditions than
+    /// the matrix provides.
+    Infeasible(String),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::InvalidConfig(m) => write!(f, "invalid generator config: {m}"),
+            DatagenError::Infeasible(m) => write!(f, "infeasible generator config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {}

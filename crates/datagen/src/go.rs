@@ -1,0 +1,178 @@
+//! Synthetic Gene Ontology annotation database.
+//!
+//! The paper evaluates biological significance with the yeast genome GO Term
+//! Finder (Table 2), an online service that reports hypergeometric
+//! enrichment p-values of GO terms within a gene cluster. That service (and
+//! the curated yeast annotations behind it) are not available offline, so we
+//! model the same structure: a population of genes, a set of terms per GO
+//! category, and for each term the list of annotated genes. The enrichment
+//! statistic itself lives in `regcluster-eval::go`.
+
+use serde::{Deserialize, Serialize};
+
+use regcluster_matrix::GeneId;
+
+/// The three GO categories reported in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GoCategory {
+    /// Biological process (e.g. "DNA replication").
+    Process,
+    /// Molecular function (e.g. "helicase activity").
+    Function,
+    /// Cellular component (e.g. "replication fork").
+    Component,
+}
+
+impl GoCategory {
+    /// All categories, in the paper's column order.
+    pub const ALL: [GoCategory; 3] = [
+        GoCategory::Process,
+        GoCategory::Function,
+        GoCategory::Component,
+    ];
+}
+
+impl std::fmt::Display for GoCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoCategory::Process => write!(f, "Process"),
+            GoCategory::Function => write!(f, "Function"),
+            GoCategory::Component => write!(f, "Cellular Component"),
+        }
+    }
+}
+
+/// One GO term and the genes annotated with it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoTerm {
+    /// Identifier, e.g. `GO:0006260`.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Category of the term.
+    pub category: GoCategory,
+    /// Annotated genes, sorted by id.
+    pub genes: Vec<GeneId>,
+}
+
+/// A full annotation database over a gene population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoDatabase {
+    /// Size of the gene population (the matrix's gene count).
+    pub n_genes: usize,
+    /// All terms.
+    pub terms: Vec<GoTerm>,
+}
+
+impl GoDatabase {
+    /// Creates an empty database over `n_genes` genes.
+    pub fn new(n_genes: usize) -> Self {
+        Self {
+            n_genes,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Adds a term; the gene list is sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gene id is out of the population range.
+    pub fn add_term(
+        &mut self,
+        id: impl Into<String>,
+        name: impl Into<String>,
+        category: GoCategory,
+        mut genes: Vec<GeneId>,
+    ) {
+        genes.sort_unstable();
+        genes.dedup();
+        assert!(
+            genes.iter().all(|&g| g < self.n_genes),
+            "annotated gene out of population range"
+        );
+        self.terms.push(GoTerm {
+            id: id.into(),
+            name: name.into(),
+            category,
+            genes,
+        });
+    }
+
+    /// Terms of one category.
+    pub fn terms_in(&self, category: GoCategory) -> impl Iterator<Item = &GoTerm> {
+        self.terms.iter().filter(move |t| t.category == category)
+    }
+
+    /// Number of genes annotated with `term` inside `cluster_genes`
+    /// (both lists must be sorted).
+    pub fn count_in_cluster(term: &GoTerm, cluster_genes: &[GeneId]) -> usize {
+        // Merge-count over two sorted lists.
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < term.genes.len() && j < cluster_genes.len() {
+            match term.genes[i].cmp(&cluster_genes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_terms() {
+        let mut db = GoDatabase::new(10);
+        db.add_term(
+            "GO:1",
+            "DNA replication",
+            GoCategory::Process,
+            vec![3, 1, 3, 7],
+        );
+        db.add_term(
+            "GO:2",
+            "helicase activity",
+            GoCategory::Function,
+            vec![0, 2],
+        );
+        assert_eq!(db.terms.len(), 2);
+        assert_eq!(db.terms[0].genes, vec![1, 3, 7]);
+        assert_eq!(db.terms_in(GoCategory::Process).count(), 1);
+        assert_eq!(db.terms_in(GoCategory::Component).count(), 0);
+    }
+
+    #[test]
+    fn count_in_cluster_merges_sorted_lists() {
+        let term = GoTerm {
+            id: "GO:1".into(),
+            name: "x".into(),
+            category: GoCategory::Process,
+            genes: vec![1, 3, 5, 7, 9],
+        };
+        assert_eq!(GoDatabase::count_in_cluster(&term, &[0, 1, 2, 3, 4]), 2);
+        assert_eq!(GoDatabase::count_in_cluster(&term, &[]), 0);
+        assert_eq!(GoDatabase::count_in_cluster(&term, &[9]), 1);
+        assert_eq!(GoDatabase::count_in_cluster(&term, &[0, 2, 4]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of population range")]
+    fn rejects_out_of_range_gene() {
+        let mut db = GoDatabase::new(3);
+        db.add_term("GO:1", "x", GoCategory::Process, vec![5]);
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(GoCategory::Process.to_string(), "Process");
+        assert_eq!(GoCategory::ALL.len(), 3);
+    }
+}

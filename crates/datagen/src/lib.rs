@@ -1,0 +1,122 @@
+#![warn(missing_docs)]
+
+//! Dataset generators for the reg-cluster workspace.
+//!
+//! * [`running_example`] — Table 1 of the paper (3 genes × 10 conditions),
+//!   the dataset behind Figures 2, 3, 4 and 6;
+//! * [`synthetic`] — the paper's §5 synthetic generator: a uniform random
+//!   background with `#clus` perfect shifting-and-scaling clusters embedded,
+//!   parameterized by `#g`, `#cond` and `#clus`, with full ground truth;
+//! * [`yeast_like`] — a structured 2884 × 17 stand-in for the
+//!   Tavazoie/Church yeast benchmark (substitution S1 of DESIGN.md), with
+//!   planted co-regulation modules and a matching synthetic GO annotation
+//!   database (substitution S2);
+//! * [`go`] — the synthetic GO annotation database types.
+//!
+//! All generators are deterministic given their seed (ChaCha8-based).
+
+mod error;
+
+pub mod go;
+pub mod synthetic;
+pub mod yeast_like;
+
+pub use error::DatagenError;
+pub use go::{GoCategory, GoDatabase, GoTerm};
+pub use synthetic::{generate, PatternKind, PlantedCluster, SyntheticConfig, SyntheticDataset};
+pub use yeast_like::{yeast_like, YeastConfig, YeastDataset};
+
+use regcluster_matrix::ExpressionMatrix;
+
+/// Table 1 of the paper: the running dataset with genes `g1..g3` and
+/// conditions `c1..c10`.
+///
+/// Gene and condition indices are zero-based (`g1` is gene 0, `c7` is
+/// condition 6). Its unique reg-cluster at `γ = 0.15`, `ε = 0.1`,
+/// `MinG = 3`, `MinC = 5` is the chain `c7 ↰ c9 ↰ c5 ↰ c1 ↰ c3` with
+/// p-members `{g1, g3}` and n-member `{g2}`.
+pub fn running_example() -> ExpressionMatrix {
+    ExpressionMatrix::from_rows(
+        vec!["g1".into(), "g2".into(), "g3".into()],
+        (1..=10).map(|i| format!("c{i}")).collect(),
+        vec![
+            vec![10.0, -14.5, 15.0, 10.5, 0.0, 14.5, -15.0, 0.0, -5.0, -5.0],
+            vec![20.0, 15.0, 15.0, 43.5, 30.0, 44.0, 45.0, 43.0, 35.0, 20.0],
+            vec![6.0, -3.8, 8.0, 6.2, 2.0, 7.8, -4.0, 2.0, 0.0, 0.0],
+        ],
+    )
+    .expect("the running dataset is well-formed")
+}
+
+/// The six profiles of Figure 1 of the paper: `P1 = P2 − 5 = P3 − 15 = P4 =
+/// P5/1.5 = P6/3`, i.e. pure shifting images (P2, P3) and pure scaling
+/// images (P5, P6) of the base pattern P1 = P4.
+pub fn figure1_patterns() -> ExpressionMatrix {
+    let p1 = [5.0f64, 8.0, 6.0, 9.0, 7.0, 10.0];
+    let rows: Vec<Vec<f64>> = vec![
+        p1.to_vec(),
+        p1.iter().map(|v| v + 5.0).collect(),
+        p1.iter().map(|v| v + 15.0).collect(),
+        p1.to_vec(),
+        p1.iter().map(|v| v * 1.5).collect(),
+        p1.iter().map(|v| v * 3.0).collect(),
+    ];
+    ExpressionMatrix::from_rows(
+        (1..=6).map(|i| format!("P{i}")).collect(),
+        (1..=6).map(|i| format!("c{i}")).collect(),
+        rows,
+    )
+    .expect("figure 1 patterns are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_matches_table_1() {
+        let m = running_example();
+        assert_eq!(m.n_genes(), 3);
+        assert_eq!(m.n_conditions(), 10);
+        assert_eq!(m.value(0, 0), 10.0);
+        assert_eq!(m.value(1, 3), 43.5);
+        assert_eq!(m.value(2, 1), -3.8);
+        assert_eq!(m.gene_name(0), "g1");
+        assert_eq!(m.condition_name(6), "c7");
+    }
+
+    #[test]
+    fn figure2_relationships_hold() {
+        // d_{1,{5,1,3,9,7}} = 2.5 * d_{3,{5,1,3,9,7}} − 5 and
+        // d_{2,...} = −2.5 * d_{3,...} + 35 = −d_{1,...} + 30.
+        let m = running_example();
+        for c in [4usize, 0, 2, 8, 6] {
+            let (d1, d2, d3) = (m.value(0, c), m.value(1, c), m.value(2, c));
+            assert!((d1 - (2.5 * d3 - 5.0)).abs() < 1e-9, "condition {c}");
+            assert!((d2 - (-2.5 * d3 + 35.0)).abs() < 1e-9, "condition {c}");
+            assert!((d2 - (-d1 + 30.0)).abs() < 1e-9, "condition {c}");
+        }
+    }
+
+    #[test]
+    fn figure4_projection_is_affine_between_g1_and_g3_only() {
+        // d_{3,{2,4,8,10}} = 0.4 * d_{1,{2,4,8,10}} + 2; g2 unrelated.
+        let m = running_example();
+        for c in [1usize, 3, 7, 9] {
+            assert!((m.value(2, c) - (0.4 * m.value(0, c) + 2.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure1_patterns_have_documented_relationships() {
+        let m = figure1_patterns();
+        for c in 0..6 {
+            let p1 = m.value(0, c);
+            assert_eq!(m.value(1, c), p1 + 5.0);
+            assert_eq!(m.value(2, c), p1 + 15.0);
+            assert_eq!(m.value(3, c), p1);
+            assert_eq!(m.value(4, c), p1 * 1.5);
+            assert_eq!(m.value(5, c), p1 * 3.0);
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The paper's synthetic data generator (§5).
+//!
+//! > "The synthetic dataset is initialized with random values ranging from 0
+//! > to 10. Then a number of `#clus` perfect shifting-and-scaling clusters of
+//! > average dimensionality 6 and average number of genes (including both
+//! > p-member genes and n-member genes) equal to `0.01 · #g` are embedded
+//! > into the data, which are reg-clusters with parameter settings `ε = 0`
+//! > and `γ = 0.15`."
+//!
+//! Each embedded cluster is built from a strictly increasing **base profile**
+//! `b ∈ [0, 1]^m` whose adjacent gaps all exceed a floor chosen so that every
+//! member gene's steps clear the planted regulation threshold: a member gene
+//! receives `s1 · b + s2` with `|s1|` large enough that
+//! `|s1| · gap > γ_plant · value_max ≥ γ_i` (the gene's own range can never
+//! exceed `value_max`, so this bound is conservative and the planted cluster
+//! is a valid reg-cluster regardless of the background values in the gene's
+//! other conditions). Negative `s1` plants negatively co-regulated
+//! (n-member) genes.
+//!
+//! Besides the paper's shifting-and-scaling clusters, the generator can plant
+//! three degenerate variants used by the baseline-comparison experiment:
+//! pure shifting (pCluster's model), pure positive scaling (Tricluster's
+//! model) and order-only tendencies (OPSM/OP-Cluster's model, deliberately
+//! incoherent).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::DatagenError;
+
+/// Safety margin factor for planted regulation steps.
+const DELTA: f64 = 0.05;
+
+/// The kind of pattern each embedded cluster follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// `d = s1 · b + s2` with per-gene `s1` (positive or negative) and `s2` —
+    /// the paper's reg-cluster pattern.
+    ShiftScale,
+    /// `d = S · b + s2` with one shared `S` per cluster: pairwise pure
+    /// shifting (the pCluster/δ-cluster model).
+    ShiftOnly,
+    /// `d = s1 · b` with per-gene positive `s1`: pairwise pure scaling
+    /// (the Tricluster model).
+    ScaleOnly,
+    /// Each gene rises through the cluster conditions in the same order but
+    /// with its own incoherent step sizes (the OPSM/OP-Cluster model; **not**
+    /// a shifting-and-scaling pattern).
+    Tendency,
+}
+
+/// Configuration of the synthetic generator. [`SyntheticConfig::default`]
+/// reproduces the paper's defaults (`#g = 3000`, `#cond = 30`,
+/// `#clus = 30`, average dimensionality 6, average cluster genes
+/// `0.01 · #g`, planted `γ = 0.15`, `ε = 0`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of genes `#g`.
+    pub n_genes: usize,
+    /// Number of conditions `#cond`.
+    pub n_conds: usize,
+    /// Number of embedded clusters `#clus`.
+    pub n_clusters: usize,
+    /// Average cluster dimensionality (conditions per cluster); individual
+    /// clusters use `avg ± 1`, clamped to feasibility.
+    pub avg_cluster_dims: usize,
+    /// Average fraction of all genes per cluster (`0.01` in the paper);
+    /// individual clusters jitter by ±30%. Gene sets are disjoint so the
+    /// ground truth is unambiguous.
+    pub cluster_gene_frac: f64,
+    /// Probability that a member gene is planted negatively co-regulated.
+    /// Ignored (forced to 0) for [`PatternKind::ScaleOnly`], whose model has
+    /// no negative scalings.
+    pub neg_fraction: f64,
+    /// The regulation threshold the planted clusters are guaranteed to
+    /// satisfy (as a fraction of `value_max`, which upper-bounds every
+    /// gene's range).
+    pub plant_gamma: f64,
+    /// Pattern family of the embedded clusters.
+    pub pattern: PatternKind,
+    /// Values live in `[0, value_max]`; the paper uses 10.
+    pub value_max: f64,
+    /// Standard deviation of Gaussian noise added to every **planted**
+    /// cell (clamped back into the value range). The paper's generator is
+    /// noise-free (`0.0`, the default); the noise-robustness experiment
+    /// sweeps this to measure how recovery degrades as planted patterns
+    /// blur — the knob the coherence threshold ε exists for.
+    pub noise_sigma: f64,
+    /// RNG seed; every run with the same config is identical.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            n_genes: 3000,
+            n_conds: 30,
+            n_clusters: 30,
+            avg_cluster_dims: 6,
+            cluster_gene_frac: 0.01,
+            neg_fraction: 0.25,
+            plant_gamma: 0.15,
+            pattern: PatternKind::ShiftScale,
+            value_max: 10.0,
+            noise_sigma: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Ground truth for one embedded cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedCluster {
+    /// Member genes, sorted ascending.
+    pub genes: Vec<GeneId>,
+    /// The cluster's conditions in **chain order** (ascending base value):
+    /// the representative regulation chain of the positively-scaled members.
+    pub chain: Vec<CondId>,
+    /// Parallel to `genes`: `true` for negatively co-regulated members.
+    pub negated: Vec<bool>,
+}
+
+impl PlantedCluster {
+    /// The cluster's conditions, sorted ascending by id.
+    pub fn conditions_sorted(&self) -> Vec<CondId> {
+        let mut c = self.chain.clone();
+        c.sort_unstable();
+        c
+    }
+
+    /// Number of member genes.
+    pub fn n_genes(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Number of cluster conditions.
+    pub fn n_conditions(&self) -> usize {
+        self.chain.len()
+    }
+}
+
+/// A generated dataset with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The expression matrix (background noise + embedded clusters).
+    pub matrix: ExpressionMatrix,
+    /// Ground truth of every embedded cluster.
+    pub planted: Vec<PlantedCluster>,
+}
+
+/// Generates a dataset according to `config`.
+///
+/// ```
+/// use regcluster_datagen::{generate, SyntheticConfig};
+///
+/// let cfg = SyntheticConfig {
+///     n_genes: 200,
+///     n_conds: 12,
+///     n_clusters: 2,
+///     cluster_gene_frac: 0.05,
+///     ..SyntheticConfig::default()
+/// };
+/// let data = generate(&cfg).unwrap();
+/// assert_eq!(data.matrix.n_genes(), 200);
+/// assert_eq!(data.planted.len(), 2);
+/// // Deterministic: the same seed regenerates the same dataset.
+/// assert_eq!(generate(&cfg).unwrap().matrix, data.matrix);
+/// ```
+///
+/// # Errors
+///
+/// * [`DatagenError::InvalidConfig`] for out-of-domain configuration values;
+/// * [`DatagenError::Infeasible`] when the requested clusters need more
+///   disjoint genes than exist, or `plant_gamma` is too large for any
+///   2-condition chain to fit in `[0, value_max]`.
+pub fn generate(config: &SyntheticConfig) -> Result<SyntheticDataset, DatagenError> {
+    validate(config)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Noise uses an independent stream so the planted structure (gene sets,
+    // condition sets, scalings) is identical across noise levels — sweeping
+    // `noise_sigma` is then a controlled experiment.
+    let mut noise_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let vm = config.value_max;
+
+    // Background noise: U[0.01, value_max). The paper initializes with
+    // values "ranging from 0 to 10"; the tiny positive floor keeps the data
+    // valid for the log transform the scaling baseline requires.
+    let mut values: Vec<f64> = (0..config.n_genes * config.n_conds)
+        .map(|_| rng.gen_range(0.001 * vm..vm))
+        .collect();
+
+    // Disjoint gene pool.
+    let mut pool: Vec<GeneId> = (0..config.n_genes).collect();
+    pool.shuffle(&mut rng);
+    let mut pool_next = 0usize;
+
+    // Pure-scaling clusters need a strictly positive base profile (their
+    // values are s1 · b, and the log-space baseline requires positivity), so
+    // the base then spends one extra gap on the offset before b_0.
+    let positive_start = config.pattern == PatternKind::ScaleOnly;
+    let avg_genes = (config.cluster_gene_frac * config.n_genes as f64)
+        .round()
+        .max(2.0) as usize;
+    let max_dims = feasible_max_dims(config.plant_gamma, positive_start).min(config.n_conds);
+
+    let mut planted = Vec::with_capacity(config.n_clusters);
+    for _ in 0..config.n_clusters {
+        // Cluster size: average ± 30%, at least 2 genes.
+        let jitter = rng.gen_range(0.7..=1.3);
+        let k = ((avg_genes as f64 * jitter).round() as usize).max(2);
+        if pool_next + k > pool.len() {
+            return Err(DatagenError::Infeasible(format!(
+                "cluster gene pools exhausted: need {} more genes but only {} remain \
+                 (reduce n_clusters or cluster_gene_frac)",
+                k,
+                pool.len() - pool_next
+            )));
+        }
+        let mut genes: Vec<GeneId> = pool[pool_next..pool_next + k].to_vec();
+        pool_next += k;
+        genes.sort_unstable();
+
+        // Dimensionality: average ± 1, clamped to [2, max_dims].
+        let m = (config.avg_cluster_dims as i64 + rng.gen_range(-1i64..=1))
+            .clamp(2, max_dims as i64) as usize;
+
+        // Condition subset (may overlap across clusters); chain order is the
+        // base-profile order, i.e. the sampled order.
+        let mut conds: Vec<CondId> = (0..config.n_conds).collect();
+        conds.shuffle(&mut rng);
+        conds.truncate(m);
+
+        // Base profile b_0 < … < b_{m-1} = 1 with all gaps ≥ gap_floor
+        // (b_0 = 0, or one gap above 0 for pure-scaling clusters).
+        let base = base_profile(m, config.plant_gamma, positive_start, &mut rng);
+        let min_gap = base
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+
+        // Minimum |s1| so that |s1| · min_gap > plant_gamma · value_max with
+        // margin (the gene's range never exceeds value_max).
+        let s_min = if config.plant_gamma == 0.0 {
+            0.3 * vm
+        } else {
+            (config.plant_gamma * vm * (1.0 + DELTA / 2.0)) / min_gap
+        };
+        debug_assert!(s_min <= vm + 1e-9, "s_min {s_min} exceeds value_max {vm}");
+        let s_min = s_min.min(vm);
+
+        let shared_scale = rng.gen_range(s_min..=vm); // used by ShiftOnly
+        let mut negated = Vec::with_capacity(k);
+        for &g in &genes {
+            let neg = match config.pattern {
+                PatternKind::ScaleOnly => false,
+                _ => rng.gen_bool(config.neg_fraction),
+            };
+            negated.push(neg);
+            let row_start = g * config.n_conds;
+            match config.pattern {
+                PatternKind::ShiftScale => {
+                    let s_mag = rng.gen_range(s_min..=vm);
+                    let (s1, s2) = if neg {
+                        (-s_mag, rng.gen_range(s_mag..=vm))
+                    } else {
+                        (s_mag, rng.gen_range(0.0..=(vm - s_mag)))
+                    };
+                    for (j, &c) in conds.iter().enumerate() {
+                        values[row_start + c] = s1 * base[j] + s2;
+                    }
+                }
+                PatternKind::ShiftOnly => {
+                    let (s1, s2) = if neg {
+                        (-shared_scale, rng.gen_range(shared_scale..=vm))
+                    } else {
+                        (shared_scale, rng.gen_range(0.0..=(vm - shared_scale)))
+                    };
+                    for (j, &c) in conds.iter().enumerate() {
+                        values[row_start + c] = s1 * base[j] + s2;
+                    }
+                }
+                PatternKind::ScaleOnly => {
+                    let s1 = rng.gen_range(s_min..=vm);
+                    for (j, &c) in conds.iter().enumerate() {
+                        values[row_start + c] = s1 * base[j];
+                    }
+                }
+                PatternKind::Tendency => {
+                    // Same order, incoherent per-gene steps, each step still
+                    // clearing the planted regulation threshold.
+                    let floor_step = config.plant_gamma * vm * (1.0 + DELTA);
+                    let spare = (vm - floor_step * (m - 1) as f64).max(0.0);
+                    let mut steps: Vec<f64> = (0..m - 1).map(|_| rng.gen_range(0.1..1.0)).collect();
+                    let sum: f64 = steps.iter().sum();
+                    let budget = rng.gen_range(0.5..=1.0) * spare;
+                    for s in &mut steps {
+                        *s = floor_step + budget * (*s / sum);
+                    }
+                    let total: f64 = steps.iter().sum();
+                    let start = rng.gen_range(0.0..=(vm - total));
+                    let mut v = start;
+                    let mut profile = vec![v];
+                    for s in &steps {
+                        v += s;
+                        profile.push(v);
+                    }
+                    for (j, &c) in conds.iter().enumerate() {
+                        let val = if neg { vm - profile[j] } else { profile[j] };
+                        values[row_start + c] = val;
+                    }
+                }
+            }
+        }
+        // Optional measurement noise on the planted cells.
+        if config.noise_sigma > 0.0 {
+            for &g in &genes {
+                for &c in &conds {
+                    let idx = g * config.n_conds + c;
+                    values[idx] = (values[idx] + gaussian(&mut noise_rng) * config.noise_sigma)
+                        .clamp(0.0, vm);
+                }
+            }
+        }
+        planted.push(PlantedCluster {
+            genes,
+            chain: conds,
+            negated,
+        });
+    }
+
+    let matrix = ExpressionMatrix::from_flat_unlabeled(config.n_genes, config.n_conds, values)
+        .expect("generated values are finite and dimensions match");
+    Ok(SyntheticDataset { matrix, planted })
+}
+
+fn validate(config: &SyntheticConfig) -> Result<(), DatagenError> {
+    if config.n_genes == 0 || config.n_conds < 2 {
+        return Err(DatagenError::InvalidConfig(
+            "need at least 1 gene and 2 conditions".into(),
+        ));
+    }
+    if !(config.value_max.is_finite() && config.value_max > 0.0) {
+        return Err(DatagenError::InvalidConfig(
+            "value_max must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.cluster_gene_frac) {
+        return Err(DatagenError::InvalidConfig(
+            "cluster_gene_frac must be in [0, 1]".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.neg_fraction) {
+        return Err(DatagenError::InvalidConfig(
+            "neg_fraction must be in [0, 1]".into(),
+        ));
+    }
+    if !(config.plant_gamma.is_finite() && (0.0..0.45).contains(&config.plant_gamma)) {
+        return Err(DatagenError::InvalidConfig(
+            "plant_gamma must be in [0, 0.45) so a 2-step chain fits the value range".into(),
+        ));
+    }
+    if config.avg_cluster_dims < 2 {
+        return Err(DatagenError::InvalidConfig(
+            "avg_cluster_dims must be ≥ 2".into(),
+        ));
+    }
+    if !(config.noise_sigma.is_finite() && config.noise_sigma >= 0.0) {
+        return Err(DatagenError::InvalidConfig(
+            "noise_sigma must be ≥ 0".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency surface to
+/// `rand` itself).
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Largest chain length for which gaps above the regulation floor can sum
+/// to 1 (one extra gap is consumed by a positive starting offset).
+fn feasible_max_dims(plant_gamma: f64, positive_start: bool) -> usize {
+    if plant_gamma == 0.0 {
+        usize::MAX
+    } else {
+        let gap_floor = plant_gamma * (1.0 + DELTA);
+        let slots = (1.0 / gap_floor).floor() as usize;
+        if positive_start {
+            slots.max(2)
+        } else {
+            slots + 1
+        }
+    }
+}
+
+/// A strictly increasing profile ending at exactly 1 with `m` points whose
+/// adjacent gaps all exceed the floor implied by `plant_gamma`. With
+/// `positive_start`, the first point sits one further gap above zero.
+fn base_profile(
+    m: usize,
+    plant_gamma: f64,
+    positive_start: bool,
+    rng: &mut ChaCha8Rng,
+) -> Vec<f64> {
+    let n_gaps = m - 1 + usize::from(positive_start);
+    let gap_floor = if plant_gamma == 0.0 {
+        (0.5 / n_gaps as f64).min(0.02)
+    } else {
+        // Keep gaps comfortably above the regulation floor while staying
+        // feasible: at least the floor, at most (almost) the uniform gap.
+        (plant_gamma * (1.0 + DELTA)).min(0.98 / n_gaps as f64)
+    };
+    let slack = 1.0 - gap_floor * n_gaps as f64;
+    debug_assert!(slack >= 0.0, "infeasible gap floor");
+    let mut weights: Vec<f64> = (0..n_gaps).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let sum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = gap_floor + slack * (*w / sum);
+    }
+    let mut base = Vec::with_capacity(m);
+    let mut v = 0.0;
+    if positive_start {
+        v += weights[0];
+    }
+    base.push(v);
+    for w in &weights[usize::from(positive_start)..] {
+        v += w;
+        base.push(v);
+    }
+    // Normalize the tiny floating-point drift so the last point is exactly 1.
+    let last = *base.last().expect("m ≥ 2");
+    for b in &mut base {
+        *b /= last;
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            n_genes: 120,
+            n_conds: 15,
+            n_clusters: 3,
+            avg_cluster_dims: 5,
+            cluster_gene_frac: 0.05,
+            neg_fraction: 0.3,
+            plant_gamma: 0.15,
+            pattern: PatternKind::ShiftScale,
+            value_max: 10.0,
+            noise_sigma: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&small_config()).unwrap();
+        let b = generate(&small_config()).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.planted, b.planted);
+        let mut other = small_config();
+        other.seed = 8;
+        let c = generate(&other).unwrap();
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn shapes_and_disjoint_gene_sets() {
+        let d = generate(&small_config()).unwrap();
+        assert_eq!(d.matrix.n_genes(), 120);
+        assert_eq!(d.matrix.n_conditions(), 15);
+        assert_eq!(d.planted.len(), 3);
+        let mut all_genes: Vec<GeneId> = d
+            .planted
+            .iter()
+            .flat_map(|p| p.genes.iter().copied())
+            .collect();
+        let before = all_genes.len();
+        all_genes.sort_unstable();
+        all_genes.dedup();
+        assert_eq!(
+            before,
+            all_genes.len(),
+            "cluster gene sets must be disjoint"
+        );
+        for p in &d.planted {
+            assert!(p.n_genes() >= 2);
+            assert!((4..=6).contains(&p.n_conditions()));
+            assert_eq!(p.genes.len(), p.negated.len());
+        }
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        for pattern in [
+            PatternKind::ShiftScale,
+            PatternKind::ShiftOnly,
+            PatternKind::ScaleOnly,
+            PatternKind::Tendency,
+        ] {
+            let mut cfg = small_config();
+            cfg.pattern = pattern;
+            cfg.plant_gamma = 0.1;
+            let d = generate(&cfg).unwrap();
+            for &v in d.matrix.flat_values() {
+                assert!(
+                    (0.0..=10.0 + 1e-9).contains(&v),
+                    "{pattern:?}: value {v} out of range"
+                );
+            }
+        }
+    }
+
+    /// Every planted gene's chain steps clear the *actual* per-gene γ_i at
+    /// the planted threshold, for all pattern kinds.
+    #[test]
+    fn planted_steps_clear_regulation_threshold() {
+        for pattern in [
+            PatternKind::ShiftScale,
+            PatternKind::ShiftOnly,
+            PatternKind::ScaleOnly,
+            PatternKind::Tendency,
+        ] {
+            let mut cfg = small_config();
+            cfg.pattern = pattern;
+            cfg.plant_gamma = 0.12;
+            let d = generate(&cfg).unwrap();
+            for p in &d.planted {
+                for (gi, &g) in p.genes.iter().enumerate() {
+                    let row = d.matrix.row(g);
+                    let (lo, hi) = d.matrix.gene_range(g);
+                    let gamma_i = cfg.plant_gamma * (hi - lo);
+                    let sign = if p.negated[gi] { -1.0 } else { 1.0 };
+                    for w in p.chain.windows(2) {
+                        let step = (row[w[1]] - row[w[0]]) * sign;
+                        assert!(
+                            step > gamma_i,
+                            "{pattern:?}: gene {g} step {step} ≤ γ_i {gamma_i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shifting-and-scaling clusters are planted with ε = 0: all member
+    /// genes share identical H-score series (up to float rounding).
+    #[test]
+    fn shift_scale_clusters_are_perfectly_coherent() {
+        let d = generate(&small_config()).unwrap();
+        for p in &d.planted {
+            let series: Vec<Vec<f64>> = p
+                .genes
+                .iter()
+                .map(|&g| {
+                    let row = d.matrix.row(g);
+                    let baseline = row[p.chain[1]] - row[p.chain[0]];
+                    p.chain
+                        .windows(2)
+                        .map(|w| (row[w[1]] - row[w[0]]) / baseline)
+                        .collect()
+                })
+                .collect();
+            for s in &series[1..] {
+                for (a, b) in s.iter().zip(series[0].iter()) {
+                    assert!((a - b).abs() < 1e-9, "H spread {} too large", (a - b).abs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_only_is_pairwise_pure_shifting() {
+        let mut cfg = small_config();
+        cfg.pattern = PatternKind::ShiftOnly;
+        cfg.plant_gamma = 0.05;
+        cfg.neg_fraction = 0.0;
+        let d = generate(&cfg).unwrap();
+        for p in &d.planted {
+            let g0 = d.matrix.row(p.genes[0]);
+            for &g in &p.genes[1..] {
+                let row = d.matrix.row(g);
+                let shift = row[p.chain[0]] - g0[p.chain[0]];
+                for &c in &p.chain {
+                    assert!((row[c] - g0[c] - shift).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_only_is_pairwise_pure_scaling() {
+        let mut cfg = small_config();
+        cfg.pattern = PatternKind::ScaleOnly;
+        cfg.plant_gamma = 0.05;
+        let d = generate(&cfg).unwrap();
+        for p in &d.planted {
+            assert!(
+                p.negated.iter().all(|&n| !n),
+                "scale-only plants no n-members"
+            );
+            let g0 = d.matrix.row(p.genes[0]);
+            for &g in &p.genes[1..] {
+                let row = d.matrix.row(g);
+                let ratio = row[p.chain[1]] / g0[p.chain[1]];
+                for &c in &p.chain[1..] {
+                    assert!((row[c] / g0[c] - ratio).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_only_values_are_strictly_positive() {
+        // The log-space scaling baseline requires positivity everywhere.
+        let mut cfg = small_config();
+        cfg.pattern = PatternKind::ScaleOnly;
+        cfg.plant_gamma = 0.08;
+        let d = generate(&cfg).unwrap();
+        for &v in d.matrix.flat_values() {
+            assert!(v > 0.0, "value {v} not strictly positive");
+        }
+    }
+
+    #[test]
+    fn tendency_shares_order_but_not_ratios() {
+        let mut cfg = small_config();
+        cfg.pattern = PatternKind::Tendency;
+        cfg.plant_gamma = 0.05;
+        cfg.neg_fraction = 0.0;
+        cfg.seed = 3;
+        let d = generate(&cfg).unwrap();
+        let mut found_incoherent = false;
+        for p in &d.planted {
+            for (gi, &g) in p.genes.iter().enumerate() {
+                let row = d.matrix.row(g);
+                let sign = if p.negated[gi] { -1.0 } else { 1.0 };
+                for w in p.chain.windows(2) {
+                    assert!((row[w[1]] - row[w[0]]) * sign > 0.0, "order must be shared");
+                }
+            }
+            // At least one cluster must have genuinely different H-series.
+            let h = |g: GeneId| -> Vec<f64> {
+                let row = d.matrix.row(g);
+                let baseline = row[p.chain[1]] - row[p.chain[0]];
+                p.chain
+                    .windows(2)
+                    .map(|w| (row[w[1]] - row[w[0]]) / baseline)
+                    .collect()
+            };
+            let h0 = h(p.genes[0]);
+            for &g in &p.genes[1..] {
+                if h(g)
+                    .iter()
+                    .zip(h0.iter())
+                    .any(|(a, b)| (a - b).abs() > 0.05)
+                {
+                    found_incoherent = true;
+                }
+            }
+        }
+        assert!(found_incoherent, "tendency clusters should not be coherent");
+    }
+
+    #[test]
+    fn infeasible_and_invalid_configs_error() {
+        let mut cfg = small_config();
+        cfg.cluster_gene_frac = 0.5;
+        cfg.n_clusters = 10; // 10 × ~60 genes ≫ 120
+        assert!(matches!(generate(&cfg), Err(DatagenError::Infeasible(_))));
+
+        let mut cfg = small_config();
+        cfg.plant_gamma = 0.6;
+        assert!(matches!(
+            generate(&cfg),
+            Err(DatagenError::InvalidConfig(_))
+        ));
+
+        let mut cfg = small_config();
+        cfg.n_conds = 1;
+        assert!(generate(&cfg).is_err());
+
+        let mut cfg = small_config();
+        cfg.value_max = 0.0;
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn paper_default_config_is_feasible() {
+        let cfg = SyntheticConfig {
+            n_genes: 300,
+            ..SyntheticConfig::default()
+        };
+        // Scale the gene count down 10× for test speed; the full default is
+        // exercised by the Figure 7 benchmark harness.
+        let d = generate(&cfg).unwrap();
+        assert_eq!(d.planted.len(), 30);
+    }
+
+    #[test]
+    fn noise_perturbs_only_planted_cells() {
+        let clean = generate(&small_config()).unwrap();
+        let mut noisy_cfg = small_config();
+        noisy_cfg.noise_sigma = 0.2;
+        let noisy = generate(&noisy_cfg).unwrap();
+
+        let planted_cells: std::collections::HashSet<(usize, usize)> = clean
+            .planted
+            .iter()
+            .flat_map(|p| {
+                p.genes
+                    .iter()
+                    .flat_map(|&g| p.chain.iter().map(move |&c| (g, c)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut changed = 0usize;
+        for g in 0..clean.matrix.n_genes() {
+            for c in 0..clean.matrix.n_conditions() {
+                let delta = (clean.matrix.value(g, c) - noisy.matrix.value(g, c)).abs();
+                if planted_cells.contains(&(g, c)) {
+                    changed += usize::from(delta > 0.0);
+                } else {
+                    assert_eq!(delta, 0.0, "background cell ({g},{c}) must not change");
+                }
+            }
+        }
+        assert!(
+            changed > planted_cells.len() / 2,
+            "noise should touch most planted cells"
+        );
+        for &v in noisy.matrix.flat_values() {
+            assert!((0.0..=10.0).contains(&v), "noise must stay clamped");
+        }
+    }
+
+    #[test]
+    fn noise_sigma_must_be_finite_nonnegative() {
+        let mut cfg = small_config();
+        cfg.noise_sigma = -0.1;
+        assert!(generate(&cfg).is_err());
+        cfg.noise_sigma = f64::NAN;
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn zero_plant_gamma_still_strictly_monotone() {
+        let mut cfg = small_config();
+        cfg.plant_gamma = 0.0;
+        let d = generate(&cfg).unwrap();
+        for p in &d.planted {
+            for (gi, &g) in p.genes.iter().enumerate() {
+                let row = d.matrix.row(g);
+                let sign = if p.negated[gi] { -1.0 } else { 1.0 };
+                for w in p.chain.windows(2) {
+                    assert!((row[w[1]] - row[w[0]]) * sign > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! A structured stand-in for the Tavazoie/Church yeast benchmark.
+//!
+//! The paper's effectiveness experiment (§5.2) runs on the 2884 × 17 yeast
+//! expression matrix from Tavazoie et al., served by the Church lab, and
+//! scores the discovered clusters with the yeast genome GO Term Finder.
+//! Neither resource is available offline, so this module generates a matrix
+//! of the same shape with planted *co-regulation modules* that have the
+//! statistical signature the real data exhibits under the reg-cluster model:
+//!
+//! * each module is a shifting-and-scaling response over 6–9 conditions with
+//!   per-gene sensitivities (scaling magnitudes) spread over a wide range —
+//!   the behaviour the paper motivates with hormone-sensitivity studies;
+//! * roughly a quarter of a module's genes respond negatively (n-members);
+//! * module condition sets overlap, so discovered clusters overlap;
+//! * the remaining genes are unstructured noise.
+//!
+//! A synthetic GO annotation database is generated jointly: each module is
+//! enriched for one term per GO category (plus noise annotations), so that
+//! hypergeometric enrichment of a *recovered* module reproduces the
+//! extremely low p-values of the paper's Table 2.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use regcluster_matrix::{ExpressionMatrix, GeneId};
+
+use crate::go::{GoCategory, GoDatabase};
+use crate::synthetic::PlantedCluster;
+use crate::DatagenError;
+
+/// Configuration of the simulated yeast dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YeastConfig {
+    /// Number of genes (2884 in the benchmark).
+    pub n_genes: usize,
+    /// Number of conditions (17 in the benchmark).
+    pub n_conds: usize,
+    /// Number of planted co-regulation modules.
+    pub n_modules: usize,
+    /// Module size range (genes), inclusive.
+    pub genes_per_module: (usize, usize),
+    /// Module dimensionality: `(normal, wide)`. The first `n_wide_modules`
+    /// modules span `wide` conditions, the rest `normal`. A wide module's
+    /// every `≥ normal`-length subchain is a validated reg-cluster, which
+    /// is what produces the paper's heavily-overlapping cluster pairs.
+    pub conds_per_module: (usize, usize),
+    /// How many modules are wide (see `conds_per_module`).
+    pub n_wide_modules: usize,
+    /// Probability a module gene responds negatively.
+    pub neg_fraction: f64,
+    /// Regulation threshold (fraction of the value range) the planted
+    /// modules are guaranteed to satisfy.
+    pub plant_gamma: f64,
+    /// Fraction of a module's genes annotated with its signature GO terms.
+    pub go_coverage: f64,
+    /// Number of unrelated background GO terms per category.
+    pub go_background_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YeastConfig {
+    fn default() -> Self {
+        Self {
+            n_genes: 2884,
+            n_conds: 17,
+            n_modules: 16,
+            genes_per_module: (20, 45),
+            conds_per_module: (6, 7),
+            n_wide_modules: 1,
+            neg_fraction: 0.25,
+            plant_gamma: 0.08,
+            go_coverage: 0.8,
+            go_background_terms: 15,
+            seed: 2006,
+        }
+    }
+}
+
+/// The simulated yeast dataset: matrix, module ground truth and GO database.
+#[derive(Debug, Clone)]
+pub struct YeastDataset {
+    /// The 2884 × 17 (by default) expression matrix.
+    pub matrix: ExpressionMatrix,
+    /// Ground truth of the planted modules.
+    pub modules: Vec<PlantedCluster>,
+    /// Synthetic GO annotations enriched on the modules.
+    pub go: GoDatabase,
+}
+
+/// Names used for the module signature terms, echoing Table 2 of the paper.
+const PROCESS_NAMES: [&str; 5] = [
+    "DNA replication",
+    "protein biosynthesis",
+    "cytoplasm organization and biogenesis",
+    "response to stress",
+    "carbohydrate metabolism",
+];
+const FUNCTION_NAMES: [&str; 5] = [
+    "DNA-directed DNA polymerase activity",
+    "structural constituent of ribosome",
+    "helicase activity",
+    "oxidoreductase activity",
+    "transporter activity",
+];
+const COMPONENT_NAMES: [&str; 5] = [
+    "replication fork",
+    "cytosolic ribosome",
+    "ribonucleoprotein complex",
+    "mitochondrion",
+    "nucleolus",
+];
+
+/// Generates the simulated yeast dataset.
+///
+/// # Errors
+///
+/// Returns [`DatagenError`] for invalid or infeasible configurations (module
+/// gene demand exceeding the gene population, ranges inverted, thresholds
+/// out of domain).
+pub fn yeast_like(config: &YeastConfig) -> Result<YeastDataset, DatagenError> {
+    validate(config)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let vm = 10.0f64;
+    const DELTA: f64 = 0.05;
+
+    let mut values: Vec<f64> = (0..config.n_genes * config.n_conds)
+        .map(|_| rng.gen_range(0.0..vm))
+        .collect();
+
+    let mut pool: Vec<GeneId> = (0..config.n_genes).collect();
+    pool.shuffle(&mut rng);
+    let mut pool_next = 0usize;
+
+    let mut modules = Vec::with_capacity(config.n_modules);
+    for module_idx in 0..config.n_modules {
+        let k = rng.gen_range(config.genes_per_module.0..=config.genes_per_module.1);
+        if pool_next + k > pool.len() {
+            return Err(DatagenError::Infeasible(format!(
+                "module gene pools exhausted after {} modules",
+                modules.len()
+            )));
+        }
+        let mut genes: Vec<GeneId> = pool[pool_next..pool_next + k].to_vec();
+        pool_next += k;
+        genes.sort_unstable();
+
+        let m = if module_idx < config.n_wide_modules {
+            config.conds_per_module.1
+        } else {
+            config.conds_per_module.0
+        }
+        .min(config.n_conds);
+        let mut conds: Vec<usize> = (0..config.n_conds).collect();
+        conds.shuffle(&mut rng);
+        conds.truncate(m);
+
+        // Base profile with gaps above the regulation floor.
+        let gap_floor = (config.plant_gamma * (1.0 + DELTA)).min(0.9 / (m - 1) as f64);
+        let slack = 1.0 - gap_floor * (m - 1) as f64;
+        let mut gaps: Vec<f64> = (0..m - 1).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let sum: f64 = gaps.iter().sum();
+        for g in &mut gaps {
+            *g = gap_floor + slack * (*g / sum);
+        }
+        let mut base = vec![0.0f64];
+        for g in &gaps {
+            base.push(base.last().unwrap() + g);
+        }
+        let last = *base.last().unwrap();
+        for b in &mut base {
+            *b /= last;
+        }
+        let min_gap = base
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        let s_min = (config.plant_gamma * vm * (1.0 + DELTA / 2.0)) / min_gap;
+        let s_min = s_min.min(vm);
+
+        let mut negated = Vec::with_capacity(k);
+        for &g in &genes {
+            let neg = rng.gen_bool(config.neg_fraction);
+            negated.push(neg);
+            // Per-gene sensitivity: the full feasible scaling range, so
+            // magnitudes differ by up to ~40% within a module.
+            let s_mag = rng.gen_range(s_min..=vm);
+            let (s1, s2) = if neg {
+                (-s_mag, rng.gen_range(s_mag..=vm))
+            } else {
+                (s_mag, rng.gen_range(0.0..=(vm - s_mag)))
+            };
+            let row_start = g * config.n_conds;
+            for (j, &c) in conds.iter().enumerate() {
+                values[row_start + c] = s1 * base[j] + s2;
+            }
+        }
+        modules.push(PlantedCluster {
+            genes,
+            chain: conds,
+            negated,
+        });
+    }
+
+    // GO database: three signature terms per module + background terms.
+    let mut go = GoDatabase::new(config.n_genes);
+    for (mi, module) in modules.iter().enumerate() {
+        let n_annot = ((module.genes.len() as f64) * config.go_coverage)
+            .round()
+            .max(1.0) as usize;
+        for (cat_i, cat) in GoCategory::ALL.iter().enumerate() {
+            let names = match cat {
+                GoCategory::Process => &PROCESS_NAMES,
+                GoCategory::Function => &FUNCTION_NAMES,
+                GoCategory::Component => &COMPONENT_NAMES,
+            };
+            let mut annotated: Vec<GeneId> = module.genes.clone();
+            annotated.shuffle(&mut rng);
+            annotated.truncate(n_annot);
+            // Dilute with unrelated genes (~0.5% of the population).
+            let n_noise = (config.n_genes / 200).max(1);
+            for _ in 0..n_noise {
+                annotated.push(rng.gen_range(0..config.n_genes));
+            }
+            go.add_term(
+                format!("GO:{:07}", mi * 3 + cat_i + 1),
+                format!("{} (module {})", names[mi % names.len()], mi),
+                *cat,
+                annotated,
+            );
+        }
+    }
+    for (cat_i, cat) in GoCategory::ALL.iter().enumerate() {
+        for t in 0..config.go_background_terms {
+            let size = rng.gen_range(10..200);
+            let genes: Vec<GeneId> = (0..size)
+                .map(|_| rng.gen_range(0..config.n_genes))
+                .collect();
+            go.add_term(
+                format!("GO:9{:06}", cat_i * 1000 + t),
+                format!("background term {cat_i}-{t}"),
+                *cat,
+                genes,
+            );
+        }
+    }
+
+    let matrix = ExpressionMatrix::from_flat_unlabeled(config.n_genes, config.n_conds, values)
+        .expect("generated values are finite");
+    Ok(YeastDataset {
+        matrix,
+        modules,
+        go,
+    })
+}
+
+fn validate(config: &YeastConfig) -> Result<(), DatagenError> {
+    if config.n_genes == 0 || config.n_conds < 2 {
+        return Err(DatagenError::InvalidConfig(
+            "need ≥ 1 gene and ≥ 2 conditions".into(),
+        ));
+    }
+    if config.genes_per_module.0 < 2 || config.genes_per_module.0 > config.genes_per_module.1 {
+        return Err(DatagenError::InvalidConfig(
+            "genes_per_module range invalid".into(),
+        ));
+    }
+    if config.conds_per_module.0 < 2 || config.conds_per_module.0 > config.conds_per_module.1 {
+        return Err(DatagenError::InvalidConfig(
+            "conds_per_module range invalid".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.neg_fraction) || !(0.0..=1.0).contains(&config.go_coverage) {
+        return Err(DatagenError::InvalidConfig(
+            "fractions must be in [0, 1]".into(),
+        ));
+    }
+    if !(config.plant_gamma > 0.0 && config.plant_gamma < 0.45) {
+        return Err(DatagenError::InvalidConfig(
+            "plant_gamma must be in (0, 0.45)".into(),
+        ));
+    }
+    // Feasibility of the largest module dimensionality.
+    let m = config.conds_per_module.1.min(config.n_conds);
+    let gap_floor = (config.plant_gamma * 1.05).min(0.9 / (m - 1) as f64);
+    if gap_floor * (m - 1) as f64 > 1.0 {
+        return Err(DatagenError::Infeasible(format!(
+            "plant_gamma {} cannot support {m}-condition modules",
+            config.plant_gamma
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> YeastConfig {
+        YeastConfig {
+            n_genes: 300,
+            n_conds: 17,
+            n_modules: 4,
+            genes_per_module: (10, 15),
+            ..YeastConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = yeast_like(&small()).unwrap();
+        let b = yeast_like(&small()).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.modules, b.modules);
+        assert_eq!(a.go, b.go);
+    }
+
+    #[test]
+    fn default_shape_matches_benchmark() {
+        let cfg = YeastConfig::default();
+        assert_eq!(cfg.n_genes, 2884);
+        assert_eq!(cfg.n_conds, 17);
+        let d = yeast_like(&small()).unwrap();
+        assert_eq!(d.matrix.n_conditions(), 17);
+        assert_eq!(d.modules.len(), 4);
+    }
+
+    #[test]
+    fn modules_are_valid_reg_patterns() {
+        let cfg = small();
+        let d = yeast_like(&cfg).unwrap();
+        for module in &d.modules {
+            assert!((6..=7).contains(&module.n_conditions()));
+            for (gi, &g) in module.genes.iter().enumerate() {
+                let row = d.matrix.row(g);
+                let (lo, hi) = d.matrix.gene_range(g);
+                let gamma_i = cfg.plant_gamma * (hi - lo);
+                let sign = if module.negated[gi] { -1.0 } else { 1.0 };
+                for w in module.chain.windows(2) {
+                    assert!((row[w[1]] - row[w[0]]) * sign > gamma_i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn go_terms_enrich_their_modules() {
+        let cfg = small();
+        let d = yeast_like(&cfg).unwrap();
+        // 3 signature terms per module + background terms per category.
+        assert_eq!(
+            d.go.terms.len(),
+            cfg.n_modules * 3 + cfg.go_background_terms * 3
+        );
+        for (mi, module) in d.modules.iter().enumerate() {
+            let term = &d.go.terms[mi * 3];
+            let inside = GoDatabase::count_in_cluster(term, &module.genes);
+            // At least ~half the module carries its signature term.
+            assert!(
+                inside * 2 >= module.genes.len(),
+                "module {mi}: only {inside}/{} annotated",
+                module.genes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = small();
+        c.genes_per_module = (5, 2);
+        assert!(yeast_like(&c).is_err());
+        let mut c = small();
+        c.plant_gamma = 0.0;
+        assert!(yeast_like(&c).is_err());
+        let mut c = small();
+        c.n_modules = 100; // 100 × ≥10 genes > 300
+        assert!(matches!(yeast_like(&c), Err(DatagenError::Infeasible(_))));
+    }
+}

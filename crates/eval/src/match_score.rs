@@ -1,0 +1,212 @@
+//! Match scores between cluster sets (Prelić et al.-style).
+//!
+//! A cluster is reduced to its [`ClusterShape`] — sorted gene and condition
+//! sets. The **gene match score** of two shapes is the Jaccard similarity of
+//! their gene sets; the **cell match score** uses the covered submatrix
+//! cells (`genes × conditions`) instead, which also penalizes wrong
+//! condition sets. The score of a cluster *set* against another is the
+//! average, over the first set, of each cluster's best match in the second:
+//!
+//! * `recovery(ground_truth, found)` — how completely the planted modules
+//!   were rediscovered;
+//! * `relevance(found, ground_truth)` — how much of the output corresponds
+//!   to planted structure.
+//!
+//! Both are in `[0, 1]`, with 1.0 meaning a perfect match.
+
+use regcluster_core::RegCluster;
+use regcluster_datagen::PlantedCluster;
+use regcluster_matrix::{CondId, GeneId};
+use serde::{Deserialize, Serialize};
+
+/// A cluster reduced to its gene set and condition set (both sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterShape {
+    /// Member genes, sorted ascending.
+    pub genes: Vec<GeneId>,
+    /// Conditions, sorted ascending.
+    pub conds: Vec<CondId>,
+}
+
+impl ClusterShape {
+    /// Builds a shape from raw sets (sorting and deduplicating).
+    pub fn new(mut genes: Vec<GeneId>, mut conds: Vec<CondId>) -> Self {
+        genes.sort_unstable();
+        genes.dedup();
+        conds.sort_unstable();
+        conds.dedup();
+        Self { genes, conds }
+    }
+}
+
+impl From<&RegCluster> for ClusterShape {
+    fn from(c: &RegCluster) -> Self {
+        Self::new(c.genes(), c.chain.clone())
+    }
+}
+
+impl From<&PlantedCluster> for ClusterShape {
+    fn from(p: &PlantedCluster) -> Self {
+        Self::new(p.genes.clone(), p.chain.clone())
+    }
+}
+
+fn intersection_size(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard similarity of the two gene sets.
+pub fn gene_match_score(a: &ClusterShape, b: &ClusterShape) -> f64 {
+    let inter = intersection_size(&a.genes, &b.genes);
+    let union = a.genes.len() + b.genes.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity of the two covered cell sets
+/// (`genes × conditions`).
+pub fn cell_match_score(a: &ClusterShape, b: &ClusterShape) -> f64 {
+    let gi = intersection_size(&a.genes, &b.genes);
+    let ci = intersection_size(&a.conds, &b.conds);
+    let inter = gi * ci;
+    let union = a.genes.len() * a.conds.len() + b.genes.len() * b.conds.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+fn avg_best_match(
+    src: &[ClusterShape],
+    dst: &[ClusterShape],
+    score: impl Fn(&ClusterShape, &ClusterShape) -> f64,
+) -> f64 {
+    if src.is_empty() {
+        return 0.0;
+    }
+    src.iter()
+        .map(|a| dst.iter().map(|b| score(a, b)).fold(0.0f64, f64::max))
+        .sum::<f64>()
+        / src.len() as f64
+}
+
+/// Average best gene-match of each ground-truth cluster in `found`:
+/// 1.0 iff every planted cluster is perfectly rediscovered.
+///
+/// ```
+/// use regcluster_eval::{recovery, relevance, ClusterShape};
+///
+/// let truth = vec![
+///     ClusterShape::new(vec![0, 1, 2], vec![0, 1]),
+///     ClusterShape::new(vec![5, 6, 7], vec![2, 3]),
+/// ];
+/// // One planted cluster found exactly, the other missed entirely.
+/// let found = vec![ClusterShape::new(vec![0, 1, 2], vec![0, 1])];
+/// assert_eq!(recovery(&truth, &found), 0.5);
+/// assert_eq!(relevance(&found, &truth), 1.0);
+/// ```
+pub fn recovery(ground_truth: &[ClusterShape], found: &[ClusterShape]) -> f64 {
+    avg_best_match(ground_truth, found, gene_match_score)
+}
+
+/// Average best gene-match of each found cluster in the ground truth:
+/// 1.0 iff everything reported corresponds to a planted cluster.
+pub fn relevance(found: &[ClusterShape], ground_truth: &[ClusterShape]) -> f64 {
+    avg_best_match(found, ground_truth, gene_match_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(genes: &[usize], conds: &[usize]) -> ClusterShape {
+        ClusterShape::new(genes.to_vec(), conds.to_vec())
+    }
+
+    #[test]
+    fn identical_shapes_score_one() {
+        let a = shape(&[1, 2, 3], &[0, 1]);
+        assert_eq!(gene_match_score(&a, &a), 1.0);
+        assert_eq!(cell_match_score(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_shapes_score_zero() {
+        let a = shape(&[1, 2], &[0]);
+        let b = shape(&[3, 4], &[0]);
+        assert_eq!(gene_match_score(&a, &b), 0.0);
+        assert_eq!(cell_match_score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = shape(&[1, 2, 3, 4], &[0, 1]);
+        let b = shape(&[3, 4, 5, 6], &[0, 1]);
+        assert!((gene_match_score(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+        // cells: 2 shared genes × 2 shared conds = 4; union 8 + 8 − 4 = 12.
+        assert!((cell_match_score(&a, &b) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_score_penalizes_wrong_conditions() {
+        let a = shape(&[1, 2], &[0, 1]);
+        let b = shape(&[1, 2], &[2, 3]);
+        assert_eq!(gene_match_score(&a, &b), 1.0);
+        assert_eq!(cell_match_score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn recovery_and_relevance() {
+        let gt = vec![shape(&[0, 1, 2], &[0, 1]), shape(&[5, 6, 7], &[2, 3])];
+        // One planted cluster perfectly found, the other missed; one bogus
+        // extra cluster reported.
+        let found = vec![shape(&[0, 1, 2], &[0, 1]), shape(&[10, 11], &[4, 5])];
+        assert!((recovery(&gt, &found) - 0.5).abs() < 1e-12);
+        assert!((relevance(&found, &gt) - 0.5).abs() < 1e-12);
+        // Perfect output.
+        let perfect: Vec<ClusterShape> = gt.clone();
+        assert_eq!(recovery(&gt, &perfect), 1.0);
+        assert_eq!(relevance(&perfect, &gt), 1.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let gt = vec![shape(&[0], &[0])];
+        assert_eq!(recovery(&gt, &[]), 0.0);
+        assert_eq!(relevance(&[], &gt), 0.0);
+        assert_eq!(recovery(&[], &gt), 0.0);
+    }
+
+    #[test]
+    fn shape_normalizes_input() {
+        let s = ClusterShape::new(vec![3, 1, 3, 2], vec![5, 5, 0]);
+        assert_eq!(s.genes, vec![1, 2, 3]);
+        assert_eq!(s.conds, vec![0, 5]);
+    }
+
+    #[test]
+    fn conversions_from_cluster_types() {
+        let rc = RegCluster {
+            chain: vec![4, 1, 3],
+            p_members: vec![2, 0],
+            n_members: vec![5],
+        };
+        let s: ClusterShape = (&rc).into();
+        assert_eq!(s.genes, vec![0, 2, 5]);
+        assert_eq!(s.conds, vec![1, 3, 4]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pairwise cluster-overlap statistics.
+//!
+//! §5.2 of the paper reports that "the percentage of overlapping cells of a
+//! bi-reg-cluster with another one generally ranges from 0% to 85%" on the
+//! yeast benchmark (no splitting or merging is performed). This module
+//! computes the same statistic for a set of mined clusters.
+
+use regcluster_core::RegCluster;
+use serde::{Deserialize, Serialize};
+
+/// Percentage (0–100) of `a`'s cells that are also covered by `b`.
+pub fn overlap_percent(a: &RegCluster, b: &RegCluster) -> f64 {
+    let cells_a = a.n_cells();
+    if cells_a == 0 {
+        return 0.0;
+    }
+    100.0 * a.cell_overlap(b) as f64 / cells_a as f64
+}
+
+/// Summary of each cluster's *maximum* overlap with any other cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapStats {
+    /// Number of clusters summarized.
+    pub n_clusters: usize,
+    /// Smallest per-cluster maximum overlap (percent).
+    pub min_percent: f64,
+    /// Largest per-cluster maximum overlap (percent).
+    pub max_percent: f64,
+    /// Mean per-cluster maximum overlap (percent).
+    pub mean_percent: f64,
+    /// Number of clusters that share no cell with any other cluster.
+    pub n_disjoint: usize,
+}
+
+/// Computes per-cluster maximum overlap statistics. With fewer than two
+/// clusters all percentages are zero.
+pub fn overlap_stats(clusters: &[RegCluster]) -> OverlapStats {
+    let n = clusters.len();
+    if n < 2 {
+        return OverlapStats {
+            n_clusters: n,
+            min_percent: 0.0,
+            max_percent: 0.0,
+            mean_percent: 0.0,
+            n_disjoint: n,
+        };
+    }
+    let mut maxima = Vec::with_capacity(n);
+    for (i, a) in clusters.iter().enumerate() {
+        let best = clusters
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, b)| overlap_percent(a, b))
+            .fold(0.0f64, f64::max);
+        maxima.push(best);
+    }
+    let min = maxima.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = maxima.iter().copied().fold(0.0f64, f64::max);
+    let mean = maxima.iter().sum::<f64>() / n as f64;
+    let disjoint = maxima.iter().filter(|&&m| m == 0.0).count();
+    OverlapStats {
+        n_clusters: n,
+        min_percent: min,
+        max_percent: max,
+        mean_percent: mean,
+        n_disjoint: disjoint,
+    }
+}
+
+/// Greedily selects up to `k` mutually non-overlapping clusters (largest
+/// first), the way the paper picks its three showcase bi-reg-clusters for
+/// Figure 8.
+pub fn select_disjoint(clusters: &[RegCluster], k: usize) -> Vec<&RegCluster> {
+    let mut order: Vec<&RegCluster> = clusters.iter().collect();
+    order.sort_by_key(|c| std::cmp::Reverse(c.n_cells()));
+    let mut picked: Vec<&RegCluster> = Vec::new();
+    for c in order {
+        if picked.len() >= k {
+            break;
+        }
+        if picked.iter().all(|p| c.cell_overlap(p) == 0) {
+            picked.push(c);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(chain: Vec<usize>, p: Vec<usize>, n: Vec<usize>) -> RegCluster {
+        RegCluster {
+            chain,
+            p_members: p,
+            n_members: n,
+        }
+    }
+
+    #[test]
+    fn percent_of_shared_cells() {
+        let a = cluster(vec![0, 1], vec![0, 1], vec![]); // 4 cells
+        let b = cluster(vec![1, 2], vec![1, 2], vec![]); // 4 cells
+                                                         // Shared: gene 1 × cond 1 = 1 cell → 25% of a.
+        assert!((overlap_percent(&a, &b) - 25.0).abs() < 1e-12);
+        assert!((overlap_percent(&b, &a) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_across_three_clusters() {
+        let a = cluster(vec![0, 1], vec![0, 1], vec![]);
+        let b = cluster(vec![1, 2], vec![1, 2], vec![]);
+        let c = cluster(vec![5, 6], vec![7, 8], vec![]); // disjoint
+        let s = overlap_stats(&[a, b, c]);
+        assert_eq!(s.n_clusters, 3);
+        assert_eq!(s.min_percent, 0.0);
+        assert!((s.max_percent - 25.0).abs() < 1e-12);
+        assert_eq!(s.n_disjoint, 1);
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        assert_eq!(overlap_stats(&[]).n_clusters, 0);
+        let a = cluster(vec![0], vec![0], vec![]);
+        let s = overlap_stats(&[a]);
+        assert_eq!(s.n_clusters, 1);
+        assert_eq!(s.n_disjoint, 1);
+    }
+
+    #[test]
+    fn select_disjoint_prefers_large() {
+        let big = cluster(vec![0, 1, 2], vec![0, 1, 2], vec![3]); // 12 cells
+        let overlapping = cluster(vec![2, 3], vec![2, 3], vec![]); // shares (2,2)
+        let small = cluster(vec![8, 9], vec![8], vec![9]); // 4 cells, disjoint
+        let clusters = vec![overlapping.clone(), small.clone(), big.clone()];
+        let picked = select_disjoint(&clusters, 3);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], &big);
+        assert_eq!(picked[1], &small);
+        let one = select_disjoint(&clusters, 1);
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Human-readable and machine-readable cluster reports.
+
+use regcluster_core::RegCluster;
+use regcluster_matrix::ExpressionMatrix;
+
+use crate::go::Enrichment;
+use crate::overlap::overlap_stats;
+
+/// Formats a summary table of mined clusters:
+///
+/// ```text
+/// id  genes  p  n  conds  chain
+/// 0   21     16 5  6      c4 ↰ c11 ↰ c2 ↰ ...
+/// ```
+pub fn cluster_table(matrix: &ExpressionMatrix, clusters: &[RegCluster]) -> String {
+    let mut out = String::new();
+    out.push_str("id\tgenes\tp\tn\tconds\tchain\n");
+    for (i, c) in clusters.iter().enumerate() {
+        let chain = c
+            .chain
+            .iter()
+            .map(|&cond| matrix.condition_name(cond))
+            .collect::<Vec<_>>()
+            .join(" < ");
+        out.push_str(&format!(
+            "{i}\t{}\t{}\t{}\t{}\t{chain}\n",
+            c.n_genes(),
+            c.p_members.len(),
+            c.n_members.len(),
+            c.n_conditions(),
+        ));
+    }
+    out
+}
+
+/// One-line overlap summary echoing the paper's §5.2 observation.
+pub fn overlap_summary(clusters: &[RegCluster]) -> String {
+    let s = overlap_stats(clusters);
+    format!(
+        "{} clusters; per-cluster max cell overlap: {:.0}%–{:.0}% (mean {:.0}%), {} fully disjoint",
+        s.n_clusters, s.min_percent, s.max_percent, s.mean_percent, s.n_disjoint
+    )
+}
+
+/// Per-cluster expression profiles in CSV form, one row per member gene in
+/// **chain order** columns — the data behind a Figure 8-style plot. The
+/// second column marks the orientation (`p` solid / `n` dashed in the
+/// paper's figure).
+pub fn profile_csv(matrix: &ExpressionMatrix, cluster: &RegCluster) -> String {
+    let mut out = String::from("gene,role");
+    for &c in &cluster.chain {
+        out.push(',');
+        out.push_str(matrix.condition_name(c));
+    }
+    out.push('\n');
+    for (&g, role) in cluster
+        .p_members
+        .iter()
+        .map(|g| (g, "p"))
+        .chain(cluster.n_members.iter().map(|g| (g, "n")))
+    {
+        out.push_str(matrix.gene_name(g));
+        out.push(',');
+        out.push_str(role);
+        for &c in &cluster.chain {
+            out.push_str(&format!(",{}", matrix.value(g, c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the Table 2 layout: one row per cluster, the top term of each GO
+/// category with its p-value.
+pub fn go_table(rows: &[(String, Vec<Enrichment>)]) -> String {
+    let mut out = String::new();
+    out.push_str("cluster\tProcess\tFunction\tCellular Component\n");
+    for (name, tops) in rows {
+        out.push_str(name);
+        for e in tops {
+            out.push_str(&format!("\t{} (p={:.3e})", e.term_name, e.p_value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcluster_datagen::GoCategory;
+
+    fn matrix() -> ExpressionMatrix {
+        ExpressionMatrix::from_rows(
+            vec!["gA".into(), "gB".into()],
+            vec!["c1".into(), "c2".into(), "c3".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![6.0, 5.0, 4.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_lists_every_cluster() {
+        let m = matrix();
+        let clusters = vec![RegCluster {
+            chain: vec![0, 1, 2],
+            p_members: vec![0],
+            n_members: vec![1],
+        }];
+        let t = cluster_table(&m, &clusters);
+        assert!(t.contains("c1 < c2 < c3"));
+        assert!(t.lines().count() == 2);
+        assert!(t.contains("0\t2\t1\t1\t3"));
+    }
+
+    #[test]
+    fn profile_csv_has_chain_order_and_roles() {
+        let m = matrix();
+        let c = RegCluster {
+            chain: vec![2, 0],
+            p_members: vec![0],
+            n_members: vec![1],
+        };
+        let csv = profile_csv(&m, &c);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "gene,role,c3,c1");
+        assert_eq!(lines[1], "gA,p,3,1");
+        assert_eq!(lines[2], "gB,n,4,6");
+    }
+
+    #[test]
+    fn overlap_summary_mentions_counts() {
+        let clusters = vec![
+            RegCluster {
+                chain: vec![0, 1],
+                p_members: vec![0],
+                n_members: vec![],
+            },
+            RegCluster {
+                chain: vec![0, 1],
+                p_members: vec![0, 1],
+                n_members: vec![],
+            },
+        ];
+        let s = overlap_summary(&clusters);
+        assert!(s.starts_with("2 clusters"));
+        assert!(s.contains("100%"), "{s}");
+    }
+
+    #[test]
+    fn go_table_formats_rows() {
+        let e = Enrichment {
+            term_index: 0,
+            term_id: "GO:1".into(),
+            term_name: "DNA replication".into(),
+            category: GoCategory::Process,
+            in_cluster: 5,
+            in_population: 10,
+            p_value: 3.64e-7,
+        };
+        let rows = vec![("c2_1".to_string(), vec![e])];
+        let t = go_table(&rows);
+        assert!(t.contains("DNA replication (p=3.640e-7)"));
+        assert!(t.contains("c2_1"));
+    }
+}

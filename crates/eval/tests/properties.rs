@@ -1,0 +1,107 @@
+//! Property-based tests of the evaluation metrics.
+
+use proptest::prelude::*;
+
+use regcluster_eval::go::{hypergeom_upper_tail, ln_choose, ln_gamma};
+use regcluster_eval::{cell_match_score, gene_match_score, recovery, relevance, ClusterShape};
+
+fn shape_strategy() -> impl Strategy<Value = ClusterShape> {
+    (
+        prop::collection::btree_set(0usize..30, 1..10),
+        prop::collection::btree_set(0usize..12, 1..6),
+    )
+        .prop_map(|(genes, conds)| {
+            ClusterShape::new(genes.into_iter().collect(), conds.into_iter().collect())
+        })
+}
+
+proptest! {
+    /// Match scores are symmetric, bounded, and 1 iff identical sets.
+    #[test]
+    fn match_score_properties(a in shape_strategy(), b in shape_strategy()) {
+        for score in [gene_match_score, cell_match_score] {
+            let s = score(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - score(&b, &a)).abs() < 1e-12, "symmetry");
+        }
+        prop_assert_eq!(gene_match_score(&a, &a), 1.0);
+        prop_assert_eq!(cell_match_score(&a, &a), 1.0);
+        if gene_match_score(&a, &b) == 1.0 {
+            prop_assert_eq!(&a.genes, &b.genes);
+        }
+        if cell_match_score(&a, &b) == 1.0 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Recovery/relevance are bounded, and perfect output gives 1.0 both
+    /// ways; adding junk to the output never lowers recovery but can only
+    /// lower (or keep) relevance.
+    #[test]
+    fn recovery_relevance_properties(
+        truth in prop::collection::vec(shape_strategy(), 1..5),
+        junk in prop::collection::vec(shape_strategy(), 0..5),
+    ) {
+        prop_assert!((recovery(&truth, &truth) - 1.0).abs() < 1e-12);
+        prop_assert!((relevance(&truth, &truth) - 1.0).abs() < 1e-12);
+
+        let mut padded = truth.clone();
+        padded.extend(junk.iter().cloned());
+        let rec = recovery(&truth, &padded);
+        prop_assert!((rec - 1.0).abs() < 1e-12, "superset output keeps recovery at 1");
+        let rel = relevance(&padded, &truth);
+        prop_assert!(rel <= 1.0 + 1e-12);
+        prop_assert!(rel >= relevance(&padded, &[]) - 1e-12);
+    }
+
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x) across the domain.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..170.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
+    }
+
+    /// Pascal's rule in log space: C(n, k) = C(n−1, k−1) + C(n−1, k).
+    #[test]
+    fn ln_choose_pascal(n in 2usize..60, k in 1usize..59) {
+        prop_assume!(k < n);
+        let lhs = ln_choose(n, k).exp();
+        let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+        prop_assert!((lhs - rhs).abs() / rhs < 1e-9);
+    }
+
+    /// The hypergeometric upper tail is a valid survival function: bounded,
+    /// monotone non-increasing in k, equal to 1 at k = 0.
+    #[test]
+    fn hypergeom_survival_properties(
+        n_pop in 2usize..80,
+        k_pop_frac in 0.0f64..1.0,
+        n_draw_frac in 0.0f64..1.0,
+    ) {
+        let k_pop = ((n_pop as f64) * k_pop_frac) as usize;
+        let n_draw = (((n_pop as f64) * n_draw_frac) as usize).max(1).min(n_pop);
+        let mut prev = 1.0f64;
+        for k in 0..=n_draw.min(k_pop) {
+            let p = hypergeom_upper_tail(n_pop, k_pop, n_draw, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-9, "monotone at k = {k}");
+            prev = p;
+        }
+        prop_assert_eq!(hypergeom_upper_tail(n_pop, k_pop, n_draw, 0), 1.0);
+    }
+
+    /// Complement identity: P(X ≥ 1) + P(X = 0) = 1.
+    #[test]
+    fn hypergeom_complement(n_pop in 2usize..60, k_pop in 1usize..59, n_draw in 1usize..59) {
+        prop_assume!(k_pop < n_pop && n_draw <= n_pop);
+        let p_ge1 = hypergeom_upper_tail(n_pop, k_pop, n_draw, 1);
+        // P(X = 0) = C(N−K, n) / C(N, n); zero when n > N − K.
+        let p0 = if n_draw > n_pop - k_pop {
+            0.0
+        } else {
+            (ln_choose(n_pop - k_pop, n_draw) - ln_choose(n_pop, n_draw)).exp()
+        };
+        prop_assert!((p_ge1 + p0 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced while constructing, transforming or (de)serializing
+/// expression matrices.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// A row had a different number of values than the header declared.
+    RaggedRow {
+        /// Zero-based row index in the input (excluding the header).
+        row: usize,
+        /// Number of values expected (the header width).
+        expected: usize,
+        /// Number of values found.
+        found: usize,
+    },
+    /// The matrix would have zero genes or zero conditions.
+    Empty,
+    /// Duplicate gene or condition label.
+    DuplicateLabel(String),
+    /// A cell could not be parsed as a floating-point number.
+    BadValue {
+        /// Zero-based data row.
+        row: usize,
+        /// Zero-based data column.
+        col: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A non-finite value (NaN or infinity) was encountered where a finite
+    /// expression level is required.
+    NonFinite {
+        /// Gene (row) index.
+        gene: usize,
+        /// Condition (column) index.
+        cond: usize,
+    },
+    /// A transform precondition failed (e.g. log of a non-positive value).
+    Transform(String),
+    /// An index was out of bounds.
+    IndexOutOfBounds(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::RaggedRow {
+                row,
+                expected,
+                found,
+            } => write!(
+                f,
+                "row {row} has {found} values but the header declares {expected} conditions"
+            ),
+            MatrixError::Empty => write!(f, "matrix must have at least one gene and one condition"),
+            MatrixError::DuplicateLabel(l) => write!(f, "duplicate label: {l:?}"),
+            MatrixError::BadValue { row, col, token } => {
+                write!(
+                    f,
+                    "cannot parse value at row {row}, column {col}: {token:?}"
+                )
+            }
+            MatrixError::NonFinite { gene, cond } => {
+                write!(
+                    f,
+                    "non-finite expression value at gene {gene}, condition {cond}"
+                )
+            }
+            MatrixError::Transform(msg) => write!(f, "transform failed: {msg}"),
+            MatrixError::IndexOutOfBounds(msg) => write!(f, "index out of bounds: {msg}"),
+            MatrixError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Dense gene-expression matrix substrate for the reg-cluster workspace.
+//!
+//! Gene expression profiles are modelled as a dense row-major `f64` matrix in
+//! which each **row is a gene** and each **column is an experimental
+//! condition** (microarray sample), mirroring Table 1 of Xu, Lu, Tung & Wang,
+//! *Mining Shifting-and-Scaling Co-Regulation Patterns on Gene Expression
+//! Profiles* (ICDE 2006).
+//!
+//! The crate provides:
+//!
+//! * [`ExpressionMatrix`] — the core container with gene/condition labels,
+//!   row/column accessors, per-gene statistics and submatrix extraction;
+//! * [`io`] — tab-delimited reading and writing (the format used by the
+//!   Tavazoie/Church yeast benchmark referenced in the paper), including
+//!   missing-value markers;
+//! * [`transform`] — value transforms referenced by the paper's related work
+//!   discussion (log for pCluster/δ-cluster, exp for Tricluster, per-gene
+//!   z-score and min–max normalization);
+//! * [`missing`] — imputation strategies turning a [`io::RaggedMatrix`] with
+//!   holes into a complete [`ExpressionMatrix`].
+//!
+//! # Example
+//!
+//! ```
+//! use regcluster_matrix::ExpressionMatrix;
+//!
+//! let m = ExpressionMatrix::from_rows(
+//!     vec!["g1".into(), "g2".into()],
+//!     vec!["c1".into(), "c2".into(), "c3".into()],
+//!     vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+//! )
+//! .unwrap();
+//! assert_eq!(m.n_genes(), 2);
+//! assert_eq!(m.value(1, 2), 6.0);
+//! assert_eq!(m.gene_range(0), (1.0, 3.0));
+//! ```
+
+mod error;
+mod matrix;
+
+pub mod io;
+pub mod missing;
+pub mod stats;
+pub mod transform;
+
+pub use error::MatrixError;
+pub use matrix::{CondId, ExpressionMatrix, GeneId};

@@ -1,0 +1,463 @@
+use serde::{Deserialize, Serialize};
+
+use crate::MatrixError;
+
+/// Index of a gene (row) in an [`ExpressionMatrix`].
+pub type GeneId = usize;
+/// Index of a condition (column) in an [`ExpressionMatrix`].
+pub type CondId = usize;
+
+/// A dense gene × condition expression matrix.
+///
+/// Rows are genes, columns are conditions; values are finite `f64` expression
+/// levels. Storage is row-major so that per-gene profile scans (the access
+/// pattern of every algorithm in this workspace) are contiguous.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpressionMatrix {
+    genes: Vec<String>,
+    conditions: Vec<String>,
+    /// Row-major values, `values[g * n_conditions + c]`.
+    values: Vec<f64>,
+}
+
+impl ExpressionMatrix {
+    /// Builds a matrix from per-gene rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix would be empty, a row width does not
+    /// match the number of conditions, a label is duplicated, or any value is
+    /// non-finite.
+    pub fn from_rows(
+        genes: Vec<String>,
+        conditions: Vec<String>,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<Self, MatrixError> {
+        if genes.is_empty() || conditions.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        if genes.len() != rows.len() {
+            return Err(MatrixError::RaggedRow {
+                row: rows.len(),
+                expected: genes.len(),
+                found: rows.len(),
+            });
+        }
+        check_unique(&genes)?;
+        check_unique(&conditions)?;
+        let n = conditions.len();
+        let mut values = Vec::with_capacity(genes.len() * n);
+        for (g, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(MatrixError::RaggedRow {
+                    row: g,
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(MatrixError::NonFinite { gene: g, cond: c });
+                }
+                values.push(v);
+            }
+        }
+        Ok(Self {
+            genes,
+            conditions,
+            values,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major value buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExpressionMatrix::from_rows`].
+    pub fn from_flat(
+        genes: Vec<String>,
+        conditions: Vec<String>,
+        values: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if genes.is_empty() || conditions.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        if values.len() != genes.len() * conditions.len() {
+            return Err(MatrixError::RaggedRow {
+                row: 0,
+                expected: genes.len() * conditions.len(),
+                found: values.len(),
+            });
+        }
+        check_unique(&genes)?;
+        check_unique(&conditions)?;
+        let n = conditions.len();
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(MatrixError::NonFinite {
+                    gene: i / n,
+                    cond: i % n,
+                });
+            }
+        }
+        Ok(Self {
+            genes,
+            conditions,
+            values,
+        })
+    }
+
+    /// Builds a matrix with auto-generated labels `g0..` / `c0..`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dimensions are zero or the buffer size mismatches.
+    pub fn from_flat_unlabeled(
+        n_genes: usize,
+        n_conditions: usize,
+        values: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        let genes = (0..n_genes).map(|i| format!("g{i}")).collect();
+        let conditions = (0..n_conditions).map(|i| format!("c{i}")).collect();
+        Self::from_flat(genes, conditions, values)
+    }
+
+    /// Number of genes (rows).
+    #[inline]
+    pub fn n_genes(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Number of conditions (columns).
+    #[inline]
+    pub fn n_conditions(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Gene labels, in row order.
+    #[inline]
+    pub fn gene_names(&self) -> &[String] {
+        &self.genes
+    }
+
+    /// Condition labels, in column order.
+    #[inline]
+    pub fn condition_names(&self) -> &[String] {
+        &self.conditions
+    }
+
+    /// Label of gene `g`.
+    #[inline]
+    pub fn gene_name(&self, g: GeneId) -> &str {
+        &self.genes[g]
+    }
+
+    /// Label of condition `c`.
+    #[inline]
+    pub fn condition_name(&self, c: CondId) -> &str {
+        &self.conditions[c]
+    }
+
+    /// Index of the gene with the given label, if present.
+    pub fn gene_index(&self, name: &str) -> Option<GeneId> {
+        self.genes.iter().position(|g| g == name)
+    }
+
+    /// Index of the condition with the given label, if present.
+    pub fn condition_index(&self, name: &str) -> Option<CondId> {
+        self.conditions.iter().position(|c| c == name)
+    }
+
+    /// Expression level of gene `g` under condition `c`.
+    #[inline]
+    pub fn value(&self, g: GeneId, c: CondId) -> f64 {
+        self.values[g * self.conditions.len() + c]
+    }
+
+    /// The full expression profile (row) of gene `g`.
+    #[inline]
+    pub fn row(&self, g: GeneId) -> &[f64] {
+        let n = self.conditions.len();
+        &self.values[g * n..(g + 1) * n]
+    }
+
+    /// Mutable access to the profile of gene `g`.
+    #[inline]
+    pub fn row_mut(&mut self, g: GeneId) -> &mut [f64] {
+        let n = self.conditions.len();
+        &mut self.values[g * n..(g + 1) * n]
+    }
+
+    /// The expression levels of all genes under condition `c` (a copy; the
+    /// storage is row-major).
+    pub fn column(&self, c: CondId) -> Vec<f64> {
+        (0..self.n_genes()).map(|g| self.value(g, c)).collect()
+    }
+
+    /// Iterator over `(GeneId, profile)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (GeneId, &[f64])> {
+        let n = self.conditions.len();
+        self.values.chunks_exact(n).enumerate()
+    }
+
+    /// Minimum and maximum expression level of gene `g` across **all**
+    /// conditions.
+    ///
+    /// This is the range used by the paper's per-gene regulation threshold
+    /// `γ_i = γ · (max_j d_ij − min_j d_ij)` (Equation 4).
+    pub fn gene_range(&self, g: GeneId) -> (f64, f64) {
+        let row = self.row(g);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in row {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Mean expression level of gene `g`.
+    pub fn gene_mean(&self, g: GeneId) -> f64 {
+        let row = self.row(g);
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// Population standard deviation of the profile of gene `g`.
+    pub fn gene_std(&self, g: GeneId) -> f64 {
+        let row = self.row(g);
+        let mean = self.gene_mean(g);
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / row.len() as f64;
+        var.sqrt()
+    }
+
+    /// Extracts the submatrix restricted to `genes × conditions`, preserving
+    /// the given orders.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of bounds or either list is empty
+    /// (labels in a submatrix stay unique because they are drawn from this
+    /// matrix; duplicate *indices* are rejected via the label-uniqueness
+    /// check).
+    pub fn submatrix(&self, genes: &[GeneId], conditions: &[CondId]) -> Result<Self, MatrixError> {
+        for &g in genes {
+            if g >= self.n_genes() {
+                return Err(MatrixError::IndexOutOfBounds(format!("gene {g}")));
+            }
+        }
+        for &c in conditions {
+            if c >= self.n_conditions() {
+                return Err(MatrixError::IndexOutOfBounds(format!("condition {c}")));
+            }
+        }
+        let sub_genes: Vec<String> = genes.iter().map(|&g| self.genes[g].clone()).collect();
+        let sub_conds: Vec<String> = conditions
+            .iter()
+            .map(|&c| self.conditions[c].clone())
+            .collect();
+        let rows: Vec<Vec<f64>> = genes
+            .iter()
+            .map(|&g| conditions.iter().map(|&c| self.value(g, c)).collect())
+            .collect();
+        Self::from_rows(sub_genes, sub_conds, rows)
+    }
+
+    /// Applies `f` to every cell in place, validating that results stay
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NonFinite`] naming the first offending cell.
+    pub fn map_values(&mut self, mut f: impl FnMut(f64) -> f64) -> Result<(), MatrixError> {
+        let n = self.conditions.len();
+        for (i, v) in self.values.iter_mut().enumerate() {
+            let next = f(*v);
+            if !next.is_finite() {
+                return Err(MatrixError::NonFinite {
+                    gene: i / n,
+                    cond: i % n,
+                });
+            }
+            *v = next;
+        }
+        Ok(())
+    }
+
+    /// Overwrites the value of a single cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or the value is non-finite (this
+    /// is a programming error in callers, not a data error).
+    pub fn set_value(&mut self, g: GeneId, c: CondId, v: f64) {
+        assert!(v.is_finite(), "expression values must be finite");
+        let n = self.conditions.len();
+        self.values[g * n + c] = v;
+    }
+
+    /// The raw row-major value buffer.
+    #[inline]
+    pub fn flat_values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+fn check_unique(labels: &[String]) -> Result<(), MatrixError> {
+    let mut seen = std::collections::HashSet::with_capacity(labels.len());
+    for l in labels {
+        if !seen.insert(l.as_str()) {
+            return Err(MatrixError::DuplicateLabel(l.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExpressionMatrix {
+        ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g2".into(), "g3".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![vec![1.0, 2.0], vec![-3.0, 4.0], vec![0.0, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_values() {
+        let m = sample();
+        assert_eq!(m.n_genes(), 3);
+        assert_eq!(m.n_conditions(), 2);
+        assert_eq!(m.value(1, 0), -3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let m = sample();
+        assert_eq!(m.gene_index("g2"), Some(1));
+        assert_eq!(m.gene_index("nope"), None);
+        assert_eq!(m.condition_index("c2"), Some(1));
+        assert_eq!(m.gene_name(2), "g3");
+        assert_eq!(m.condition_name(0), "c1");
+    }
+
+    #[test]
+    fn gene_statistics() {
+        let m = sample();
+        assert_eq!(m.gene_range(1), (-3.0, 4.0));
+        assert_eq!(m.gene_mean(0), 1.5);
+        assert!((m.gene_std(0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.gene_std(2), 0.0);
+    }
+
+    #[test]
+    fn submatrix_preserves_order() {
+        let m = sample();
+        let s = m.submatrix(&[2, 0], &[1]).unwrap();
+        assert_eq!(s.gene_names(), &["g3".to_string(), "g1".to_string()]);
+        assert_eq!(s.row(0), &[0.0]);
+        assert_eq!(s.row(1), &[2.0]);
+    }
+
+    #[test]
+    fn submatrix_rejects_out_of_bounds() {
+        let m = sample();
+        assert!(m.submatrix(&[5], &[0]).is_err());
+        assert!(m.submatrix(&[0], &[9]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            ExpressionMatrix::from_rows(vec![], vec!["c".into()], vec![]),
+            Err(MatrixError::Empty)
+        ));
+        assert!(matches!(
+            ExpressionMatrix::from_rows(vec!["g".into()], vec![], vec![vec![]]),
+            Err(MatrixError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let err = ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g2".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![vec![1.0, 2.0], vec![1.0]],
+        );
+        assert!(matches!(
+            err,
+            Err(MatrixError::RaggedRow {
+                row: 1,
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let err = ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g1".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        assert!(matches!(err, Err(MatrixError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = ExpressionMatrix::from_rows(
+            vec!["g1".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![vec![1.0, f64::NAN]],
+        );
+        assert!(matches!(
+            err,
+            Err(MatrixError::NonFinite { gene: 0, cond: 1 })
+        ));
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let a = ExpressionMatrix::from_flat(
+            vec!["g1".into(), "g2".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let b = ExpressionMatrix::from_rows(
+            vec!["g1".into(), "g2".into()],
+            vec!["c1".into(), "c2".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_flat_unlabeled_generates_labels() {
+        let m = ExpressionMatrix::from_flat_unlabeled(2, 2, vec![0.0; 4]).unwrap();
+        assert_eq!(m.gene_name(1), "g1");
+        assert_eq!(m.condition_name(0), "c0");
+    }
+
+    #[test]
+    fn map_values_in_place() {
+        let mut m = sample();
+        m.map_values(|v| v * 2.0).unwrap();
+        assert_eq!(m.value(0, 1), 4.0);
+        assert!(m.map_values(|_| f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn set_value_roundtrip() {
+        let mut m = sample();
+        m.set_value(2, 1, 7.5);
+        assert_eq!(m.value(2, 1), 7.5);
+    }
+}

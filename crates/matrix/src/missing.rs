@@ -1,0 +1,167 @@
+//! Missing-value imputation.
+//!
+//! Microarray matrices routinely contain holes (failed spots, filtered
+//! measurements). The mining algorithms in this workspace require complete
+//! matrices, so a [`RaggedMatrix`](crate::io::RaggedMatrix) must be imputed
+//! first. Three standard strategies are provided; row-mean imputation is what
+//! Cheng & Church used for the yeast benchmark.
+
+use crate::io::RaggedMatrix;
+use crate::{ExpressionMatrix, MatrixError};
+
+/// How to fill missing cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imputation {
+    /// Replace each hole with the mean of the present values in its row
+    /// (gene). Falls back to the global mean for all-missing rows.
+    RowMean,
+    /// Replace each hole with the mean of the present values in its column
+    /// (condition). Falls back to the global mean for all-missing columns.
+    ColumnMean,
+    /// Replace every hole with a fixed constant.
+    Constant(f64),
+}
+
+/// Fills the holes of `ragged` according to `strategy` and returns a complete
+/// matrix.
+///
+/// # Errors
+///
+/// Returns an error if the matrix is empty, every cell is missing (so no mean
+/// exists), or the constant is non-finite.
+pub fn impute(
+    ragged: &RaggedMatrix,
+    strategy: Imputation,
+) -> Result<ExpressionMatrix, MatrixError> {
+    let n_conds = ragged.conditions.len();
+    let n_genes = ragged.genes.len();
+    if n_conds == 0 || n_genes == 0 {
+        return Err(MatrixError::Empty);
+    }
+
+    let present: Vec<f64> = ragged.cells.iter().flatten().copied().collect();
+    if present.is_empty() {
+        return Err(MatrixError::Transform(
+            "cannot impute an all-missing matrix".into(),
+        ));
+    }
+    let global_mean = present.iter().sum::<f64>() / present.len() as f64;
+
+    let mut values = Vec::with_capacity(ragged.cells.len());
+    match strategy {
+        Imputation::Constant(k) => {
+            if !k.is_finite() {
+                return Err(MatrixError::Transform(
+                    "imputation constant must be finite".into(),
+                ));
+            }
+            values.extend(ragged.cells.iter().map(|c| c.unwrap_or(k)));
+        }
+        Imputation::RowMean => {
+            for g in 0..n_genes {
+                let row = &ragged.cells[g * n_conds..(g + 1) * n_conds];
+                let fill = mean_of(row.iter().copied()).unwrap_or(global_mean);
+                values.extend(row.iter().map(|c| c.unwrap_or(fill)));
+            }
+        }
+        Imputation::ColumnMean => {
+            let mut col_fill = vec![global_mean; n_conds];
+            for (c, fill) in col_fill.iter_mut().enumerate() {
+                let col = (0..n_genes).map(|g| ragged.cells[g * n_conds + c]);
+                if let Some(m) = mean_of(col) {
+                    *fill = m;
+                }
+            }
+            for g in 0..n_genes {
+                for (c, fill) in col_fill.iter().enumerate() {
+                    values.push(ragged.cells[g * n_conds + c].unwrap_or(*fill));
+                }
+            }
+        }
+    }
+
+    ExpressionMatrix::from_flat(ragged.genes.clone(), ragged.conditions.clone(), values)
+}
+
+fn mean_of(cells: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in cells.flatten() {
+        sum += v;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ragged() -> RaggedMatrix {
+        // g0: [1, _, 3]   g1: [_, 4, _]
+        RaggedMatrix {
+            genes: vec!["g0".into(), "g1".into()],
+            conditions: vec!["c0".into(), "c1".into(), "c2".into()],
+            cells: vec![Some(1.0), None, Some(3.0), None, Some(4.0), None],
+        }
+    }
+
+    #[test]
+    fn row_mean_uses_gene_average() {
+        let m = impute(&ragged(), Imputation::RowMean).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn column_mean_uses_condition_average() {
+        let m = impute(&ragged(), Imputation::ColumnMean).unwrap();
+        // c0 mean = 1, c1 mean = 4, c2 mean = 3.
+        assert_eq!(m.row(0), &[1.0, 4.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn constant_fills_everywhere() {
+        let m = impute(&ragged(), Imputation::Constant(-1.0)).unwrap();
+        assert_eq!(m.row(0), &[1.0, -1.0, 3.0]);
+        assert_eq!(m.row(1), &[-1.0, 4.0, -1.0]);
+    }
+
+    #[test]
+    fn all_missing_row_falls_back_to_global_mean() {
+        let r = RaggedMatrix {
+            genes: vec!["g0".into(), "g1".into()],
+            conditions: vec!["c0".into()],
+            cells: vec![None, Some(6.0)],
+        };
+        let m = impute(&r, Imputation::RowMean).unwrap();
+        assert_eq!(m.value(0, 0), 6.0);
+    }
+
+    #[test]
+    fn rejects_all_missing_matrix() {
+        let r = RaggedMatrix {
+            genes: vec!["g0".into()],
+            conditions: vec!["c0".into()],
+            cells: vec![None],
+        };
+        assert!(impute(&r, Imputation::RowMean).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_constant() {
+        assert!(impute(&ragged(), Imputation::Constant(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn complete_matrix_is_unchanged() {
+        let r = RaggedMatrix {
+            genes: vec!["g0".into()],
+            conditions: vec!["c0".into(), "c1".into()],
+            cells: vec![Some(1.0), Some(2.0)],
+        };
+        let m = impute(&r, Imputation::RowMean).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Matrix-level statistics and normalization.
+//!
+//! Standard microarray preprocessing companions to the transforms in
+//! [`crate::transform`]: per-condition summary statistics, profile
+//! correlation, and quantile normalization (forcing every condition's value
+//! distribution to a common reference — routine before cross-array
+//! comparisons like the yeast benchmark's).
+
+use crate::ExpressionMatrix;
+
+/// Mean of every condition (column).
+pub fn condition_means(matrix: &ExpressionMatrix) -> Vec<f64> {
+    let n_genes = matrix.n_genes() as f64;
+    let mut means = vec![0.0f64; matrix.n_conditions()];
+    for (_, row) in matrix.rows() {
+        for (c, &v) in row.iter().enumerate() {
+            means[c] += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n_genes;
+    }
+    means
+}
+
+/// Population standard deviation of every condition (column).
+pub fn condition_stds(matrix: &ExpressionMatrix) -> Vec<f64> {
+    let means = condition_means(matrix);
+    let n_genes = matrix.n_genes() as f64;
+    let mut vars = vec![0.0f64; matrix.n_conditions()];
+    for (_, row) in matrix.rows() {
+        for (c, &v) in row.iter().enumerate() {
+            let d = v - means[c];
+            vars[c] += d * d;
+        }
+    }
+    vars.iter().map(|v| (v / n_genes).sqrt()).collect()
+}
+
+/// Pearson correlation of two gene profiles.
+///
+/// Returns `0.0` when either profile is constant (no linear relationship is
+/// defined; `0` is the conventional neutral value for downstream ranking).
+pub fn pearson(matrix: &ExpressionMatrix, g1: usize, g2: usize) -> f64 {
+    let a = matrix.row(g1);
+    let b = matrix.row(g2);
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Quantile-normalizes the matrix across conditions: after normalization
+/// every condition has exactly the same value distribution (the mean of the
+/// per-rank values across conditions). Ties within a column share the
+/// reference value of their first rank.
+pub fn quantile_normalize(matrix: &ExpressionMatrix) -> ExpressionMatrix {
+    let n_genes = matrix.n_genes();
+    let n_conds = matrix.n_conditions();
+
+    // Rank the genes within each condition.
+    let mut ranked: Vec<Vec<usize>> = Vec::with_capacity(n_conds); // rank -> gene
+    for c in 0..n_conds {
+        let mut idx: Vec<usize> = (0..n_genes).collect();
+        idx.sort_by(|&a, &b| {
+            matrix
+                .value(a, c)
+                .total_cmp(&matrix.value(b, c))
+                .then(a.cmp(&b))
+        });
+        ranked.push(idx);
+    }
+    // Reference distribution: mean across conditions at each rank.
+    let reference: Vec<f64> = (0..n_genes)
+        .map(|r| {
+            ranked
+                .iter()
+                .enumerate()
+                .map(|(c, idx)| matrix.value(idx[r], c))
+                .sum::<f64>()
+                / n_conds as f64
+        })
+        .collect();
+
+    let mut out = matrix.clone();
+    for (c, idx) in ranked.iter().enumerate() {
+        for (r, &g) in idx.iter().enumerate() {
+            out.set_value(g, c, reference[r]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn condition_summaries() {
+        let m = matrix(vec![vec![1.0, 10.0], vec![3.0, 10.0]]);
+        assert_eq!(condition_means(&m), vec![2.0, 10.0]);
+        let stds = condition_stds(&m);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn pearson_basic_cases() {
+        let m = matrix(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0], // perfectly correlated
+            vec![3.0, 2.0, 1.0], // perfectly anti-correlated
+            vec![5.0, 5.0, 5.0], // constant
+        ]);
+        assert!((pearson(&m, 0, 1) - 1.0).abs() < 1e-12);
+        assert!((pearson(&m, 0, 2) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&m, 0, 3), 0.0);
+        assert!((pearson(&m, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_shift_and_scale_invariant() {
+        let m = matrix(vec![
+            vec![1.0, 4.0, 2.0, 8.0],
+            vec![
+                1.0 * 3.5 + 2.0,
+                4.0 * 3.5 + 2.0,
+                2.0 * 3.5 + 2.0,
+                8.0 * 3.5 + 2.0,
+            ],
+        ]);
+        assert!((pearson(&m, 0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_normalization_equalizes_distributions() {
+        let m = matrix(vec![vec![5.0, 100.0], vec![2.0, 300.0], vec![3.0, 200.0]]);
+        let q = quantile_normalize(&m);
+        // Each column's sorted values must equal the reference distribution.
+        let mut col0: Vec<f64> = (0..3).map(|g| q.value(g, 0)).collect();
+        let mut col1: Vec<f64> = (0..3).map(|g| q.value(g, 1)).collect();
+        col0.sort_by(f64::total_cmp);
+        col1.sort_by(f64::total_cmp);
+        assert_eq!(col0, col1);
+        // Reference rank 0 = mean(2, 100) = 51, rank 2 = mean(5, 300).
+        assert_eq!(col0, vec![51.0, 101.5, 152.5]);
+        // Ranks preserved: the largest stays the largest within a column.
+        assert_eq!(q.value(0, 0), 152.5);
+        assert_eq!(q.value(1, 1), 152.5);
+    }
+
+    #[test]
+    fn quantile_normalization_is_idempotent() {
+        let m = matrix(vec![
+            vec![5.0, 100.0, 1.0],
+            vec![2.0, 300.0, 7.0],
+            vec![3.0, 200.0, 4.0],
+            vec![9.0, 150.0, 2.0],
+        ]);
+        let once = quantile_normalize(&m);
+        let twice = quantile_normalize(&once);
+        for g in 0..4 {
+            for c in 0..3 {
+                assert!((once.value(g, c) - twice.value(g, c)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Whole-matrix value transforms.
+//!
+//! The paper's motivation (§1.1) observes that prior pattern-based models rely
+//! on *global* transforms: pCluster/δ-cluster assume scaling patterns become
+//! shifting patterns after a logarithm over the whole dataset (Equation 1),
+//! while Tricluster assumes shifting patterns become scaling patterns after an
+//! exponential (Equation 2). These transforms are provided here so the
+//! baseline miners can be run exactly the way those papers prescribe. Per-gene
+//! standardizations used elsewhere in the microarray literature are included
+//! as well.
+
+use crate::{ExpressionMatrix, MatrixError};
+
+/// Replaces every value with `log_base(value)`.
+///
+/// This is the pCluster/δ-cluster preprocessing that maps pure *scaling*
+/// patterns (`d_i = s1 · d_j`) onto pure *shifting* patterns
+/// (`log d_i = log d_j + log s1`).
+///
+/// # Errors
+///
+/// Fails if any value is not strictly positive (the transform the prior work
+/// assumes is only defined on positive expression levels) or `base` is not a
+/// finite value greater than 1.
+pub fn log_transform(
+    matrix: &ExpressionMatrix,
+    base: f64,
+) -> Result<ExpressionMatrix, MatrixError> {
+    if !(base.is_finite() && base > 1.0) {
+        return Err(MatrixError::Transform(format!(
+            "log base must be > 1, got {base}"
+        )));
+    }
+    let ln_base = base.ln();
+    for (g, row) in matrix.rows() {
+        if let Some(c) = row.iter().position(|&v| v <= 0.0) {
+            return Err(MatrixError::Transform(format!(
+                "log transform requires positive values; gene {} condition {} is {}",
+                matrix.gene_name(g),
+                matrix.condition_name(c),
+                row[c]
+            )));
+        }
+    }
+    let mut out = matrix.clone();
+    out.map_values(|v| v.ln() / ln_base)?;
+    Ok(out)
+}
+
+/// Replaces every value with `base^value`.
+///
+/// This is the Tricluster preprocessing that maps pure *shifting* patterns
+/// (`d_i = d_j + s2`) onto pure *scaling* patterns
+/// (`base^{d_i} = base^{d_j} · base^{s2}`).
+///
+/// # Errors
+///
+/// Fails if `base` is invalid or the result overflows to infinity.
+pub fn exp_transform(
+    matrix: &ExpressionMatrix,
+    base: f64,
+) -> Result<ExpressionMatrix, MatrixError> {
+    if !(base.is_finite() && base > 1.0) {
+        return Err(MatrixError::Transform(format!(
+            "exp base must be > 1, got {base}"
+        )));
+    }
+    let mut out = matrix.clone();
+    out.map_values(|v| base.powf(v))?;
+    Ok(out)
+}
+
+/// Standardizes each gene profile to zero mean and unit variance.
+///
+/// Genes with zero variance (flat profiles) are mapped to all-zero rows
+/// rather than failing, because flat genes are legitimate (and uninteresting)
+/// microarray rows.
+pub fn zscore_by_gene(matrix: &ExpressionMatrix) -> ExpressionMatrix {
+    let mut out = matrix.clone();
+    for g in 0..matrix.n_genes() {
+        let mean = matrix.gene_mean(g);
+        let std = matrix.gene_std(g);
+        let row = out.row_mut(g);
+        if std == 0.0 {
+            for v in row.iter_mut() {
+                *v = 0.0;
+            }
+        } else {
+            for v in row.iter_mut() {
+                *v = (*v - mean) / std;
+            }
+        }
+    }
+    out
+}
+
+/// Rescales each gene profile linearly onto `[0, 1]`.
+///
+/// Flat genes are mapped to all-zero rows.
+pub fn minmax_by_gene(matrix: &ExpressionMatrix) -> ExpressionMatrix {
+    let mut out = matrix.clone();
+    for g in 0..matrix.n_genes() {
+        let (lo, hi) = matrix.gene_range(g);
+        let span = hi - lo;
+        let row = out.row_mut(g);
+        if span == 0.0 {
+            for v in row.iter_mut() {
+                *v = 0.0;
+            }
+        } else {
+            for v in row.iter_mut() {
+                *v = (*v - lo) / span;
+            }
+        }
+    }
+    out
+}
+
+/// Shifts the whole matrix so its global minimum becomes `target_min`.
+///
+/// Useful before [`log_transform`] when a dataset (like the paper's running
+/// example) contains non-positive values.
+pub fn shift_to_min(matrix: &ExpressionMatrix, target_min: f64) -> ExpressionMatrix {
+    let global_min = matrix
+        .flat_values()
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let delta = target_min - global_min;
+    let mut out = matrix.clone();
+    out.map_values(|v| v + delta)
+        .expect("shifting finite values by a finite delta stays finite");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> ExpressionMatrix {
+        let genes = (0..rows.len()).map(|i| format!("g{i}")).collect();
+        let conds = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+        ExpressionMatrix::from_rows(genes, conds, rows).unwrap()
+    }
+
+    #[test]
+    fn log_maps_scaling_to_shifting() {
+        // d2 = 3 * d1, so log d2 = log d1 + log 3 (constant column shift).
+        let m = matrix(vec![vec![1.0, 2.0, 8.0], vec![3.0, 6.0, 24.0]]);
+        let t = log_transform(&m, 2.0).unwrap();
+        let shift0 = t.value(1, 0) - t.value(0, 0);
+        let shift1 = t.value(1, 1) - t.value(0, 1);
+        let shift2 = t.value(1, 2) - t.value(0, 2);
+        assert!((shift0 - 3f64.log2()).abs() < 1e-12);
+        assert!((shift0 - shift1).abs() < 1e-12);
+        assert!((shift1 - shift2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_rejects_non_positive() {
+        let m = matrix(vec![vec![1.0, 0.0]]);
+        assert!(matches!(
+            log_transform(&m, 2.0),
+            Err(MatrixError::Transform(_))
+        ));
+        let m = matrix(vec![vec![1.0, -2.0]]);
+        assert!(log_transform(&m, 2.0).is_err());
+    }
+
+    #[test]
+    fn log_rejects_bad_base() {
+        let m = matrix(vec![vec![1.0]]);
+        assert!(log_transform(&m, 1.0).is_err());
+        assert!(log_transform(&m, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exp_maps_shifting_to_scaling() {
+        // d2 = d1 + 2, so 2^{d2} = 2^{d1} * 4 (constant column ratio).
+        let m = matrix(vec![vec![0.0, 1.0, 3.0], vec![2.0, 3.0, 5.0]]);
+        let t = exp_transform(&m, 2.0).unwrap();
+        for c in 0..3 {
+            assert!((t.value(1, c) / t.value(0, c) - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_rejects_overflow() {
+        let m = matrix(vec![vec![1e4]]);
+        assert!(exp_transform(&m, 10.0).is_err());
+    }
+
+    #[test]
+    fn exp_inverts_log() {
+        let m = matrix(vec![vec![1.0, 2.0, 4.0], vec![0.5, 5.0, 50.0]]);
+        let t = exp_transform(&log_transform(&m, 2.0).unwrap(), 2.0).unwrap();
+        for (g, row) in m.rows() {
+            for (c, &v) in row.iter().enumerate() {
+                assert!((t.value(g, c) - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let m = matrix(vec![vec![1.0, 2.0, 3.0], vec![5.0, 5.0, 5.0]]);
+        let t = zscore_by_gene(&m);
+        assert!((t.gene_mean(0)).abs() < 1e-12);
+        assert!((t.gene_std(0) - 1.0).abs() < 1e-12);
+        assert_eq!(t.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_rescales() {
+        let m = matrix(vec![vec![-2.0, 0.0, 2.0], vec![7.0, 7.0, 7.0]]);
+        let t = minmax_by_gene(&m);
+        assert_eq!(t.row(0), &[0.0, 0.5, 1.0]);
+        assert_eq!(t.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shift_to_min_makes_positive() {
+        let m = matrix(vec![vec![-15.0, 0.0, 10.0]]);
+        let t = shift_to_min(&m, 1.0);
+        assert_eq!(t.row(0), &[1.0, 16.0, 26.0]);
+        assert!(log_transform(&t, 2.0).is_ok());
+    }
+}

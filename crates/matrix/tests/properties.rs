@@ -1,0 +1,117 @@
+//! Property-based tests of the matrix substrate.
+
+use proptest::prelude::*;
+
+use regcluster_matrix::{io, missing, stats, transform, ExpressionMatrix};
+
+fn matrix_strategy() -> impl Strategy<Value = ExpressionMatrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(g, c)| {
+        prop::collection::vec(-1e6f64..1e6, g * c).prop_map(move |values| {
+            ExpressionMatrix::from_flat_unlabeled(g, c, values).expect("finite values")
+        })
+    })
+}
+
+proptest! {
+    /// Tab-delimited write → read is the identity (values survive the
+    /// decimal round-trip because Rust prints f64 with round-trip
+    /// precision).
+    #[test]
+    fn io_roundtrip(m in matrix_strategy()) {
+        let mut buf = Vec::new();
+        io::write_matrix(&m, &mut buf).expect("write succeeds");
+        let back = io::read_matrix(buf.as_slice()).expect("read succeeds");
+        prop_assert_eq!(m, back);
+    }
+
+    /// Submatrix of everything is the identity; double submatrix composes.
+    #[test]
+    fn submatrix_identity(m in matrix_strategy()) {
+        let all_g: Vec<usize> = (0..m.n_genes()).collect();
+        let all_c: Vec<usize> = (0..m.n_conditions()).collect();
+        let s = m.submatrix(&all_g, &all_c).expect("in bounds");
+        prop_assert_eq!(&m, &s);
+    }
+
+    /// Row-mean imputation never changes present cells and fills every hole
+    /// with a value inside the row's [min, max] (or the global mean).
+    #[test]
+    fn imputation_fills_within_row_range(
+        m in matrix_strategy(),
+        holes in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let n = m.n_conditions();
+        let cells: Vec<Option<f64>> = m
+            .flat_values()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if holes[i % holes.len()] { None } else { Some(v) })
+            .collect();
+        prop_assume!(cells.iter().any(Option::is_some));
+        let ragged = io::RaggedMatrix {
+            genes: m.gene_names().to_vec(),
+            conditions: m.condition_names().to_vec(),
+            cells: cells.clone(),
+        };
+        let filled = missing::impute(&ragged, missing::Imputation::RowMean).expect("imputable");
+        for (i, cell) in cells.iter().enumerate() {
+            let (g, c) = (i / n, i % n);
+            if let Some(v) = cell {
+                prop_assert_eq!(filled.value(g, c), *v);
+            }
+        }
+    }
+
+    /// z-score standardization yields mean ≈ 0 and std ∈ {0, 1} per gene.
+    #[test]
+    fn zscore_properties(m in matrix_strategy()) {
+        let z = transform::zscore_by_gene(&m);
+        for g in 0..z.n_genes() {
+            prop_assert!(z.gene_mean(g).abs() < 1e-6);
+            let s = z.gene_std(g);
+            prop_assert!(s.abs() < 1e-6 || (s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Quantile normalization makes all condition distributions identical
+    /// and preserves within-condition value order.
+    #[test]
+    fn quantile_normalization_properties(m in matrix_strategy()) {
+        let q = stats::quantile_normalize(&m);
+        let sorted_col = |mat: &ExpressionMatrix, c: usize| {
+            let mut v = mat.column(c);
+            v.sort_by(f64::total_cmp);
+            v
+        };
+        let reference = sorted_col(&q, 0);
+        for c in 1..q.n_conditions() {
+            let col = sorted_col(&q, c);
+            for (a, b) in col.iter().zip(reference.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+        // Order preservation within each column (strict order never flips).
+        for c in 0..m.n_conditions() {
+            for g1 in 0..m.n_genes() {
+                for g2 in 0..m.n_genes() {
+                    if m.value(g1, c) < m.value(g2, c) {
+                        prop_assert!(q.value(g1, c) <= q.value(g2, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pearson correlation is symmetric and within [-1, 1].
+    #[test]
+    fn pearson_properties(m in matrix_strategy()) {
+        for g1 in 0..m.n_genes() {
+            for g2 in 0..m.n_genes() {
+                let r = stats::pearson(&m, g1, g2);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                let r2 = stats::pearson(&m, g2, g1);
+                prop_assert!((r - r2).abs() < 1e-12);
+            }
+        }
+    }
+}

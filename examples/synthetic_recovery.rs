@@ -1,0 +1,95 @@
+//! Plant-and-recover: generate the paper's synthetic workload, mine it, and
+//! score the result against the ground truth — then contrast reg-cluster
+//! with the pattern-based baselines on the same data.
+//!
+//! Run with `cargo run --release --example synthetic_recovery`.
+
+use regcluster::baselines::{pcluster, PClusterParams};
+use regcluster::core::{mine, MiningParams};
+use regcluster::datagen::{generate, PatternKind, SyntheticConfig};
+use regcluster::eval::{recovery, relevance, ClusterShape};
+
+fn main() {
+    // A scaled-down version of the paper's default generator setting
+    // (the full 3000 × 30 workload is exercised by the fig7 harness).
+    let cfg = SyntheticConfig {
+        n_genes: 600,
+        n_conds: 20,
+        n_clusters: 5,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.03,
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 2024,
+    };
+    let data = generate(&cfg).expect("configuration is feasible");
+    println!(
+        "synthetic dataset: {} genes × {} conditions with {} embedded shifting-and-scaling clusters",
+        cfg.n_genes, cfg.n_conds, cfg.n_clusters
+    );
+    for (i, p) in data.planted.iter().enumerate() {
+        let n_neg = p.negated.iter().filter(|&&n| n).count();
+        println!(
+            "  planted {i}: {} genes ({} negated) × {} conditions",
+            p.n_genes(),
+            n_neg,
+            p.n_conditions()
+        );
+    }
+
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+    let min_g = data
+        .planted
+        .iter()
+        .map(|p| p.n_genes())
+        .min()
+        .expect("clusters exist");
+    let min_c = data
+        .planted
+        .iter()
+        .map(|p| p.n_conditions())
+        .min()
+        .expect("clusters exist");
+
+    // reg-cluster at the paper's efficiency-experiment parameters.
+    let params = MiningParams::new(min_g, min_c, 0.1, 0.01)
+        .expect("valid parameters")
+        .with_maximal_only();
+    let found = mine(&data.matrix, &params).expect("mining succeeds");
+    let shapes: Vec<ClusterShape> = found.iter().map(ClusterShape::from).collect();
+    println!(
+        "\nreg-cluster: {} clusters, recovery {:.3}, relevance {:.3}",
+        found.len(),
+        recovery(&truth, &shapes),
+        relevance(&shapes, &truth)
+    );
+
+    // pCluster on the same data: pure-shifting model, so the mixed
+    // shifting-and-scaling clusters are invisible to it.
+    let pc_params = PClusterParams {
+        delta: 0.15,
+        min_genes: min_g,
+        min_conds: min_c,
+        ..Default::default()
+    };
+    let pc_found = pcluster(&data.matrix, &pc_params);
+    let pc_shapes: Vec<ClusterShape> = pc_found
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    println!(
+        "pCluster:    {} clusters, recovery {:.3}, relevance {:.3}",
+        pc_found.len(),
+        recovery(&truth, &pc_shapes),
+        relevance(&pc_shapes, &truth)
+    );
+    println!(
+        "\nreg-cluster recovers the planted clusters (its model includes\n\
+         shifting-and-scaling with negative scalings); pCluster finds none\n\
+         of them, exactly as §1.1 of the paper argues. Run the `comparison`\n\
+         harness binary for the full table across all pattern families."
+    );
+}

@@ -1,0 +1,87 @@
+//! A full expression-analysis pipeline on the simulated yeast benchmark:
+//! mine reg-clusters with the paper's §5.2 parameters, summarize overlap,
+//! pick showcase clusters, and score their GO-term enrichment — the
+//! workflow behind the paper's Figure 8 and Table 2.
+//!
+//! The real Tavazoie/Church 2884 × 17 matrix and the online GO Term Finder
+//! are not redistributable, so this example runs on the structured
+//! simulation of `regcluster::datagen::yeast_like` (see DESIGN.md,
+//! substitutions S1/S2). To analyze a real matrix instead, load it with
+//! `regcluster::matrix::io::read_matrix_file` and supply your own
+//! annotations.
+//!
+//! Run with `cargo run --release --example yeast_analysis`.
+
+use regcluster::core::{mine, MiningParams};
+use regcluster::datagen::yeast_like::{yeast_like, YeastConfig};
+use regcluster::eval::{enrich, overlap, report, top_terms_by_category};
+
+fn main() {
+    let cfg = YeastConfig::default();
+    let data = yeast_like(&cfg).expect("default configuration is feasible");
+    println!(
+        "simulated yeast dataset: {} genes × {} conditions, {} planted modules",
+        data.matrix.n_genes(),
+        data.matrix.n_conditions(),
+        data.modules.len()
+    );
+
+    // The paper's §5.2 parameters: MinG = 20, MinC = 6, γ = 0.05, ε = 1.0.
+    let params = MiningParams::new(20, 6, 0.05, 1.0).expect("paper parameters are valid");
+    let start = std::time::Instant::now();
+    let clusters = mine(&data.matrix, &params).expect("mining succeeds");
+    println!(
+        "mined {} bi-reg-clusters in {:.2}s",
+        clusters.len(),
+        start.elapsed().as_secs_f64()
+    );
+    println!("{}", report::overlap_summary(&clusters));
+
+    // Three non-overlapping showcase clusters (Figure 8's selection).
+    println!("\nshowcase clusters and their GO enrichment (Table 2 layout):");
+    let mut rows = Vec::new();
+    for (i, c) in overlap::select_disjoint(&clusters, 3).iter().enumerate() {
+        println!(
+            "  cluster {i}: {} p-members + {} n-members × {} conditions, chain {}",
+            c.p_members.len(),
+            c.n_members.len(),
+            c.n_conditions(),
+            c.regulation_chain()
+                .display_with(data.matrix.condition_names())
+        );
+        // Show the crossover signature: a p-member and an n-member profile.
+        if let (Some(&p), Some(&n)) = (c.p_members.first(), c.n_members.first()) {
+            let pv: Vec<String> = c
+                .chain
+                .iter()
+                .map(|&cond| format!("{:.1}", data.matrix.value(p, cond)))
+                .collect();
+            let nv: Vec<String> = c
+                .chain
+                .iter()
+                .map(|&cond| format!("{:.1}", data.matrix.value(n, cond)))
+                .collect();
+            println!(
+                "    p-member {}: [{}]",
+                data.matrix.gene_name(p),
+                pv.join(", ")
+            );
+            println!(
+                "    n-member {}: [{}]",
+                data.matrix.gene_name(n),
+                nv.join(", ")
+            );
+        }
+        let enrichments = enrich(&data.go, &c.genes());
+        let tops: Vec<_> = top_terms_by_category(&enrichments)
+            .into_iter()
+            .cloned()
+            .collect();
+        rows.push((format!("cluster {i}"), tops));
+    }
+    println!("\n{}", report::go_table(&rows));
+    println!(
+        "Very low p-values (≪ 1e-10) mean the clusters align with the planted\n\
+         functional modules, mirroring the paper's Table 2."
+    );
+}

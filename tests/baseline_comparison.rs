@@ -1,0 +1,250 @@
+//! Cross-crate integration: the paper's comparative claims as assertions.
+//!
+//! Each planted pattern family is mined by reg-cluster and by the baseline
+//! that *should* own it; the claims of §1.1/§3.3 become testable
+//! inequalities on recovery scores.
+
+use regcluster::baselines::{
+    microcluster, opsm, pcluster, scaling_pcluster, MicroClusterParams, OpsmParams, PClusterParams,
+};
+use regcluster::core::{mine, MiningParams};
+use regcluster::datagen::{generate, PatternKind, SyntheticConfig};
+use regcluster::eval::{recovery, ClusterShape};
+
+fn dataset(pattern: PatternKind) -> (regcluster::datagen::SyntheticDataset, usize, usize) {
+    let cfg = SyntheticConfig {
+        n_genes: 300,
+        n_conds: 15,
+        n_clusters: 3,
+        avg_cluster_dims: 5,
+        cluster_gene_frac: 0.04,
+        neg_fraction: if matches!(pattern, PatternKind::ShiftScale) {
+            0.3
+        } else {
+            0.0
+        },
+        plant_gamma: 0.08,
+        pattern,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 404,
+    };
+    let data = generate(&cfg).expect("feasible");
+    let min_g = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+    let min_c = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+    (data, min_g, min_c)
+}
+
+fn regcluster_shapes(
+    data: &regcluster::datagen::SyntheticDataset,
+    min_g: usize,
+    min_c: usize,
+) -> Vec<ClusterShape> {
+    let params = MiningParams::new(min_g, min_c, 0.05, 0.02)
+        .unwrap()
+        .with_maximal_only();
+    mine(&data.matrix, &params)
+        .unwrap()
+        .iter()
+        .map(ClusterShape::from)
+        .collect()
+}
+
+#[test]
+fn regcluster_owns_shift_scale_and_pcluster_misses_it() {
+    let (data, min_g, min_c) = dataset(PatternKind::ShiftScale);
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+
+    let ours = regcluster_shapes(&data, min_g, min_c);
+    assert!(
+        recovery(&truth, &ours) > 0.95,
+        "reg-cluster must recover shift-scale clusters"
+    );
+
+    let pc = PClusterParams {
+        delta: 0.15,
+        min_genes: min_g,
+        min_conds: min_c,
+        ..Default::default()
+    };
+    let theirs: Vec<ClusterShape> = pcluster(&data.matrix, &pc)
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) < 0.2,
+        "pure-shifting pCluster cannot see shifting-and-scaling clusters"
+    );
+
+    let theirs: Vec<ClusterShape> = scaling_pcluster(&data.matrix, &pc)
+        .unwrap()
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) < 0.2,
+        "pure-scaling miner cannot see shifting-and-scaling clusters"
+    );
+}
+
+#[test]
+fn pcluster_still_owns_pure_shifting_and_so_does_regcluster() {
+    let (data, min_g, min_c) = dataset(PatternKind::ShiftOnly);
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+
+    let ours = regcluster_shapes(&data, min_g, min_c);
+    assert!(
+        recovery(&truth, &ours) > 0.95,
+        "shifting is a special case of the reg-cluster model"
+    );
+
+    let pc = PClusterParams {
+        delta: 0.1,
+        min_genes: min_g,
+        min_conds: min_c,
+        ..Default::default()
+    };
+    let theirs: Vec<ClusterShape> = pcluster(&data.matrix, &pc)
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) > 0.95,
+        "pCluster must recover its own model"
+    );
+}
+
+#[test]
+fn scaling_miner_owns_pure_scaling_and_so_does_regcluster() {
+    let (data, min_g, min_c) = dataset(PatternKind::ScaleOnly);
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+
+    let ours = regcluster_shapes(&data, min_g, min_c);
+    assert!(
+        recovery(&truth, &ours) > 0.95,
+        "scaling is a special case of the reg-cluster model"
+    );
+
+    let pc = PClusterParams {
+        delta: 0.05,
+        min_genes: min_g,
+        min_conds: min_c,
+        ..Default::default()
+    };
+    let theirs: Vec<ClusterShape> = scaling_pcluster(&data.matrix, &pc)
+        .unwrap()
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) > 0.95,
+        "log-space pCluster must recover scaling clusters"
+    );
+
+    // TriCluster's own 2D phase agrees with the log-space miner here.
+    let mc = MicroClusterParams {
+        epsilon: 0.05,
+        min_genes: min_g,
+        min_conds: min_c,
+        max_clusters: 50,
+        ..Default::default()
+    };
+    let theirs: Vec<ClusterShape> = microcluster(&data.matrix, &mc)
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) > 0.95,
+        "MicroCluster must recover pure scaling clusters"
+    );
+}
+
+#[test]
+fn microcluster_misses_shift_scale_like_the_other_pattern_miners() {
+    let (data, min_g, min_c) = dataset(PatternKind::ShiftScale);
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+    let mc = MicroClusterParams {
+        epsilon: 0.05,
+        min_genes: min_g,
+        min_conds: min_c,
+        max_clusters: 50,
+        ..Default::default()
+    };
+    let theirs: Vec<ClusterShape> = microcluster(&data.matrix, &mc)
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) < 0.2,
+        "a pure ratio band cannot hold shifting-and-scaling clusters"
+    );
+}
+
+#[test]
+fn opsm_accepts_tendencies_that_regcluster_rejects() {
+    let (data, min_g, min_c) = dataset(PatternKind::Tendency);
+    let truth: Vec<ClusterShape> = data.planted.iter().map(ClusterShape::from).collect();
+
+    // reg-cluster with a tight ε refuses the incoherent clusters…
+    let ours = regcluster_shapes(&data, min_g, min_c);
+    assert!(
+        recovery(&truth, &ours) < 0.1,
+        "incoherent tendencies must not pass the coherence constraint"
+    );
+
+    // …while OPSM (no coherence constraint) finds order-sharing structure.
+    let op = OpsmParams {
+        size: min_c,
+        beam_width: 200,
+        min_genes: min_g,
+        max_models: 10,
+    };
+    let theirs: Vec<ClusterShape> = opsm(&data.matrix, &op)
+        .iter()
+        .map(|b| ClusterShape::new(b.genes.clone(), b.conds.clone()))
+        .collect();
+    assert!(
+        recovery(&truth, &theirs) > 0.2,
+        "OPSM should pick up order-preserving structure regardless of coherence"
+    );
+}
+
+#[test]
+fn regcluster_with_loose_epsilon_also_accepts_tendencies() {
+    // Sanity check on the model dial: with ε large enough, the coherence
+    // constraint degenerates and tendencies become acceptable — reg-cluster
+    // subsumes the tendency model as a limit case. Loose ε also lets
+    // coincidental background genes into the windows, so the check is
+    // containment (every planted cluster inside some found cluster), not an
+    // exact match.
+    let cfg = SyntheticConfig {
+        n_genes: 120,
+        n_conds: 12,
+        n_clusters: 2,
+        avg_cluster_dims: 5,
+        cluster_gene_frac: 0.06,
+        neg_fraction: 0.0,
+        plant_gamma: 0.1,
+        pattern: PatternKind::Tendency,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 405,
+    };
+    let data = generate(&cfg).expect("feasible");
+    let min_g = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+    let min_c = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+    let params = MiningParams::new(min_g, min_c, 0.05, 100.0).unwrap();
+    let found = mine(&data.matrix, &params).unwrap();
+    for planted in &data.planted {
+        let conds = planted.conditions_sorted();
+        let hit = found.iter().any(|c| {
+            let genes = c.genes();
+            planted.genes.iter().all(|g| genes.binary_search(g).is_ok())
+                && conds.iter().all(|pc| c.chain.contains(pc))
+        });
+        assert!(
+            hit,
+            "tendency cluster not contained in any loose-ε reg-cluster"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end test: every cluster planted by the paper's synthetic generator
+//! is recovered by the miner, and everything the miner reports is a valid
+//! reg-cluster.
+
+use regcluster::core::RegCluster;
+use regcluster::core::{mine, MiningParams};
+use regcluster::datagen::{generate, PatternKind, PlantedCluster, SyntheticConfig};
+
+fn recovers(found: &[RegCluster], planted: &PlantedCluster) -> bool {
+    let planted_conds = planted.conditions_sorted();
+    found.iter().any(|c| {
+        let genes = c.genes();
+        let mut conds = c.chain.clone();
+        conds.sort_unstable();
+        planted.genes.iter().all(|g| genes.binary_search(g).is_ok())
+            && planted_conds.iter().all(|pc| conds.contains(pc))
+    })
+}
+
+#[test]
+fn planted_shift_scale_clusters_are_recovered() {
+    let cfg = SyntheticConfig {
+        n_genes: 400,
+        n_conds: 20,
+        n_clusters: 4,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.03, // ~12 genes per cluster
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 11,
+    };
+    let data = generate(&cfg).unwrap();
+    // Mine below the planting threshold with a small coherence budget, as
+    // the paper's efficiency experiments do (γ = 0.1, ε = 0.01).
+    let min_genes = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+    let min_conds = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+    let params = MiningParams::new(min_genes, min_conds, 0.1, 0.01).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+
+    for (i, planted) in data.planted.iter().enumerate() {
+        assert!(
+            recovers(&clusters, planted),
+            "planted cluster {i} ({} genes × {} conds) not recovered among {} clusters",
+            planted.n_genes(),
+            planted.n_conditions(),
+            clusters.len()
+        );
+    }
+    for c in &clusters {
+        c.validate(&data.matrix, &params).unwrap();
+    }
+}
+
+#[test]
+fn planted_negative_members_are_recovered_with_correct_orientation() {
+    let cfg = SyntheticConfig {
+        n_genes: 300,
+        n_conds: 15,
+        n_clusters: 3,
+        avg_cluster_dims: 5,
+        cluster_gene_frac: 0.04,
+        neg_fraction: 0.4,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 23,
+    };
+    let data = generate(&cfg).unwrap();
+    let min_genes = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+    let min_conds = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+    let params = MiningParams::new(min_genes, min_conds, 0.1, 0.01).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+
+    for planted in &data.planted {
+        let pos: Vec<usize> = planted
+            .genes
+            .iter()
+            .zip(&planted.negated)
+            .filter(|&(_, n)| !n)
+            .map(|(&g, _)| g)
+            .collect();
+        let neg: Vec<usize> = planted
+            .genes
+            .iter()
+            .zip(&planted.negated)
+            .filter(|&(_, n)| *n)
+            .map(|(&g, _)| g)
+            .collect();
+        // Find a recovered cluster containing all planted genes and check
+        // the p/n split matches the planted orientation (up to inversion).
+        let hit = clusters.iter().find(|c| {
+            let genes = c.genes();
+            planted.genes.iter().all(|g| genes.binary_search(g).is_ok())
+        });
+        let hit = hit.expect("planted cluster recovered");
+        let p_has_pos = pos.iter().all(|g| hit.p_members.contains(g));
+        let n_has_pos = pos.iter().all(|g| hit.n_members.contains(g));
+        if p_has_pos {
+            assert!(neg.iter().all(|g| hit.n_members.contains(g)));
+        } else {
+            assert!(
+                n_has_pos,
+                "positively planted genes split across orientations"
+            );
+            assert!(neg.iter().all(|g| hit.p_members.contains(g)));
+        }
+    }
+}
+
+#[test]
+fn pure_shifting_and_pure_scaling_are_special_cases() {
+    // The reg-cluster model subsumes both prior models: planted pure-shift
+    // and pure-scale clusters must be recovered too.
+    for pattern in [PatternKind::ShiftOnly, PatternKind::ScaleOnly] {
+        let cfg = SyntheticConfig {
+            n_genes: 250,
+            n_conds: 15,
+            n_clusters: 3,
+            avg_cluster_dims: 5,
+            cluster_gene_frac: 0.04,
+            neg_fraction: 0.0,
+            plant_gamma: 0.08,
+            pattern,
+            value_max: 10.0,
+            noise_sigma: 0.0,
+            seed: 31,
+        };
+        let data = generate(&cfg).unwrap();
+        let min_genes = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+        let min_conds = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+        let params = MiningParams::new(min_genes, min_conds, 0.05, 0.01).unwrap();
+        let clusters = mine(&data.matrix, &params).unwrap();
+        for (i, planted) in data.planted.iter().enumerate() {
+            assert!(
+                recovers(&clusters, planted),
+                "{pattern:?}: planted cluster {i} not recovered"
+            );
+        }
+    }
+}
+
+#[test]
+fn tendency_clusters_are_not_coherent_clusters() {
+    // Order-preserving but incoherent patterns must NOT pass a tight ε —
+    // this is the coherence guarantee tendency-based baselines lack.
+    let cfg = SyntheticConfig {
+        n_genes: 250,
+        n_conds: 15,
+        n_clusters: 3,
+        avg_cluster_dims: 5,
+        cluster_gene_frac: 0.04,
+        neg_fraction: 0.0,
+        plant_gamma: 0.1,
+        pattern: PatternKind::Tendency,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 47,
+    };
+    let data = generate(&cfg).unwrap();
+    let min_genes = data.planted.iter().map(|p| p.n_genes()).min().unwrap();
+    let min_conds = data.planted.iter().map(|p| p.n_conditions()).min().unwrap();
+    let params = MiningParams::new(min_genes, min_conds, 0.05, 0.01).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+    for planted in &data.planted {
+        assert!(
+            !recovers(&clusters, planted),
+            "incoherent tendency cluster wrongly recovered at ε = 0.01"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! The full §5.2 effectiveness pipeline end to end on a scaled-down
+//! simulated yeast dataset: mine at the paper's parameters, select
+//! non-overlapping showcase clusters, score their GO enrichment, and check
+//! the statistical-significance machinery against a permutation null.
+
+use regcluster::core::postprocess::merge_overlapping_validated;
+use regcluster::core::{mine, MiningParams};
+use regcluster::datagen::yeast_like::{yeast_like, YeastConfig};
+use regcluster::eval::{enrich, overlap, permutation_significance, top_terms_by_category};
+
+fn small_yeast() -> YeastConfig {
+    YeastConfig {
+        n_genes: 600,
+        n_modules: 6,
+        genes_per_module: (20, 30),
+        ..YeastConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_mines_modules_and_enriches_go_terms() {
+    let data = yeast_like(&small_yeast()).expect("feasible");
+    // The paper's §5.2 parameters.
+    let params = MiningParams::new(20, 6, 0.05, 1.0).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+    assert!(
+        clusters.len() >= data.modules.len(),
+        "every planted module should produce at least one cluster: {} < {}",
+        clusters.len(),
+        data.modules.len()
+    );
+    for c in &clusters {
+        c.validate(&data.matrix, &params).unwrap();
+    }
+
+    // Each planted module must be recovered by some cluster (genes ⊆).
+    for (i, module) in data.modules.iter().enumerate() {
+        let hit = clusters.iter().any(|c| {
+            let genes = c.genes();
+            module.genes.iter().all(|g| genes.binary_search(g).is_ok())
+        });
+        assert!(hit, "module {i} not recovered");
+    }
+
+    // Showcase selection + GO enrichment: every selected cluster must be
+    // strongly enriched for a signature term in all three GO categories.
+    let showcase = overlap::select_disjoint(&clusters, 3);
+    assert!(!showcase.is_empty());
+    for c in &showcase {
+        let enr = enrich(&data.go, &c.genes());
+        let tops = top_terms_by_category(&enr);
+        assert_eq!(tops.len(), 3, "one top term per GO category");
+        for t in tops {
+            assert!(
+                t.p_value < 1e-6,
+                "showcase cluster should be enriched; got p = {} for {}",
+                t.p_value,
+                t.term_name
+            );
+        }
+    }
+
+    // Mixed orientations: at least one cluster carries n-members (the
+    // generator plants ~25% negative responders).
+    assert!(
+        clusters.iter().any(|c| !c.n_members.is_empty()),
+        "negative co-regulation must appear in the output"
+    );
+}
+
+#[test]
+fn mined_clusters_beat_the_permutation_null() {
+    let data = yeast_like(&small_yeast()).expect("feasible");
+    let params = MiningParams::new(20, 6, 0.05, 1.0).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+    assert!(!clusters.is_empty());
+    let report = permutation_significance(&data.matrix, &params, &clusters, 12, 77);
+    // The biggest real cluster must outrank every permuted round.
+    let best_cells = clusters.iter().map(|c| c.n_cells()).max().unwrap();
+    assert!(
+        report.null_max_cells.iter().all(|&n| n < best_cells),
+        "null {:?} should never reach the real structure's {best_cells} cells",
+        report.null_max_cells
+    );
+    let best_idx = clusters
+        .iter()
+        .position(|c| c.n_cells() == best_cells)
+        .unwrap();
+    assert!(report.cluster_p[best_idx] <= 1.0 / 13.0 + 1e-12);
+}
+
+#[test]
+fn postprocessing_merges_subchain_redundancy() {
+    // The wide planted module produces several heavily-overlapping
+    // subchain clusters; validated merging collapses them without ever
+    // violating Definition 3.2.
+    let data = yeast_like(&small_yeast()).expect("feasible");
+    let params = MiningParams::new(20, 6, 0.05, 1.0).unwrap();
+    let clusters = mine(&data.matrix, &params).unwrap();
+    let merged = merge_overlapping_validated(&clusters, 0.5, &data.matrix, &params);
+    assert!(
+        merged.len() <= clusters.len(),
+        "merging can only reduce the cluster count"
+    );
+    for c in &merged {
+        c.validate(&data.matrix, &params).unwrap();
+    }
+    // Every planted module must still be recovered after merging.
+    for module in &data.modules {
+        let hit = merged.iter().any(|c| {
+            let genes = c.genes();
+            module.genes.iter().all(|g| genes.binary_search(g).is_ok())
+        });
+        assert!(hit, "module lost during merging");
+    }
+}
