@@ -1,9 +1,12 @@
 //! End-to-end mining benchmarks: the paper's running example, a mid-sized
-//! synthetic workload, and the sequential-vs-parallel ablation.
+//! synthetic workload, and the thread-scaling ablation of the work-stealing
+//! engine against the old static root split.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use regcluster_core::{mine, mine_parallel, MiningParams};
+use regcluster_core::{
+    mine, mine_engine, mine_parallel, EngineConfig, MiningParams, SplitStrategy,
+};
 use regcluster_datagen::{generate, running_example, SyntheticConfig};
 
 fn bench_running_example(c: &mut Criterion) {
@@ -32,10 +35,15 @@ fn bench_synthetic(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation: root-level parallelism. Chains rooted at different conditions
-/// are independent, so the speedup measures how evenly the enumeration tree
-/// splits across roots.
-fn bench_parallel(c: &mut Criterion) {
+/// Thread-scaling ablation on a Figure-7-scale workload, one benchmark per
+/// (split strategy × thread count) point:
+///
+/// * `stealing/N` — the work-stealing engine, which re-balances subtrees
+///   spilled from busy workers at any enumeration depth;
+/// * `static/N` — `SplitStrategy::StaticRoots`, reproducing the old
+///   `mine_parallel` behaviour of distributing only root subtrees, whose
+///   speedup is bounded by the largest root subtree.
+fn bench_thread_scaling(c: &mut Criterion) {
     let cfg = SyntheticConfig {
         n_genes: 3000,
         ..SyntheticConfig::default()
@@ -45,10 +53,22 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("mine_parallel_3000");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(mine_parallel(&data.matrix, &params, t).expect("mining succeeds")));
-        });
+        for (label, split) in [
+            ("stealing", SplitStrategy::WorkStealing),
+            ("static", SplitStrategy::StaticRoots),
+        ] {
+            let config = EngineConfig::new(threads).with_split(split);
+            group.bench_with_input(BenchmarkId::new(label, threads), &config, |b, config| {
+                b.iter(|| {
+                    black_box(mine_engine(&data.matrix, &params, config).expect("mining succeeds"))
+                });
+            });
+        }
     }
+    // The public façade, for continuity with pre-engine measurements.
+    group.bench_function("mine_parallel_facade/4", |b| {
+        b.iter(|| black_box(mine_parallel(&data.matrix, &params, 4).expect("mining succeeds")));
+    });
     group.finish();
 }
 
@@ -56,6 +76,6 @@ criterion_group!(
     benches,
     bench_running_example,
     bench_synthetic,
-    bench_parallel
+    bench_thread_scaling
 );
 criterion_main!(benches);

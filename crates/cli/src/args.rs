@@ -15,8 +15,13 @@ pub enum Command {
         input: String,
         /// Mining parameters.
         params: MiningParams,
-        /// Worker threads (1 = sequential).
+        /// Worker threads (1 = a single engine worker).
         threads: usize,
+        /// Wall-clock budget in seconds; the run stops cooperatively when it
+        /// expires and reports partial, truncated results.
+        deadline_secs: Option<f64>,
+        /// Print a progress line to stderr as clusters stream in.
+        progress: bool,
         /// Optional JSON output path (stdout table otherwise).
         output: Option<String>,
         /// Missing-value handling: `none`, `row-mean`, `col-mean`.
@@ -117,10 +122,13 @@ USAGE:
       --gamma-absolute <F>   use an absolute regulation threshold instead
       --epsilon <F>          coherence threshold (default 1.0)
       --threads <N>          worker threads (default 1)
-      --max-clusters <N>     stop after N clusters
+      --deadline-secs <F>    wall-clock budget; exceeding it yields partial,
+                             truncated results instead of an error
+      --max-clusters <N>     keep only the first N clusters (canonical order)
       --maximal-only         drop clusters contained in another
       --impute <MODE>        none | row-mean | col-mean (default none)
-      --stats                print search-effort statistics (single-threaded)
+      --stats                print search-effort statistics (any thread count)
+      --progress             print streaming progress to stderr
       --output <file.json>   write clusters as JSON instead of a table
 
   regcluster generate --output <matrix.tsv> [options]
@@ -186,7 +194,7 @@ fn take_options(rest: &[String]) -> Result<HashMap<String, String>, ParseError> 
 }
 
 fn is_boolean_flag(name: &str) -> bool {
-    matches!(name, "maximal-only" | "help" | "stats")
+    matches!(name, "maximal-only" | "help" | "stats" | "progress")
 }
 
 fn get<T: std::str::FromStr>(
@@ -241,11 +249,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "gamma-absolute",
                     "epsilon",
                     "threads",
+                    "deadline-secs",
                     "max-clusters",
                     "maximal-only",
                     "impute",
                     "output",
                     "stats",
+                    "progress",
                 ],
             )?;
             let input = require(&opts, "input")?;
@@ -282,10 +292,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "--impute must be none, row-mean or col-mean, got {impute:?}"
                 )));
             }
+            let deadline_secs = match opts.get("deadline-secs") {
+                Some(s) => {
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| ParseError(format!("cannot parse --deadline-secs {s:?}")))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(ParseError(format!(
+                            "--deadline-secs must be a non-negative number, got {s:?}"
+                        )));
+                    }
+                    Some(v)
+                }
+                None => None,
+            };
             Ok(Command::Mine {
                 input,
                 params,
                 threads: get(&opts, "threads", 1usize)?,
+                deadline_secs,
+                progress: opts.contains_key("progress"),
                 output: opts.get("output").cloned(),
                 impute,
                 stats: opts.contains_key("stats"),
@@ -451,22 +477,57 @@ mod tests {
                 input,
                 params,
                 threads,
+                deadline_secs,
+                progress,
                 output,
                 impute,
                 stats,
             } => {
                 assert_eq!(input, "m.tsv");
                 assert!(!stats);
+                assert!(!progress);
                 assert_eq!(params.min_genes, 5);
                 assert_eq!(params.min_conds, 6);
                 assert_eq!(params.gamma, RegulationThreshold::FractionOfRange(0.1));
                 assert_eq!(params.epsilon, 0.2);
                 assert!(params.maximal_only);
                 assert_eq!(threads, 4);
+                assert_eq!(deadline_secs, None);
                 assert_eq!(output, None);
                 assert_eq!(impute, "none");
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mine_parses_deadline_and_progress() {
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--deadline-secs",
+            "2.5",
+            "--progress",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mine {
+                deadline_secs,
+                progress,
+                ..
+            } => {
+                assert_eq!(deadline_secs, Some(2.5));
+                assert!(progress);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Negative, non-finite and non-numeric budgets are rejected.
+        for bad in ["-1", "abc", "inf", "NaN"] {
+            assert!(
+                parse_args(&sv(&["mine", "--input", "m.tsv", "--deadline-secs", bad])).is_err(),
+                "--deadline-secs {bad} should be rejected"
+            );
         }
     }
 

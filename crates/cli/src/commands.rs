@@ -4,7 +4,10 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use regcluster_core::{mine, mine_parallel, MiningParams, RegCluster};
+use regcluster_core::{
+    mine_engine_with, EngineConfig, MineControl, MiningParams, MiningStats, RegCluster,
+    SyncMineObserver,
+};
 use regcluster_datagen::{generate, PlantedCluster};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
@@ -67,6 +70,9 @@ impl From<std::io::Error> for CliError {
 }
 
 /// The JSON document written by `mine --output` and read back by `eval`.
+///
+/// The `Option` fields were added after the first release; they deserialize
+/// as `None` from documents written by older versions.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct MineOutput {
     /// Parameters of the run.
@@ -75,8 +81,44 @@ pub struct MineOutput {
     pub n_genes: usize,
     /// Number of conditions.
     pub n_conds: usize,
+    /// Worker threads used for the run.
+    pub threads: Option<usize>,
+    /// Wall-clock mining time in seconds.
+    pub elapsed_secs: Option<f64>,
+    /// `true` when the run stopped early on a deadline or cancellation and
+    /// the clusters below are a subset of the full result.
+    pub truncated: Option<bool>,
+    /// Search-effort statistics, including per-rule prune counts.
+    pub stats: Option<MiningStats>,
     /// The mined clusters.
     pub clusters: Vec<RegCluster>,
+}
+
+/// Streams coarse mining progress to stderr: the first cluster prints
+/// immediately, later ones at most every 200 ms, so long parallel runs show
+/// life without flooding the terminal.
+#[derive(Default)]
+struct ProgressObserver {
+    emitted: std::sync::atomic::AtomicUsize,
+    last_print: std::sync::Mutex<Option<std::time::Instant>>,
+}
+
+impl SyncMineObserver for ProgressObserver {
+    fn cluster_emitted(&self, _cluster: &RegCluster) {
+        let n = self
+            .emitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        let mut last = self
+            .last_print
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let due = last.is_none_or(|t| t.elapsed() >= std::time::Duration::from_millis(200));
+        if due {
+            *last = Some(std::time::Instant::now());
+            eprintln!("… {n} clusters emitted");
+        }
+    }
 }
 
 fn load_matrix(path: &str, impute_mode: &str) -> Result<ExpressionMatrix, CliError> {
@@ -249,35 +291,45 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             input,
             params,
             threads,
+            deadline_secs,
+            progress,
             output,
             impute,
             stats,
         } => {
             let m = load_matrix(input, impute)?;
             let start = std::time::Instant::now();
-            let mut stat_counters = regcluster_core::MiningStats::default();
-            let clusters = if *threads > 1 {
-                mine_parallel(&m, params, *threads)?
-            } else if *stats {
-                regcluster_core::mine_with_observer(&m, params, &mut stat_counters)?
-            } else {
-                mine(&m, params)?
+            let control = match deadline_secs {
+                Some(s) => MineControl::with_deadline(std::time::Duration::from_secs_f64(*s)),
+                None => MineControl::new(),
             };
+            let progress_observer = ProgressObserver::default();
+            let observer: &dyn SyncMineObserver = if *progress {
+                &progress_observer
+            } else {
+                &regcluster_core::NoopObserver
+            };
+            let config = EngineConfig::new(*threads);
+            let report = mine_engine_with(&m, params, &config, &control, observer)?;
             let elapsed = start.elapsed();
+            let truncated = report.truncated;
+            let stat_counters = report.stats.clone();
+            let clusters = report.clusters;
             let mut text = format!(
-                "mined {} reg-clusters from {} genes × {} conditions in {:.3}s\n",
+                "mined {} reg-clusters from {} genes × {} conditions in {:.3}s on {} thread{}\n",
                 clusters.len(),
                 m.n_genes(),
                 m.n_conditions(),
-                elapsed.as_secs_f64()
+                elapsed.as_secs_f64(),
+                threads,
+                if *threads == 1 { "" } else { "s" }
             );
+            if truncated {
+                text.push_str("deadline expired: results are partial\n");
+            }
             if *stats {
-                if *threads > 1 {
-                    text.push_str("(statistics are only collected single-threaded)\n");
-                } else {
-                    text.push_str(&stat_counters.summary());
-                    text.push('\n');
-                }
+                text.push_str(&stat_counters.summary());
+                text.push('\n');
             }
             if !clusters.is_empty() {
                 text.push_str(&report::overlap_summary(&clusters));
@@ -289,6 +341,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         params: params.clone(),
                         n_genes: m.n_genes(),
                         n_conds: m.n_conditions(),
+                        threads: Some(*threads),
+                        elapsed_secs: Some(elapsed.as_secs_f64()),
+                        truncated: Some(truncated),
+                        stats: Some(stat_counters),
                         clusters,
                     };
                     std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;

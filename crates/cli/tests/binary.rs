@@ -124,6 +124,118 @@ fn full_pipeline_through_the_binary() {
 }
 
 #[test]
+fn parallel_mine_reports_stats_and_elapsed_in_json() {
+    let dir = tmpdir();
+    let matrix = dir.join("par.tsv");
+    let found = dir.join("par-found.json");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--threads",
+            "4",
+            "--stats",
+            "--progress",
+            "--output",
+            found.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mined 1 reg-clusters"), "{text}");
+    assert!(text.contains("4 threads"), "{text}");
+    // --stats now works at any thread count.
+    assert!(text.contains("nodes"), "{text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("clusters emitted"), "--progress: {err}");
+
+    // The JSON document carries run metadata: per-rule prune counts and
+    // wall-clock time.
+    let json = std::fs::read_to_string(&found).unwrap();
+    for key in [
+        "\"threads\"",
+        "\"elapsed_secs\"",
+        "\"truncated\"",
+        "\"pruned_min_genes\"",
+        "\"pruned_few_p\"",
+        "\"pruned_duplicate\"",
+        "\"pruned_coherence\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let doc: regcluster_cli::commands::MineOutput = serde_json::from_str(&json).unwrap();
+    assert_eq!(doc.threads, Some(4));
+    assert_eq!(doc.truncated, Some(false));
+    assert!(doc.elapsed_secs.unwrap() >= 0.0);
+    let stats = doc.stats.expect("stats present in JSON output");
+    assert!(stats.nodes > 0, "{stats:?}");
+    assert_eq!(stats.emitted, 1, "{stats:?}");
+    assert_eq!(doc.clusters.len(), 1);
+}
+
+#[test]
+fn zero_deadline_yields_truncated_partial_results() {
+    let dir = tmpdir();
+    let matrix = dir.join("deadline.tsv");
+    let found = dir.join("deadline-found.json");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--threads",
+            "2",
+            "--deadline-secs",
+            "0",
+            "--output",
+            found.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    // An exceeded deadline is not a crash: the run exits zero with partial,
+    // explicitly truncated results.
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deadline expired"), "{text}");
+    let doc: regcluster_cli::commands::MineOutput =
+        serde_json::from_str(&std::fs::read_to_string(&found).unwrap()).unwrap();
+    assert_eq!(doc.truncated, Some(true));
+    assert!(doc.clusters.is_empty());
+}
+
+#[test]
 fn rwave_subcommand_via_binary() {
     let dir = tmpdir();
     let matrix = dir.join("running.tsv");

@@ -75,7 +75,7 @@ proptest! {
         prop_assume!(![
             "input", "output", "gamma", "epsilon", "threads", "impute", "stats",
             "genes", "conds", "clusters", "pattern", "seed", "go", "modules",
-            "top", "gene", "algorithm", "delta", "help",
+            "top", "gene", "algorithm", "delta", "help", "progress",
         ]
         .contains(&name.as_str()));
         let args: Vec<String> =

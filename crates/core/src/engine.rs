@@ -1,0 +1,779 @@
+//! Work-stealing parallel mining engine.
+//!
+//! The engine decouples **enumeration** from **collection**. Enumeration is
+//! driven by a pool of workers sharing the representative-chain tree through
+//! a spill-based work-stealing scheme: every enumeration node is a [`Task`]
+//! (chain prefix + surviving members), each worker runs an ordinary
+//! depth-first traversal over its local LIFO deque, and when the local deque
+//! grows past [`EngineConfig::spill_threshold`] while other workers are
+//! starving, the *shallowest* pending subtrees are spilled from the front of
+//! the deque into a shared queue. This splits the tree at any depth — a
+//! single heavy root no longer serializes the run the way the old
+//! static-per-root split did ([`SplitStrategy::StaticRoots`] reproduces that
+//! behavior for comparison benchmarks).
+//!
+//! Collection goes through a [`ClusterSink`]: [`VecSink`] gathers everything
+//! for the deterministic collect path, [`CappedSink`] stops the run
+//! cooperatively after a fixed number of clusters, and [`StreamingSink`]
+//! forwards clusters over a bounded channel while mining is still in
+//! progress.
+//!
+//! # Determinism
+//!
+//! The collect path ([`mine_engine`]) is **bit-identical** to the sequential
+//! miner at every thread count, including under
+//! [`max_clusters`](crate::MiningParams::max_clusters):
+//!
+//! * node expansion is the shared [`Miner::expand_node`], a pure function of
+//!   the node state, so sequential and parallel runs expand the same tree;
+//! * duplicate elimination (pruning (3)(b) of the paper) is a first-arrival
+//!   race, but two nodes emitting the same `(chain, genes)` cluster
+//!   necessarily carry the same member state and therefore root *identical
+//!   subtrees* — whichever twin wins the race, the set of emitted clusters
+//!   and the multiset of observer events are invariant (see DESIGN.md §7.6);
+//! * the cap is applied by [`finalize`] to the canonically-sorted full
+//!   result, making capped output a function of the cluster set alone.
+//!
+//! Delivery *order* into a sink is nondeterministic across workers; only the
+//! final collected set is deterministic. Runs that stop early — through
+//! [`MineControl::cancel`], a deadline, or a sink refusing clusters — yield
+//! a prefix of the work whose content depends on scheduling, and are flagged
+//! accordingly.
+
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+
+use crate::miner::{finalize, EmitOutcome, Member, Miner};
+use crate::observer::{MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver};
+use crate::{CoreError, MiningParams, RegCluster};
+
+/// Default local-deque length above which a worker offers subtrees to idle
+/// peers. Small enough to feed starving workers quickly, large enough that a
+/// worker keeps a cache-warm runway of its own.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 4;
+
+/// Acquires a mutex, ignoring poisoning: engine state stays usable after a
+/// worker panic so the run can shut down and report the panic instead of
+/// cascading.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How the enumeration tree is divided among workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Workers spill pending subtrees at any depth to idle peers (default).
+    WorkStealing,
+    /// Only whole root subtrees are distributed; no mid-tree splitting.
+    /// This reproduces the pre-engine `mine_parallel` behavior and exists
+    /// for benchmarking the work-stealing gain.
+    StaticRoots,
+}
+
+/// Tuning knobs for a parallel mining run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+    /// Local-deque length above which a worker spills subtrees to idle
+    /// peers. Ignored under [`SplitStrategy::StaticRoots`].
+    pub spill_threshold: usize,
+    /// Tree-splitting strategy.
+    pub split: SplitStrategy,
+}
+
+impl EngineConfig {
+    /// A work-stealing configuration with `threads` workers and the default
+    /// spill threshold.
+    pub fn new(threads: usize) -> Self {
+        EngineConfig {
+            threads,
+            spill_threshold: DEFAULT_SPILL_THRESHOLD,
+            split: SplitStrategy::WorkStealing,
+        }
+    }
+
+    /// Replaces the spill threshold.
+    #[must_use]
+    pub fn with_spill_threshold(mut self, spill_threshold: usize) -> Self {
+        self.spill_threshold = spill_threshold;
+        self
+    }
+
+    /// Replaces the split strategy.
+    #[must_use]
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.split = split;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.threads == 0 {
+            return Err(CoreError::InvalidParams("threads must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineConfig {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineConfig::new(threads)
+    }
+}
+
+/// A cancellation handle for a mining run.
+///
+/// Clone it (cheap, `Arc`-backed) and hand one copy to the run while another
+/// thread keeps the original: [`cancel`](MineControl::cancel) stops the run
+/// at the next enumeration node, as does an expired
+/// [deadline](MineControl::with_deadline). A stopped run reports
+/// `truncated = true` and [`MineReport::into_result`] turns that into
+/// [`CoreError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct MineControl {
+    inner: Arc<ControlInner>,
+}
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl MineControl {
+    /// A control that never fires on its own.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A control whose run stops once `timeout` has elapsed (measured from
+    /// this call). A timeout too large to represent is treated as "never".
+    pub fn with_deadline(timeout: Duration) -> Self {
+        MineControl {
+            inner: Arc::new(ControlInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// Requests that the run stop at the next enumeration node.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the run should stop: cancelled explicitly or past deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Receiver for validated clusters from concurrent workers.
+///
+/// Replaces the old hard-wired `Vec<RegCluster>` collection. Implementations
+/// must be [`Sync`]; `accept` is called once per *fresh* cluster (duplicates
+/// are eliminated before the sink) in nondeterministic cross-worker order.
+pub trait ClusterSink: Sync {
+    /// Delivers one cluster. Returning `false` asks the engine to stop
+    /// enumerating — a cooperative early stop honored at node granularity.
+    fn accept(&self, cluster: RegCluster) -> bool;
+}
+
+/// Collects every cluster; never stops the run. The engine's collect path
+/// drains it and finalizes for deterministic output.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    clusters: Mutex<Vec<RegCluster>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected clusters, in arrival order.
+    pub fn into_clusters(self) -> Vec<RegCluster> {
+        self.clusters
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ClusterSink for VecSink {
+    fn accept(&self, cluster: RegCluster) -> bool {
+        lock(&self.clusters).push(cluster);
+        true
+    }
+}
+
+/// Collects up to `cap` clusters, then stops the run cooperatively.
+///
+/// *Which* clusters make the cut depends on worker scheduling; use the
+/// collect path with [`MiningParams::max_clusters`] when the capped subset
+/// must be deterministic.
+#[derive(Debug)]
+pub struct CappedSink {
+    cap: usize,
+    clusters: Mutex<Vec<RegCluster>>,
+}
+
+impl CappedSink {
+    /// A sink refusing clusters beyond `cap`.
+    pub fn new(cap: usize) -> Self {
+        CappedSink {
+            cap,
+            clusters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The collected clusters (at most `cap`), in arrival order.
+    pub fn into_clusters(self) -> Vec<RegCluster> {
+        self.clusters
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ClusterSink for CappedSink {
+    fn accept(&self, cluster: RegCluster) -> bool {
+        let mut clusters = lock(&self.clusters);
+        if clusters.len() >= self.cap {
+            return false;
+        }
+        clusters.push(cluster);
+        clusters.len() < self.cap
+    }
+}
+
+/// Streams clusters over a bounded channel while mining runs.
+///
+/// Dropping the receiver stops the run cooperatively at the next emission.
+/// Back-pressure from a full channel blocks the emitting worker.
+#[derive(Debug)]
+pub struct StreamingSink {
+    tx: SyncSender<RegCluster>,
+}
+
+impl StreamingSink {
+    /// Wraps an existing bounded sender.
+    pub fn new(tx: SyncSender<RegCluster>) -> Self {
+        StreamingSink { tx }
+    }
+
+    /// Creates a sink and its receiving end with channel capacity `bound`.
+    pub fn channel(bound: usize) -> (Self, Receiver<RegCluster>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+        (StreamingSink { tx }, rx)
+    }
+}
+
+impl ClusterSink for StreamingSink {
+    fn accept(&self, cluster: RegCluster) -> bool {
+        self.tx.send(cluster).is_ok()
+    }
+}
+
+/// The outcome of a collect-mode engine run.
+#[derive(Debug, Clone)]
+pub struct MineReport {
+    /// The mined clusters, finalized (canonical order, `maximal_only`
+    /// filter, `max_clusters` cap). A partial set when `truncated`.
+    pub clusters: Vec<RegCluster>,
+    /// Merged per-worker search-effort counters. For complete runs these
+    /// equal a sequential run's totals (asserted by tests).
+    pub stats: MiningStats,
+    /// The run was stopped by [`MineControl`] before the tree was exhausted.
+    pub truncated: bool,
+}
+
+impl MineReport {
+    /// Treats truncation as an error: `Ok(clusters)` for a complete run,
+    /// [`CoreError::Cancelled`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cancelled`] when the run was truncated.
+    pub fn into_result(self) -> Result<Vec<RegCluster>, CoreError> {
+        if self.truncated {
+            Err(CoreError::Cancelled)
+        } else {
+            Ok(self.clusters)
+        }
+    }
+}
+
+/// The outcome of a sink-mode engine run (the clusters went to the sink).
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Merged per-worker search-effort counters.
+    pub stats: MiningStats,
+    /// The run was stopped by [`MineControl`] before the tree was exhausted.
+    pub truncated: bool,
+    /// The sink refused a cluster, stopping the run early (e.g. a
+    /// [`CappedSink`] reaching its cap or a dropped [`StreamingSink`]
+    /// receiver).
+    pub stopped_by_sink: bool,
+}
+
+/// Mines `matrix` with the work-stealing engine, collecting everything.
+///
+/// Bit-identical to [`mine`](crate::mine) at every thread count.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters or
+/// configuration and [`CoreError::WorkerPanic`] if a worker panicked.
+pub fn mine_engine(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    config: &EngineConfig,
+) -> Result<MineReport, CoreError> {
+    mine_engine_with(matrix, params, config, &MineControl::new(), &NoopObserver)
+}
+
+/// Like [`mine_engine`], with a cancellation handle and a thread-safe
+/// observer receiving every enumeration event.
+///
+/// A run stopped through `control` returns `Ok` with
+/// [`MineReport::truncated`] set (use [`MineReport::into_result`] to treat
+/// that as [`CoreError::Cancelled`]); partial clusters and stats cover the
+/// subtrees completed before the stop.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters or
+/// configuration and [`CoreError::WorkerPanic`] if a worker or the observer
+/// panicked.
+pub fn mine_engine_with(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+) -> Result<MineReport, CoreError> {
+    config.validate()?;
+    let miner = Miner::new(matrix, params)?;
+    let sink = VecSink::new();
+    let outcome = run(
+        &miner,
+        matrix.n_conditions(),
+        config,
+        control,
+        observer,
+        &sink,
+    )?;
+    let mut clusters = sink.into_clusters();
+    finalize(&mut clusters, params);
+    Ok(MineReport {
+        clusters,
+        stats: outcome.stats,
+        truncated: outcome.truncated,
+    })
+}
+
+/// Mines `matrix`, delivering every fresh cluster to `sink` as it is found.
+///
+/// The clusters reaching the sink are exactly the deduplicated emission set
+/// (for complete runs, the same set [`mine_engine`] collects) but **not**
+/// finalized: order is nondeterministic and neither `maximal_only` nor
+/// `max_clusters` from `params` is applied — capping is the sink's job
+/// ([`CappedSink`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for invalid parameters or
+/// configuration and [`CoreError::WorkerPanic`] if a worker, the observer,
+/// or the sink panicked.
+pub fn mine_to_sink(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+) -> Result<StreamReport, CoreError> {
+    config.validate()?;
+    let miner = Miner::new(matrix, params)?;
+    let outcome = run(
+        &miner,
+        matrix.n_conditions(),
+        config,
+        control,
+        observer,
+        sink,
+    )?;
+    Ok(StreamReport {
+        stats: outcome.stats,
+        truncated: outcome.truncated,
+        stopped_by_sink: outcome.stopped_by_sink,
+    })
+}
+
+/// One enumeration node awaiting expansion.
+struct Task {
+    chain: Vec<CondId>,
+    members: Vec<Member>,
+}
+
+struct Outcome {
+    stats: MiningStats,
+    truncated: bool,
+    stopped_by_sink: bool,
+}
+
+/// The identity of an emitted cluster inside one duplicate-elimination
+/// shard: its chain plus the signed member set.
+type EmittedSet = HashSet<(Vec<CondId>, Vec<GeneId>)>;
+
+/// State shared by all workers of one run.
+struct Shared<'e> {
+    /// Spilled subtrees available for stealing (plus the initial roots).
+    queue: Mutex<VecDeque<Task>>,
+    /// Signaled on spills, on termination and on stop requests.
+    available: Condvar,
+    /// Live tasks: queued, local to a worker, or in expansion. Termination
+    /// is `outstanding == 0`.
+    outstanding: AtomicUsize,
+    /// Workers currently blocked waiting for work — the spill heuristic.
+    waiting: AtomicUsize,
+    /// Global stop request (cancellation, sink refusal, or worker panic).
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    stopped_by_sink: AtomicBool,
+    /// First captured worker-panic payload.
+    panic_msg: Mutex<Option<String>>,
+    /// Duplicate-elimination sets, sharded by root condition: clusters with
+    /// different roots have different chains and can never collide, so
+    /// cross-root emissions never contend on a lock.
+    emitted: Vec<Mutex<EmittedSet>>,
+    sink: &'e dyn ClusterSink,
+    observer: &'e dyn SyncMineObserver,
+    control: &'e MineControl,
+    spill_threshold: usize,
+    stealing: bool,
+}
+
+impl Shared<'_> {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+}
+
+/// Per-worker bridge: accumulates lock-free [`MiningStats`] and forwards
+/// every event to the shared [`SyncMineObserver`].
+struct WorkerObserver<'a> {
+    stats: MiningStats,
+    user: &'a dyn SyncMineObserver,
+}
+
+impl MineObserver for WorkerObserver<'_> {
+    fn node_entered(&mut self, chain: &[CondId], n_p: usize, n_n: usize) {
+        MineObserver::node_entered(&mut self.stats, chain, n_p, n_n);
+        self.user.node_entered(chain, n_p, n_n);
+    }
+    fn pruned(&mut self, chain: &[CondId], rule: PruneRule) {
+        MineObserver::pruned(&mut self.stats, chain, rule);
+        self.user.pruned(chain, rule);
+    }
+    fn cluster_emitted(&mut self, cluster: &RegCluster) {
+        MineObserver::cluster_emitted(&mut self.stats, cluster);
+        self.user.cluster_emitted(cluster);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run(
+    miner: &Miner<'_>,
+    n_roots: usize,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+) -> Result<Outcome, CoreError> {
+    let shared = Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        outstanding: AtomicUsize::new(n_roots),
+        waiting: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        stopped_by_sink: AtomicBool::new(false),
+        panic_msg: Mutex::new(None),
+        emitted: (0..n_roots).map(|_| Mutex::new(HashSet::new())).collect(),
+        sink,
+        observer,
+        control,
+        spill_threshold: config.spill_threshold.max(1),
+        stealing: config.split == SplitStrategy::WorkStealing,
+    };
+    {
+        let mut queue = lock(&shared.queue);
+        for root in 0..n_roots {
+            queue.push_back(Task {
+                chain: vec![root],
+                members: miner.root_members(root),
+            });
+        }
+    }
+
+    let mut stats = MiningStats::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for _ in 0..config.threads {
+            handles.push(scope.spawn(|| {
+                catch_unwind(AssertUnwindSafe(|| worker(miner, &shared))).unwrap_or_else(
+                    |payload| {
+                        let mut slot = lock(&shared.panic_msg);
+                        if slot.is_none() {
+                            *slot = Some(panic_message(payload));
+                        }
+                        drop(slot);
+                        shared.request_stop();
+                        MiningStats::default()
+                    },
+                )
+            }));
+        }
+        for handle in handles {
+            if let Ok(worker_stats) = handle.join() {
+                stats.merge(&worker_stats);
+            }
+        }
+    });
+
+    if let Some(msg) = lock(&shared.panic_msg).take() {
+        return Err(CoreError::WorkerPanic(msg));
+    }
+    Ok(Outcome {
+        stats,
+        truncated: shared.truncated.load(Ordering::Acquire),
+        stopped_by_sink: shared.stopped_by_sink.load(Ordering::Acquire),
+    })
+}
+
+/// The worker loop: depth-first over the local deque, stealing from the
+/// shared queue when the deque runs dry, spilling to it when peers starve.
+fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
+    let mut observer = WorkerObserver {
+        stats: MiningStats::default(),
+        user: shared.observer,
+    };
+    let mut local: VecDeque<Task> = VecDeque::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(mut task) = local.pop_back().or_else(|| steal_or_wait(shared)) else {
+            break;
+        };
+        // Cancellation and deadline are honored at enumeration-node
+        // granularity: cheap enough to check per node, fine-grained enough
+        // that even a single heavy subtree stops promptly.
+        if shared.control.is_cancelled() {
+            shared.truncated.store(true, Ordering::Release);
+            shared.request_stop();
+            break;
+        }
+        let expansion = miner.expand_node(
+            &mut task.chain,
+            &task.members,
+            None,
+            &mut observer,
+            &mut |cluster| {
+                let shard = &shared.emitted[cluster.chain[0]];
+                {
+                    let mut set = lock(shard);
+                    if !set.insert((cluster.chain.clone(), cluster.genes())) {
+                        return EmitOutcome::Duplicate;
+                    }
+                }
+                if shared.sink.accept(cluster.clone()) {
+                    EmitOutcome::Fresh
+                } else {
+                    EmitOutcome::FreshAndStop
+                }
+            },
+        );
+        if expansion.stop {
+            shared.stopped_by_sink.store(true, Ordering::Release);
+            shared.request_stop();
+            break;
+        }
+        if !expansion.children.is_empty() {
+            // Count the children as live before retiring the parent so
+            // `outstanding` can never dip to 0 while work remains.
+            shared
+                .outstanding
+                .fetch_add(expansion.children.len(), Ordering::AcqRel);
+            // Push in reverse: the deque is popped from the back, so the
+            // first child is expanded next — local order stays depth-first.
+            for child in expansion.children.into_iter().rev() {
+                let mut chain = task.chain.clone();
+                chain.push(child.cond);
+                local.push_back(Task {
+                    chain,
+                    members: child.members,
+                });
+            }
+            maybe_spill(shared, &mut local);
+        }
+        finish_task(shared);
+    }
+    observer.stats
+}
+
+/// Retires one task; the last retirement wakes every waiter for shutdown.
+fn finish_task(shared: &Shared<'_>) {
+    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.available.notify_all();
+    }
+}
+
+/// Moves surplus tasks from the front of the local deque (the shallowest,
+/// largest pending subtrees) to the shared queue when peers are starving.
+fn maybe_spill(shared: &Shared<'_>, local: &mut VecDeque<Task>) {
+    if !shared.stealing
+        || local.len() <= shared.spill_threshold
+        || shared.waiting.load(Ordering::Relaxed) == 0
+    {
+        return;
+    }
+    let surplus = local.len() - shared.spill_threshold;
+    {
+        let mut queue = lock(&shared.queue);
+        for _ in 0..surplus {
+            if let Some(task) = local.pop_front() {
+                queue.push_back(task);
+            }
+        }
+    }
+    shared.available.notify_all();
+}
+
+/// Pops from the shared queue, blocking until work appears, the run
+/// terminates (`outstanding == 0`), or a stop is requested.
+fn steal_or_wait(shared: &Shared<'_>) -> Option<Task> {
+    let mut queue = lock(&shared.queue);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(task) = queue.pop_front() {
+            return Some(task);
+        }
+        if shared.outstanding.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        // `waiting` is incremented under the queue lock, and spills push
+        // under the same lock before notifying — a spill either lands before
+        // the check above or after this worker is parked, never in between.
+        shared.waiting.fetch_add(1, Ordering::SeqCst);
+        queue = shared
+            .available
+            .wait(queue)
+            .unwrap_or_else(PoisonError::into_inner);
+        shared.waiting.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validates_threads() {
+        assert!(EngineConfig::new(0).validate().is_err());
+        assert!(EngineConfig::new(1).validate().is_ok());
+        assert!(EngineConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn control_cancel_and_deadline() {
+        let control = MineControl::new();
+        assert!(!control.is_cancelled());
+        let clone = control.clone();
+        clone.cancel();
+        assert!(control.is_cancelled(), "cancel propagates through clones");
+
+        let expired = MineControl::with_deadline(Duration::ZERO);
+        assert!(expired.is_cancelled());
+        let far = MineControl::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        // An unrepresentable deadline means "never", not "immediately".
+        let never = MineControl::with_deadline(Duration::MAX);
+        assert!(!never.is_cancelled());
+    }
+
+    fn cluster(chain: Vec<CondId>) -> RegCluster {
+        RegCluster {
+            chain,
+            p_members: vec![0, 1],
+            n_members: vec![],
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_everything() {
+        let sink = VecSink::new();
+        assert!(sink.accept(cluster(vec![0, 1])));
+        assert!(sink.accept(cluster(vec![1, 2])));
+        assert_eq!(sink.into_clusters().len(), 2);
+    }
+
+    #[test]
+    fn capped_sink_refuses_past_cap() {
+        let sink = CappedSink::new(2);
+        assert!(sink.accept(cluster(vec![0, 1])));
+        // The cap-filling cluster is kept, but the run is asked to stop.
+        assert!(!sink.accept(cluster(vec![1, 2])));
+        assert!(!sink.accept(cluster(vec![2, 3])));
+        assert_eq!(sink.into_clusters().len(), 2);
+    }
+
+    #[test]
+    fn streaming_sink_stops_when_receiver_drops() {
+        let (sink, rx) = StreamingSink::channel(4);
+        assert!(sink.accept(cluster(vec![0, 1])));
+        assert_eq!(rx.recv().unwrap().chain, vec![0, 1]);
+        drop(rx);
+        assert!(!sink.accept(cluster(vec![1, 2])));
+    }
+
+    #[test]
+    fn report_into_result_maps_truncation_to_cancelled() {
+        let complete = MineReport {
+            clusters: vec![cluster(vec![0, 1])],
+            stats: MiningStats::default(),
+            truncated: false,
+        };
+        assert_eq!(complete.into_result().unwrap().len(), 1);
+        let truncated = MineReport {
+            clusters: Vec::new(),
+            stats: MiningStats::default(),
+            truncated: true,
+        };
+        assert_eq!(truncated.into_result(), Err(CoreError::Cancelled));
+    }
+}

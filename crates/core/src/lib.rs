@@ -55,6 +55,7 @@ mod error;
 pub mod chain;
 pub mod cluster;
 pub mod coherence;
+pub mod engine;
 pub mod miner;
 pub mod observer;
 pub mod params;
@@ -64,8 +65,14 @@ pub mod threshold;
 
 pub use chain::RegulationChain;
 pub use cluster::{RegCluster, ValidationError};
+pub use engine::{
+    mine_engine, mine_engine_with, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
+    MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
+};
 pub use error::CoreError;
 pub use miner::{mine, mine_containing, mine_parallel, mine_with_observer, Miner};
-pub use observer::{MineObserver, MiningStats, NoopObserver, PruneRule, TraceEvent, TraceObserver};
+pub use observer::{
+    MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver, TraceEvent, TraceObserver,
+};
 pub use params::MiningParams;
 pub use threshold::RegulationThreshold;

@@ -40,7 +40,7 @@ use crate::{CoreError, MiningParams, RegCluster};
 
 /// Direction in which a gene follows the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Dir {
+pub(crate) enum Dir {
     /// p-member: expression increases along the chain.
     Fwd,
     /// n-member: expression decreases along the chain (inverted chain).
@@ -49,12 +49,50 @@ enum Dir {
 
 /// A gene participating in the current node.
 #[derive(Debug, Clone, Copy)]
-struct Member {
-    gene: GeneId,
-    dir: Dir,
+pub(crate) struct Member {
+    pub(crate) gene: GeneId,
+    pub(crate) dir: Dir,
     /// The baseline difference `d[c_{k2}] − d[c_{k1}]` (signed; negative for
     /// n-members). Set when the chain reaches length 2; `0.0` before that.
-    denom: f64,
+    pub(crate) denom: f64,
+}
+
+/// A child of an enumeration node, produced by [`Miner::expand_node`] in
+/// depth-first order.
+pub(crate) struct ChildNode {
+    /// The condition appended to the parent chain.
+    pub cond: CondId,
+    /// The member genes surviving into the child.
+    pub members: Vec<Member>,
+}
+
+/// What the emission receiver made of a validated cluster.
+pub(crate) enum EmitOutcome {
+    /// First sighting; the subtree continues.
+    Fresh,
+    /// First sighting, but the receiver wants no more clusters (cluster cap
+    /// reached) — the expansion yields no children and flags a stop.
+    FreshAndStop,
+    /// The identical cluster was emitted before — pruning (3)(b), the whole
+    /// subtree is redundant.
+    Duplicate,
+}
+
+/// The result of expanding one enumeration node.
+pub(crate) struct Expansion {
+    /// Children in depth-first order; empty when the node was pruned.
+    pub children: Vec<ChildNode>,
+    /// The emission receiver requested that the whole run stop.
+    pub stop: bool,
+}
+
+impl Expansion {
+    fn pruned() -> Self {
+        Expansion {
+            children: Vec::new(),
+            stop: false,
+        }
+    }
 }
 
 /// Reusable mining engine: builds the per-gene `RWave^γ` models once and can
@@ -70,11 +108,9 @@ struct RunState<'o> {
     out: Vec<RegCluster>,
     emitted: HashSet<(Vec<CondId>, Vec<GeneId>)>,
     observer: &'o mut dyn MineObserver,
-    max_clusters: Option<usize>,
     /// Query mining: abandon any node that loses this gene (sound because
     /// member sets only shrink along a path).
     required: Option<GeneId>,
-    stop: bool,
 }
 
 impl<'a> Miner<'a> {
@@ -108,20 +144,19 @@ impl<'a> Miner<'a> {
     /// condition, in condition order, reporting events to `observer`.
     ///
     /// The result is sorted canonically (by chain, then members) so that
-    /// sequential and parallel runs compare equal.
+    /// sequential and parallel runs compare equal. With `max_clusters` set,
+    /// the cap keeps the canonically-first clusters of the full result —
+    /// deterministic and identical across sequential and parallel runs. For
+    /// a cooperative early stop instead, mine through the engine with a
+    /// [`CappedSink`](crate::engine::CappedSink).
     pub fn mine_all(&self, observer: &mut dyn MineObserver) -> Vec<RegCluster> {
         let mut state = RunState {
             out: Vec::new(),
             emitted: HashSet::new(),
             observer,
-            max_clusters: self.params.max_clusters,
             required: None,
-            stop: false,
         };
         for root in 0..self.matrix.n_conditions() {
-            if state.stop {
-                break;
-            }
             self.mine_root_into(root, &mut state);
         }
         let mut out = state.out;
@@ -145,14 +180,9 @@ impl<'a> Miner<'a> {
             out: Vec::new(),
             emitted: HashSet::new(),
             observer,
-            max_clusters: self.params.max_clusters,
             required: Some(gene),
-            stop: false,
         };
         for root in 0..self.matrix.n_conditions() {
-            if state.stop {
-                break;
-            }
             self.mine_root_into(root, &mut state);
         }
         let mut out = state.out;
@@ -167,15 +197,22 @@ impl<'a> Miner<'a> {
             out: Vec::new(),
             emitted: HashSet::new(),
             observer,
-            max_clusters: self.params.max_clusters,
             required: None,
-            stop: false,
         };
         self.mine_root_into(root, &mut state);
         state.out
     }
 
     fn mine_root_into(&self, root: CondId, state: &mut RunState<'_>) {
+        let members = self.root_members(root);
+        let mut chain = vec![root];
+        self.recurse(&mut chain, &members, state);
+    }
+
+    /// The genes that can participate in any chain rooted at `root`: every
+    /// gene whose max-chain table allows `MinC` conditions in the given
+    /// direction. This is the member set of the level-1 enumeration node.
+    pub(crate) fn root_members(&self, root: CondId) -> Vec<Member> {
         let min_c = self.params.min_conds;
         let mut members = Vec::new();
         for (g, model) in self.models.iter().enumerate() {
@@ -195,14 +232,52 @@ impl<'a> Miner<'a> {
                 });
             }
         }
-        let mut chain = vec![root];
-        self.recurse(&mut chain, &members, state);
+        members
     }
 
+    /// Depth-first traversal over [`expand_node`](Self::expand_node),
+    /// threading the sequential run state.
     fn recurse(&self, chain: &mut Vec<CondId>, members: &[Member], state: &mut RunState<'_>) {
-        if state.stop {
-            return;
+        let RunState {
+            out,
+            emitted,
+            observer,
+            required,
+        } = state;
+        let expansion = self.expand_node(chain, members, *required, &mut **observer, &mut |c| {
+            let key = (c.chain.clone(), c.genes());
+            // Pruning (3)(b): an already-emitted cluster roots a redundant
+            // subtree.
+            if !emitted.insert(key) {
+                return EmitOutcome::Duplicate;
+            }
+            out.push(c.clone());
+            EmitOutcome::Fresh
+        });
+        for child in expansion.children {
+            chain.push(child.cond);
+            self.recurse(chain, &child.members, state);
+            chain.pop();
         }
+    }
+
+    /// Expands one enumeration node: reports events to `observer`, offers a
+    /// validated representative cluster to `try_emit`, and returns the
+    /// children in depth-first order. This is the single copy of the paper's
+    /// Figure 5 node semantics — the sequential recursion and the parallel
+    /// [`engine`](crate::engine) both drive their traversals through it, so
+    /// they cannot diverge.
+    ///
+    /// `chain` is mutated (push/pop of candidate conditions) to report prune
+    /// events at child paths, but is always restored before returning.
+    pub(crate) fn expand_node(
+        &self,
+        chain: &mut Vec<CondId>,
+        members: &[Member],
+        required: Option<GeneId>,
+        observer: &mut dyn MineObserver,
+        try_emit: &mut dyn FnMut(&RegCluster) -> EmitOutcome,
+    ) -> Expansion {
         let n_fwd = members.iter().filter(|m| m.dir == Dir::Fwd).count();
         let n_bwd = members.len() - n_fwd;
         // At depth 1 a gene may appear once per direction; count genes, not
@@ -213,24 +288,24 @@ impl<'a> Miner<'a> {
         } else {
             members.len()
         };
-        state.observer.node_entered(chain, n_fwd, n_bwd);
+        observer.node_entered(chain, n_fwd, n_bwd);
 
         // Query mining: every cluster of this subtree lacks the required
         // gene once it has left the member set.
-        if let Some(g) = state.required {
+        if let Some(g) = required {
             if !members.iter().any(|m| m.gene == g) {
-                return;
+                return Expansion::pruned();
             }
         }
         // Pruning (1): MinG.
         if distinct < self.params.min_genes {
-            state.observer.pruned(chain, PruneRule::MinGenes);
-            return;
+            observer.pruned(chain, PruneRule::MinGenes);
+            return Expansion::pruned();
         }
         // Pruning (3)(a): too few p-members to ever be representative.
         if 2 * n_fwd < self.params.min_genes {
-            state.observer.pruned(chain, PruneRule::FewPMembers);
-            return;
+            observer.pruned(chain, PruneRule::FewPMembers);
+            return Expansion::pruned();
         }
 
         // Step 3 of Figure 5: output a validated representative chain.
@@ -238,18 +313,19 @@ impl<'a> Miner<'a> {
             && (n_fwd > n_bwd || (n_fwd == n_bwd && chain[0] < chain[1]))
         {
             let cluster = build_cluster(chain, members);
-            let key = (cluster.chain.clone(), cluster.genes());
-            // Pruning (3)(b): an already-emitted cluster roots a redundant
-            // subtree.
-            if !state.emitted.insert(key) {
-                state.observer.pruned(chain, PruneRule::Duplicate);
-                return;
-            }
-            state.observer.cluster_emitted(&cluster);
-            state.out.push(cluster);
-            if state.max_clusters.is_some_and(|cap| state.out.len() >= cap) {
-                state.stop = true;
-                return;
+            match try_emit(&cluster) {
+                EmitOutcome::Duplicate => {
+                    observer.pruned(chain, PruneRule::Duplicate);
+                    return Expansion::pruned();
+                }
+                EmitOutcome::Fresh => observer.cluster_emitted(&cluster),
+                EmitOutcome::FreshAndStop => {
+                    observer.cluster_emitted(&cluster);
+                    return Expansion {
+                        children: Vec::new(),
+                        stop: true,
+                    };
+                }
             }
         }
 
@@ -277,14 +353,15 @@ impl<'a> Miner<'a> {
             }
         }
         if !any {
-            return;
+            return Expansion::pruned();
         }
 
         // Step 5: for each candidate, select matching genes, apply the
-        // coherence sliding window, recurse into every validated window.
+        // coherence sliding window, and make every validated window a child.
+        let mut children = Vec::new();
         let mut scored: Vec<(f64, Member)> = Vec::new();
         for c_i in 0..n_conds {
-            if !is_candidate[c_i] || state.stop {
+            if !is_candidate[c_i] {
                 continue;
             }
             scored.clear();
@@ -320,15 +397,15 @@ impl<'a> Miner<'a> {
             }
             if chain.len() == 1 {
                 // All scores are 1.0 by definition; no window needed.
-                let children: Vec<Member> = scored.iter().map(|&(_, m)| m).collect();
-                chain.push(c_i);
-                self.recurse(chain, &children, state);
-                chain.pop();
+                children.push(ChildNode {
+                    cond: c_i,
+                    members: scored.iter().map(|&(_, m)| m).collect(),
+                });
             } else if scored.len() < self.params.min_genes {
                 // Pruning (1) fires before the coherence test when the
                 // candidate's gene set is already below MinG.
                 chain.push(c_i);
-                state.observer.pruned(chain, PruneRule::MinGenes);
+                observer.pruned(chain, PruneRule::MinGenes);
                 chain.pop();
             } else {
                 scored.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -337,19 +414,21 @@ impl<'a> Miner<'a> {
                 if windows.is_empty() {
                     // Pruning (4): no coherent interval of MinG genes.
                     chain.push(c_i);
-                    state.observer.pruned(chain, PruneRule::Coherence);
+                    observer.pruned(chain, PruneRule::Coherence);
                     chain.pop();
                     continue;
                 }
-                // `windows` borrows nothing from `scored`, so the clone per
-                // child is the only allocation on this path.
                 for (s, e) in windows {
-                    let children: Vec<Member> = scored[s..e].iter().map(|&(_, m)| m).collect();
-                    chain.push(c_i);
-                    self.recurse(chain, &children, state);
-                    chain.pop();
+                    children.push(ChildNode {
+                        cond: c_i,
+                        members: scored[s..e].iter().map(|&(_, m)| m).collect(),
+                    });
                 }
             }
+        }
+        Expansion {
+            children,
+            stop: false,
         }
     }
 }
@@ -386,9 +465,12 @@ fn build_cluster(chain: &[CondId], members: &[Member]) -> RegCluster {
     }
 }
 
-/// Canonical ordering + optional maximal-only post-filter, shared by the
-/// sequential and parallel drivers.
-fn finalize(out: &mut Vec<RegCluster>, params: &MiningParams) {
+/// Canonical ordering + optional maximal-only post-filter + `max_clusters`
+/// truncation, shared by the sequential and parallel drivers. Because the cap
+/// is applied to the canonically-sorted full result, capped output is a
+/// deterministic function of the cluster *set* — which is why sequential and
+/// work-stealing parallel runs agree bit-for-bit even under `max_clusters`.
+pub(crate) fn finalize(out: &mut Vec<RegCluster>, params: &MiningParams) {
     if params.maximal_only {
         let snapshot = out.clone();
         out.retain(|c| {
@@ -460,57 +542,27 @@ pub fn mine_containing(
     Ok(miner.mine_containing(gene, &mut NoopObserver))
 }
 
-/// Mines with the enumeration-tree roots (level-1 conditions) distributed
-/// over `n_threads` worker threads.
+/// Mines with the enumeration tree shared across `n_threads` worker threads
+/// through the work-stealing [`engine`](crate::engine).
 ///
-/// Chains starting at different roots can never collide, so each worker
-/// keeps an independent duplicate-elimination set and the merged result
-/// equals the sequential one (asserted by tests). With `max_clusters` set,
-/// the cap is applied to the merged, canonically-sorted result, so the
-/// *surviving* clusters may differ from a sequential early-stop run.
+/// Workers split subtrees at any depth (not just at the roots), so a single
+/// heavy root no longer serializes the run. The merged result is
+/// **bit-identical** to [`mine`]'s — including under `max_clusters` — and
+/// worker panics surface as [`CoreError::WorkerPanic`] instead of aborting
+/// the process (asserted by tests).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParams`] for invalid parameters or a zero
-/// thread count.
+/// thread count, and [`CoreError::WorkerPanic`] if a worker panicked.
 pub fn mine_parallel(
     matrix: &ExpressionMatrix,
     params: &MiningParams,
     n_threads: usize,
 ) -> Result<Vec<RegCluster>, CoreError> {
-    if n_threads == 0 {
-        return Err(CoreError::InvalidParams("n_threads must be ≥ 1".into()));
-    }
-    let miner = Miner::new(matrix, params)?;
-    let n_conds = matrix.n_conditions();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<RegCluster> = Vec::new();
-
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..n_threads.min(n_conds) {
-            let miner = &miner;
-            let next = &next;
-            handles.push(scope.spawn(move |_| {
-                let mut local = Vec::new();
-                loop {
-                    let root = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if root >= n_conds {
-                        break;
-                    }
-                    local.extend(miner.mine_root(root, &mut NoopObserver));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            out.extend(h.join().expect("mining worker panicked"));
-        }
-    })
-    .expect("crossbeam scope panicked");
-
-    finalize(&mut out, params);
-    Ok(out)
+    let config = crate::engine::EngineConfig::new(n_threads);
+    let report = crate::engine::mine_engine(matrix, params, &config)?;
+    Ok(report.clusters)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! can trace why a parameter setting returns nothing.
 
 use regcluster_matrix::CondId;
+use serde::{Deserialize, Serialize};
 
 use crate::cluster::RegCluster;
 
@@ -39,11 +40,32 @@ pub trait MineObserver {
     fn cluster_emitted(&mut self, _cluster: &RegCluster) {}
 }
 
+/// Receiver for enumeration-tree events from concurrent workers.
+///
+/// The thread-safe counterpart of [`MineObserver`], used by the parallel
+/// [`engine`](crate::engine): methods take `&self` and implementations must
+/// be [`Sync`] because every worker reports through the same instance.
+/// Events from different workers interleave arbitrarily; only the per-worker
+/// sub-streams are in depth-first order. For aggregate counters prefer the
+/// per-worker [`MiningStats`] that the engine accumulates lock-free and
+/// merges at join.
+pub trait SyncMineObserver: Sync {
+    /// A node (partial representative chain) was entered with `n_p`
+    /// p-members and `n_n` n-members.
+    fn node_entered(&self, _chain: &[CondId], _n_p: usize, _n_n: usize) {}
+    /// The subtree at `chain` was pruned by `rule`.
+    fn pruned(&self, _chain: &[CondId], _rule: PruneRule) {}
+    /// A validated reg-cluster was emitted.
+    fn cluster_emitted(&self, _cluster: &RegCluster) {}
+}
+
 /// The default, zero-cost observer.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoopObserver;
 
 impl MineObserver for NoopObserver {}
+
+impl SyncMineObserver for NoopObserver {}
 
 /// A recorded enumeration event.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +120,7 @@ impl TraceObserver {
 /// Aggregate search-effort counters — the cheap observer for production
 /// runs that want to know *why* a parameter setting is slow or empty
 /// without paying for a full trace.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MiningStats {
     /// Enumeration-tree nodes entered.
     pub nodes: usize,
@@ -117,6 +139,20 @@ pub struct MiningStats {
 }
 
 impl MiningStats {
+    /// Folds another accumulator into this one: counters add, `max_depth`
+    /// takes the maximum. Used by the parallel engine to combine per-worker
+    /// statistics at join; because workers partition the enumeration tree,
+    /// the merged totals equal a sequential run's.
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.nodes += other.nodes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.emitted += other.emitted;
+        self.pruned_min_genes += other.pruned_min_genes;
+        self.pruned_few_p += other.pruned_few_p;
+        self.pruned_duplicate += other.pruned_duplicate;
+        self.pruned_coherence += other.pruned_coherence;
+    }
+
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -213,8 +249,38 @@ mod tests {
     }
 
     #[test]
+    fn stats_merge_adds_counters_and_maxes_depth() {
+        let mut a = MiningStats {
+            nodes: 3,
+            max_depth: 2,
+            emitted: 1,
+            pruned_min_genes: 4,
+            pruned_few_p: 0,
+            pruned_duplicate: 1,
+            pruned_coherence: 2,
+        };
+        let b = MiningStats {
+            nodes: 5,
+            max_depth: 6,
+            emitted: 0,
+            pruned_min_genes: 1,
+            pruned_few_p: 3,
+            pruned_duplicate: 0,
+            pruned_coherence: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.max_depth, 6);
+        assert_eq!(a.emitted, 1);
+        assert_eq!(a.pruned_min_genes, 5);
+        assert_eq!(a.pruned_few_p, 3);
+        assert_eq!(a.pruned_duplicate, 1);
+        assert_eq!(a.pruned_coherence, 3);
+    }
+
+    #[test]
     fn noop_observer_is_silent() {
-        let mut o = NoopObserver;
+        let o = NoopObserver;
         o.node_entered(&[0], 0, 0);
         o.pruned(&[0], PruneRule::MinGenes);
     }

@@ -22,8 +22,11 @@ pub struct MiningParams {
     pub gamma: RegulationThreshold,
     /// `ε` — maximum allowed spread of coherence scores at each chain step.
     pub epsilon: f64,
-    /// Optional cap on the number of emitted clusters; mining stops once
-    /// reached. `None` (default) mines exhaustively like the paper.
+    /// Optional cap on the number of reported clusters, applied after the
+    /// canonical output sort so the kept subset is deterministic at any
+    /// thread count. `None` (default) reports everything like the paper.
+    /// For a cooperative early *stop* (nondeterministic subset) use
+    /// [`CappedSink`](crate::engine::CappedSink) instead.
     pub max_clusters: Option<usize>,
     /// When `true`, drop every cluster whose gene set and condition set are
     /// both subsets of another reported cluster's. The paper reports all
@@ -69,7 +72,7 @@ impl MiningParams {
         Ok(self)
     }
 
-    /// Caps the number of emitted clusters.
+    /// Caps the number of reported clusters (canonically-first subset).
     #[must_use]
     pub fn with_max_clusters(mut self, cap: usize) -> Self {
         self.max_clusters = Some(cap);

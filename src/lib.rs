@@ -38,7 +38,8 @@ pub use regcluster_matrix as matrix;
 /// The names needed by almost every user of the library.
 pub mod prelude {
     pub use regcluster_core::{
-        mine, mine_parallel, mine_with_observer, MiningParams, RegCluster, RegulationThreshold,
+        mine, mine_engine, mine_engine_with, mine_parallel, mine_with_observer, EngineConfig,
+        MineControl, MiningParams, RegCluster, RegulationThreshold,
     };
     pub use regcluster_matrix::ExpressionMatrix;
 }

@@ -1,0 +1,218 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax — covering the patterns used as strategies in this
+//! workspace: literal characters, `\`-escapes, `[...]` character classes
+//! with ranges (a trailing or leading `-` is literal), `(...)` groups,
+//! alternation `|`, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`.
+//! Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, which is a bug in the
+/// calling test, not an input-dependent condition.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let ast = parse_alternation(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex `{pattern}`: trailing `{}`",
+        chars[pos]
+    );
+    let mut out = String::new();
+    render(&ast, rng, &mut out);
+    out
+}
+
+enum Node {
+    /// Branches of an alternation.
+    Alt(Vec<Node>),
+    /// A sequence of repeated atoms.
+    Seq(Vec<(Atom, u32, u32)>),
+}
+
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Node),
+    /// `.` — any printable ASCII character.
+    Any,
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Node {
+    let mut branches = vec![parse_sequence(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        branches.push(parse_sequence(chars, pos));
+    }
+    if branches.len() == 1 {
+        branches.pop().expect("one branch")
+    } else {
+        Node::Alt(branches)
+    }
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize) -> Node {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos);
+        let (min, max) = parse_quantifier(chars, pos);
+        atoms.push((atom, min, max));
+    }
+    Node::Seq(atoms)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '\\' => {
+            let esc = chars[*pos];
+            *pos += 1;
+            Atom::Literal(unescape(esc))
+        }
+        '[' => Atom::Class(parse_class(chars, pos)),
+        '(' => {
+            let inner = parse_alternation(chars, pos);
+            assert!(
+                chars.get(*pos) == Some(&')'),
+                "unsupported regex: unclosed group"
+            );
+            *pos += 1;
+            Atom::Group(inner)
+        }
+        '.' => Atom::Any,
+        c => Atom::Literal(c),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        c => c,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    assert!(
+        chars.get(*pos) != Some(&'^'),
+        "unsupported regex: negated character class"
+    );
+    let mut ranges = Vec::new();
+    while chars.get(*pos) != Some(&']') {
+        let lo = match chars[*pos] {
+            '\\' => {
+                *pos += 1;
+                unescape(chars[*pos])
+            }
+            c => c,
+        };
+        *pos += 1;
+        // `a-z` is a range unless the `-` is the last class character.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+            *pos += 1;
+            let hi = chars[*pos];
+            *pos += 1;
+            assert!(lo <= hi, "unsupported regex: inverted class range");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    *pos += 1; // ']'
+    assert!(
+        !ranges.is_empty(),
+        "unsupported regex: empty character class"
+    );
+    ranges
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "unsupported regex: unclosed counted repetition"
+            );
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+        *pos += 1;
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("unsupported regex: malformed repetition count")
+}
+
+fn render(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let i = rng.0.gen_range(0..branches.len());
+            render(&branches[i], rng, out);
+        }
+        Node::Seq(atoms) => {
+            for (atom, min, max) in atoms {
+                let n = rng.0.gen_range(*min..=*max);
+                for _ in 0..n {
+                    render_atom(atom, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn render_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let i = rng.0.gen_range(0..ranges.len());
+            let (lo, hi) = ranges[i];
+            let code = rng.0.gen_range(lo as u32..=hi as u32);
+            out.push(char::from_u32(code).expect("class range stays in valid chars"));
+        }
+        Atom::Group(inner) => render(inner, rng, out),
+        Atom::Any => out.push(char::from_u32(rng.0.gen_range(0x20u32..0x7f)).expect("ascii")),
+    }
+}

@@ -1,0 +1,127 @@
+//! The case-driving runner: configuration, the deterministic RNG handed to
+//! strategies, and the pass/fail/reject protocol.
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the whole test fails.
+    Fail(String),
+    /// The generated input did not meet a precondition; the case is
+    /// discarded and regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per run so failures
+/// reproduce.
+pub struct TestRng(pub ChaCha8Rng);
+
+impl TestRng {
+    fn for_case(case: u64) -> Self {
+        // A fixed base seed keeps runs reproducible; mixing in the case
+        // index decorrelates consecutive cases.
+        TestRng(ChaCha8Rng::seed_from_u64(
+            0x243F_6A88_85A3_08D3 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `property` against `config.cases` generated inputs, panicking on
+    /// the first failure (no shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when rejects exceed 16× the case budget.
+    pub fn run<S: Strategy, F>(&mut self, strategy: &S, mut property: F)
+    where
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let max_rejects = u64::from(self.config.cases) * 16;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::for_case(attempt);
+            attempt += 1;
+            let input = strategy.generate(&mut rng);
+            match property(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "too many rejected cases ({rejects}) after {passed} passes"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case #{n} (of {total}) failed: {msg}\n\
+                         (deterministic seed: rerun reproduces this case)",
+                        n = passed + 1,
+                        total = self.config.cases,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stub of serde's derive macros.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and emits `serde::Serialize` / `serde::Deserialize` impls in the
+//! stub's `Value`-tree dialect. Supported item shapes — the only ones this
+//! workspace derives on — are named-field structs, tuple structs (a
+//! single-field newtype serializes transparently), and enums whose variants
+//! are unit or tuple variants. Generic items are rejected with a compile
+//! error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Tokens of an item with attributes and visibility stripped.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic items are not supported (derive on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => parse_struct(name, &tokens, i),
+        "enum" => parse_enum(name, &tokens, i),
+        other => panic!("serde_derive stub: cannot derive on `{other}` items"),
+    }
+}
+
+fn parse_struct(name: String, tokens: &[TokenTree], i: usize) -> Item {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_top_level(g.stream())
+                .into_iter()
+                .map(|field| field_name(&field, &name))
+                .collect();
+            Item::NamedStruct { name, fields }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level(g.stream()).len();
+            Item::TupleStruct { name, arity }
+        }
+        other => panic!("serde_derive stub: unsupported struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_enum(name: String, tokens: &[TokenTree], i: usize) -> Item {
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        panic!("serde_derive stub: expected enum body for `{name}`");
+    };
+    let variants = split_top_level(g.stream())
+        .into_iter()
+        .map(|variant| {
+            let mut j = 0;
+            skip_attrs_and_vis(&variant, &mut j);
+            let vname = match &variant[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => {
+                    panic!("serde_derive stub: expected variant name in `{name}`, got {other}")
+                }
+            };
+            let arity = match variant.get(j + 1) {
+                None => 0,
+                Some(TokenTree::Group(fields)) if fields.delimiter() == Delimiter::Parenthesis => {
+                    split_top_level(fields.stream()).len()
+                }
+                Some(other) => panic!(
+                    "serde_derive stub: only unit and tuple variants are supported \
+                     (`{name}::{vname}` has {other})"
+                ),
+            };
+            (vname, arity)
+        })
+        .collect();
+    Item::Enum { name, variants }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a comma-separated token stream on commas that sit outside any
+/// `<...>` nesting (so `Option<usize>` stays one piece), dropping empties
+/// from trailing commas.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().unwrap().push(tt);
+    }
+    pieces.retain(|p| !p.is_empty());
+    pieces
+}
+
+fn field_name(field: &[TokenTree], item: &str) -> String {
+    let mut j = 0;
+    skip_attrs_and_vis(field, &mut j);
+    match &field[j] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected field name in `{item}`, got {other}"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_json_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_json_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, arity)| match arity {
+                    0 => {
+                        format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+                    }
+                    1 => format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Object(vec![\
+                         (\"{vname}\".to_string(), ::serde::Serialize::to_json_value(x0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_json_value(x{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_json_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_json_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_json_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}({})),\n\
+                             other => Err(::serde::DeError::expected(\
+                                 \"array of {arity}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(vname, arity)| match arity {
+                    1 => format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_json_value(inner)?)),"
+                    ),
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_json_value(&items[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({})),\n\
+                                 other => Err(::serde::DeError::expected(\
+                                     \"array of {n}\", other)),\n\
+                             }},",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let inner_bind = if data_arms.is_empty() {
+                "_inner"
+            } else {
+                "inner"
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (vname, {inner_bind}) = &pairs[0];\n\
+                                 match vname.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::DeError(format!(\
+                                         \"unknown {name} variant {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::expected(\"{name} value\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
