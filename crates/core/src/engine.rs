@@ -43,7 +43,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -257,31 +257,67 @@ impl ClusterSink for CappedSink {
     }
 }
 
+/// How often a control-aware [`StreamingSink`] blocked on a full channel
+/// re-checks [`MineControl::is_cancelled`].
+const SEND_POLL_INTERVAL: Duration = Duration::from_millis(1);
+
 /// Streams clusters over a bounded channel while mining runs.
 ///
 /// Dropping the receiver stops the run cooperatively at the next emission.
-/// Back-pressure from a full channel blocks the emitting worker.
+/// Back-pressure from a full channel blocks the emitting worker: attach the
+/// run's [`MineControl`] via [`with_control`](StreamingSink::with_control)
+/// so cancellation and deadlines can interrupt a blocked send. Without it, a
+/// stalled receiver keeps the worker inside `accept`, and the "stops at the
+/// next enumeration node" guarantee of [`MineControl`] does not hold until
+/// the receiver drains or disconnects.
 #[derive(Debug)]
 pub struct StreamingSink {
     tx: SyncSender<RegCluster>,
+    control: Option<MineControl>,
 }
 
 impl StreamingSink {
     /// Wraps an existing bounded sender.
     pub fn new(tx: SyncSender<RegCluster>) -> Self {
-        StreamingSink { tx }
+        StreamingSink { tx, control: None }
     }
 
     /// Creates a sink and its receiving end with channel capacity `bound`.
     pub fn channel(bound: usize) -> (Self, Receiver<RegCluster>) {
         let (tx, rx) = std::sync::mpsc::sync_channel(bound);
-        (StreamingSink { tx }, rx)
+        (StreamingSink { tx, control: None }, rx)
+    }
+
+    /// Makes sends interruptible by `control` (pass the same handle the run
+    /// uses): a send blocked on a full channel polls for cancellation and,
+    /// once `control` fires, refuses the cluster so the run stops instead of
+    /// hanging on a stalled receiver.
+    #[must_use]
+    pub fn with_control(mut self, control: MineControl) -> Self {
+        self.control = Some(control);
+        self
     }
 }
 
 impl ClusterSink for StreamingSink {
     fn accept(&self, cluster: RegCluster) -> bool {
-        self.tx.send(cluster).is_ok()
+        let Some(control) = &self.control else {
+            return self.tx.send(cluster).is_ok();
+        };
+        let mut cluster = cluster;
+        loop {
+            if control.is_cancelled() {
+                return false;
+            }
+            match self.tx.try_send(cluster) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(returned)) => {
+                    cluster = returned;
+                    std::thread::sleep(SEND_POLL_INTERVAL);
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
     }
 }
 
@@ -468,6 +504,13 @@ struct Shared<'e> {
 impl Shared<'_> {
     fn request_stop(&self) {
         self.stop.store(true, Ordering::Release);
+        // Take (and release) the queue lock before notifying: a waiter in
+        // `steal_or_wait` checks `stop` under this lock and then parks
+        // atomically. Acquiring the lock here can't interleave with that
+        // check-then-wait window, so the store above is either seen by the
+        // check or the notify reaches an already-parked waiter — without the
+        // lock the notify could land in the window and be lost forever.
+        drop(lock(&self.queue));
         self.available.notify_all();
     }
 }
@@ -617,7 +660,13 @@ fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
             },
         );
         if expansion.stop {
-            shared.stopped_by_sink.store(true, Ordering::Release);
+            // A control-aware sink refuses clusters once cancellation fires
+            // mid-send; report that as truncation, not a sink-initiated stop.
+            if shared.control.is_cancelled() {
+                shared.truncated.store(true, Ordering::Release);
+            } else {
+                shared.stopped_by_sink.store(true, Ordering::Release);
+            }
             shared.request_stop();
             break;
         }
@@ -647,6 +696,10 @@ fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
 /// Retires one task; the last retirement wakes every waiter for shutdown.
 fn finish_task(shared: &Shared<'_>) {
     if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Same discipline as `request_stop`: waiters check `outstanding`
+        // under the queue lock before parking, so the notify must be
+        // serialized through that lock or the final wakeup can be lost.
+        drop(lock(&shared.queue));
         shared.available.notify_all();
     }
 }
@@ -686,9 +739,12 @@ fn steal_or_wait(shared: &Shared<'_>) -> Option<Task> {
         if shared.outstanding.load(Ordering::Acquire) == 0 {
             return None;
         }
-        // `waiting` is incremented under the queue lock, and spills push
-        // under the same lock before notifying — a spill either lands before
-        // the check above or after this worker is parked, never in between.
+        // Every signal this loop waits on is serialized through the queue
+        // lock held here: spills push under it, and `finish_task` /
+        // `request_stop` acquire it between their state change and the
+        // notify. A state change therefore lands either before the checks
+        // above or after this worker is parked — never in the gap between
+        // check and wait, so no wakeup can be lost.
         shared.waiting.fetch_add(1, Ordering::SeqCst);
         queue = shared
             .available

@@ -233,6 +233,39 @@ fn streaming_sink_delivers_clusters_through_a_channel() {
     assert!(!stream.stopped_by_sink);
 }
 
+#[test]
+fn cancellation_interrupts_a_send_blocked_on_a_stalled_receiver() {
+    let (m, params) = running_example();
+    let control = MineControl::new();
+    // Capacity 0 and a receiver that never drains: the emitting worker
+    // blocks inside the sink until the cancellation poll notices the stop.
+    // Without `with_control`, this test would hang forever.
+    let (sink, rx) = StreamingSink::channel(0);
+    let sink = sink.with_control(control.clone());
+    let stream = std::thread::scope(|scope| {
+        let canceller = control.clone();
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            canceller.cancel();
+        });
+        mine_to_sink(
+            &m,
+            &params,
+            &EngineConfig::new(2),
+            &control,
+            &NoopObserver,
+            &sink,
+        )
+        .unwrap()
+    });
+    drop(rx);
+    assert!(
+        stream.truncated,
+        "a blocked send must surface as truncation"
+    );
+    assert!(!stream.stopped_by_sink, "cancellation is not a sink stop");
+}
+
 /// A stats observer shared by all workers, counting through atomics — the
 /// user-facing `SyncMineObserver` path, as opposed to the engine's internal
 /// per-worker accumulators.

@@ -14,6 +14,15 @@
 //! * [`go`] — the synthetic GO annotation database types.
 //!
 //! All generators are deterministic given their seed (ChaCha8-based).
+//!
+//! **Seed-stream compatibility:** since the workspace switched to the
+//! vendored `rand_chacha` stub (see `vendor/README.md`), the ChaCha8
+//! keystream is deliberately *not* bit-compatible with the upstream crate.
+//! Generators remain deterministic — the same seed always reproduces the
+//! same dataset under the same build — but datasets generated with a given
+//! seed under upstream `rand_chacha` (before the vendoring) do not
+//! reproduce cell-for-cell under the stub, and vice versa. Statistical
+//! structure (planted clusters, margins, noise levels) is unaffected.
 
 mod error;
 
