@@ -98,16 +98,32 @@ impl std::fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 impl RegCluster {
-    /// All member genes (p-members then n-members), sorted by gene id.
+    /// All member genes, sorted by gene id.
+    ///
+    /// `p_members` and `n_members` are each sorted already, so this is a
+    /// single merge into one exact-capacity allocation — no re-sort.
     pub fn genes(&self) -> Vec<GeneId> {
-        let mut all: Vec<GeneId> = self
-            .p_members
-            .iter()
-            .chain(self.n_members.iter())
-            .copied()
-            .collect();
-        all.sort_unstable();
+        let mut all = Vec::with_capacity(self.n_genes());
+        all.extend(self.genes_iter());
         all
+    }
+
+    /// Iterates over all member genes in ascending gene-id order without
+    /// allocating (a merge of the sorted `p_members` and `n_members`).
+    pub fn genes_iter(&self) -> impl Iterator<Item = GeneId> + '_ {
+        let mut p = self.p_members.iter().copied().peekable();
+        let mut n = self.n_members.iter().copied().peekable();
+        std::iter::from_fn(move || match (p.peek(), n.peek()) {
+            (Some(&a), Some(&b)) => {
+                if a <= b {
+                    p.next()
+                } else {
+                    n.next()
+                }
+            }
+            (Some(_), None) => p.next(),
+            (None, _) => n.next(),
+        })
     }
 
     /// Number of member genes.

@@ -79,14 +79,28 @@ pub type Window = (usize, usize);
 /// assert!(maximal_windows(&scores, 0.8, 4).is_empty());
 /// ```
 pub fn maximal_windows(sorted_scores: &[f64], epsilon: f64, min_len: usize) -> Vec<Window> {
+    let mut out = Vec::new();
+    maximal_windows_into(sorted_scores, epsilon, min_len, &mut out);
+    out
+}
+
+/// Like [`maximal_windows`], writing the windows into `out` (cleared first,
+/// capacity retained) so steady-state callers such as the miner's hot path
+/// allocate nothing.
+pub fn maximal_windows_into(
+    sorted_scores: &[f64],
+    epsilon: f64,
+    min_len: usize,
+    out: &mut Vec<Window>,
+) {
     debug_assert!(
         sorted_scores.windows(2).all(|w| w[0] <= w[1]),
         "scores must be sorted ascending"
     );
+    out.clear();
     let n = sorted_scores.len();
-    let mut out = Vec::new();
     if n == 0 || min_len == 0 || min_len > n {
-        return out;
+        return;
     }
     let mut end = 0usize;
     let mut prev_end = 0usize;
@@ -109,7 +123,6 @@ pub fn maximal_windows(sorted_scores: &[f64], epsilon: f64, min_len: usize) -> V
             break;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -40,17 +40,19 @@
 //! a prefix of the work whose content depends on scheduling, and are flagged
 //! accordingly.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
+use regcluster_matrix::{CondId, ExpressionMatrix};
 
+use crate::intern::EmittedSet;
 use crate::miner::{finalize, EmitOutcome, Member, Miner};
 use crate::observer::{MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver};
+use crate::scratch::{ChildBuf, NodeScratch};
 use crate::{CoreError, MiningParams, RegCluster};
 
 /// Default local-deque length above which a worker offers subtrees to idle
@@ -457,10 +459,24 @@ pub fn mine_to_sink(
     })
 }
 
-/// One enumeration node awaiting expansion.
+/// One enumeration node awaiting expansion on the **shared** queue. Shared
+/// tasks own their data because they cross workers; a worker's local pending
+/// nodes are [`NodeRef`] ranges into its arenas instead.
 struct Task {
     chain: Vec<CondId>,
     members: Vec<Member>,
+}
+
+/// A pending enumeration node local to one worker: ranges into the worker's
+/// chain and member arenas. See [`worker`] for the stack discipline that
+/// keeps the back-of-deque node's ranges topmost in both arenas, letting a
+/// pop reclaim its space with a plain `truncate`.
+#[derive(Debug, Clone, Copy)]
+struct NodeRef {
+    chain_start: usize,
+    chain_len: usize,
+    member_start: usize,
+    member_len: usize,
 }
 
 struct Outcome {
@@ -468,10 +484,6 @@ struct Outcome {
     truncated: bool,
     stopped_by_sink: bool,
 }
-
-/// The identity of an emitted cluster inside one duplicate-elimination
-/// shard: its chain plus the signed member set.
-type EmittedSet = HashSet<(Vec<CondId>, Vec<GeneId>)>;
 
 /// State shared by all workers of one run.
 struct Shared<'e> {
@@ -564,7 +576,9 @@ fn run(
         truncated: AtomicBool::new(false),
         stopped_by_sink: AtomicBool::new(false),
         panic_msg: Mutex::new(None),
-        emitted: (0..n_roots).map(|_| Mutex::new(HashSet::new())).collect(),
+        emitted: (0..n_roots)
+            .map(|_| Mutex::new(EmittedSet::default()))
+            .collect(),
         sink,
         observer,
         control,
@@ -586,7 +600,7 @@ fn run(
         let mut handles = Vec::with_capacity(config.threads);
         for _ in 0..config.threads {
             handles.push(scope.spawn(|| {
-                catch_unwind(AssertUnwindSafe(|| worker(miner, &shared))).unwrap_or_else(
+                catch_unwind(AssertUnwindSafe(|| worker(miner, n_roots, &shared))).unwrap_or_else(
                     |payload| {
                         let mut slot = lock(&shared.panic_msg);
                         if slot.is_none() {
@@ -618,19 +632,64 @@ fn run(
 
 /// The worker loop: depth-first over the local deque, stealing from the
 /// shared queue when the deque runs dry, spilling to it when peers starve.
-fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
+///
+/// # Steady-state allocation freedom
+///
+/// A worker holds every pending local node in two grow-only arenas (chain
+/// ids and members) and its deque stores only [`NodeRef`] ranges. The LIFO
+/// discipline maintains one invariant: **the back-of-deque node's ranges are
+/// the topmost in both arenas.** Popping therefore copies the node into the
+/// current-node buffers and reclaims its space with `truncate`; pushing
+/// appends children in *reverse* child order so the next node to pop (the
+/// first child — depth-first order) is again topmost. Nodes spilled from the
+/// *front* of the deque leave dead ranges at the arena bottom; those are
+/// reclaimed wholesale (`clear`) whenever the deque runs empty and the
+/// worker turns to stealing. With warmed buffers the loop allocates only
+/// when spilling (owned tasks must cross threads) and when emitting a fresh
+/// cluster.
+fn worker(miner: &Miner<'_>, n_conds: usize, shared: &Shared<'_>) -> MiningStats {
     let mut observer = WorkerObserver {
         stats: MiningStats::default(),
         user: shared.observer,
     };
-    let mut local: VecDeque<Task> = VecDeque::new();
+    let mut scratch = NodeScratch::with_conds(n_conds);
+    let mut children = ChildBuf::default();
+    // The node currently being expanded.
+    let mut chain: Vec<CondId> = Vec::new();
+    let mut members: Vec<Member> = Vec::new();
+    // Pending local nodes: ranges into the arenas, addressed by the deque.
+    let mut chain_arena: Vec<CondId> = Vec::new();
+    let mut member_arena: Vec<Member> = Vec::new();
+    let mut local: VecDeque<NodeRef> = VecDeque::new();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let Some(mut task) = local.pop_back().or_else(|| steal_or_wait(shared)) else {
-            break;
-        };
+        if let Some(node) = local.pop_back() {
+            // Invariant: `node`'s ranges are topmost — copy out, truncate.
+            chain.clear();
+            chain.extend_from_slice(
+                &chain_arena[node.chain_start..node.chain_start + node.chain_len],
+            );
+            members.clear();
+            members.extend_from_slice(
+                &member_arena[node.member_start..node.member_start + node.member_len],
+            );
+            chain_arena.truncate(node.chain_start);
+            member_arena.truncate(node.member_start);
+        } else {
+            let Some(task) = steal_or_wait(shared) else {
+                break;
+            };
+            // The deque is empty, so anything left in the arenas is dead
+            // ranges from spilled nodes — reclaim everything.
+            chain_arena.clear();
+            member_arena.clear();
+            chain.clear();
+            chain.extend_from_slice(&task.chain);
+            members.clear();
+            members.extend_from_slice(&task.members);
+        }
         // Cancellation and deadline are honored at enumeration-node
         // granularity: cheap enough to check per node, fine-grained enough
         // that even a single heavy subtree stops promptly.
@@ -639,27 +698,34 @@ fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
             shared.request_stop();
             break;
         }
-        let expansion = miner.expand_node(
-            &mut task.chain,
-            &task.members,
+        let stop = miner.expand_node(
+            &mut chain,
+            &members,
             None,
+            &mut scratch,
+            &mut children,
             &mut observer,
-            &mut |cluster| {
-                let shard = &shared.emitted[cluster.chain[0]];
-                {
-                    let mut set = lock(shard);
-                    if !set.insert((cluster.chain.clone(), cluster.genes())) {
-                        return EmitOutcome::Duplicate;
-                    }
+            &mut |view, obs| {
+                // The fingerprint is computed outside the shard lock; the
+                // shard resolves exact membership. Duplicate probes take the
+                // lock but allocate nothing.
+                let fingerprint = view.fingerprint();
+                let shard = &shared.emitted[view.chain[0]];
+                if !lock(shard).insert(fingerprint, view) {
+                    return EmitOutcome::Duplicate;
                 }
-                if shared.sink.accept(cluster.clone()) {
+                // Fresh: materialize the cluster exactly once and move it
+                // into the sink — no clone anywhere on the emission path.
+                let cluster = view.to_cluster();
+                obs.cluster_emitted(&cluster);
+                if shared.sink.accept(cluster) {
                     EmitOutcome::Fresh
                 } else {
                     EmitOutcome::FreshAndStop
                 }
             },
         );
-        if expansion.stop {
+        if stop {
             // A control-aware sink refuses clusters once cancellation fires
             // mid-send; report that as truncation, not a sink-initiated stop.
             if shared.control.is_cancelled() {
@@ -670,23 +736,30 @@ fn worker(miner: &Miner<'_>, shared: &Shared<'_>) -> MiningStats {
             shared.request_stop();
             break;
         }
-        if !expansion.children.is_empty() {
+        if !children.index.is_empty() {
             // Count the children as live before retiring the parent so
             // `outstanding` can never dip to 0 while work remains.
             shared
                 .outstanding
-                .fetch_add(expansion.children.len(), Ordering::AcqRel);
-            // Push in reverse: the deque is popped from the back, so the
-            // first child is expanded next — local order stays depth-first.
-            for child in expansion.children.into_iter().rev() {
-                let mut chain = task.chain.clone();
-                chain.push(child.cond);
-                local.push_back(Task {
-                    chain,
-                    members: child.members,
+                .fetch_add(children.index.len(), Ordering::AcqRel);
+            // Append in reverse child order: the deque pops from the back,
+            // so the first child must be pushed last — it is expanded next
+            // (local order stays depth-first) and its arena ranges are
+            // topmost, upholding the pop invariant.
+            for &child in children.index.iter().rev() {
+                let chain_start = chain_arena.len();
+                chain_arena.extend_from_slice(&chain);
+                chain_arena.push(child.cond);
+                let member_start = member_arena.len();
+                member_arena.extend_from_slice(children.members_of(child));
+                local.push_back(NodeRef {
+                    chain_start,
+                    chain_len: chain.len() + 1,
+                    member_start,
+                    member_len: child.len as usize,
                 });
             }
-            maybe_spill(shared, &mut local);
+            maybe_spill(shared, &mut local, &chain_arena, &member_arena);
         }
         finish_task(shared);
     }
@@ -706,7 +779,18 @@ fn finish_task(shared: &Shared<'_>) {
 
 /// Moves surplus tasks from the front of the local deque (the shallowest,
 /// largest pending subtrees) to the shared queue when peers are starving.
-fn maybe_spill(shared: &Shared<'_>, local: &mut VecDeque<Task>) {
+///
+/// Spilling materializes owned [`Task`]s from the worker's arenas — the one
+/// place the steady-state loop allocates, and inherently so: the data must
+/// outlive this worker's arenas to cross threads. The spilled nodes' arena
+/// ranges become dead; they sit at the arena *bottom* (front-of-deque nodes
+/// are the oldest) and are reclaimed when the deque next runs empty.
+fn maybe_spill(
+    shared: &Shared<'_>,
+    local: &mut VecDeque<NodeRef>,
+    chain_arena: &[CondId],
+    member_arena: &[Member],
+) {
     if !shared.stealing
         || local.len() <= shared.spill_threshold
         || shared.waiting.load(Ordering::Relaxed) == 0
@@ -717,8 +801,13 @@ fn maybe_spill(shared: &Shared<'_>, local: &mut VecDeque<Task>) {
     {
         let mut queue = lock(&shared.queue);
         for _ in 0..surplus {
-            if let Some(task) = local.pop_front() {
-                queue.push_back(task);
+            if let Some(node) = local.pop_front() {
+                queue.push_back(Task {
+                    chain: chain_arena[node.chain_start..node.chain_start + node.chain_len]
+                        .to_vec(),
+                    members: member_arena[node.member_start..node.member_start + node.member_len]
+                        .to_vec(),
+                });
             }
         }
     }

@@ -51,6 +51,8 @@
 //! ```
 
 mod error;
+mod intern;
+mod scratch;
 
 pub mod chain;
 pub mod cluster;
@@ -75,4 +77,5 @@ pub use observer::{
     MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver, TraceEvent, TraceObserver,
 };
 pub use params::MiningParams;
+pub use scratch::MineWorkspace;
 pub use threshold::RegulationThreshold;

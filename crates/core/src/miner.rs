@@ -29,13 +29,13 @@
 //! candidates: a candidate supported solely by n-members leads to a node
 //! with zero p-members, which (3)(a) prunes immediately.
 
-use std::collections::HashSet;
-
 use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
 
-use crate::coherence::maximal_windows;
+use crate::coherence::maximal_windows_into;
+use crate::intern::{ClusterView, EmittedSet};
 use crate::observer::{MineObserver, NoopObserver, PruneRule};
 use crate::rwave::RWaveModel;
+use crate::scratch::{ChildBuf, MineWorkspace, NodeScratch};
 use crate::{CoreError, MiningParams, RegCluster};
 
 /// Direction in which a gene follows the chain.
@@ -57,16 +57,12 @@ pub(crate) struct Member {
     pub(crate) denom: f64,
 }
 
-/// A child of an enumeration node, produced by [`Miner::expand_node`] in
-/// depth-first order.
-pub(crate) struct ChildNode {
-    /// The condition appended to the parent chain.
-    pub cond: CondId,
-    /// The member genes surviving into the child.
-    pub members: Vec<Member>,
-}
-
 /// What the emission receiver made of a validated cluster.
+///
+/// The receiver sees a borrowed [`ClusterView`] and is responsible for
+/// duplicate elimination; a fresh view is materialized into a
+/// [`RegCluster`] exactly once, by the receiver, which also reports
+/// [`MineObserver::cluster_emitted`] for it.
 pub(crate) enum EmitOutcome {
     /// First sighting; the subtree continues.
     Fresh,
@@ -76,23 +72,6 @@ pub(crate) enum EmitOutcome {
     /// The identical cluster was emitted before — pruning (3)(b), the whole
     /// subtree is redundant.
     Duplicate,
-}
-
-/// The result of expanding one enumeration node.
-pub(crate) struct Expansion {
-    /// Children in depth-first order; empty when the node was pruned.
-    pub children: Vec<ChildNode>,
-    /// The emission receiver requested that the whole run stop.
-    pub stop: bool,
-}
-
-impl Expansion {
-    fn pruned() -> Self {
-        Expansion {
-            children: Vec::new(),
-            stop: false,
-        }
-    }
 }
 
 /// Reusable mining engine: builds the per-gene `RWave^γ` models once and can
@@ -106,7 +85,7 @@ pub struct Miner<'a> {
 /// Per-run mutable state threaded through the recursion.
 struct RunState<'o> {
     out: Vec<RegCluster>,
-    emitted: HashSet<(Vec<CondId>, Vec<GeneId>)>,
+    emitted: EmittedSet,
     observer: &'o mut dyn MineObserver,
     /// Query mining: abandon any node that loses this gene (sound because
     /// member sets only shrink along a path).
@@ -150,16 +129,23 @@ impl<'a> Miner<'a> {
     /// a cooperative early stop instead, mine through the engine with a
     /// [`CappedSink`](crate::engine::CappedSink).
     pub fn mine_all(&self, observer: &mut dyn MineObserver) -> Vec<RegCluster> {
-        let mut state = RunState {
-            out: Vec::new(),
-            emitted: HashSet::new(),
-            observer,
-            required: None,
-        };
-        for root in 0..self.matrix.n_conditions() {
-            self.mine_root_into(root, &mut state);
-        }
-        let mut out = state.out;
+        self.mine_all_with(&mut MineWorkspace::new(), observer)
+    }
+
+    /// Like [`mine_all`](Self::mine_all), drawing all per-node working
+    /// memory from `workspace`.
+    ///
+    /// The workspace buffers grow to their high-water marks during the first
+    /// run and are reused afterwards, so repeated runs on a warmed workspace
+    /// perform **zero heap allocations per enumeration node** — they
+    /// allocate only for the clusters they emit (asserted by the allocation
+    /// regression tests).
+    pub fn mine_all_with(
+        &self,
+        workspace: &mut MineWorkspace,
+        observer: &mut dyn MineObserver,
+    ) -> Vec<RegCluster> {
+        let mut out = self.run_roots(workspace, observer, None, 0..self.matrix.n_conditions());
         finalize(&mut out, self.params);
         out
     }
@@ -176,16 +162,12 @@ impl<'a> Miner<'a> {
         gene: GeneId,
         observer: &mut dyn MineObserver,
     ) -> Vec<RegCluster> {
-        let mut state = RunState {
-            out: Vec::new(),
-            emitted: HashSet::new(),
+        let mut out = self.run_roots(
+            &mut MineWorkspace::new(),
             observer,
-            required: Some(gene),
-        };
-        for root in 0..self.matrix.n_conditions() {
-            self.mine_root_into(root, &mut state);
-        }
-        let mut out = state.out;
+            Some(gene),
+            0..self.matrix.n_conditions(),
+        );
         finalize(&mut out, self.params);
         out
     }
@@ -193,91 +175,171 @@ impl<'a> Miner<'a> {
     /// Mines only the subtree rooted at condition `root`. Used by the
     /// parallel driver; results are **not** post-filtered or sorted.
     pub fn mine_root(&self, root: CondId, observer: &mut dyn MineObserver) -> Vec<RegCluster> {
+        self.run_roots(&mut MineWorkspace::new(), observer, None, root..root + 1)
+    }
+
+    /// Runs the depth-first enumeration over the given roots, collecting raw
+    /// (un-finalized) clusters. All per-node memory comes from `workspace`.
+    fn run_roots(
+        &self,
+        workspace: &mut MineWorkspace,
+        observer: &mut dyn MineObserver,
+        required: Option<GeneId>,
+        roots: std::ops::Range<CondId>,
+    ) -> Vec<RegCluster> {
+        workspace.prepare(self.matrix.n_conditions());
         let mut state = RunState {
             out: Vec::new(),
-            emitted: HashSet::new(),
+            emitted: EmittedSet::default(),
             observer,
-            required: None,
+            required,
         };
-        self.mine_root_into(root, &mut state);
+        let MineWorkspace {
+            scratch,
+            levels,
+            chain,
+            node_members,
+        } = workspace;
+        for root in roots {
+            self.root_members_into(root, node_members);
+            chain.clear();
+            chain.push(root);
+            if self.recurse(chain, node_members, scratch, levels, &mut state) {
+                break;
+            }
+        }
         state.out
     }
 
-    fn mine_root_into(&self, root: CondId, state: &mut RunState<'_>) {
-        let members = self.root_members(root);
-        let mut chain = vec![root];
-        self.recurse(&mut chain, &members, state);
-    }
-
-    /// The genes that can participate in any chain rooted at `root`: every
-    /// gene whose max-chain table allows `MinC` conditions in the given
-    /// direction. This is the member set of the level-1 enumeration node.
-    pub(crate) fn root_members(&self, root: CondId) -> Vec<Member> {
+    /// Writes the level-1 member set of `root` into `out` (cleared first):
+    /// every gene whose max-chain table allows `MinC` conditions in the
+    /// given direction.
+    pub(crate) fn root_members_into(&self, root: CondId, out: &mut Vec<Member>) {
+        out.clear();
         let min_c = self.params.min_conds;
-        let mut members = Vec::new();
         for (g, model) in self.models.iter().enumerate() {
             let r = model.rank_of(root);
             if model.max_chain_fwd(r) >= min_c {
-                members.push(Member {
+                out.push(Member {
                     gene: g,
                     dir: Dir::Fwd,
                     denom: 0.0,
                 });
             }
             if model.max_chain_bwd(r) >= min_c {
-                members.push(Member {
+                out.push(Member {
                     gene: g,
                     dir: Dir::Bwd,
                     denom: 0.0,
                 });
             }
         }
-        members
+    }
+
+    /// The level-1 member set of `root` as an owned list (used to seed the
+    /// engine's shared queue, where tasks must own their members).
+    pub(crate) fn root_members(&self, root: CondId) -> Vec<Member> {
+        let mut out = Vec::new();
+        self.root_members_into(root, &mut out);
+        out
     }
 
     /// Depth-first traversal over [`expand_node`](Self::expand_node),
-    /// threading the sequential run state.
-    fn recurse(&self, chain: &mut Vec<CondId>, members: &[Member], state: &mut RunState<'_>) {
+    /// threading the sequential run state. Returns `true` when the emission
+    /// receiver asked the run to stop.
+    ///
+    /// `levels` holds one [`ChildBuf`] per remaining depth: the head buffer
+    /// receives this node's children and stays borrowed (as the source of
+    /// each child's member slice) while the tail recurses — splitting the
+    /// levels is what lets every depth reuse its buffer without any
+    /// per-node allocation.
+    fn recurse(
+        &self,
+        chain: &mut Vec<CondId>,
+        members: &[Member],
+        scratch: &mut NodeScratch,
+        levels: &mut [ChildBuf],
+        state: &mut RunState<'_>,
+    ) -> bool {
+        let (cur, rest) = levels
+            .split_first_mut()
+            .expect("workspace levels cover the maximum chain depth");
         let RunState {
             out,
             emitted,
             observer,
             required,
         } = state;
-        let expansion = self.expand_node(chain, members, *required, &mut **observer, &mut |c| {
-            let key = (c.chain.clone(), c.genes());
-            // Pruning (3)(b): an already-emitted cluster roots a redundant
-            // subtree.
-            if !emitted.insert(key) {
-                return EmitOutcome::Duplicate;
-            }
-            out.push(c.clone());
-            EmitOutcome::Fresh
-        });
-        for child in expansion.children {
-            chain.push(child.cond);
-            self.recurse(chain, &child.members, state);
-            chain.pop();
+        let stop = self.expand_node(
+            chain,
+            members,
+            *required,
+            scratch,
+            cur,
+            &mut **observer,
+            &mut |view, obs| {
+                // Pruning (3)(b): an already-emitted cluster roots a
+                // redundant subtree. Duplicate probes allocate nothing.
+                if !emitted.insert(view.fingerprint(), view) {
+                    return EmitOutcome::Duplicate;
+                }
+                let cluster = view.to_cluster();
+                obs.cluster_emitted(&cluster);
+                out.push(cluster);
+                EmitOutcome::Fresh
+            },
+        );
+        if stop {
+            return true;
         }
+        for i in 0..cur.index.len() {
+            let child = cur.index[i];
+            chain.push(child.cond);
+            let stop = self.recurse(chain, cur.members_of(child), scratch, rest, state);
+            chain.pop();
+            if stop {
+                return true;
+            }
+        }
+        false
     }
 
     /// Expands one enumeration node: reports events to `observer`, offers a
-    /// validated representative cluster to `try_emit`, and returns the
-    /// children in depth-first order. This is the single copy of the paper's
-    /// Figure 5 node semantics — the sequential recursion and the parallel
-    /// [`engine`](crate::engine) both drive their traversals through it, so
-    /// they cannot diverge.
+    /// validated representative cluster to `try_emit` (as a borrowed
+    /// [`ClusterView`]; the receiver materializes fresh clusters and reports
+    /// them emitted), and writes the children into `children` in depth-first
+    /// order. Returns `true` when the receiver asked the whole run to stop.
+    /// This is the single copy of the paper's Figure 5 node semantics — the
+    /// sequential recursion and the parallel [`engine`](crate::engine) both
+    /// drive their traversals through it, so they cannot diverge.
+    ///
+    /// All working memory comes from `scratch` and `children` (cleared on
+    /// entry, capacity retained), so steady-state calls allocate nothing.
     ///
     /// `chain` is mutated (push/pop of candidate conditions) to report prune
     /// events at child paths, but is always restored before returning.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn expand_node(
         &self,
         chain: &mut Vec<CondId>,
         members: &[Member],
         required: Option<GeneId>,
+        scratch: &mut NodeScratch,
+        children: &mut ChildBuf,
         observer: &mut dyn MineObserver,
-        try_emit: &mut dyn FnMut(&RegCluster) -> EmitOutcome,
-    ) -> Expansion {
+        try_emit: &mut dyn FnMut(&ClusterView<'_>, &mut dyn MineObserver) -> EmitOutcome,
+    ) -> bool {
+        children.clear();
+        let NodeScratch {
+            is_candidate,
+            scored,
+            hs,
+            windows,
+            p_genes,
+            n_genes,
+            genes,
+        } = scratch;
+
         let n_fwd = members.iter().filter(|m| m.dir == Dir::Fwd).count();
         let n_bwd = members.len() - n_fwd;
         // At depth 1 a gene may appear once per direction; count genes, not
@@ -294,38 +356,50 @@ impl<'a> Miner<'a> {
         // gene once it has left the member set.
         if let Some(g) = required {
             if !members.iter().any(|m| m.gene == g) {
-                return Expansion::pruned();
+                return false;
             }
         }
         // Pruning (1): MinG.
         if distinct < self.params.min_genes {
             observer.pruned(chain, PruneRule::MinGenes);
-            return Expansion::pruned();
+            return false;
         }
         // Pruning (3)(a): too few p-members to ever be representative.
         if 2 * n_fwd < self.params.min_genes {
             observer.pruned(chain, PruneRule::FewPMembers);
-            return Expansion::pruned();
+            return false;
         }
 
-        // Step 3 of Figure 5: output a validated representative chain.
+        // Step 3 of Figure 5: output a validated representative chain. The
+        // member lists are staged in scratch and handed over as a borrowed
+        // view — only a fresh emission materializes an owned cluster.
         if chain.len() >= self.params.min_conds
             && (n_fwd > n_bwd || (n_fwd == n_bwd && chain[0] < chain[1]))
         {
-            let cluster = build_cluster(chain, members);
-            match try_emit(&cluster) {
+            p_genes.clear();
+            n_genes.clear();
+            for m in members {
+                match m.dir {
+                    Dir::Fwd => p_genes.push(m.gene),
+                    Dir::Bwd => n_genes.push(m.gene),
+                }
+            }
+            p_genes.sort_unstable();
+            n_genes.sort_unstable();
+            merge_sorted_into(p_genes, n_genes, genes);
+            let view = ClusterView {
+                chain: chain.as_slice(),
+                p_members: p_genes.as_slice(),
+                n_members: n_genes.as_slice(),
+                genes: genes.as_slice(),
+            };
+            match try_emit(&view, &mut *observer) {
                 EmitOutcome::Duplicate => {
                     observer.pruned(chain, PruneRule::Duplicate);
-                    return Expansion::pruned();
+                    return false;
                 }
-                EmitOutcome::Fresh => observer.cluster_emitted(&cluster),
-                EmitOutcome::FreshAndStop => {
-                    observer.cluster_emitted(&cluster);
-                    return Expansion {
-                        children: Vec::new(),
-                        stop: true,
-                    };
-                }
+                EmitOutcome::Fresh => {}
+                EmitOutcome::FreshAndStop => return true,
             }
         }
 
@@ -336,7 +410,8 @@ impl<'a> Miner<'a> {
         let last = *chain.last().expect("chain is never empty here");
         let need = self.params.min_conds.saturating_sub(chain.len());
         let n_conds = self.matrix.n_conditions();
-        let mut is_candidate = vec![false; n_conds];
+        let is_candidate = &mut is_candidate[..n_conds];
+        is_candidate.fill(false);
         let mut any = false;
         for m in members.iter().filter(|m| m.dir == Dir::Fwd) {
             let model = &self.models[m.gene];
@@ -353,13 +428,12 @@ impl<'a> Miner<'a> {
             }
         }
         if !any {
-            return Expansion::pruned();
+            return false;
         }
 
         // Step 5: for each candidate, select matching genes, apply the
-        // coherence sliding window, and make every validated window a child.
-        let mut children = Vec::new();
-        let mut scored: Vec<(f64, Member)> = Vec::new();
+        // coherence sliding window, and make every validated window a child
+        // (a flat member range in `children` — no per-child `Vec`).
         for c_i in 0..n_conds {
             if !is_candidate[c_i] {
                 continue;
@@ -397,10 +471,7 @@ impl<'a> Miner<'a> {
             }
             if chain.len() == 1 {
                 // All scores are 1.0 by definition; no window needed.
-                children.push(ChildNode {
-                    cond: c_i,
-                    members: scored.iter().map(|&(_, m)| m).collect(),
-                });
+                children.push(c_i, scored.iter().map(|&(_, m)| m));
             } else if scored.len() < self.params.min_genes {
                 // Pruning (1) fires before the coherence test when the
                 // candidate's gene set is already below MinG.
@@ -408,9 +479,13 @@ impl<'a> Miner<'a> {
                 observer.pruned(chain, PruneRule::MinGenes);
                 chain.pop();
             } else {
-                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let hs: Vec<f64> = scored.iter().map(|&(h, _)| h).collect();
-                let windows = maximal_windows(&hs, self.params.epsilon, self.params.min_genes);
+                // Unstable sort: no allocation, and window membership is
+                // insensitive to the order of tied scores (a run of equal
+                // scores never straddles a maximal-window boundary).
+                scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                hs.clear();
+                hs.extend(scored.iter().map(|&(h, _)| h));
+                maximal_windows_into(hs, self.params.epsilon, self.params.min_genes, windows);
                 if windows.is_empty() {
                     // Pruning (4): no coherent interval of MinG genes.
                     chain.push(c_i);
@@ -418,18 +493,12 @@ impl<'a> Miner<'a> {
                     chain.pop();
                     continue;
                 }
-                for (s, e) in windows {
-                    children.push(ChildNode {
-                        cond: c_i,
-                        members: scored[s..e].iter().map(|&(_, m)| m).collect(),
-                    });
+                for &(s, e) in windows.iter() {
+                    children.push(c_i, scored[s..e].iter().map(|&(_, m)| m));
                 }
             }
         }
-        Expansion {
-            children,
-            stop: false,
-        }
+        false
     }
 }
 
@@ -445,24 +514,21 @@ fn count_distinct_genes(members: &[Member]) -> usize {
     distinct
 }
 
-fn build_cluster(chain: &[CondId], members: &[Member]) -> RegCluster {
-    let mut p: Vec<GeneId> = members
-        .iter()
-        .filter(|m| m.dir == Dir::Fwd)
-        .map(|m| m.gene)
-        .collect();
-    let mut n: Vec<GeneId> = members
-        .iter()
-        .filter(|m| m.dir == Dir::Bwd)
-        .map(|m| m.gene)
-        .collect();
-    p.sort_unstable();
-    n.sort_unstable();
-    RegCluster {
-        chain: chain.to_vec(),
-        p_members: p,
-        n_members: n,
+/// Merges two sorted, disjoint gene lists into `out` (cleared first).
+fn merge_sorted_into(a: &[GeneId], b: &[GeneId], out: &mut Vec<GeneId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
     }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Canonical ordering + optional maximal-only post-filter + `max_clusters`
@@ -479,7 +545,10 @@ pub(crate) fn finalize(out: &mut Vec<RegCluster>, params: &MiningParams) {
                 .any(|other| other != c && c.is_subcluster_of(other))
         });
     }
-    out.sort_by(|a, b| {
+    // Unstable sort: keys are unique (duplicate clusters were eliminated
+    // during enumeration), so stability buys nothing — and the stable sort's
+    // scratch buffer would be the run's one avoidable allocation.
+    out.sort_unstable_by(|a, b| {
         a.chain
             .cmp(&b.chain)
             .then_with(|| a.p_members.cmp(&b.p_members))

@@ -1,0 +1,138 @@
+//! Reusable scratch space for the enumeration core.
+//!
+//! Steady-state enumeration performs **zero heap allocations per node**: all
+//! per-node working memory lives in grow-only buffers owned by the caller —
+//! [`NodeScratch`] for the intra-node working set of
+//! [`Miner::expand_node`](crate::miner::Miner), [`ChildBuf`] for the flat
+//! member arena the node's children are written into, and the public
+//! [`MineWorkspace`] bundling everything a sequential run needs so repeated
+//! runs on the same [`Miner`](crate::Miner) reuse one warmed allocation set.
+//! The engine's workers assemble the same pieces around their work-stealing
+//! deques (see `engine.rs`).
+
+use regcluster_matrix::{CondId, GeneId};
+
+use crate::coherence::Window;
+use crate::miner::Member;
+
+/// Per-node working buffers of `expand_node`, reused across every node of a
+/// traversal. Each buffer is cleared (never shrunk) on use, so after the
+/// first few nodes of a run no call grows any of them.
+#[derive(Debug, Default)]
+pub(crate) struct NodeScratch {
+    /// Candidate-condition bitmask, `n_conditions` long; cleared per node
+    /// with `fill(false)`.
+    pub is_candidate: Vec<bool>,
+    /// `(H-score, member)` pairs for the candidate under evaluation.
+    pub scored: Vec<(f64, Member)>,
+    /// The bare score series handed to the sliding-window scan.
+    pub hs: Vec<f64>,
+    /// Maximal ε-windows of the candidate.
+    pub windows: Vec<Window>,
+    /// Sorted p-member gene ids of the cluster being emitted.
+    pub p_genes: Vec<GeneId>,
+    /// Sorted n-member gene ids of the cluster being emitted.
+    pub n_genes: Vec<GeneId>,
+    /// Merged sorted union of `p_genes` and `n_genes`.
+    pub genes: Vec<GeneId>,
+}
+
+impl NodeScratch {
+    /// A scratch whose candidate mask already covers `n_conds` conditions.
+    pub fn with_conds(n_conds: usize) -> Self {
+        NodeScratch {
+            is_candidate: vec![false; n_conds],
+            ..NodeScratch::default()
+        }
+    }
+
+    /// Grows the candidate mask to cover `n_conds` conditions.
+    pub fn prepare(&mut self, n_conds: usize) {
+        if self.is_candidate.len() < n_conds {
+            self.is_candidate.resize(n_conds, false);
+        }
+    }
+}
+
+/// One child of an enumeration node: the appended condition plus an
+/// `(offset, len)` slice into the owning [`ChildBuf`]'s member arena. A
+/// plain 16-byte range — producing a child never allocates a `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChildNode {
+    /// The condition appended to the parent chain.
+    pub cond: CondId,
+    /// Offset of the child's members in [`ChildBuf::members`].
+    pub start: u32,
+    /// Number of member genes surviving into the child.
+    pub len: u32,
+}
+
+/// The children of one expanded node: an index of [`ChildNode`] ranges over
+/// a flat member arena. Cleared and refilled per node; capacity is retained.
+#[derive(Debug, Default)]
+pub(crate) struct ChildBuf {
+    /// Children in depth-first order.
+    pub index: Vec<ChildNode>,
+    /// Flat arena holding every child's members back to back.
+    pub members: Vec<Member>,
+}
+
+impl ChildBuf {
+    /// Empties the buffer without releasing capacity.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.members.clear();
+    }
+
+    /// Appends one child whose members are `members` (copied into the
+    /// arena), in order.
+    pub fn push(&mut self, cond: CondId, members: impl Iterator<Item = Member>) {
+        let start = u32::try_from(self.members.len())
+            .expect("child member arena exceeds the u32 offset range");
+        self.members.extend(members);
+        let len = self.members.len() as u32 - start;
+        self.index.push(ChildNode { cond, start, len });
+    }
+
+    /// The member slice of child `i` of the index.
+    pub fn members_of(&self, child: ChildNode) -> &[Member] {
+        &self.members[child.start as usize..(child.start + child.len) as usize]
+    }
+}
+
+/// Reusable working memory for sequential mining runs.
+///
+/// All buffers the enumeration needs — node scratch space, one child arena
+/// per recursion depth, the chain stack, and the root member list — grow to
+/// their high-water mark during the first run and are reused afterwards, so
+/// steady-state enumeration allocates nothing per node. Create one with
+/// [`MineWorkspace::new`] and pass it to
+/// [`Miner::mine_all_with`](crate::Miner::mine_all_with) as many times as
+/// you like; a workspace warmed on one matrix works on any other (buffers
+/// only ever grow).
+#[derive(Debug, Default)]
+pub struct MineWorkspace {
+    pub(crate) scratch: NodeScratch,
+    /// One child buffer per recursion depth (depth `d` writes `levels[d-1]`).
+    pub(crate) levels: Vec<ChildBuf>,
+    pub(crate) chain: Vec<CondId>,
+    pub(crate) node_members: Vec<Member>,
+}
+
+impl MineWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        MineWorkspace::default()
+    }
+
+    /// Ensures the workspace covers a matrix with `n_conds` conditions: the
+    /// candidate mask spans every condition and one child buffer exists per
+    /// possible recursion depth (a chain never repeats a condition, so depth
+    /// is bounded by `n_conds`).
+    pub(crate) fn prepare(&mut self, n_conds: usize) {
+        self.scratch.prepare(n_conds);
+        while self.levels.len() < n_conds.max(1) {
+            self.levels.push(ChildBuf::default());
+        }
+    }
+}

@@ -188,10 +188,20 @@ impl ExpressionMatrix {
         &mut self.values[g * n..(g + 1) * n]
     }
 
-    /// The expression levels of all genes under condition `c` (a copy; the
-    /// storage is row-major).
+    /// Iterates over the expression levels of all genes under condition `c`
+    /// in gene order, without allocating (a strided walk — the storage is
+    /// row-major).
+    #[inline]
+    pub fn column_iter(&self, c: CondId) -> impl Iterator<Item = f64> + '_ {
+        let n = self.conditions.len();
+        self.values.iter().skip(c).step_by(n).copied()
+    }
+
+    /// The expression levels of all genes under condition `c`, collected
+    /// into an owned `Vec`. Thin wrapper over
+    /// [`column_iter`](Self::column_iter).
     pub fn column(&self, c: CondId) -> Vec<f64> {
-        (0..self.n_genes()).map(|g| self.value(g, c)).collect()
+        self.column_iter(c).collect()
     }
 
     /// Iterator over `(GeneId, profile)` pairs.
@@ -333,6 +343,16 @@ mod tests {
         assert_eq!(m.value(1, 0), -3.0);
         assert_eq!(m.row(0), &[1.0, 2.0]);
         assert_eq!(m.column(1), vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn column_iter_matches_column() {
+        let m = sample();
+        for c in 0..m.n_conditions() {
+            let strided: Vec<f64> = m.column_iter(c).collect();
+            assert_eq!(strided, m.column(c));
+            assert_eq!(strided.len(), m.n_genes());
+        }
     }
 
     #[test]

@@ -79,7 +79,7 @@ proptest! {
     fn quantile_normalization_properties(m in matrix_strategy()) {
         let q = stats::quantile_normalize(&m);
         let sorted_col = |mat: &ExpressionMatrix, c: usize| {
-            let mut v = mat.column(c);
+            let mut v: Vec<f64> = mat.column_iter(c).collect();
             v.sort_by(f64::total_cmp);
             v
         };
