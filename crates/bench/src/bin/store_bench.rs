@@ -1,0 +1,244 @@
+//! Serving-path benchmarks of the `.rcs` cluster store.
+//!
+//! Mines two workloads — the Figure-7 default (few, large clusters) and a
+//! denser low-threshold variant (hundreds of clusters) — persists each
+//! result both as a `.rcs` store and as the equivalent JSON document a
+//! store-less server would load, then measures what the serving layer
+//! actually pays:
+//!
+//! * **open latency** — `ClusterStore::open` (read + full checksum
+//!   verification) vs. parsing the same content from JSON, the cost every
+//!   process start pays;
+//! * **query throughput** — queries/sec for the index-backed lookups the
+//!   HTTP layer exposes (by-gene, by-condition, conjunctive with size
+//!   floors, top-k) plus single-record materialization.
+//!
+//! Results go to `results/store_bench.json` (table on stdout).
+
+use regcluster_bench::{quick_mode, time, write_json};
+use regcluster_core::{mine, MiningParams, RegCluster};
+use regcluster_datagen::{generate, SyntheticConfig};
+use regcluster_matrix::ExpressionMatrix;
+use regcluster_store::{ClusterStore, Query, StoreWriter};
+use serde::Serialize;
+
+/// What a JSON-backed server would have to load instead of the store: the
+/// clusters *plus* the dictionaries and provenance the store carries.
+#[derive(Serialize, serde::Deserialize)]
+struct JsonEquivalent {
+    gene_names: Vec<String>,
+    cond_names: Vec<String>,
+    params: MiningParams,
+    clusters: Vec<RegCluster>,
+}
+
+#[derive(Serialize)]
+struct QueryPoint {
+    query: &'static str,
+    iterations: usize,
+    total_s: f64,
+    queries_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadResult {
+    workload: &'static str,
+    n_genes: usize,
+    n_conds: usize,
+    n_clusters: usize,
+    store_bytes: u64,
+    json_bytes: usize,
+    open_reps: usize,
+    open_store_ms: f64,
+    parse_json_ms: f64,
+    open_speedup: f64,
+    points: Vec<QueryPoint>,
+}
+
+fn bench_queries(store: &ClusterStore, iterations: usize, points: &mut Vec<QueryPoint>) {
+    let n_genes = store.n_genes();
+    let n_conds = store.n_conds();
+    let n_clusters = store.n_clusters().max(1);
+
+    // A (gene, cond) pair that actually occurs together, so the
+    // conjunctive query does real intersection work.
+    let sample = store.cluster(0).expect("store is non-empty");
+    let hot_gene = sample.p_members[0] as u32;
+    let hot_cond = sample.chain[0] as u32;
+
+    let mut run = |name: &'static str, mut f: Box<dyn FnMut(usize) -> usize + '_>| {
+        let (hits, total_s) = time(|| {
+            let mut acc = 0usize;
+            for i in 0..iterations {
+                acc = acc.wrapping_add(f(i));
+            }
+            acc
+        });
+        std::hint::black_box(hits);
+        println!(
+            "{name:>22}  {iterations:>10}  {total_s:>9.3}  {:>12.0}",
+            iterations as f64 / total_s
+        );
+        points.push(QueryPoint {
+            query: name,
+            iterations,
+            total_s,
+            queries_per_sec: iterations as f64 / total_s,
+        });
+    };
+
+    run(
+        "by-gene",
+        Box::new(move |i| store.clusters_with_gene((i as u32) % n_genes).count()),
+    );
+    run(
+        "by-cond",
+        Box::new(move |i| store.clusters_with_cond((i as u32) % n_conds).count()),
+    );
+    run(
+        "conjunctive",
+        Box::new(move |_| {
+            let q = Query::new()
+                .with_gene(hot_gene)
+                .with_cond(hot_cond)
+                .with_min_genes(4)
+                .with_min_conds(4);
+            store.query(&q).expect("valid ids").len()
+        }),
+    );
+    run(
+        "top-10",
+        Box::new(move |_| {
+            store
+                .query(&Query::new().with_top_k(10))
+                .expect("valid")
+                .len()
+        }),
+    );
+    run(
+        "materialize-record",
+        Box::new(move |i| {
+            store
+                .cluster((i as u32) % n_clusters)
+                .expect("in bounds")
+                .n_genes()
+        }),
+    );
+}
+
+fn bench_workload(
+    workload: &'static str,
+    m: &ExpressionMatrix,
+    params: &MiningParams,
+    quick: bool,
+) -> WorkloadResult {
+    let (clusters, mine_s) = time(|| mine(m, params).expect("mining succeeds"));
+    println!(
+        "\nworkload {workload}: {} genes × {} conditions → {} clusters (mined in {mine_s:.2}s)",
+        m.n_genes(),
+        m.n_conditions(),
+        clusters.len()
+    );
+    assert!(!clusters.is_empty(), "benchmark needs a non-empty store");
+
+    let dir = std::env::temp_dir().join(format!(
+        "regcluster-store-bench-{}-{workload}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let store_path = dir.join("bench.rcs");
+    let writer = StoreWriter::create(&store_path, m.gene_names(), m.condition_names(), params)
+        .expect("store create");
+    for c in &clusters {
+        writer.write_cluster(c).expect("store write");
+    }
+    let summary = writer.finish().expect("store seal");
+    let json = serde_json::to_string(&JsonEquivalent {
+        gene_names: m.gene_names().to_vec(),
+        cond_names: m.condition_names().to_vec(),
+        params: params.clone(),
+        clusters: clusters.clone(),
+    })
+    .expect("clusters serialize");
+    println!(
+        "artifacts: store {} bytes, JSON {} bytes",
+        summary.file_bytes,
+        json.len()
+    );
+
+    // Open latency: every serving process pays one of these at startup.
+    let open_reps = if quick { 20 } else { 100 };
+    let (_, store_open_s) = time(|| {
+        for _ in 0..open_reps {
+            std::hint::black_box(ClusterStore::open(&store_path).expect("store opens"));
+        }
+    });
+    let (_, json_parse_s) = time(|| {
+        for _ in 0..open_reps {
+            let parsed: JsonEquivalent = serde_json::from_str(&json).expect("json parses");
+            std::hint::black_box(parsed);
+        }
+    });
+    let open_store_ms = store_open_s / open_reps as f64 * 1e3;
+    let parse_json_ms = json_parse_s / open_reps as f64 * 1e3;
+    println!(
+        "open latency over {open_reps} reps: store {open_store_ms:.3} ms, \
+         JSON parse {parse_json_ms:.3} ms ({:.1}× faster)",
+        parse_json_ms / open_store_ms
+    );
+
+    let store = ClusterStore::open(&store_path).expect("store opens");
+    let iterations = if quick { 2_000 } else { 20_000 };
+    println!(
+        "{:>22}  {:>10}  {:>9}  {:>12}",
+        "query", "iterations", "total (s)", "queries/sec"
+    );
+    let mut points = Vec::new();
+    bench_queries(&store, iterations, &mut points);
+    std::fs::remove_dir_all(&dir).ok();
+
+    WorkloadResult {
+        workload,
+        n_genes: m.n_genes(),
+        n_conds: m.n_conditions(),
+        n_clusters: clusters.len(),
+        store_bytes: summary.file_bytes,
+        json_bytes: json.len(),
+        open_reps,
+        open_store_ms,
+        parse_json_ms,
+        open_speedup: parse_json_ms / open_store_ms,
+        points,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut workloads = Vec::new();
+
+    // Figure-7 default: few large clusters, dictionary-dominated files.
+    let fig7 = generate(&SyntheticConfig {
+        n_genes: if quick { 600 } else { 3000 },
+        ..SyntheticConfig::default()
+    })
+    .expect("feasible");
+    let min_g = ((0.01 * fig7.matrix.n_genes() as f64).round() as usize).max(2);
+    let params = MiningParams::new(min_g, 6, 0.1, 0.01).expect("valid");
+    workloads.push(bench_workload("fig7", &fig7.matrix, &params, quick));
+
+    // Dense: lowered thresholds multiply the emitted clusters, the regime
+    // where record decode cost dominates a JSON load.
+    let dense = generate(&SyntheticConfig {
+        n_genes: if quick { 300 } else { 1000 },
+        n_conds: 30,
+        n_clusters: 10,
+        avg_cluster_dims: 8,
+        cluster_gene_frac: 0.03,
+        ..SyntheticConfig::default()
+    })
+    .expect("feasible");
+    let params = MiningParams::new(4, 4, 0.1, 0.05).expect("valid");
+    workloads.push(bench_workload("dense", &dense.matrix, &params, quick));
+
+    write_json("store_bench.json", &workloads);
+}

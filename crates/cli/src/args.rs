@@ -28,6 +28,8 @@ pub enum Command {
         impute: String,
         /// Print search-effort statistics (nodes, prunings) after mining.
         stats: bool,
+        /// Also stream clusters into an indexed binary store (`.rcs`).
+        store: Option<String>,
     },
     /// Generate a synthetic dataset.
     Generate {
@@ -94,8 +96,59 @@ pub enum Command {
         /// Regulation threshold (fraction of the gene's range).
         gamma: f64,
     },
+    /// Filter a `.rcs` cluster store offline.
+    Query {
+        /// Store path (as written by `mine --store`).
+        store: String,
+        /// Comma-separated gene names or ids; all must be members.
+        genes: Option<String>,
+        /// Comma-separated condition names or ids; all must be on the chain.
+        conds: Option<String>,
+        /// Minimum member genes.
+        min_genes: u32,
+        /// Minimum chain length.
+        min_conds: u32,
+        /// Keep only the N largest matches (by covered cells).
+        top: Option<usize>,
+        /// Print matches as JSON instead of a table.
+        json: bool,
+    },
+    /// Serve a `.rcs` cluster store over HTTP.
+    Serve {
+        /// Store path (as written by `mine --store`).
+        store: String,
+        /// Port on 127.0.0.1 (0 = pick a free port, printed on startup).
+        port: u16,
+        /// Worker threads handling requests.
+        threads: usize,
+        /// Stop gracefully after this many requests (smoke-test hook).
+        requests: Option<u64>,
+    },
     /// Print usage.
     Help,
+}
+
+impl Command {
+    /// The subcommand keyword that parses to this variant.
+    ///
+    /// The match is exhaustive on purpose: adding a variant fails to
+    /// compile until it is named here, and the USAGE test then requires
+    /// the help text to document it.
+    pub fn subcommand_name(&self) -> &'static str {
+        match self {
+            Command::Mine { .. } => "mine",
+            Command::Generate { .. } => "generate",
+            Command::GenerateYeast { .. } => "generate-yeast",
+            Command::Enrich { .. } => "enrich",
+            Command::Eval { .. } => "eval",
+            Command::Info { .. } => "info",
+            Command::Baseline { .. } => "baseline",
+            Command::RWave { .. } => "rwave",
+            Command::Query { .. } => "query",
+            Command::Serve { .. } => "serve",
+            Command::Help => "help",
+        }
+    }
 }
 
 /// A parse failure with a human-readable message.
@@ -130,6 +183,8 @@ USAGE:
       --stats                print search-effort statistics (any thread count)
       --progress             print streaming progress to stderr
       --output <file.json>   write clusters as JSON instead of a table
+      --store <file.rcs>     also stream clusters into an indexed binary
+                             store for `query` and `serve`
 
   regcluster generate --output <matrix.tsv> [options]
       --genes <N>            number of genes (default 3000)
@@ -164,6 +219,26 @@ USAGE:
   regcluster rwave --input <matrix.tsv> --gene <label> [--gamma <F>]
       prints the gene's RWave^γ model: the condition ordering and the
       bordering regulation pointers (default γ = 0.15)
+
+  regcluster query --store <out.rcs> [options]
+      --gene <LIST>          comma-separated gene names or ids; matches must
+                             contain every listed gene
+      --cond <LIST>          comma-separated condition names or ids; the
+                             chain must span every listed condition
+      --min-genes <N>        at least N member genes
+      --min-conds <N>        chain at least N conditions long
+      --top <N>              keep only the N largest matches (covered cells)
+      --json                 print matching clusters as JSON
+
+  regcluster serve --store <out.rcs> [--port <N>] [--threads <N>]
+      [--requests <N>]
+      serves the store over HTTP on 127.0.0.1 (port 0 = pick a free port,
+      printed on startup); endpoints: /health, /stats,
+      /clusters?gene=..&cond=..&min_genes=..&min_conds=..&top=..,
+      /clusters/{id}; --requests N stops gracefully after N requests
+
+  regcluster help
+      prints this text
 ";
 
 fn take_options(rest: &[String]) -> Result<HashMap<String, String>, ParseError> {
@@ -194,7 +269,10 @@ fn take_options(rest: &[String]) -> Result<HashMap<String, String>, ParseError> 
 }
 
 fn is_boolean_flag(name: &str) -> bool {
-    matches!(name, "maximal-only" | "help" | "stats" | "progress")
+    matches!(
+        name,
+        "maximal-only" | "help" | "stats" | "progress" | "json"
+    )
 }
 
 fn get<T: std::str::FromStr>(
@@ -256,6 +334,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "output",
                     "stats",
                     "progress",
+                    "store",
                 ],
             )?;
             let input = require(&opts, "input")?;
@@ -315,6 +394,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 output: opts.get("output").cloned(),
                 impute,
                 stats: opts.contains_key("stats"),
+                store: opts.get("store").cloned(),
             })
         }
         "generate" => {
@@ -435,6 +515,54 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 gamma: get(&opts, "gamma", 0.15f64)?,
             })
         }
+        "query" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &[
+                    "store",
+                    "gene",
+                    "cond",
+                    "min-genes",
+                    "min-conds",
+                    "top",
+                    "json",
+                ],
+            )?;
+            let top = match opts.get("top") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ParseError(format!("cannot parse --top value {v:?}")))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Query {
+                store: require(&opts, "store")?,
+                genes: opts.get("gene").cloned(),
+                conds: opts.get("cond").cloned(),
+                min_genes: get(&opts, "min-genes", 0u32)?,
+                min_conds: get(&opts, "min-conds", 0u32)?,
+                top,
+                json: opts.contains_key("json"),
+            })
+        }
+        "serve" => {
+            let opts = take_options(rest)?;
+            check_known(&opts, &["store", "port", "threads", "requests"])?;
+            let requests = match opts.get("requests") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ParseError(format!("cannot parse --requests value {v:?}")))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Serve {
+                store: require(&opts, "store")?,
+                port: get(&opts, "port", 7878u16)?,
+                threads: get(&opts, "threads", 4usize)?,
+                requests,
+            })
+        }
         other => Err(ParseError(format!(
             "unknown subcommand {other:?}; try `regcluster help`"
         ))),
@@ -482,8 +610,10 @@ mod tests {
                 output,
                 impute,
                 stats,
+                store,
             } => {
                 assert_eq!(input, "m.tsv");
+                assert_eq!(store, None);
                 assert!(!stats);
                 assert!(!progress);
                 assert_eq!(params.min_genes, 5);
@@ -625,5 +755,80 @@ mod tests {
     fn missing_value_for_option_errors() {
         let err = parse_args(&sv(&["mine", "--input"])).unwrap_err();
         assert!(err.0.contains("needs a value"));
+    }
+
+    #[test]
+    fn query_and_serve_parse() {
+        let cmd = parse_args(&sv(&[
+            "query",
+            "--store",
+            "out.rcs",
+            "--gene",
+            "g1,g2",
+            "--cond",
+            "c3",
+            "--min-genes",
+            "4",
+            "--top",
+            "10",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                store: "out.rcs".into(),
+                genes: Some("g1,g2".into()),
+                conds: Some("c3".into()),
+                min_genes: 4,
+                min_conds: 0,
+                top: Some(10),
+                json: true,
+            }
+        );
+        let cmd = parse_args(&sv(&["serve", "--store", "out.rcs", "--port", "0"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                store: "out.rcs".into(),
+                port: 0,
+                threads: 4,
+                requests: None,
+            }
+        );
+        assert!(parse_args(&sv(&["query"])).is_err(), "--store is required");
+        assert!(parse_args(&sv(&["serve", "--store", "x", "--port", "high"])).is_err());
+        assert!(parse_args(&sv(&["serve", "--store", "x", "--requests", "-1"])).is_err());
+    }
+
+    /// The USAGE-drift guard: every subcommand the parser accepts must be
+    /// documented in the help text. `subcommand_name` is an exhaustive
+    /// match, so a new `Command` variant cannot compile without joining
+    /// this sample list's coverage contract.
+    #[test]
+    fn every_subcommand_appears_in_usage() {
+        let samples = [
+            parse_args(&sv(&["mine", "--input", "m.tsv"])).unwrap(),
+            parse_args(&sv(&["generate", "--output", "m.tsv"])).unwrap(),
+            parse_args(&sv(&["generate-yeast", "--output", "m.tsv"])).unwrap(),
+            parse_args(&sv(&["enrich", "--clusters", "a", "--go", "b"])).unwrap(),
+            parse_args(&sv(&["eval", "--clusters", "a", "--ground-truth", "b"])).unwrap(),
+            parse_args(&sv(&["info", "--input", "m.tsv"])).unwrap(),
+            parse_args(&sv(&["baseline", "--input", "m", "--algorithm", "opsm"])).unwrap(),
+            parse_args(&sv(&["rwave", "--input", "m", "--gene", "g1"])).unwrap(),
+            parse_args(&sv(&["query", "--store", "s.rcs"])).unwrap(),
+            parse_args(&sv(&["serve", "--store", "s.rcs"])).unwrap(),
+            Command::Help,
+        ];
+        let mut names: Vec<&str> = samples.iter().map(Command::subcommand_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), samples.len(), "one sample per variant");
+        for name in names {
+            assert!(
+                USAGE.contains(&format!("regcluster {name}")),
+                "subcommand {name:?} is missing from USAGE"
+            );
+        }
     }
 }

@@ -5,14 +5,16 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use regcluster_core::{
-    mine_engine_with, EngineConfig, MineControl, MiningParams, MiningStats, RegCluster,
-    SyncMineObserver,
+    finalize_clusters, mine_engine_with, mine_to_sink, ClusterSink, EngineConfig, MineControl,
+    MiningParams, MiningStats, RegCluster, SyncMineObserver, VecSink,
 };
 use regcluster_datagen::{generate, PlantedCluster};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
+use regcluster_store::{ClusterStore, StoreWriter};
 
 use crate::args::{Command, USAGE};
+use crate::serve;
 
 /// A failure while executing a command.
 #[derive(Debug)]
@@ -27,6 +29,11 @@ pub enum CliError {
     Json(serde_json::Error),
     /// Plain I/O failure.
     Io(std::io::Error),
+    /// Cluster-store failure (corrupted file, version mismatch, …).
+    Store(regcluster_store::StoreError),
+    /// Unsupported or inconsistent file content (e.g. a cluster JSON
+    /// written by a newer release).
+    Format(String),
 }
 
 impl fmt::Display for CliError {
@@ -37,6 +44,8 @@ impl fmt::Display for CliError {
             CliError::Datagen(e) => write!(f, "{e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Store(e) => write!(f, "store error: {e}"),
+            CliError::Format(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -68,6 +77,16 @@ impl From<std::io::Error> for CliError {
         CliError::Io(e)
     }
 }
+impl From<regcluster_store::StoreError> for CliError {
+    fn from(e: regcluster_store::StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
+/// Version stamped into `mine --output` documents. Bump when the schema
+/// changes incompatibly; `eval` and `enrich` refuse newer documents rather
+/// than silently misreading them.
+pub const MINE_OUTPUT_FORMAT_VERSION: u32 = 1;
 
 /// The JSON document written by `mine --output` and read back by `eval`.
 ///
@@ -75,6 +94,9 @@ impl From<std::io::Error> for CliError {
 /// as `None` from documents written by older versions.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct MineOutput {
+    /// Schema version of this document (`None` in pre-versioning files,
+    /// which remain readable).
+    pub format_version: Option<u32>,
     /// Parameters of the run.
     pub params: MiningParams,
     /// Matrix dimensions, for sanity checks.
@@ -118,6 +140,36 @@ impl SyncMineObserver for ProgressObserver {
             *last = Some(std::time::Instant::now());
             eprintln!("… {n} clusters emitted");
         }
+    }
+}
+
+/// Reads a `mine --output` document back, rejecting files stamped by a
+/// newer release (whose schema this binary cannot interpret).
+fn read_mine_output(path: &str) -> Result<MineOutput, CliError> {
+    let doc: MineOutput = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    match doc.format_version {
+        Some(v) if v > MINE_OUTPUT_FORMAT_VERSION => Err(CliError::Format(format!(
+            "{path}: cluster file has format_version {v}, but this binary supports \
+             at most {MINE_OUTPUT_FORMAT_VERSION}; re-mine or upgrade regcluster"
+        ))),
+        _ => Ok(doc),
+    }
+}
+
+/// Fans each mined cluster out to the on-disk store writer *and* an
+/// in-memory collection (for the table/JSON output), so `mine --store`
+/// still prints results. A store write failure makes `accept` return
+/// `false`, stopping the engine cooperatively; the underlying error is
+/// surfaced by [`StoreWriter::finish`].
+struct TeeSink<'a> {
+    store: &'a StoreWriter,
+    collected: &'a VecSink,
+}
+
+impl ClusterSink for TeeSink<'_> {
+    fn accept(&self, cluster: RegCluster) -> bool {
+        let stored = self.store.accept(cluster.clone());
+        self.collected.accept(cluster) && stored
     }
 }
 
@@ -296,6 +348,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             output,
             impute,
             stats,
+            store,
         } => {
             let m = load_matrix(input, impute)?;
             let start = std::time::Instant::now();
@@ -310,11 +363,52 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 &regcluster_core::NoopObserver
             };
             let config = EngineConfig::new(*threads);
-            let report = mine_engine_with(&m, params, &config, &control, observer)?;
+            let (clusters, stat_counters, truncated, store_note) = match store {
+                None => {
+                    let report = mine_engine_with(&m, params, &config, &control, observer)?;
+                    (report.clusters, report.stats, report.truncated, None)
+                }
+                Some(store_path) => {
+                    let writer = StoreWriter::create(
+                        store_path,
+                        m.gene_names(),
+                        m.condition_names(),
+                        params,
+                    )?;
+                    let post_filtered = params.maximal_only || params.max_clusters.is_some();
+                    let (clusters, stats, truncated) = if post_filtered {
+                        // maximal-only / max-clusters prune *after* the full
+                        // enumeration, so the store must hold the filtered
+                        // set: collect first, then write it out.
+                        let report = mine_engine_with(&m, params, &config, &control, observer)?;
+                        for c in &report.clusters {
+                            writer.write_cluster(c)?;
+                        }
+                        (report.clusters, report.stats, report.truncated)
+                    } else {
+                        // Common case: clusters stream to disk as the engine
+                        // finds them, composing with deadlines/cancellation.
+                        let collected = VecSink::new();
+                        let tee = TeeSink {
+                            store: &writer,
+                            collected: &collected,
+                        };
+                        let report = mine_to_sink(&m, params, &config, &control, observer, &tee)?;
+                        let mut clusters = collected.into_clusters();
+                        finalize_clusters(&mut clusters, params);
+                        (clusters, report.stats, report.truncated)
+                    };
+                    // finish() seals the file and surfaces any write error
+                    // that made the sink refuse clusters mid-run.
+                    let summary = writer.finish()?;
+                    let note = format!(
+                        "store written to {store_path} ({} clusters, {} bytes)\n",
+                        summary.n_clusters, summary.file_bytes
+                    );
+                    (clusters, stats, truncated, Some(note))
+                }
+            };
             let elapsed = start.elapsed();
-            let truncated = report.truncated;
-            let stat_counters = report.stats.clone();
-            let clusters = report.clusters;
             let mut text = format!(
                 "mined {} reg-clusters from {} genes × {} conditions in {:.3}s on {} thread{}\n",
                 clusters.len(),
@@ -335,9 +429,13 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 text.push_str(&report::overlap_summary(&clusters));
                 text.push('\n');
             }
+            if let Some(note) = store_note {
+                text.push_str(&note);
+            }
             match output {
                 Some(path) => {
                     let doc = MineOutput {
+                        format_version: Some(MINE_OUTPUT_FORMAT_VERSION),
                         params: params.clone(),
                         n_genes: m.n_genes(),
                         n_conds: m.n_conditions(),
@@ -404,7 +502,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(text)
         }
         Command::Enrich { clusters, go, top } => {
-            let found: MineOutput = serde_json::from_str(&std::fs::read_to_string(clusters)?)?;
+            let found = read_mine_output(clusters)?;
             let db: regcluster_datagen::GoDatabase =
                 serde_json::from_str(&std::fs::read_to_string(go)?)?;
             let mut ordered: Vec<&RegCluster> = found.clusters.iter().collect();
@@ -431,7 +529,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             clusters,
             ground_truth,
         } => {
-            let found: MineOutput = serde_json::from_str(&std::fs::read_to_string(clusters)?)?;
+            let found = read_mine_output(clusters)?;
             let truth: Vec<PlantedCluster> =
                 serde_json::from_str(&std::fs::read_to_string(ground_truth)?)?;
             let found_shapes: Vec<ClusterShape> =
@@ -446,6 +544,80 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 truth.len(),
                 stats.max_percent
             ))
+        }
+        Command::Query {
+            store,
+            genes,
+            conds,
+            min_genes,
+            min_conds,
+            top,
+            json,
+        } => {
+            let cs = ClusterStore::open(store)?;
+            let mut q = regcluster_store::Query::new();
+            if let Some(specs) = genes {
+                q.genes = serve::resolve_genes(&cs, specs).map_err(CliError::Format)?;
+            }
+            if let Some(specs) = conds {
+                q.conds = serve::resolve_conds(&cs, specs).map_err(CliError::Format)?;
+            }
+            q.min_genes = *min_genes;
+            q.min_conds = *min_conds;
+            q.top_k = *top;
+            let ids = cs.query(&q)?;
+            if *json {
+                let docs: Vec<serve::ClusterDoc> = ids
+                    .iter()
+                    .map(|&id| serve::cluster_doc(&cs, id))
+                    .collect::<Result<_, _>>()?;
+                Ok(format!("{}\n", serde_json::to_string_pretty(&docs)?))
+            } else {
+                let mut text = format!("{} of {} clusters match\n", ids.len(), cs.n_clusters());
+                if !ids.is_empty() {
+                    text.push_str("id\tgenes\tconds\tchain\n");
+                }
+                for &id in &ids {
+                    let c = cs.cluster(id)?;
+                    let chain: Vec<&str> = c
+                        .chain
+                        .iter()
+                        .map(|&i| cs.cond_names()[i].as_str())
+                        .collect();
+                    text.push_str(&format!(
+                        "{id}\t{}\t{}\t{}\n",
+                        c.n_genes(),
+                        c.n_conditions(),
+                        chain.join(" < ")
+                    ));
+                }
+                Ok(text)
+            }
+        }
+        Command::Serve {
+            store,
+            port,
+            threads,
+            requests,
+        } => {
+            let cs = std::sync::Arc::new(ClusterStore::open(store)?);
+            let config = serve::ServeConfig {
+                port: *port,
+                threads: *threads,
+                max_requests: *requests,
+            };
+            let n_clusters = cs.n_clusters();
+            let server = serve::Server::start(cs, &config)?;
+            // Announced on stderr so it shows before the blocking wait.
+            eprintln!(
+                "serving {n_clusters} clusters from {store} on http://127.0.0.1:{}/ \
+                 ({} worker thread{})",
+                server.port(),
+                config.threads.max(1),
+                if config.threads.max(1) == 1 { "" } else { "s" }
+            );
+            let report = server.wait();
+            Ok(format!("served {} requests\n", report.requests))
         }
     }
 }
@@ -771,6 +943,186 @@ mod tests {
         ]))
         .unwrap();
         assert!(run(&cmd).is_err());
+    }
+
+    /// `mine --output` stamps a format version; readers accept current and
+    /// legacy documents and reject ones from the future.
+    #[test]
+    fn mine_output_version_roundtrip_and_future_rejection() {
+        let dir = tmpdir();
+        let matrix = dir.join("ver.tsv");
+        let found = dir.join("ver-found.json");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &matrix).unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--output",
+            found.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cmd).unwrap();
+
+        // Round-trip: the stamp is written and read back.
+        let doc = read_mine_output(found.to_str().unwrap()).unwrap();
+        assert_eq!(doc.format_version, Some(MINE_OUTPUT_FORMAT_VERSION));
+        assert_eq!(doc.clusters.len(), 1);
+
+        // A document from a future release is refused with a clear error.
+        let raw = std::fs::read_to_string(&found).unwrap();
+        let needle = format!("\"format_version\": {MINE_OUTPUT_FORMAT_VERSION}");
+        let future = raw.replacen(&needle, "\"format_version\": 99", 1);
+        assert_ne!(future, raw, "format_version must appear in the JSON");
+        let future_path = dir.join("ver-future.json");
+        std::fs::write(&future_path, &future).unwrap();
+        let err = read_mine_output(future_path.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Format(_)), "{err}");
+        assert!(err.to_string().contains("format_version 99"), "{err}");
+
+        // eval and enrich go through the same gate.
+        let eval_cmd = Command::Eval {
+            clusters: future_path.to_str().unwrap().into(),
+            ground_truth: found.to_str().unwrap().into(),
+        };
+        assert!(matches!(run(&eval_cmd), Err(CliError::Format(_))));
+
+        // A pre-versioning document (field null/absent) still reads.
+        let legacy = raw.replacen(&needle, "\"format_version\": null", 1);
+        let legacy_path = dir.join("ver-legacy.json");
+        std::fs::write(&legacy_path, &legacy).unwrap();
+        let doc = read_mine_output(legacy_path.to_str().unwrap()).unwrap();
+        assert_eq!(doc.format_version, None);
+    }
+
+    /// `mine --store` streams the clusters into a queryable store whose
+    /// contents match the JSON output exactly.
+    #[test]
+    fn mine_store_writes_queryable_store_matching_output() {
+        let dir = tmpdir();
+        let matrix = dir.join("store.tsv");
+        let found = dir.join("store-found.json");
+        let store = dir.join("store.rcs");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &matrix).unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--threads",
+            "2",
+            "--output",
+            found.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("store written to"), "{out}");
+
+        let doc = read_mine_output(found.to_str().unwrap()).unwrap();
+        let cs = ClusterStore::open(&store).unwrap();
+        let stored: Vec<RegCluster> = cs.iter().collect::<Result<_, _>>().unwrap();
+        assert_eq!(stored, doc.clusters, "store and JSON output agree");
+        assert_eq!(cs.params(), &doc.params, "provenance params survive");
+
+        // The offline query subcommand works against it.
+        let cmd = parse_args(&sv(&[
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--gene",
+            "g1",
+            "--min-conds",
+            "5",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("1 of 1 clusters match"), "{out}");
+        // JSON mode resolves names.
+        let cmd = parse_args(&sv(&[
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("\"chain_names\""), "{out}");
+        // Unknown gene is a clean error.
+        let cmd = parse_args(&sv(&[
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--gene",
+            "nope",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&cmd), Err(CliError::Format(_))));
+    }
+
+    /// `mine --store --maximal-only` must store the filtered set, not the
+    /// raw emission set.
+    #[test]
+    fn mine_store_respects_post_filters() {
+        let dir = tmpdir();
+        let matrix = dir.join("postf.tsv");
+        let store = dir.join("postf.rcs");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &matrix).unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "2",
+            "--min-conds",
+            "3",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--maximal-only",
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cmd).unwrap();
+        let cs = ClusterStore::open(&store).unwrap();
+        let stored: Vec<RegCluster> = cs.iter().collect::<Result<_, _>>().unwrap();
+        // Recompute the reference with the same post-filter applied.
+        let mut params = regcluster_core::MiningParams::new(2, 3, 0.15, 0.1)
+            .unwrap()
+            .with_maximal_only();
+        params = params
+            .with_threshold(regcluster_core::RegulationThreshold::FractionOfRange(0.15))
+            .unwrap();
+        let expected = regcluster_core::mine(&m, &params).unwrap();
+        assert_eq!(stored, expected);
+        for c in &stored {
+            assert!(
+                !stored
+                    .iter()
+                    .any(|other| other != c && c.is_subcluster_of(other)),
+                "non-maximal cluster leaked into the store"
+            );
+        }
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //!
 //! Subcommands:
 //!
-//! * `mine` — mine reg-clusters from a tab-delimited expression matrix;
+//! * `mine` — mine reg-clusters from a tab-delimited expression matrix
+//!   (optionally streaming them into an indexed `.rcs` store);
 //! * `generate` — write a synthetic dataset (and its ground truth);
 //! * `eval` — score mined clusters against a ground-truth file;
-//! * `info` — print matrix statistics.
+//! * `info` — print matrix statistics;
+//! * `query` — filter a `.rcs` cluster store offline;
+//! * `serve` — expose a `.rcs` store over HTTP (see [`serve`]).
 //!
 //! The argument parser is hand-rolled (the workspace's dependency policy
 //! favours a small, auditable surface over pulling in a CLI framework); it
@@ -17,6 +20,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{parse_args, Command, ParseError};
 pub use commands::{run, CliError};

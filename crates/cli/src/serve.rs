@@ -1,0 +1,597 @@
+//! HTTP serving layer over a [`ClusterStore`].
+//!
+//! A deliberately minimal HTTP/1.1 server on [`std::net::TcpListener`] —
+//! no external dependencies, consistent with the workspace's vendored-stub
+//! policy. One acceptor thread feeds a fixed pool of worker threads over a
+//! channel; each connection carries one `GET` request and is closed after
+//! the response (`Connection: close`), which keeps the worker loop trivial
+//! and is plenty for query traffic over a local store.
+//!
+//! Endpoints (all JSON):
+//!
+//! * `GET /health` — liveness + cluster count;
+//! * `GET /stats` — store facts (dims, provenance params) and per-endpoint
+//!   request counts / latencies;
+//! * `GET /clusters?gene=..&cond=..&min_genes=..&min_conds=..&top=..&limit=..`
+//!   — conjunctive query over the store indexes (names or numeric ids;
+//!   comma-separate for multiple);
+//! * `GET /clusters/{id}` — one cluster, fully resolved to names.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] (the SIGINT-equivalent) sets a flag, wakes the
+//! acceptor with a loopback connection, lets the workers **drain** every
+//! already-accepted connection, then joins all threads — no worker leak,
+//! socket released. A request budget ([`ServeConfig::max_requests`])
+//! triggers the same path from inside a worker, which is how the smoke
+//! tests and `--requests` exercise graceful shutdown end-to-end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use regcluster_store::{ClusterStore, Query, StoreStats};
+use serde::Serialize;
+
+/// How a [`Server`] is launched.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral, see [`Server::port`]).
+    pub port: u16,
+    /// Worker threads handling requests (≥ 1 enforced).
+    pub threads: usize,
+    /// Stop gracefully after this many requests (used by smoke tests and
+    /// `--requests`); `None` serves until [`Server::shutdown`].
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            threads: 4,
+            max_requests: None,
+        }
+    }
+}
+
+/// Routes with dedicated metrics slots.
+const ROUTES: [&str; 5] = ["/health", "/stats", "/clusters", "/clusters/{id}", "other"];
+
+/// Per-endpoint request counters: count and summed latency, lock-free.
+#[derive(Default)]
+struct Metrics {
+    counts: [AtomicU64; ROUTES.len()],
+    latency_us: [AtomicU64; ROUTES.len()],
+    total: AtomicU64,
+}
+
+impl Metrics {
+    fn record(&self, route: usize, started: Instant) -> u64 {
+        self.counts[route].fetch_add(1, Ordering::Relaxed);
+        self.latency_us[route].fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// One endpoint's counters in the `/stats` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndpointMetrics {
+    /// Route pattern (e.g. `/clusters/{id}`).
+    pub path: String,
+    /// Requests handled.
+    pub count: u64,
+    /// Summed handling latency, microseconds.
+    pub total_latency_us: u64,
+    /// Mean handling latency, microseconds (0 when unused).
+    pub mean_latency_us: u64,
+}
+
+/// The `/stats` response document.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsResponse {
+    /// Store facts and provenance.
+    pub store: StoreStats,
+    /// Total requests handled since start.
+    pub requests_total: u64,
+    /// Per-endpoint counters.
+    pub endpoints: Vec<EndpointMetrics>,
+}
+
+/// One cluster resolved against the store dictionaries (the
+/// `/clusters/{id}` payload, also used by `regcluster query --json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterDoc {
+    /// Cluster id (canonical-order rank in the store).
+    pub id: u32,
+    /// Member-gene count.
+    pub n_genes: u32,
+    /// Chain length.
+    pub n_conds: u32,
+    /// Chain condition ids, regulation order.
+    pub chain: Vec<usize>,
+    /// Chain condition names, regulation order.
+    pub chain_names: Vec<String>,
+    /// Positively co-regulated member ids.
+    pub p_members: Vec<usize>,
+    /// Positively co-regulated member names.
+    pub p_names: Vec<String>,
+    /// Negatively co-regulated member ids.
+    pub n_members: Vec<usize>,
+    /// Negatively co-regulated member names.
+    pub n_names: Vec<String>,
+}
+
+/// The `/clusters` list response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClustersResponse {
+    /// Matches in the store (before `limit`).
+    pub total: usize,
+    /// Matching ids (all of them).
+    pub ids: Vec<u32>,
+    /// Materialized clusters, at most `limit` (default 50).
+    pub clusters: Vec<ClusterDoc>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+/// What a finished server reports.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeReport {
+    /// Requests handled over the server's lifetime.
+    pub requests: u64,
+}
+
+/// Builds the [`ClusterDoc`] for one stored cluster.
+///
+/// # Errors
+///
+/// Propagates [`regcluster_store::StoreError`] for out-of-bounds ids.
+pub fn cluster_doc(
+    store: &ClusterStore,
+    id: u32,
+) -> Result<ClusterDoc, regcluster_store::StoreError> {
+    let c = store.cluster(id)?;
+    let cond_name = |i: &usize| store.cond_names()[*i].clone();
+    let gene_name = |i: &usize| store.gene_names()[*i].clone();
+    Ok(ClusterDoc {
+        id,
+        n_genes: c.n_genes() as u32,
+        n_conds: c.n_conditions() as u32,
+        chain_names: c.chain.iter().map(cond_name).collect(),
+        p_names: c.p_members.iter().map(gene_name).collect(),
+        n_names: c.n_members.iter().map(gene_name).collect(),
+        chain: c.chain,
+        p_members: c.p_members,
+        n_members: c.n_members,
+    })
+}
+
+/// Resolves comma-separated gene specs (names, or numeric ids as written
+/// by `mine --output`) against the store dictionary.
+///
+/// # Errors
+///
+/// A human-readable message naming the first unresolvable spec.
+pub fn resolve_genes(store: &ClusterStore, specs: &str) -> Result<Vec<u32>, String> {
+    resolve(specs, |s| store.gene_id(s), store.n_genes(), "gene")
+}
+
+/// Resolves comma-separated condition specs (names or numeric ids).
+///
+/// # Errors
+///
+/// A human-readable message naming the first unresolvable spec.
+pub fn resolve_conds(store: &ClusterStore, specs: &str) -> Result<Vec<u32>, String> {
+    resolve(specs, |s| store.cond_id(s), store.n_conds(), "condition")
+}
+
+fn resolve(
+    specs: &str,
+    lookup: impl Fn(&str) -> Option<u32>,
+    bound: u32,
+    what: &str,
+) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for spec in specs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if let Some(id) = lookup(spec) {
+            out.push(id);
+        } else if let Ok(id) = spec.parse::<u32>() {
+            if id >= bound {
+                return Err(format!("{what} id {id} out of range (store has {bound})"));
+            }
+            out.push(id);
+        } else {
+            return Err(format!("unknown {what} {spec:?}"));
+        }
+    }
+    Ok(out)
+}
+
+struct Shared {
+    store: Arc<ClusterStore>,
+    metrics: Metrics,
+    stop: AtomicBool,
+    port: u16,
+    max_requests: Option<u64>,
+}
+
+impl Shared {
+    /// Sets the stop flag and wakes the acceptor (idempotent).
+    fn trigger_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // A loopback connection unblocks the blocking accept; the
+            // acceptor re-checks the flag before queueing it.
+            let _ = TcpStream::connect(("127.0.0.1", self.port));
+        }
+    }
+}
+
+/// A running cluster-store server. See the module docs for endpoints and
+/// the shutdown protocol.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:{config.port}` and starts the acceptor and worker
+    /// threads. Returns once the socket is listening.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure, as [`std::io::Error`].
+    pub fn start(store: Arc<ClusterStore>, config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Shared {
+            store,
+            metrics: Metrics::default(),
+            stop: AtomicBool::new(false),
+            port,
+            max_requests: config.max_requests,
+        });
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                loop {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if shared.stop.load(Ordering::SeqCst) {
+                                break; // the wake-up connection, or late traffic
+                            }
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if shared.stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Dropping the sender closes the channel; workers drain
+                // whatever was already accepted, then exit.
+            })
+        };
+
+        let workers = (0..config.threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let next = {
+                        let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    let Ok(stream) = next else {
+                        break; // channel closed and drained
+                    };
+                    let handled = handle_connection(stream, &shared);
+                    if handled {
+                        let total = shared.metrics.total.load(Ordering::Relaxed);
+                        if shared.max_requests.is_some_and(|cap| total >= cap) {
+                            shared.trigger_shutdown();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound port (resolves port 0 to the actual ephemeral port).
+    pub fn port(&self) -> u16 {
+        self.shared.port
+    }
+
+    /// Requests shutdown (the SIGINT-equivalent) and waits for the drain:
+    /// already-accepted connections are still served, then all threads are
+    /// joined and the socket is released.
+    pub fn shutdown(self) -> ServeReport {
+        self.shared.trigger_shutdown();
+        self.join()
+    }
+
+    /// Blocks until the server stops on its own — via the request budget,
+    /// or never for an unbounded server.
+    pub fn wait(self) -> ServeReport {
+        self.join()
+    }
+
+    fn join(self) -> ServeReport {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        ServeReport {
+            requests: self.shared.metrics.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handles one connection (one request). Returns whether a request was
+/// actually parsed and counted.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> bool {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.is_empty() {
+        return false; // wake-up connection or dead client
+    }
+    // Drain headers so well-behaved clients aren't reset mid-send.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(&mut stream, 400, &json_error("malformed request line"));
+            return false;
+        }
+    };
+    if method != "GET" {
+        respond(&mut stream, 405, &json_error("only GET is supported"));
+        shared.metrics.record(4, started);
+        return true;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let (route, status, body) = route_request(shared, path, query);
+    respond(&mut stream, status, &body);
+    shared.metrics.record(route, started);
+    true
+}
+
+/// Dispatches a parsed request, returning (metrics slot, status, body).
+fn route_request(shared: &Shared, path: &str, query: &str) -> (usize, u16, String) {
+    let store = &shared.store;
+    match path {
+        "/health" => {
+            let body = format!("{{\"status\":\"ok\",\"clusters\":{}}}", store.n_clusters());
+            (0, 200, body)
+        }
+        "/stats" => {
+            let endpoints = ROUTES
+                .iter()
+                .enumerate()
+                .map(|(i, path)| {
+                    let count = shared.metrics.counts[i].load(Ordering::Relaxed);
+                    let total_latency_us = shared.metrics.latency_us[i].load(Ordering::Relaxed);
+                    EndpointMetrics {
+                        path: (*path).to_string(),
+                        count,
+                        total_latency_us,
+                        mean_latency_us: total_latency_us.checked_div(count).unwrap_or(0),
+                    }
+                })
+                .collect();
+            let doc = StatsResponse {
+                store: store.stats(),
+                requests_total: shared.metrics.total.load(Ordering::Relaxed),
+                endpoints,
+            };
+            match serde_json::to_string(&doc) {
+                Ok(body) => (1, 200, body),
+                Err(e) => (1, 500, json_error(&e.to_string())),
+            }
+        }
+        "/clusters" => match clusters_query(store, query) {
+            Ok(body) => (2, 200, body),
+            Err(msg) => (2, 400, json_error(&msg)),
+        },
+        _ => {
+            if let Some(rest) = path.strip_prefix("/clusters/") {
+                match rest.parse::<u32>() {
+                    Ok(id) if id < store.n_clusters() => {
+                        match cluster_doc(store, id).map(|d| serde_json::to_string(&d)) {
+                            Ok(Ok(body)) => (3, 200, body),
+                            Ok(Err(e)) => (3, 500, json_error(&e.to_string())),
+                            Err(e) => (3, 500, json_error(&e.to_string())),
+                        }
+                    }
+                    Ok(id) => (
+                        3,
+                        404,
+                        json_error(&format!(
+                            "cluster {id} not found (store holds {})",
+                            store.n_clusters()
+                        )),
+                    ),
+                    Err(_) => (3, 400, json_error("cluster id must be an integer")),
+                }
+            } else {
+                (4, 404, json_error("unknown path"))
+            }
+        }
+    }
+}
+
+/// Executes `GET /clusters` query parameters against the store.
+fn clusters_query(store: &ClusterStore, raw_query: &str) -> Result<String, String> {
+    let mut q = Query::new();
+    let mut limit = 50usize;
+    for (key, value) in parse_query(raw_query)? {
+        match key.as_str() {
+            "gene" => q.genes.extend(resolve_genes(store, &value)?),
+            "cond" => q.conds.extend(resolve_conds(store, &value)?),
+            "min_genes" => {
+                q.min_genes = value
+                    .parse()
+                    .map_err(|_| format!("min_genes must be an integer, got {value:?}"))?;
+            }
+            "min_conds" => {
+                q.min_conds = value
+                    .parse()
+                    .map_err(|_| format!("min_conds must be an integer, got {value:?}"))?;
+            }
+            "top" => {
+                q.top_k = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("top must be an integer, got {value:?}"))?,
+                );
+            }
+            "limit" => {
+                limit = value
+                    .parse()
+                    .map_err(|_| format!("limit must be an integer, got {value:?}"))?;
+            }
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    let ids = store.query(&q).map_err(|e| e.to_string())?;
+    let clusters: Vec<ClusterDoc> = ids
+        .iter()
+        .take(limit)
+        .map(|&id| cluster_doc(store, id))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let doc = ClustersResponse {
+        total: ids.len(),
+        ids,
+        clusters,
+    };
+    serde_json::to_string(&doc).map_err(|e| e.to_string())
+}
+
+/// Splits and percent-decodes `k=v&k=v` query strings.
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(out)
+}
+
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad percent-escape in {s:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("query value {s:?} is not UTF-8"))
+}
+
+fn json_error(msg: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: msg.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").unwrap(), "a b c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("bad%zz").is_err());
+        assert!(percent_decode("trunc%2").is_err());
+    }
+
+    #[test]
+    fn query_string_parsing() {
+        let kv = parse_query("gene=g1%2Cg2&min_genes=3&flag").unwrap();
+        assert_eq!(
+            kv,
+            vec![
+                ("gene".into(), "g1,g2".into()),
+                ("min_genes".into(), "3".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Smoke tests of the HTTP serving layer: a real socket, ≥ 32 concurrent
+//! clients, metrics via /stats, and graceful shutdown (threads joined,
+//! port released).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use regcluster_cli::serve::{ServeConfig, Server};
+use regcluster_core::{mine, MiningParams};
+use regcluster_datagen::{generate, PatternKind, SyntheticConfig};
+use regcluster_store::{ClusterStore, StoreWriter};
+
+/// Mines a small synthetic workload and writes it to a store.
+fn build_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regcluster-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let cfg = SyntheticConfig {
+        n_genes: 100,
+        n_conds: 30,
+        n_clusters: 6,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.06,
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 7,
+    };
+    let m = generate(&cfg).unwrap().matrix;
+    let params = MiningParams::new(4, 4, 0.1, 0.05).unwrap();
+    let clusters = mine(&m, &params).unwrap();
+    assert!(!clusters.is_empty(), "workload must yield clusters");
+    let w = StoreWriter::create(&path, m.gene_names(), m.condition_names(), &params).unwrap();
+    for c in &clusters {
+        w.write_cluster(c).unwrap();
+    }
+    w.finish().unwrap();
+    path
+}
+
+/// One blocking HTTP GET; returns (status, body).
+fn get(port: u16, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"))
+        .parse()
+        .unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serves_32_concurrent_clients_and_shuts_down_gracefully() {
+    let store_path = build_store("smoke.rcs");
+    let store = Arc::new(ClusterStore::open(&store_path).unwrap());
+    let n_clusters = store.n_clusters();
+    let probe = store.cluster(0).unwrap();
+    let gene = store.gene_names()[probe.p_members[0]].clone();
+
+    let config = ServeConfig {
+        port: 0,
+        threads: 4,
+        max_requests: None,
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+    assert_ne!(port, 0, "port 0 resolves to the actual ephemeral port");
+
+    // 32 concurrent clients, each issuing a mix of requests.
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let gene = gene.clone();
+            std::thread::spawn(move || {
+                let (status, body) = get(port, "/health");
+                assert_eq!(status, 200, "{body}");
+                assert!(body.contains("\"ok\""), "{body}");
+
+                let (status, body) = get(port, &format!("/clusters?gene={gene}"));
+                assert_eq!(status, 200, "{body}");
+                assert!(body.contains("\"total\""), "{body}");
+                assert!(body.contains("\"p_names\""), "{body}");
+
+                let id = i as u32 % n_clusters;
+                let (status, body) = get(port, &format!("/clusters/{id}"));
+                assert_eq!(status, 200, "{body}");
+                assert!(body.contains(&format!("\"id\":{id}")), "{body}");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+
+    // Error paths: bad parameter, unknown id, unknown path, wrong method.
+    let (status, body) = get(port, "/clusters?bogus=1");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bogus"), "{body}");
+    let (status, _) = get(port, &format!("/clusters/{n_clusters}"));
+    assert_eq!(status, 404);
+    let (status, _) = get(port, "/nope");
+    assert_eq!(status, 404);
+    {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "POST /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    // Metrics: /stats reflects the traffic above.
+    let (status, body) = get(port, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"requests_total\""), "{body}");
+    assert!(body.contains("\"total_latency_us\""), "{body}");
+    assert!(body.contains("\"n_clusters\""), "{body}");
+    let total: u64 = body
+        .split("\"requests_total\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(
+        total >= 32 * 3,
+        "expected ≥ 96 recorded requests, got {total}"
+    );
+
+    // Graceful shutdown: all threads join and the socket is released.
+    let report = server.shutdown();
+    assert!(report.requests > total, "stats request counted too");
+    let rebind = TcpListener::bind(("127.0.0.1", port));
+    assert!(rebind.is_ok(), "port {port} still held after shutdown");
+    assert!(
+        TcpStream::connect(("127.0.0.1", port)).is_err() || rebind.is_ok(),
+        "server socket must be gone"
+    );
+}
+
+#[test]
+fn request_budget_stops_the_server_on_its_own() {
+    let store_path = build_store("budget.rcs");
+    let store = Arc::new(ClusterStore::open(&store_path).unwrap());
+    let config = ServeConfig {
+        port: 0,
+        threads: 2,
+        max_requests: Some(5),
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+    for _ in 0..5 {
+        let (status, _) = get(port, "/health");
+        assert_eq!(status, 200);
+    }
+    // The fifth request trips the budget; wait() returns without an
+    // explicit shutdown call.
+    let report = server.wait();
+    assert!(report.requests >= 5, "{}", report.requests);
+    assert!(TcpListener::bind(("127.0.0.1", port)).is_ok());
+}

@@ -72,7 +72,9 @@ pub use engine::{
     MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
 };
 pub use error::CoreError;
-pub use miner::{mine, mine_containing, mine_parallel, mine_with_observer, Miner};
+pub use miner::{
+    finalize_clusters, mine, mine_containing, mine_parallel, mine_with_observer, Miner,
+};
 pub use observer::{
     MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver, TraceEvent, TraceObserver,
 };

@@ -559,6 +559,19 @@ pub(crate) fn finalize(out: &mut Vec<RegCluster>, params: &MiningParams) {
     }
 }
 
+/// Canonicalizes a raw emission set the way the collect path does:
+/// `maximal_only` post-filter, canonical sort (chain, then members), then the
+/// `max_clusters` truncation. Sink-mode consumers ([`mine_to_sink`]
+/// delivers clusters unfinalized, in nondeterministic order) call this to
+/// obtain output bit-identical to [`mine`] / [`mine_engine`] for a complete
+/// run.
+///
+/// [`mine_to_sink`]: crate::engine::mine_to_sink
+/// [`mine_engine`]: crate::engine::mine_engine
+pub fn finalize_clusters(clusters: &mut Vec<RegCluster>, params: &MiningParams) {
+    finalize(clusters, params);
+}
+
 /// Mines all reg-clusters of `matrix` under `params`.
 ///
 /// Output clusters satisfy Definition 3.2 with respect to `γ` and `ε` and

@@ -1,0 +1,115 @@
+//! Typed failures of the store subsystem.
+//!
+//! Every way a `.rcs` file can be unreadable — truncation, bit flips,
+//! foreign files, future format versions — maps to a distinct
+//! [`StoreError`] variant. The reader never panics on malformed input and
+//! never returns silently-garbage clusters: all section payloads are
+//! checksummed and every record access is bounds-checked.
+
+use std::fmt;
+
+/// A failure while writing, opening or querying a cluster store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file is not a `.rcs` store at all (bad magic) or is structurally
+    /// impossible (header or section table out of bounds, overlapping or
+    /// truncated sections). The message names the offending structure.
+    Format(String),
+    /// The file declares a format version this build cannot read.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build writes and reads.
+        supported: u32,
+    },
+    /// A section's payload does not match its recorded checksum — the file
+    /// was corrupted after writing (flipped bits, partial overwrite).
+    ChecksumMismatch {
+        /// Human-readable section name (e.g. `"clusters"`, `"gene-index"`).
+        section: &'static str,
+        /// Checksum recorded in the section table.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// A cluster id past the end of the store was requested.
+    ClusterOutOfBounds {
+        /// The requested id.
+        id: u32,
+        /// Number of clusters in the store.
+        len: u32,
+    },
+    /// The store's provenance metadata (mining parameters JSON) failed to
+    /// round-trip.
+    Metadata(String),
+    /// A gene or condition id in a cluster handed to the writer exceeds the
+    /// dictionary handed to [`StoreWriter::create`](crate::StoreWriter::create).
+    IdOutOfRange(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Format(m) => write!(f, "not a valid .rcs store: {m}"),
+            StoreError::Version { found, supported } => write!(
+                f,
+                "unsupported .rcs format version {found} (this build reads version {supported})"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupted .rcs store: {section} section checksum mismatch \
+                 (expected {expected:#018x}, got {actual:#018x})"
+            ),
+            StoreError::ClusterOutOfBounds { id, len } => {
+                write!(f, "cluster id {id} out of bounds (store holds {len})")
+            }
+            StoreError::Metadata(m) => write!(f, "store metadata error: {m}"),
+            StoreError::IdOutOfRange(m) => write!(f, "id out of range: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::Version {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = StoreError::ChecksumMismatch {
+            section: "clusters",
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("clusters"));
+        assert!(e.to_string().contains("corrupted"));
+        let e = StoreError::ClusterOutOfBounds { id: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,301 @@
+//! The `.rcs` on-disk layout: header, section table, checksums, and the
+//! bounds-checked little-endian readers shared by the writer and reader.
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ header (32 B)                                              │
+//! │   0..8   magic  b"RCSTORE\0"                               │
+//! │   8..12  format version (u32 LE)                           │
+//! │  12..16  section count  (u32 LE)                           │
+//! │  16..24  section-table offset (u64 LE)                     │
+//! │  24..32  section-table checksum (FNV-1a 64, u64 LE)        │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ CLUSTERS section: packed records, streamed during mining   │
+//! │   record: chain_len, p_len, n_len (u32 LE each),           │
+//! │           then chain / p_members / n_members as u32 LE     │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ OFFSETS    n_clusters × u64 — record offsets in canonical  │
+//! │            (chain, p_members, n_members) order; the index  │
+//! │            into this table IS the cluster id               │
+//! │ SIZES      n_clusters × (genes u32, conds u32)             │
+//! │ GENE_INDEX CSR: (n_genes+1) × u32 starts, then postings    │
+//! │ COND_INDEX CSR: (n_conds+1) × u32 starts, then postings    │
+//! │ META       n_genes, n_conds, n_clusters (u64 each),        │
+//! │            then mining-params JSON (γ/ε provenance)        │
+//! │ GENE_DICT  count u32, then per name: len u32 + UTF-8 bytes │
+//! │ COND_DICT  same                                            │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ section table: count × 32 B                                │
+//! │   { id u32, reserved u32, offset u64, len u64, fnv64 u64 } │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every section payload carries an FNV-1a 64 checksum in the table; the
+//! table itself is checksummed from the header. A flipped bit anywhere in
+//! the file is therefore caught at [`open`](crate::ClusterStore::open)
+//! before any query runs, and a truncated file fails the structural bounds
+//! checks. All multi-byte integers are little-endian regardless of host.
+
+use crate::error::StoreError;
+
+/// File magic, first 8 bytes of every store.
+pub const MAGIC: [u8; 8] = *b"RCSTORE\0";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 32;
+
+/// Length of one section-table entry in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+
+/// Section identifiers (the `id` field of a table entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionId {
+    /// Packed cluster records, in arrival (stream) order.
+    Clusters = 1,
+    /// Canonically-ordered record offsets; index == cluster id.
+    Offsets = 2,
+    /// Per-cluster (n_genes, n_conds) pairs for index-only size filtering.
+    Sizes = 3,
+    /// Gene → cluster-ids inverted index (CSR).
+    GeneIndex = 4,
+    /// Condition → cluster-ids inverted index (CSR).
+    CondIndex = 5,
+    /// Dimensions + mining-parameter provenance.
+    Meta = 6,
+    /// Gene-name dictionary.
+    GeneDict = 7,
+    /// Condition-name dictionary.
+    CondDict = 8,
+}
+
+impl SectionId {
+    /// All sections a well-formed store must contain.
+    pub const ALL: [SectionId; 8] = [
+        SectionId::Clusters,
+        SectionId::Offsets,
+        SectionId::Sizes,
+        SectionId::GeneIndex,
+        SectionId::CondIndex,
+        SectionId::Meta,
+        SectionId::GeneDict,
+        SectionId::CondDict,
+    ];
+
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::Clusters => "clusters",
+            SectionId::Offsets => "offsets",
+            SectionId::Sizes => "sizes",
+            SectionId::GeneIndex => "gene-index",
+            SectionId::CondIndex => "cond-index",
+            SectionId::Meta => "meta",
+            SectionId::GeneDict => "gene-dict",
+            SectionId::CondDict => "cond-dict",
+        }
+    }
+
+    /// Parses a table-entry id.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| *s as u32 == v)
+    }
+}
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Section {
+    /// Which section this is.
+    pub id: SectionId,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Incremental FNV-1a 64 checksum. Not cryptographic — it guards against
+/// corruption (truncation, flipped bits, partial writes), not adversaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET_BASIS)
+    }
+
+    /// Feeds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot convenience.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut f = Fnv64::new();
+        f.update(bytes);
+        f.finish()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice. Every decode in
+/// the store goes through this type, so a truncated or size-lying file
+/// surfaces as [`StoreError::Format`], never a panic or an out-of-bounds
+/// read.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context for error messages (which section is being decoded).
+    what: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, labelled `what` for error messages.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        ByteReader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Format(format!(
+                "{}: truncated ({} bytes needed at offset {}, {} available)",
+                self.what,
+                n,
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u32` (little-endian).
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` (little-endian).
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (u32 length).
+    pub fn string(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| {
+            StoreError::Format(format!(
+                "{}: dictionary entry is not valid UTF-8",
+                self.what
+            ))
+        })
+    }
+}
+
+/// Reads the `i`-th little-endian `u32` of a packed array slice, which the
+/// caller has already bounds-checked to hold at least `i + 1` entries.
+#[inline]
+pub fn u32_at(buf: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(buf[i * 4..i * 4 + 4].try_into().unwrap())
+}
+
+/// Reads the `i`-th little-endian `u64` of a packed array slice.
+#[inline]
+pub fn u64_at(buf: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap())
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::hash(b""), 0xcbf29ce484222325);
+        assert_eq!(Fnv64::hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(Fnv64::hash(b"foobar"), 0x85944171f73967e8);
+        // Incremental == one-shot.
+        let mut f = Fnv64::new();
+        f.update(b"foo");
+        f.update(b"bar");
+        assert_eq!(f.finish(), Fnv64::hash(b"foobar"));
+    }
+
+    #[test]
+    fn byte_reader_is_bounds_checked() {
+        let mut r = ByteReader::new(&[1, 0, 0, 0, 2], "test");
+        assert_eq!(r.u32().unwrap(), 1);
+        assert_eq!(r.remaining(), 1);
+        let err = r.u32().unwrap_err();
+        assert!(matches!(err, StoreError::Format(_)));
+        assert!(err.to_string().contains("test"));
+    }
+
+    #[test]
+    fn string_roundtrip_and_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 3);
+        buf.extend_from_slice(b"abc");
+        let mut r = ByteReader::new(&buf, "dict");
+        assert_eq!(r.string().unwrap(), "abc");
+
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 2);
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(ByteReader::new(&bad, "dict").string().is_err());
+    }
+
+    #[test]
+    fn section_ids_roundtrip() {
+        for id in SectionId::ALL {
+            assert_eq!(SectionId::from_u32(id as u32), Some(id));
+            assert!(!id.name().is_empty());
+        }
+        assert_eq!(SectionId::from_u32(999), None);
+    }
+}

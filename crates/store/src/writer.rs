@@ -1,0 +1,397 @@
+//! Streaming store writer: a [`ClusterSink`] that packs every fresh cluster
+//! straight to disk while mining runs, then seals the file with indexes,
+//! dictionaries and checksums.
+//!
+//! During mining only the record bytes and one `u64` offset per cluster are
+//! retained (plus the dictionaries handed to [`StoreWriter::create`]), so
+//! memory stays bounded by the dictionaries and the per-cluster bookkeeping,
+//! not by the cluster payloads. [`StoreWriter::finish`] re-reads the record
+//! section once (sequential I/O), computes the **canonical permutation**
+//! (sort by chain, then p-members, then n-members — the same order as
+//! [`finalize_clusters`](regcluster_core::finalize_clusters)), and writes
+//! the offsets table in that order. Cluster ids in a sealed store are
+//! therefore canonical-order ranks: a store written at 8 threads is
+//! query-identical to one written sequentially.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use regcluster_core::{ClusterSink, MiningParams, RegCluster};
+
+use crate::error::StoreError;
+use crate::format::{
+    put_u32, put_u64, ByteReader, Fnv64, Section, SectionId, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
+
+/// What [`StoreWriter::finish`] reports about the sealed file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Clusters written.
+    pub n_clusters: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+struct WriterState {
+    file: BufWriter<File>,
+    /// Record offsets relative to the clusters-section start, arrival order.
+    offsets: Vec<u64>,
+    /// Bytes written to the clusters section so far.
+    clusters_len: u64,
+    record_buf: Vec<u8>,
+    /// First failure; once set, `accept` refuses everything and `finish`
+    /// returns it.
+    error: Option<StoreError>,
+}
+
+/// Writes a `.rcs` store as clusters stream in from the mining engine.
+///
+/// Implements [`ClusterSink`], so it plugs directly into
+/// [`mine_to_sink`](regcluster_core::mine_to_sink): an I/O failure makes
+/// `accept` return `false`, which stops the run cooperatively
+/// (`stopped_by_sink`), and the failure itself is returned by
+/// [`finish`](StoreWriter::finish). A writer that is dropped without
+/// `finish` leaves a file without a section table, which
+/// [`ClusterStore::open`](crate::ClusterStore::open) rejects — a crashed
+/// run can never masquerade as a complete store.
+pub struct StoreWriter {
+    state: Mutex<WriterState>,
+    gene_names: Vec<String>,
+    cond_names: Vec<String>,
+    params_json: String,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) `path` and prepares it for streaming writes.
+    ///
+    /// `gene_names` / `cond_names` are the matrix dictionaries: member and
+    /// chain ids of every accepted cluster must index into them. `params`
+    /// is stored verbatim for provenance (γ/ε of the run).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the file cannot be created, or
+    /// [`StoreError::Metadata`] if the parameters fail to serialize.
+    pub fn create(
+        path: impl AsRef<Path>,
+        gene_names: &[String],
+        cond_names: &[String],
+        params: &MiningParams,
+    ) -> Result<Self, StoreError> {
+        let params_json =
+            serde_json::to_string(params).map_err(|e| StoreError::Metadata(e.to_string()))?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut file = BufWriter::new(file);
+        // Placeholder header; patched by `finish` once the table offset and
+        // checksum are known. Until then the magic is zeroed, so a reader
+        // can never mistake an unsealed file for a valid store.
+        file.write_all(&[0u8; HEADER_LEN])?;
+        Ok(StoreWriter {
+            state: Mutex::new(WriterState {
+                file,
+                offsets: Vec::new(),
+                clusters_len: 0,
+                record_buf: Vec::new(),
+                error: None,
+            }),
+            gene_names: gene_names.to_vec(),
+            cond_names: cond_names.to_vec(),
+            params_json,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Clusters accepted so far.
+    pub fn n_written(&self) -> u64 {
+        self.lock().offsets.len() as u64
+    }
+
+    fn encode_record(&self, cluster: &RegCluster, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        out.clear();
+        let check = |ids: &[usize], bound: usize, what: &str| -> Result<(), StoreError> {
+            for &v in ids {
+                if v >= bound {
+                    return Err(StoreError::IdOutOfRange(format!(
+                        "{what} id {v} not in dictionary (size {bound})"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check(&cluster.chain, self.cond_names.len(), "condition")?;
+        check(&cluster.p_members, self.gene_names.len(), "gene")?;
+        check(&cluster.n_members, self.gene_names.len(), "gene")?;
+        put_u32(out, cluster.chain.len() as u32);
+        put_u32(out, cluster.p_members.len() as u32);
+        put_u32(out, cluster.n_members.len() as u32);
+        for &c in &cluster.chain {
+            put_u32(out, c as u32);
+        }
+        for &g in &cluster.p_members {
+            put_u32(out, g as u32);
+        }
+        for &g in &cluster.n_members {
+            put_u32(out, g as u32);
+        }
+        Ok(())
+    }
+
+    /// Appends one cluster record. Prefer the [`ClusterSink`] impl when
+    /// mining; this is the offline path (e.g. converting a JSON result).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IdOutOfRange`] for ids outside the dictionaries,
+    /// [`StoreError::Io`] on write failure. After an error the writer is
+    /// poisoned: further writes are refused and `finish` reports the
+    /// original failure.
+    pub fn write_cluster(&self, cluster: &RegCluster) -> Result<(), StoreError> {
+        let mut state = self.lock();
+        if let Some(e) = &state.error {
+            return Err(StoreError::Format(format!(
+                "writer already failed: {e}; record refused"
+            )));
+        }
+        let mut buf = std::mem::take(&mut state.record_buf);
+        let result = self.encode_record(cluster, &mut buf).and_then(|()| {
+            state.file.write_all(&buf)?;
+            let off = state.clusters_len;
+            state.offsets.push(off);
+            state.clusters_len += buf.len() as u64;
+            Ok(())
+        });
+        state.record_buf = buf;
+        if let Err(e) = result {
+            let msg = e.to_string();
+            state.error = Some(e);
+            return Err(StoreError::Format(msg));
+        }
+        Ok(())
+    }
+
+    /// Seals the store: canonical offsets table, size table, inverted
+    /// indexes, metadata, dictionaries, section table, header — in that
+    /// order — then syncs to disk.
+    ///
+    /// # Errors
+    ///
+    /// The first write failure recorded during streaming, or any failure
+    /// while sealing.
+    pub fn finish(self) -> Result<StoreSummary, StoreError> {
+        let state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        let WriterState {
+            file,
+            offsets,
+            clusters_len,
+            ..
+        } = state;
+        let mut file = file
+            .into_inner()
+            .map_err(|e| StoreError::Io(std::io::Error::other(e.to_string())))?;
+
+        // Re-read the streamed records once to canonicalize and index. The
+        // records stay on disk; only (chain, members) copies are held here.
+        file.seek(SeekFrom::Start(HEADER_LEN as u64))?;
+        let mut clusters_raw = vec![0u8; clusters_len as usize];
+        file.read_exact(&mut clusters_raw)?;
+        let decoded: Vec<RegCluster> = offsets
+            .iter()
+            .map(|&off| decode_record(&clusters_raw, off).map(|(c, _)| c))
+            .collect::<Result<_, _>>()?;
+
+        // Canonical permutation: the same (chain, p, n) order the collect
+        // path sorts into, so cluster ids are stable across thread counts.
+        let mut order: Vec<u32> = (0..decoded.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (x, y) = (&decoded[a as usize], &decoded[b as usize]);
+            x.chain
+                .cmp(&y.chain)
+                .then_with(|| x.p_members.cmp(&y.p_members))
+                .then_with(|| x.n_members.cmp(&y.n_members))
+        });
+
+        // Inverted postings, ascending by construction (canonical id order).
+        let mut gene_postings: Vec<Vec<u32>> = vec![Vec::new(); self.gene_names.len()];
+        let mut cond_postings: Vec<Vec<u32>> = vec![Vec::new(); self.cond_names.len()];
+        for (id, &arrival) in order.iter().enumerate() {
+            let c = &decoded[arrival as usize];
+            for g in c.genes_iter() {
+                gene_postings[g].push(id as u32);
+            }
+            for &cond in &c.chain {
+                cond_postings[cond].push(id as u32);
+            }
+        }
+
+        let mut sections: Vec<Section> = vec![Section {
+            id: SectionId::Clusters,
+            offset: HEADER_LEN as u64,
+            len: clusters_len,
+            checksum: Fnv64::hash(&clusters_raw),
+        }];
+        let mut cursor = HEADER_LEN as u64 + clusters_len;
+        file.seek(SeekFrom::Start(cursor))?;
+        let mut file = BufWriter::new(file);
+
+        let mut write_section =
+            |file: &mut BufWriter<File>, id: SectionId, payload: &[u8]| -> Result<(), StoreError> {
+                file.write_all(payload)?;
+                sections.push(Section {
+                    id,
+                    offset: cursor,
+                    len: payload.len() as u64,
+                    checksum: Fnv64::hash(payload),
+                });
+                cursor += payload.len() as u64;
+                Ok(())
+            };
+
+        let mut buf = Vec::new();
+        for &arrival in &order {
+            put_u64(&mut buf, offsets[arrival as usize]);
+        }
+        write_section(&mut file, SectionId::Offsets, &buf)?;
+
+        buf.clear();
+        for &arrival in &order {
+            let c = &decoded[arrival as usize];
+            put_u32(&mut buf, c.n_genes() as u32);
+            put_u32(&mut buf, c.n_conditions() as u32);
+        }
+        write_section(&mut file, SectionId::Sizes, &buf)?;
+
+        encode_csr(&gene_postings, &mut buf);
+        write_section(&mut file, SectionId::GeneIndex, &buf)?;
+        encode_csr(&cond_postings, &mut buf);
+        write_section(&mut file, SectionId::CondIndex, &buf)?;
+
+        buf.clear();
+        put_u64(&mut buf, self.gene_names.len() as u64);
+        put_u64(&mut buf, self.cond_names.len() as u64);
+        put_u64(&mut buf, decoded.len() as u64);
+        buf.extend_from_slice(self.params_json.as_bytes());
+        write_section(&mut file, SectionId::Meta, &buf)?;
+
+        encode_dict(&self.gene_names, &mut buf);
+        write_section(&mut file, SectionId::GeneDict, &buf)?;
+        encode_dict(&self.cond_names, &mut buf);
+        write_section(&mut file, SectionId::CondDict, &buf)?;
+
+        // Section table, then the real header.
+        let table_offset = cursor;
+        buf.clear();
+        for s in &sections {
+            put_u32(&mut buf, s.id as u32);
+            put_u32(&mut buf, 0);
+            put_u64(&mut buf, s.offset);
+            put_u64(&mut buf, s.len);
+            put_u64(&mut buf, s.checksum);
+        }
+        let table_checksum = Fnv64::hash(&buf);
+        file.write_all(&buf)?;
+        let file_bytes = table_offset + buf.len() as u64;
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        put_u32(&mut header, FORMAT_VERSION);
+        put_u32(&mut header, sections.len() as u32);
+        put_u64(&mut header, table_offset);
+        put_u64(&mut header, table_checksum);
+        debug_assert_eq!(header.len(), HEADER_LEN);
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+
+        Ok(StoreSummary {
+            n_clusters: decoded.len() as u64,
+            file_bytes,
+        })
+    }
+}
+
+impl ClusterSink for StoreWriter {
+    /// Streams one cluster to disk; returns `false` (stopping the run
+    /// cooperatively) after the first failure, which
+    /// [`finish`](StoreWriter::finish) then reports.
+    fn accept(&self, cluster: RegCluster) -> bool {
+        self.write_cluster(&cluster).is_ok()
+    }
+}
+
+/// Decodes the record starting at `off`, returning it and its byte length.
+pub(crate) fn decode_record(
+    clusters_raw: &[u8],
+    off: u64,
+) -> Result<(RegCluster, usize), StoreError> {
+    let off = usize::try_from(off)
+        .ok()
+        .filter(|&o| o <= clusters_raw.len())
+        .ok_or_else(|| StoreError::Format(format!("record offset {off} past clusters section")))?;
+    let mut r = ByteReader::new(&clusters_raw[off..], "cluster record");
+    let chain_len = r.u32()? as usize;
+    let p_len = r.u32()? as usize;
+    let n_len = r.u32()? as usize;
+    let mut read_ids = |n: usize| -> Result<Vec<usize>, StoreError> {
+        let raw = r.bytes(n * 4)?;
+        Ok((0..n)
+            .map(|i| crate::format::u32_at(raw, i) as usize)
+            .collect())
+    };
+    let chain = read_ids(chain_len)?;
+    let p_members = read_ids(p_len)?;
+    let n_members = read_ids(n_len)?;
+    let used = 12 + 4 * (chain_len + p_len + n_len);
+    Ok((
+        RegCluster {
+            chain,
+            p_members,
+            n_members,
+        },
+        used,
+    ))
+}
+
+/// CSR layout: `(lists.len() + 1)` u32 prefix starts, then the
+/// concatenated postings.
+fn encode_csr(lists: &[Vec<u32>], out: &mut Vec<u8>) {
+    out.clear();
+    let mut start = 0u32;
+    put_u32(out, start);
+    for l in lists {
+        start += l.len() as u32;
+        put_u32(out, start);
+    }
+    for l in lists {
+        for &v in l {
+            put_u32(out, v);
+        }
+    }
+}
+
+fn encode_dict(names: &[String], out: &mut Vec<u8>) {
+    out.clear();
+    put_u32(out, names.len() as u32);
+    for n in names {
+        put_u32(out, n.len() as u32);
+        out.extend_from_slice(n.as_bytes());
+    }
+}

@@ -1,0 +1,273 @@
+//! Lossless round-trip guarantees of the store: write → read reproduces the
+//! golden cluster sets bit-identically, sequentially and streamed from the
+//! engine at 1–8 threads, and every index agrees with a linear scan.
+
+use std::path::PathBuf;
+
+use regcluster_core::{
+    mine, mine_to_sink, ClusterSink, EngineConfig, MineControl, MiningParams, NoopObserver,
+    RegCluster, SplitStrategy,
+};
+use regcluster_datagen::{generate, running_example, PatternKind, SyntheticConfig};
+use regcluster_matrix::ExpressionMatrix;
+use regcluster_store::{ClusterStore, Query, StoreWriter};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regcluster-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn golden(name: &str) -> Vec<RegCluster> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    serde_json::from_str(&std::fs::read_to_string(&path).expect("golden file readable"))
+        .expect("golden file parses")
+}
+
+/// The same seeded 100×30 workload the golden-output tests mine.
+fn synthetic_100x30() -> (ExpressionMatrix, MiningParams) {
+    let cfg = SyntheticConfig {
+        n_genes: 100,
+        n_conds: 30,
+        n_clusters: 6,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.06,
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 7,
+    };
+    let matrix = generate(&cfg).expect("config is feasible").matrix;
+    let params = MiningParams::new(4, 4, 0.1, 0.05).expect("valid");
+    (matrix, params)
+}
+
+fn write_store(
+    path: &PathBuf,
+    m: &ExpressionMatrix,
+    params: &MiningParams,
+    clusters: &[RegCluster],
+) {
+    let w = StoreWriter::create(path, m.gene_names(), m.condition_names(), params).unwrap();
+    for c in clusters {
+        w.write_cluster(c).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn read_all(store: &ClusterStore) -> Vec<RegCluster> {
+    store.iter().collect::<Result<_, _>>().unwrap()
+}
+
+#[test]
+fn running_example_roundtrips_bit_identically_to_golden() {
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let mined = mine(&m, &params).unwrap();
+    let path = tmp("running.rcs");
+    write_store(&path, &m, &params, &mined);
+
+    let store = ClusterStore::open(&path).unwrap();
+    let read = read_all(&store);
+    assert_eq!(read, golden("running_example.json"));
+    assert_eq!(read, mined);
+    assert_eq!(store.params(), &params, "γ/ε provenance survives");
+    assert_eq!(store.gene_names(), m.gene_names());
+    assert_eq!(store.cond_names(), m.condition_names());
+    assert_eq!(store.n_genes() as usize, m.n_genes());
+    assert_eq!(store.n_conds() as usize, m.n_conditions());
+}
+
+#[test]
+fn synthetic_roundtrips_bit_identically_to_golden() {
+    let (m, params) = synthetic_100x30();
+    let mined = mine(&m, &params).unwrap();
+    let path = tmp("synthetic.rcs");
+    write_store(&path, &m, &params, &mined);
+    let store = ClusterStore::open(&path).unwrap();
+    assert_eq!(read_all(&store), golden("synthetic_100x30.json"));
+}
+
+#[test]
+fn engine_streamed_store_matches_vecsink_at_every_thread_count() {
+    let (m, params) = synthetic_100x30();
+    // The canonical collect-path result (== finalized VecSink output).
+    let expected = mine(&m, &params).unwrap();
+    for threads in 1..=8usize {
+        for split in [SplitStrategy::WorkStealing, SplitStrategy::StaticRoots] {
+            let path = tmp(&format!("stream-{threads}-{split:?}.rcs"));
+            let writer =
+                StoreWriter::create(&path, m.gene_names(), m.condition_names(), &params).unwrap();
+            let config = EngineConfig::new(threads).with_split(split);
+            let report = mine_to_sink(
+                &m,
+                &params,
+                &config,
+                &MineControl::new(),
+                &NoopObserver,
+                &writer,
+            )
+            .unwrap();
+            assert!(!report.truncated && !report.stopped_by_sink);
+            writer.finish().unwrap();
+
+            let store = ClusterStore::open(&path).unwrap();
+            assert_eq!(
+                read_all(&store),
+                expected,
+                "store drifted from collect path (threads = {threads}, {split:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexes_agree_with_linear_scan() {
+    let (m, params) = synthetic_100x30();
+    let mined = mine(&m, &params).unwrap();
+    let path = tmp("indexes.rcs");
+    write_store(&path, &m, &params, &mined);
+    let store = ClusterStore::open(&path).unwrap();
+
+    for g in 0..store.n_genes() {
+        let from_index: Vec<u32> = store.clusters_with_gene(g).collect();
+        let from_scan: Vec<u32> = mined
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.genes_iter().any(|x| x == g as usize))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(from_index, from_scan, "gene {g} postings");
+    }
+    for c in 0..store.n_conds() {
+        let from_index: Vec<u32> = store.clusters_with_cond(c).collect();
+        let from_scan: Vec<u32> = mined
+            .iter()
+            .enumerate()
+            .filter(|(_, cl)| cl.chain.contains(&(c as usize)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(from_index, from_scan, "cond {c} postings");
+    }
+    // Size table matches the records.
+    for (i, c) in mined.iter().enumerate() {
+        assert_eq!(
+            store.cluster_dims(i as u32).unwrap(),
+            (c.n_genes() as u32, c.n_conditions() as u32)
+        );
+    }
+}
+
+#[test]
+fn queries_match_reference_filters() {
+    let (m, params) = synthetic_100x30();
+    let mined = mine(&m, &params).unwrap();
+    let path = tmp("queries.rcs");
+    write_store(&path, &m, &params, &mined);
+    let store = ClusterStore::open(&path).unwrap();
+
+    // Conjunctive gene+cond+size query vs. brute force.
+    let probe = &mined[0];
+    let g = probe.p_members[0] as u32;
+    let c = probe.chain[0] as u32;
+    let q = Query::new()
+        .with_gene(g)
+        .with_cond(c)
+        .with_min_genes(params.min_genes as u32)
+        .with_min_conds((params.min_conds + 1) as u32);
+    let got = store.query(&q).unwrap();
+    let want: Vec<u32> = mined
+        .iter()
+        .enumerate()
+        .filter(|(_, cl)| {
+            cl.genes_iter().any(|x| x == g as usize)
+                && cl.chain.contains(&(c as usize))
+                && cl.n_genes() >= params.min_genes
+                && cl.n_conditions() > params.min_conds
+        })
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(got, want);
+
+    // Top-k keeps the k largest by covered cells.
+    let top = store.query(&Query::new().with_top_k(3)).unwrap();
+    assert_eq!(top.len(), 3.min(mined.len()));
+    let mut cells: Vec<u64> = mined.iter().map(|c| c.n_cells() as u64).collect();
+    cells.sort_unstable_by(|a, b| b.cmp(a));
+    for (rank, id) in top.iter().enumerate() {
+        assert_eq!(mined[*id as usize].n_cells() as u64, cells[rank]);
+    }
+
+    // Overlap: shares ≥1 listed gene and ≥1 listed condition.
+    let genes: Vec<u32> = probe.p_members.iter().map(|&x| x as u32).collect();
+    let conds: Vec<u32> = probe.chain.iter().map(|&x| x as u32).collect();
+    let got = store.overlapping(&genes, &conds);
+    let want: Vec<u32> = mined
+        .iter()
+        .enumerate()
+        .filter(|(_, cl)| {
+            cl.genes_iter().any(|x| genes.contains(&(x as u32)))
+                && cl.chain.iter().any(|&x| conds.contains(&(x as u32)))
+        })
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(got, want);
+
+    // Containment: superclusters of a stored cluster include itself.
+    let supers = store.superclusters_of(probe);
+    assert!(supers.contains(&0));
+    let want: Vec<u32> = mined
+        .iter()
+        .enumerate()
+        .filter(|&(_, cl)| probe.is_subcluster_of(cl))
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(supers, want);
+
+    // Out-of-dictionary query ids are a typed error, not a panic.
+    assert!(store.query(&Query::new().with_gene(u32::MAX)).is_err());
+    assert!(store.query(&Query::new().with_cond(u32::MAX)).is_err());
+}
+
+#[test]
+fn empty_store_roundtrips() {
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let path = tmp("empty.rcs");
+    write_store(&path, &m, &params, &[]);
+    let store = ClusterStore::open(&path).unwrap();
+    assert_eq!(store.n_clusters(), 0);
+    assert_eq!(read_all(&store), Vec::<RegCluster>::new());
+    assert_eq!(store.query(&Query::new()).unwrap(), Vec::<u32>::new());
+    assert!(matches!(
+        store.cluster(0),
+        Err(regcluster_store::StoreError::ClusterOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn writer_rejects_out_of_dictionary_ids_and_poisons() {
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let path = tmp("poison.rcs");
+    let w = StoreWriter::create(&path, m.gene_names(), m.condition_names(), &params).unwrap();
+    let bad = RegCluster {
+        chain: vec![0, 99],
+        p_members: vec![0],
+        n_members: vec![],
+    };
+    // As a sink: refuses the cluster (cooperative engine stop)…
+    assert!(!w.accept(bad));
+    // …and keeps refusing afterwards, reporting the failure from finish.
+    let ok = RegCluster {
+        chain: vec![0, 1],
+        p_members: vec![0],
+        n_members: vec![],
+    };
+    assert!(!w.accept(ok));
+    assert!(w.finish().is_err());
+}

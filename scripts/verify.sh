@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> store durability (round-trip + corruption)"
+cargo test -q -p regcluster-store --test roundtrip --test corruption
+
+echo "==> serve smoke (concurrent clients, graceful shutdown)"
+cargo test -q -p regcluster-cli --test serve_smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -16,7 +16,9 @@
 //! * [`baselines`] — the prior-work algorithms the paper compares against
 //!   (Cheng–Church, pCluster, log-space scaling miner, OPSM);
 //! * [`eval`] — evaluation (recovery/relevance match scores, overlap
-//!   statistics, GO enrichment, reports).
+//!   statistics, GO enrichment, reports);
+//! * [`store`] — the indexed on-disk `.rcs` cluster store (streaming
+//!   writer sink, checksum-verified reader, by-gene/by-condition queries).
 //!
 //! The most common entry point:
 //!
@@ -34,6 +36,7 @@ pub use regcluster_core as core;
 pub use regcluster_datagen as datagen;
 pub use regcluster_eval as eval;
 pub use regcluster_matrix as matrix;
+pub use regcluster_store as store;
 
 /// The names needed by almost every user of the library.
 pub mod prelude {
