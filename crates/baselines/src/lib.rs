@@ -5,14 +5,14 @@
 //! The paper positions reg-cluster against three families of prior work:
 //!
 //! * **Residue-based**: Cheng & Church's δ-biclusters
-//!   ([`cheng_church`]), which require member cells to fit an additive
+//!   ([`mod@cheng_church`]), which require member cells to fit an additive
 //!   row+column model (mean-squared residue ≤ δ) — spatial coherence, no
 //!   notion of regulation or negative scaling;
-//! * **Pattern-based**: pCluster ([`pcluster`]) finds *pure shifting*
+//! * **Pattern-based**: pCluster ([`mod@pcluster`]) finds *pure shifting*
 //!   patterns (`d_i = d_j + s2`), and Tricluster finds *pure scaling*
 //!   patterns; the 2D equivalent of the latter is pCluster run in log space
 //!   ([`scaling`], Equation 1 of the paper);
-//! * **Tendency-based**: OPSM / OP-Cluster ([`opsm`]) find genes sharing a
+//! * **Tendency-based**: OPSM / OP-Cluster ([`mod@opsm`]) find genes sharing a
 //!   column *ordering* with no coherence guarantee at all.
 //!
 //! Each module documents where its implementation follows the original

@@ -30,6 +30,11 @@ pub enum Command {
         stats: bool,
         /// Also stream clusters into an indexed binary store (`.rcs`).
         store: Option<String>,
+        /// Write a Prometheus text snapshot of the run's metrics here.
+        metrics: Option<String>,
+        /// Write a JSON snapshot of the run's metrics here (stamped with
+        /// the snapshot `format_version`).
+        metrics_json: Option<String>,
     },
     /// Generate a synthetic dataset.
     Generate {
@@ -185,6 +190,10 @@ USAGE:
       --output <file.json>   write clusters as JSON instead of a table
       --store <file.rcs>     also stream clusters into an indexed binary
                              store for `query` and `serve`
+      --metrics <file.prom>  write a Prometheus text snapshot of the run's
+                             metrics (phase timings, per-rule prune counters;
+                             see docs/OBSERVABILITY.md)
+      --metrics-json <file.json>  the same snapshot as versioned JSON
 
   regcluster generate --output <matrix.tsv> [options]
       --genes <N>            number of genes (default 3000)
@@ -335,6 +344,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "stats",
                     "progress",
                     "store",
+                    "metrics",
+                    "metrics-json",
                 ],
             )?;
             let input = require(&opts, "input")?;
@@ -395,6 +406,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 impute,
                 stats: opts.contains_key("stats"),
                 store: opts.get("store").cloned(),
+                metrics: opts.get("metrics").cloned(),
+                metrics_json: opts.get("metrics-json").cloned(),
             })
         }
         "generate" => {
@@ -611,9 +624,13 @@ mod tests {
                 impute,
                 stats,
                 store,
+                metrics,
+                metrics_json,
             } => {
                 assert_eq!(input, "m.tsv");
                 assert_eq!(store, None);
+                assert_eq!(metrics, None);
+                assert_eq!(metrics_json, None);
                 assert!(!stats);
                 assert!(!progress);
                 assert_eq!(params.min_genes, 5);

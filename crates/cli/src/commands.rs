@@ -5,12 +5,13 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use regcluster_core::{
-    finalize_clusters, mine_engine_with, mine_to_sink, ClusterSink, EngineConfig, MineControl,
-    MiningParams, MiningStats, RegCluster, SyncMineObserver, VecSink,
+    finalize_clusters, mine_prepared_to_sink, ClusterSink, EngineConfig, MetricsObserver,
+    MineControl, Miner, MiningParams, MiningStats, RegCluster, SyncMineObserver, VecSink,
 };
 use regcluster_datagen::{generate, PlantedCluster};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
+use regcluster_obs::{MetricsRegistry, MonotonicClock, PhaseSpans};
 use regcluster_store::{ClusterStore, StoreWriter};
 
 use crate::args::{Command, USAGE};
@@ -141,6 +142,48 @@ impl SyncMineObserver for ProgressObserver {
             eprintln!("… {n} clusters emitted");
         }
     }
+}
+
+/// The observer every `mine` run reports through: a registry-backed
+/// [`MetricsObserver`] (always on — the counters feed `--metrics` /
+/// `--metrics-json` snapshots), optionally fanned out to the stderr
+/// progress line.
+struct MineRunObserver {
+    metrics: MetricsObserver,
+    progress: Option<ProgressObserver>,
+}
+
+impl SyncMineObserver for MineRunObserver {
+    fn node_entered(&self, chain: &[regcluster_matrix::CondId], n_p: usize, n_n: usize) {
+        SyncMineObserver::node_entered(&self.metrics, chain, n_p, n_n);
+    }
+    fn pruned(&self, chain: &[regcluster_matrix::CondId], rule: regcluster_core::PruneRule) {
+        SyncMineObserver::pruned(&self.metrics, chain, rule);
+    }
+    fn cluster_emitted(&self, cluster: &RegCluster) {
+        SyncMineObserver::cluster_emitted(&self.metrics, cluster);
+        if let Some(progress) = &self.progress {
+            progress.cluster_emitted(cluster);
+        }
+    }
+}
+
+/// Writes the `--metrics` / `--metrics-json` snapshots, if requested.
+fn write_metric_snapshots(
+    registry: &MetricsRegistry,
+    prom_path: Option<&str>,
+    json_path: Option<&str>,
+) -> Result<Vec<String>, CliError> {
+    let mut notes = Vec::new();
+    if let Some(path) = prom_path {
+        std::fs::write(path, registry.encode_prometheus())?;
+        notes.push(format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, registry.encode_json())?;
+        notes.push(format!("metrics JSON written to {path}\n"));
+    }
+    Ok(notes)
 }
 
 /// Reads a `mine --output` document back, rejecting files stamped by a
@@ -349,24 +392,41 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             impute,
             stats,
             store,
+            metrics,
+            metrics_json,
         } => {
-            let m = load_matrix(input, impute)?;
+            // One registry per run: phase spans + the mining observer feed
+            // it, and --metrics/--metrics-json snapshot it at the end.
+            let registry = MetricsRegistry::new();
+            let clock = MonotonicClock::new();
+            let spans = PhaseSpans::new(&registry);
+            let observer = MineRunObserver {
+                metrics: MetricsObserver::register(&registry),
+                progress: progress.then(ProgressObserver::default),
+            };
+
+            let m = spans.time(&clock, "load", || load_matrix(input, impute))?;
             let start = std::time::Instant::now();
             let control = match deadline_secs {
                 Some(s) => MineControl::with_deadline(std::time::Duration::from_secs_f64(*s)),
                 None => MineControl::new(),
             };
-            let progress_observer = ProgressObserver::default();
-            let observer: &dyn SyncMineObserver = if *progress {
-                &progress_observer
-            } else {
-                &regcluster_core::NoopObserver
-            };
             let config = EngineConfig::new(*threads);
+            // Building the RWave^γ models is its own phase, so enter the
+            // engine with a prepared miner instead of mine_engine_with.
+            let miner = spans.time(&clock, "index_build", || Miner::new(&m, params))?;
             let (clusters, stat_counters, truncated, store_note) = match store {
                 None => {
-                    let report = mine_engine_with(&m, params, &config, &control, observer)?;
-                    (report.clusters, report.stats, report.truncated, None)
+                    let sink = VecSink::new();
+                    let report = {
+                        let _span = spans.span(&clock, "enumeration");
+                        mine_prepared_to_sink(&miner, &config, &control, &observer, &sink)?
+                    };
+                    let mut clusters = sink.into_clusters();
+                    spans.time(&clock, "postprocess", || {
+                        finalize_clusters(&mut clusters, params)
+                    });
+                    (clusters, report.stats, report.truncated, None)
                 }
                 Some(store_path) => {
                     let writer = StoreWriter::create(
@@ -380,27 +440,42 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         // maximal-only / max-clusters prune *after* the full
                         // enumeration, so the store must hold the filtered
                         // set: collect first, then write it out.
-                        let report = mine_engine_with(&m, params, &config, &control, observer)?;
-                        for c in &report.clusters {
-                            writer.write_cluster(c)?;
-                        }
-                        (report.clusters, report.stats, report.truncated)
+                        let sink = VecSink::new();
+                        let report = {
+                            let _span = spans.span(&clock, "enumeration");
+                            mine_prepared_to_sink(&miner, &config, &control, &observer, &sink)?
+                        };
+                        let mut clusters = sink.into_clusters();
+                        spans.time(&clock, "postprocess", || {
+                            finalize_clusters(&mut clusters, params)
+                        });
+                        spans.time(&clock, "store_write", || {
+                            clusters.iter().try_for_each(|c| writer.write_cluster(c))
+                        })?;
+                        (clusters, report.stats, report.truncated)
                     } else {
                         // Common case: clusters stream to disk as the engine
                         // finds them, composing with deadlines/cancellation.
+                        // Store writes overlap enumeration here, so the
+                        // store_write span covers only the final seal.
                         let collected = VecSink::new();
                         let tee = TeeSink {
                             store: &writer,
                             collected: &collected,
                         };
-                        let report = mine_to_sink(&m, params, &config, &control, observer, &tee)?;
+                        let report = {
+                            let _span = spans.span(&clock, "enumeration");
+                            mine_prepared_to_sink(&miner, &config, &control, &observer, &tee)?
+                        };
                         let mut clusters = collected.into_clusters();
-                        finalize_clusters(&mut clusters, params);
+                        spans.time(&clock, "postprocess", || {
+                            finalize_clusters(&mut clusters, params)
+                        });
                         (clusters, report.stats, report.truncated)
                     };
                     // finish() seals the file and surfaces any write error
                     // that made the sink refuse clusters mid-run.
-                    let summary = writer.finish()?;
+                    let summary = spans.time(&clock, "store_write", || writer.finish())?;
                     let note = format!(
                         "store written to {store_path} ({} clusters, {} bytes)\n",
                         summary.n_clusters, summary.file_bytes
@@ -430,6 +505,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 text.push('\n');
             }
             if let Some(note) = store_note {
+                text.push_str(&note);
+            }
+            for note in
+                write_metric_snapshots(&registry, metrics.as_deref(), metrics_json.as_deref())?
+            {
                 text.push_str(&note);
             }
             match output {
@@ -1001,6 +1081,88 @@ mod tests {
         std::fs::write(&legacy_path, &legacy).unwrap();
         let doc = read_mine_output(legacy_path.to_str().unwrap()).unwrap();
         assert_eq!(doc.format_version, None);
+    }
+
+    /// `mine --metrics` / `--metrics-json` snapshot the run's registry:
+    /// phase timings plus per-`PruneRule` subtree-kill counters for the
+    /// paper's running example (Figure 6 annotates exactly which rules
+    /// fire on that tree).
+    #[test]
+    fn mine_metrics_snapshot_has_phases_and_prune_counters() {
+        let dir = tmpdir();
+        let matrix = dir.join("metrics.tsv");
+        let prom = dir.join("metrics.prom");
+        let json = dir.join("metrics.json");
+        let m = regcluster_datagen::running_example();
+        regcluster_matrix::io::write_matrix_file(&m, &matrix).unwrap();
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--metrics",
+            prom.to_str().unwrap(),
+            "--metrics-json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        assert!(out.contains("metrics JSON written to"), "{out}");
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        // Every pruning rule gets a series, whether or not it fired.
+        for rule in regcluster_core::PruneRule::ALL {
+            assert!(
+                text.contains(&format!(
+                    "regcluster_mine_pruned_subtrees_total{{rule=\"{}\"}}",
+                    rule.as_label()
+                )),
+                "missing {rule:?} series:\n{text}"
+            );
+        }
+        // Figure 6: coherence pruning fires on the running example.
+        let coherence = text
+            .lines()
+            .find(|l| l.contains("rule=\"coherence\""))
+            .unwrap();
+        let count: u64 = coherence.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count > 0, "coherence pruning must fire: {coherence}");
+        assert!(
+            text.contains("regcluster_mine_clusters_emitted_total 1"),
+            "{text}"
+        );
+        // All five pipeline phases ran (no store → store_write has 0 runs
+        // but its series still exists).
+        for phase in regcluster_obs::span::PHASES {
+            assert!(
+                text.contains(&format!(
+                    "regcluster_phase_duration_seconds_total{{phase=\"{phase}\"}}"
+                )),
+                "missing phase {phase:?}:\n{text}"
+            );
+        }
+        assert!(text.contains("regcluster_phase_runs_total{phase=\"enumeration\"} 1"));
+        assert!(text.contains("regcluster_phase_runs_total{phase=\"store_write\"} 0"));
+
+        // The JSON twin is stamped with the snapshot schema version.
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            json_text.contains(&format!(
+                "\"format_version\": {}",
+                regcluster_obs::SNAPSHOT_FORMAT_VERSION
+            )),
+            "{json_text}"
+        );
+        assert!(json_text.contains("regcluster_mine_pruned_subtrees_total"));
+        serde_json::parse_value_str(&json_text).expect("metrics JSON must be valid JSON");
     }
 
     /// `mine --store` streams the clusters into a queryable store whose

@@ -7,7 +7,7 @@
 //! the response (`Connection: close`), which keeps the worker loop trivial
 //! and is plenty for query traffic over a local store.
 //!
-//! Endpoints (all JSON):
+//! Endpoints (JSON unless noted):
 //!
 //! * `GET /health` — liveness + cluster count;
 //! * `GET /stats` — store facts (dims, provenance params) and per-endpoint
@@ -15,7 +15,14 @@
 //! * `GET /clusters?gene=..&cond=..&min_genes=..&min_conds=..&top=..&limit=..`
 //!   — conjunctive query over the store indexes (names or numeric ids;
 //!   comma-separate for multiple);
-//! * `GET /clusters/{id}` — one cluster, fully resolved to names.
+//! * `GET /clusters/{id}` — one cluster, fully resolved to names;
+//! * `GET /metrics` — the server's [`MetricsRegistry`] in the Prometheus
+//!   text exposition format (see `docs/OBSERVABILITY.md` for the
+//!   catalogue).
+//!
+//! All request accounting flows through registry-backed instruments
+//! ([`ServeMetrics`]): `/stats` derives its per-endpoint counters from the
+//! same cells `/metrics` exports, so the two views can never disagree.
 //!
 //! # Shutdown
 //!
@@ -28,12 +35,13 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use regcluster_obs::{Counter, Histogram, MetricsRegistry};
 use regcluster_store::{ClusterStore, Query, StoreStats};
 use serde::Serialize;
 
@@ -59,22 +67,68 @@ impl Default for ServeConfig {
     }
 }
 
-/// Routes with dedicated metrics slots.
-const ROUTES: [&str; 5] = ["/health", "/stats", "/clusters", "/clusters/{id}", "other"];
+/// Routes with dedicated metrics slots (the `route` label values on the
+/// HTTP metrics).
+pub const ROUTES: [&str; 6] = [
+    "/health",
+    "/stats",
+    "/clusters",
+    "/clusters/{id}",
+    "/metrics",
+    "other",
+];
 
-/// Per-endpoint request counters: count and summed latency, lock-free.
-#[derive(Default)]
-struct Metrics {
-    counts: [AtomicU64; ROUTES.len()],
-    latency_us: [AtomicU64; ROUTES.len()],
-    total: AtomicU64,
+/// Name of the per-route request counter.
+pub const HTTP_REQUESTS_METRIC: &str = "regcluster_http_requests_total";
+/// Name of the per-route handling-latency histogram.
+pub const HTTP_DURATION_METRIC: &str = "regcluster_http_request_duration_seconds";
+
+/// Handling-latency bucket bounds: local-store queries are sub-millisecond,
+/// the tail covers cold caches and large result pages.
+const HTTP_LATENCY_BOUNDS: [f64; 9] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// Per-endpoint request instruments, backed by a [`MetricsRegistry`].
+///
+/// One counter and one latency histogram per [`ROUTES`] entry, resolved at
+/// registration; recording a request is a handful of relaxed atomic
+/// writes on the worker thread.
+pub struct ServeMetrics {
+    requests: [Counter; ROUTES.len()],
+    latency: [Histogram; ROUTES.len()],
 }
 
-impl Metrics {
+impl ServeMetrics {
+    /// Registers the HTTP instruments in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let requests = ROUTES.map(|route| {
+            registry.counter(
+                HTTP_REQUESTS_METRIC,
+                "HTTP requests handled, by route pattern.",
+                &[("route", route)],
+            )
+        });
+        let latency = ROUTES.map(|route| {
+            registry.histogram(
+                HTTP_DURATION_METRIC,
+                "Request handling latency in seconds, by route pattern.",
+                &[("route", route)],
+                &HTTP_LATENCY_BOUNDS,
+            )
+        });
+        Self { requests, latency }
+    }
+
+    /// Records one handled request and returns the new server-wide total.
     fn record(&self, route: usize, started: Instant) -> u64 {
-        self.counts[route].fetch_add(1, Ordering::Relaxed);
-        self.latency_us[route].fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed) + 1
+        self.requests[route].inc();
+        self.latency[route].observe(started.elapsed().as_secs_f64());
+        self.total()
+    }
+
+    /// Requests handled across all routes. Monotone (counters only grow),
+    /// which is all the request-budget check needs.
+    fn total(&self) -> u64 {
+        self.requests.iter().map(Counter::get).sum()
     }
 }
 
@@ -217,7 +271,10 @@ fn resolve(
 
 struct Shared {
     store: Arc<ClusterStore>,
-    metrics: Metrics,
+    /// The server's registry; `/metrics` encodes it, [`ServeMetrics`]
+    /// holds pre-resolved handles into it.
+    registry: MetricsRegistry,
+    metrics: ServeMetrics,
     stop: AtomicBool,
     port: u16,
     max_requests: Option<u64>,
@@ -252,9 +309,12 @@ impl Server {
     pub fn start(store: Arc<ClusterStore>, config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let port = listener.local_addr()?.port();
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&registry);
         let shared = Arc::new(Shared {
             store,
-            metrics: Metrics::default(),
+            registry,
+            metrics,
             stop: AtomicBool::new(false),
             port,
             max_requests: config.max_requests,
@@ -304,7 +364,7 @@ impl Server {
                     };
                     let handled = handle_connection(stream, &shared);
                     if handled {
-                        let total = shared.metrics.total.load(Ordering::Relaxed);
+                        let total = shared.metrics.total();
                         if shared.max_requests.is_some_and(|cap| total >= cap) {
                             shared.trigger_shutdown();
                         }
@@ -345,7 +405,7 @@ impl Server {
             let _ = w.join();
         }
         ServeReport {
-            requests: self.shared.metrics.total.load(Ordering::Relaxed),
+            requests: self.shared.metrics.total(),
         }
     }
 }
@@ -378,13 +438,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> bool {
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m, t),
         _ => {
-            respond(&mut stream, 400, &json_error("malformed request line"));
+            respond(
+                &mut stream,
+                400,
+                JSON,
+                &json_error("malformed request line"),
+            );
             return false;
         }
     };
     if method != "GET" {
-        respond(&mut stream, 405, &json_error("only GET is supported"));
-        shared.metrics.record(4, started);
+        respond(&mut stream, 405, JSON, &json_error("only GET is supported"));
+        shared.metrics.record(OTHER_SLOT, started);
         return true;
     }
 
@@ -392,27 +457,37 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> bool {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let (route, status, body) = route_request(shared, path, query);
-    respond(&mut stream, status, &body);
+    let (route, status, content_type, body) = route_request(shared, path, query);
+    respond(&mut stream, status, content_type, &body);
     shared.metrics.record(route, started);
     true
 }
 
-/// Dispatches a parsed request, returning (metrics slot, status, body).
-fn route_request(shared: &Shared, path: &str, query: &str) -> (usize, u16, String) {
+/// `Content-Type` of every JSON endpoint.
+const JSON: &str = "application/json";
+/// `Content-Type` of `/metrics` (Prometheus text exposition 0.0.4).
+const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// Metrics slot of unmatched paths / methods.
+const OTHER_SLOT: usize = ROUTES.len() - 1;
+
+/// Dispatches a parsed request, returning
+/// (metrics slot, status, content type, body).
+fn route_request(shared: &Shared, path: &str, query: &str) -> (usize, u16, &'static str, String) {
     let store = &shared.store;
     match path {
         "/health" => {
             let body = format!("{{\"status\":\"ok\",\"clusters\":{}}}", store.n_clusters());
-            (0, 200, body)
+            (0, 200, JSON, body)
         }
         "/stats" => {
             let endpoints = ROUTES
                 .iter()
                 .enumerate()
                 .map(|(i, path)| {
-                    let count = shared.metrics.counts[i].load(Ordering::Relaxed);
-                    let total_latency_us = shared.metrics.latency_us[i].load(Ordering::Relaxed);
+                    let count = shared.metrics.requests[i].get();
+                    // The histogram accumulates seconds; /stats predates the
+                    // registry and reports microseconds, so convert.
+                    let total_latency_us = (shared.metrics.latency[i].sum() * 1e6) as u64;
                     EndpointMetrics {
                         path: (*path).to_string(),
                         count,
@@ -423,40 +498,42 @@ fn route_request(shared: &Shared, path: &str, query: &str) -> (usize, u16, Strin
                 .collect();
             let doc = StatsResponse {
                 store: store.stats(),
-                requests_total: shared.metrics.total.load(Ordering::Relaxed),
+                requests_total: shared.metrics.total(),
                 endpoints,
             };
             match serde_json::to_string(&doc) {
-                Ok(body) => (1, 200, body),
-                Err(e) => (1, 500, json_error(&e.to_string())),
+                Ok(body) => (1, 200, JSON, body),
+                Err(e) => (1, 500, JSON, json_error(&e.to_string())),
             }
         }
         "/clusters" => match clusters_query(store, query) {
-            Ok(body) => (2, 200, body),
-            Err(msg) => (2, 400, json_error(&msg)),
+            Ok(body) => (2, 200, JSON, body),
+            Err(msg) => (2, 400, JSON, json_error(&msg)),
         },
+        "/metrics" => (4, 200, PROMETHEUS_TEXT, shared.registry.encode_prometheus()),
         _ => {
             if let Some(rest) = path.strip_prefix("/clusters/") {
                 match rest.parse::<u32>() {
                     Ok(id) if id < store.n_clusters() => {
                         match cluster_doc(store, id).map(|d| serde_json::to_string(&d)) {
-                            Ok(Ok(body)) => (3, 200, body),
-                            Ok(Err(e)) => (3, 500, json_error(&e.to_string())),
-                            Err(e) => (3, 500, json_error(&e.to_string())),
+                            Ok(Ok(body)) => (3, 200, JSON, body),
+                            Ok(Err(e)) => (3, 500, JSON, json_error(&e.to_string())),
+                            Err(e) => (3, 500, JSON, json_error(&e.to_string())),
                         }
                     }
                     Ok(id) => (
                         3,
                         404,
+                        JSON,
                         json_error(&format!(
                             "cluster {id} not found (store holds {})",
                             store.n_clusters()
                         )),
                     ),
-                    Err(_) => (3, 400, json_error("cluster id must be an integer")),
+                    Err(_) => (3, 400, JSON, json_error("cluster id must be an integer")),
                 }
             } else {
-                (4, 404, json_error("unknown path"))
+                (OTHER_SLOT, 404, JSON, json_error("unknown path"))
             }
         }
     }
@@ -555,7 +632,7 @@ fn json_error(msg: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -564,7 +641,7 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
         _ => "Internal Server Error",
     };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());

@@ -1,0 +1,65 @@
+//! Doc-drift guard for the observability catalogue: every metric family
+//! the workspace can register, every phase label, and every prune-rule
+//! label must be documented in `docs/OBSERVABILITY.md`. Mirrors the
+//! USAGE-drift test in `args.rs` — add a metric, grow the doc.
+
+use regcluster_cli::serve::ServeMetrics;
+use regcluster_core::observer::PruneRule;
+use regcluster_core::MetricsObserver;
+use regcluster_obs::{MetricsRegistry, PhaseSpans, PHASES};
+
+fn observability_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBSERVABILITY.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/OBSERVABILITY.md must exist: {e}"))
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    // Register every instrument the workspace exposes, from all three
+    // layers, into one registry — metric_names() is then the ground truth.
+    let registry = MetricsRegistry::new();
+    let _ = MetricsObserver::register(&registry);
+    let _ = PhaseSpans::new(&registry);
+    let _ = ServeMetrics::register(&registry);
+
+    let doc = observability_doc();
+    let names = registry.metric_names();
+    assert!(names.len() >= 9, "expected the full catalogue: {names:?}");
+    for name in &names {
+        assert!(
+            doc.contains(name.as_str()),
+            "metric `{name}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn every_phase_and_prune_rule_label_is_documented() {
+    let doc = observability_doc();
+    for phase in PHASES {
+        assert!(
+            doc.contains(&format!("`{phase}`")),
+            "phase label `{phase}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+    for rule in PruneRule::ALL {
+        let label = rule.as_label();
+        assert!(
+            doc.contains(&format!("`{label}`")),
+            "prune-rule label `{label}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn doc_is_linked_from_user_facing_pages() {
+    for page in ["README.md", "docs/GUIDE.md"] {
+        let path = format!("{}/../../{page}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("OBSERVABILITY.md"),
+            "{page} must link to the observability catalogue"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Smoke tests of the HTTP serving layer: a real socket, ≥ 32 concurrent
-//! clients, metrics via /stats, and graceful shutdown (threads joined,
-//! port released).
+//! clients, metrics via /stats and the Prometheus /metrics endpoint
+//! (text-format well-formedness, monotone counters across scrapes), and
+//! graceful shutdown (threads joined, port released).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -65,6 +66,60 @@ fn get(port: u16, path: &str) -> (u16, String) {
     (status, body)
 }
 
+/// Scrapes `/metrics`, checks status + content type, and asserts the body
+/// is well-formed Prometheus text: every line is either a `# HELP` /
+/// `# TYPE` comment or a `name{labels} value` sample with a parseable
+/// value, and every family has its HELP/TYPE pair. Returns the samples.
+fn scrape_metrics(port: u16) -> Vec<(String, f64)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let (headers, body) = raw.split_once("\r\n\r\n").unwrap();
+    assert!(
+        headers.contains("Content-Type: text/plain; version=0.0.4"),
+        "Prometheus text content type expected:\n{headers}"
+    );
+
+    let mut helped = Vec::new();
+    let mut typed = Vec::new();
+    let mut samples = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.push(rest.split_whitespace().next().unwrap().to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().unwrap().to_string();
+            let kind = words.next().unwrap();
+            assert!(
+                kind == "counter" || kind == "histogram",
+                "unexpected TYPE in line: {line}"
+            );
+            typed.push(name);
+        } else {
+            assert!(!line.starts_with('#'), "unparseable comment: {line}");
+            let (series, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("sample line without value: {line}"));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable value in: {line}"));
+            samples.push((series.to_string(), value));
+        }
+    }
+    assert_eq!(
+        helped, typed,
+        "every family needs a HELP/TYPE pair:\n{body}"
+    );
+    assert!(!samples.is_empty(), "scrape returned no samples:\n{body}");
+    samples
+}
+
 #[test]
 fn serves_32_concurrent_clients_and_shuts_down_gracefully() {
     let store_path = build_store("smoke.rcs");
@@ -100,6 +155,14 @@ fn serves_32_concurrent_clients_and_shuts_down_gracefully() {
                 let (status, body) = get(port, &format!("/clusters/{id}"));
                 assert_eq!(status, 200, "{body}");
                 assert!(body.contains(&format!("\"id\":{id}")), "{body}");
+
+                // /metrics must stay scrapeable under the same load.
+                let (status, body) = get(port, "/metrics");
+                assert_eq!(status, 200, "{body}");
+                assert!(
+                    body.contains("# TYPE regcluster_http_requests_total counter"),
+                    "{body}"
+                );
             })
         })
         .collect();
@@ -122,6 +185,44 @@ fn serves_32_concurrent_clients_and_shuts_down_gracefully() {
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
     }
+
+    // /metrics: well-formed Prometheus text, counters monotone across two
+    // scrapes with traffic in between.
+    let scrape1 = scrape_metrics(port);
+    assert!(
+        scrape1.iter().any(|(s, v)| s
+            .starts_with("regcluster_http_requests_total{route=\"/health\"}")
+            && *v >= 32.0),
+        "32 clients hit /health: {scrape1:?}"
+    );
+    assert!(
+        scrape1.iter().any(|(s, _)| s
+            .starts_with("regcluster_http_request_duration_seconds_bucket")
+            && s.contains("le=\"+Inf\"")),
+        "histogram must expose a +Inf bucket: {scrape1:?}"
+    );
+    let (status, _) = get(port, "/health");
+    assert_eq!(status, 200);
+    let scrape2 = scrape_metrics(port);
+    for (series, v1) in &scrape1 {
+        let v2 = scrape2
+            .iter()
+            .find(|(s, _)| s == series)
+            .unwrap_or_else(|| panic!("series {series} vanished between scrapes"))
+            .1;
+        assert!(v2 >= *v1, "counter went backwards: {series} {v1} -> {v2}");
+    }
+    let health_delta = |samples: &[(String, f64)]| {
+        samples
+            .iter()
+            .find(|(s, _)| s.starts_with("regcluster_http_requests_total{route=\"/health\"}"))
+            .unwrap()
+            .1
+    };
+    assert!(
+        health_delta(&scrape2) > health_delta(&scrape1),
+        "the /health hit between scrapes must be visible"
+    );
 
     // Metrics: /stats reflects the traffic above.
     let (status, body) = get(port, "/stats");

@@ -2,7 +2,7 @@
 //!
 //! The engine decouples **enumeration** from **collection**. Enumeration is
 //! driven by a pool of workers sharing the representative-chain tree through
-//! a spill-based work-stealing scheme: every enumeration node is a [`Task`]
+//! a spill-based work-stealing scheme: every enumeration node is a `Task`
 //! (chain prefix + surviving members), each worker runs an ordinary
 //! depth-first traversal over its local LIFO deque, and when the local deque
 //! grows past [`EngineConfig::spill_threshold`] while other workers are
@@ -24,14 +24,15 @@
 //! miner at every thread count, including under
 //! [`max_clusters`](crate::MiningParams::max_clusters):
 //!
-//! * node expansion is the shared [`Miner::expand_node`], a pure function of
+//! * node expansion is the shared `Miner::expand_node`, a pure function of
 //!   the node state, so sequential and parallel runs expand the same tree;
 //! * duplicate elimination (pruning (3)(b) of the paper) is a first-arrival
 //!   race, but two nodes emitting the same `(chain, genes)` cluster
 //!   necessarily carry the same member state and therefore root *identical
 //!   subtrees* — whichever twin wins the race, the set of emitted clusters
 //!   and the multiset of observer events are invariant (see DESIGN.md §7.6);
-//! * the cap is applied by [`finalize`] to the canonically-sorted full
+//! * the cap is applied by the internal `finalize` step to the
+//!   canonically-sorted full
 //!   result, making capped output a function of the cluster set alone.
 //!
 //! Delivery *order* into a sink is nondeterministic across workers; only the
@@ -442,16 +443,31 @@ pub fn mine_to_sink(
     observer: &dyn SyncMineObserver,
     sink: &dyn ClusterSink,
 ) -> Result<StreamReport, CoreError> {
-    config.validate()?;
     let miner = Miner::new(matrix, params)?;
-    let outcome = run(
-        &miner,
-        matrix.n_conditions(),
-        config,
-        control,
-        observer,
-        sink,
-    )?;
+    mine_prepared_to_sink(&miner, config, control, observer, sink)
+}
+
+/// As [`mine_to_sink`], but running an already-constructed [`Miner`].
+///
+/// Building the `RWave^γ` models ([`Miner::new`]) is a distinct pipeline
+/// phase from the enumeration itself; callers that time or report the two
+/// separately (the CLI's phase spans, see `docs/OBSERVABILITY.md`)
+/// construct the miner themselves and enter here.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for an invalid configuration and
+/// [`CoreError::WorkerPanic`] if a worker, the observer, or the sink
+/// panicked.
+pub fn mine_prepared_to_sink(
+    miner: &Miner<'_>,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+) -> Result<StreamReport, CoreError> {
+    config.validate()?;
+    let outcome = run(miner, miner.n_conditions(), config, control, observer, sink)?;
     Ok(StreamReport {
         stats: outcome.stats,
         truncated: outcome.truncated,

@@ -58,6 +58,7 @@ pub mod chain;
 pub mod cluster;
 pub mod coherence;
 pub mod engine;
+pub mod metrics;
 pub mod miner;
 pub mod observer;
 pub mod params;
@@ -68,10 +69,11 @@ pub mod threshold;
 pub use chain::RegulationChain;
 pub use cluster::{RegCluster, ValidationError};
 pub use engine::{
-    mine_engine, mine_engine_with, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
-    MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
+    mine_engine, mine_engine_with, mine_prepared_to_sink, mine_to_sink, CappedSink, ClusterSink,
+    EngineConfig, MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
 };
 pub use error::CoreError;
+pub use metrics::MetricsObserver;
 pub use miner::{
     finalize_clusters, mine, mine_containing, mine_parallel, mine_with_observer, Miner,
 };

@@ -119,6 +119,12 @@ impl<'a> Miner<'a> {
         &self.models
     }
 
+    /// Number of conditions in the underlying matrix — one enumeration
+    /// root per condition.
+    pub fn n_conditions(&self) -> usize {
+        self.matrix.n_conditions()
+    }
+
     /// Mines every representative regulation chain rooted at every
     /// condition, in condition order, reporting events to `observer`.
     ///
@@ -359,9 +365,17 @@ impl<'a> Miner<'a> {
                 return false;
             }
         }
-        // Pruning (1): MinG.
+        // Pruning (1): MinG — except at level 1, where the member set was
+        // filtered solely by the max-chain tables (`root_members_into`
+        // admits a gene iff MinC is reachable from the root), so a starved
+        // root is a rule-2 cut: no MinC-chain can start here.
         if distinct < self.params.min_genes {
-            observer.pruned(chain, PruneRule::MinGenes);
+            let rule = if chain.len() == 1 {
+                PruneRule::MinConds
+            } else {
+                PruneRule::MinGenes
+            };
+            observer.pruned(chain, rule);
             return false;
         }
         // Pruning (3)(a): too few p-members to ever be representative.
@@ -428,6 +442,13 @@ impl<'a> Miner<'a> {
             }
         }
         if !any {
+            // Pruning (2): no candidate keeps the chain extensible to MinC,
+            // so the max-chain tables cut the subtree below a still-short
+            // chain. A chain already at ≥ MinC conditions has simply been
+            // exhausted — that is completion, not a prune.
+            if chain.len() < self.params.min_conds {
+                observer.pruned(chain, PruneRule::MinConds);
+            }
             return false;
         }
 

@@ -29,6 +29,42 @@ pub enum PruneRule {
     Coherence,
 }
 
+impl PruneRule {
+    /// Every rule, in paper order. The canonical iteration order for
+    /// per-rule metric registration and reporting.
+    pub const ALL: [PruneRule; 5] = [
+        PruneRule::MinGenes,
+        PruneRule::MinConds,
+        PruneRule::FewPMembers,
+        PruneRule::Duplicate,
+        PruneRule::Coherence,
+    ];
+
+    /// The stable snake_case name used as the `rule` label value on
+    /// exported metrics (see `docs/OBSERVABILITY.md`).
+    pub fn as_label(self) -> &'static str {
+        match self {
+            PruneRule::MinGenes => "min_genes",
+            PruneRule::MinConds => "min_conds",
+            PruneRule::FewPMembers => "few_p_members",
+            PruneRule::Duplicate => "duplicate",
+            PruneRule::Coherence => "coherence",
+        }
+    }
+
+    /// The position of this rule in [`PruneRule::ALL`]; used to index
+    /// pre-registered per-rule instrument arrays without a lookup.
+    pub fn index(self) -> usize {
+        match self {
+            PruneRule::MinGenes => 0,
+            PruneRule::MinConds => 1,
+            PruneRule::FewPMembers => 2,
+            PruneRule::Duplicate => 3,
+            PruneRule::Coherence => 4,
+        }
+    }
+}
+
 /// Receiver for enumeration-tree events. All methods default to no-ops.
 pub trait MineObserver {
     /// A node (partial representative chain) was entered with `n_p`
@@ -179,6 +215,9 @@ impl MineObserver for MiningStats {
             PruneRule::FewPMembers => self.pruned_few_p += 1,
             PruneRule::Duplicate => self.pruned_duplicate += 1,
             PruneRule::Coherence => self.pruned_coherence += 1,
+            // Not counted here: adding a field would change this struct's
+            // serialized shape (it rides in `mine --stats` JSON). Rule-2
+            // cuts are exported via `MetricsObserver` instead.
             PruneRule::MinConds => {}
         }
     }

@@ -280,8 +280,12 @@ impl SyncMineObserver for AtomicCounts {
     fn node_entered(&self, _chain: &[usize], _n_p: usize, _n_n: usize) {
         self.nodes.fetch_add(1, Ordering::Relaxed);
     }
-    fn pruned(&self, _chain: &[usize], _rule: regcluster_core::PruneRule) {
-        self.pruned.fetch_add(1, Ordering::Relaxed);
+    fn pruned(&self, _chain: &[usize], rule: regcluster_core::PruneRule) {
+        // MiningStats deliberately carries no MinConds field (serialized
+        // shape stability); skip it so the totals below stay comparable.
+        if rule != regcluster_core::PruneRule::MinConds {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+        }
     }
     fn cluster_emitted(&self, _cluster: &RegCluster) {
         self.emitted.fetch_add(1, Ordering::Relaxed);

@@ -7,7 +7,7 @@
 //! * [`synthetic`] — the paper's §5 synthetic generator: a uniform random
 //!   background with `#clus` perfect shifting-and-scaling clusters embedded,
 //!   parameterized by `#g`, `#cond` and `#clus`, with full ground truth;
-//! * [`yeast_like`] — a structured 2884 × 17 stand-in for the
+//! * [`mod@yeast_like`] — a structured 2884 × 17 stand-in for the
 //!   Tavazoie/Church yeast benchmark (substitution S1 of DESIGN.md), with
 //!   planted co-regulation modules and a matching synthetic GO annotation
 //!   database (substitution S2);

@@ -2,7 +2,7 @@
 //!
 //! Microarray matrices routinely contain holes (failed spots, filtered
 //! measurements). The mining algorithms in this workspace require complete
-//! matrices, so a [`RaggedMatrix`](crate::io::RaggedMatrix) must be imputed
+//! matrices, so a [`RaggedMatrix`] must be imputed
 //! first. Three standard strategies are provided; row-mean imputation is what
 //! Cheng & Church used for the yeast benchmark.
 

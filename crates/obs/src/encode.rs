@@ -1,0 +1,313 @@
+//! Exposition: Prometheus text format and JSON snapshots.
+//!
+//! Both encoders read the registry under its registration lock, which is
+//! fine: exposition happens once per scrape/snapshot, never on the hot
+//! path. Instrument cells are read with relaxed atomics, so a scrape
+//! concurrent with recording sees a consistent-enough point-in-time view
+//! (each cell individually coherent, counters monotone across scrapes).
+
+use crate::registry::{Family, Instrument, MetricsRegistry, Series, Unit};
+use crate::SNAPSHOT_FORMAT_VERSION;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+impl MetricsRegistry {
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# HELP`/`# TYPE` pair per family, counters
+    /// as single samples, histograms as cumulative `_bucket{le=…}`
+    /// series plus `_sum` and `_count`.
+    pub fn encode_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.with_families(|families| {
+            for family in families {
+                let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+                let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+                for series in &family.series {
+                    encode_prometheus_series(&mut out, family, series);
+                }
+            }
+        });
+        out
+    }
+
+    /// Renders a JSON snapshot of every family and series, stamped with
+    /// [`SNAPSHOT_FORMAT_VERSION`]. Durations ([`Unit::Micros`]) are
+    /// exported in seconds, matching the Prometheus encoding, so the two
+    /// formats agree on values.
+    pub fn encode_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format_version\": {SNAPSHOT_FORMAT_VERSION},");
+        out.push_str("  \"metrics\": [\n");
+        self.with_families(|families| {
+            for (fi, family) in families.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"name\": {},", json_string(&family.name));
+                let _ = writeln!(out, "      \"help\": {},", json_string(&family.help));
+                let _ = writeln!(
+                    out,
+                    "      \"kind\": {},",
+                    json_string(family.kind.as_str())
+                );
+                out.push_str("      \"series\": [\n");
+                for (si, series) in family.series.iter().enumerate() {
+                    out.push_str("        { \"labels\": {");
+                    for (li, (key, value)) in series.labels.iter().enumerate() {
+                        if li > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{}: {}", json_string(key), json_string(value));
+                    }
+                    out.push_str("}, ");
+                    encode_json_value(&mut out, family, series);
+                    out.push_str(" }");
+                    if si + 1 < family.series.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("      ]\n");
+                out.push_str("    }");
+                if fi + 1 < families.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+        });
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn encode_prometheus_series(out: &mut String, family: &Family, series: &Series) {
+    match &series.instrument {
+        Instrument::Counter(cell) => {
+            let raw = cell.load(Ordering::Relaxed);
+            out.push_str(&family.name);
+            write_labels(out, &series.labels, None);
+            match family.unit {
+                Unit::Count => {
+                    let _ = writeln!(out, " {raw}");
+                }
+                Unit::Micros => {
+                    let _ = writeln!(out, " {}", fmt_f64(raw as f64 / 1e6));
+                }
+            }
+        }
+        Instrument::Histogram(cell) => {
+            let mut cumulative = 0u64;
+            for (i, bucket) in cell.buckets.iter().enumerate() {
+                cumulative += bucket.load(Ordering::Relaxed);
+                let le = cell
+                    .bounds
+                    .get(i)
+                    .map_or_else(|| "+Inf".to_string(), |b| fmt_f64(*b));
+                let _ = write!(out, "{}_bucket", family.name);
+                write_labels(out, &series.labels, Some(&le));
+                let _ = writeln!(out, " {cumulative}");
+            }
+            let sum = f64::from_bits(cell.sum_bits.load(Ordering::Relaxed));
+            let _ = write!(out, "{}_sum", family.name);
+            write_labels(out, &series.labels, None);
+            let _ = writeln!(out, " {}", fmt_f64(sum));
+            let _ = write!(out, "{}_count", family.name);
+            write_labels(out, &series.labels, None);
+            let _ = writeln!(out, " {cumulative}");
+        }
+    }
+}
+
+fn encode_json_value(out: &mut String, family: &Family, series: &Series) {
+    match &series.instrument {
+        Instrument::Counter(cell) => {
+            let raw = cell.load(Ordering::Relaxed);
+            match family.unit {
+                Unit::Count => {
+                    let _ = write!(out, "\"value\": {raw}");
+                }
+                Unit::Micros => {
+                    let _ = write!(out, "\"value\": {}", fmt_f64_json(raw as f64 / 1e6));
+                }
+            }
+        }
+        Instrument::Histogram(cell) => {
+            out.push_str("\"buckets\": [");
+            let mut cumulative = 0u64;
+            for (i, bucket) in cell.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                cumulative += bucket.load(Ordering::Relaxed);
+                let le = cell
+                    .bounds
+                    .get(i)
+                    .map_or_else(|| "\"+Inf\"".to_string(), |b| fmt_f64_json(*b));
+                let _ = write!(out, "{{\"le\": {le}, \"count\": {cumulative}}}");
+            }
+            out.push(']');
+            let sum = f64::from_bits(cell.sum_bits.load(Ordering::Relaxed));
+            let _ = write!(out, ", \"sum\": {}", fmt_f64_json(sum));
+            let _ = write!(out, ", \"count\": {cumulative}");
+        }
+    }
+}
+
+/// Writes a `{key="value",…}` label block; `le` (if any) is appended
+/// last. Empty label sets on plain samples write nothing.
+fn write_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+/// Formats an `f64` the way Prometheus expects: `Display` already prints
+/// the shortest round-trip form (`4` not `4.0`, `0.5`, `1e-9`), and the
+/// special values get their spelled-out names.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON has no Inf/NaN literals; encode non-finite values as strings so
+/// the document stays parseable.
+fn fmt_f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{}\"", fmt_f64(v))
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("req_total", "Requests.", &[("route", "/a")]);
+        c.add(5);
+        let t = registry.counter_micros("busy_seconds_total", "Busy time.", &[]);
+        t.add(2_500_000); // 2.5 s
+        let h = registry.histogram("lat", "Latency.", &[("route", "/a")], &[1.0, 4.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(9.0);
+        registry
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = sample_registry().encode_prometheus();
+        assert!(text.contains("# HELP req_total Requests.\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{route=\"/a\"} 5\n"));
+        assert!(text.contains("busy_seconds_total 2.5\n"), "{text}");
+        assert!(text.contains("lat_bucket{route=\"/a\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{route=\"/a\",le=\"4\"} 2\n"));
+        assert!(text.contains("lat_bucket{route=\"/a\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum{route=\"/a\"} 11.5\n"));
+        assert!(text.contains("lat_count{route=\"/a\"} 3\n"));
+    }
+
+    #[test]
+    fn every_sample_line_is_well_formed() {
+        let text = sample_registry().encode_prometheus();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            // name{labels} value — value must parse as f64.
+            let value = line.rsplit(' ').next().expect("non-empty line");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable sample value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_has_version_and_values() {
+        let json = sample_registry().encode_json();
+        assert!(json.contains(&format!("\"format_version\": {SNAPSHOT_FORMAT_VERSION}")));
+        assert!(json.contains("\"name\": \"req_total\""));
+        assert!(json.contains("\"value\": 5"));
+        assert!(json.contains("\"value\": 2.5"));
+        assert!(json.contains("{\"le\": \"+Inf\", \"count\": 3}"));
+        assert!(json.contains("\"sum\": 11.5"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("m_total", "M.", &[("q", "a\"b\\c")]);
+        c.inc();
+        let text = registry.encode_prometheus();
+        assert!(text.contains("m_total{q=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_encodes_cleanly() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.encode_prometheus(), "");
+        let json = registry.encode_json();
+        assert!(json.contains("\"metrics\": [\n  ]"), "{json}");
+    }
+}

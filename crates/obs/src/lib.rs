@@ -1,0 +1,70 @@
+#![deny(missing_docs)]
+
+//! Dependency-free telemetry for the regcluster workspace.
+//!
+//! Three pieces, deliberately small enough to sit on the mining hot path:
+//!
+//! * [`MetricsRegistry`] — a registry of named **counters** and
+//!   **fixed-bucket histograms**. Instruments are registered once, up
+//!   front, and hand back clonable handles whose update operations are
+//!   single [`AtomicU64`](std::sync::atomic::AtomicU64) writes: no locks,
+//!   no name lookups, and **no heap allocation per event**, which is what
+//!   lets an instrumented observer ride inside the allocation-free
+//!   enumeration core (enforced by `tests/alloc.rs` in the workspace
+//!   root).
+//! * [`span`] — phase timing. A [`PhaseSpans`] set
+//!   registers one duration counter and one run counter per phase
+//!   (`load → index_build → enumeration → postprocess → store_write`
+//!   in the CLI), and [`Span`] guards measure wall-clock
+//!   time through the [`Clock`] abstraction — monotonic in
+//!   production ([`MonotonicClock`]), hand-cranked
+//!   in tests ([`ManualClock`]).
+//! * [`encode`] — exposition. [`MetricsRegistry::encode_prometheus`]
+//!   renders the classic text format (`# HELP`/`# TYPE`, cumulative
+//!   `_bucket{le=…}` series), and [`MetricsRegistry::encode_json`] a
+//!   JSON snapshot stamped with [`SNAPSHOT_FORMAT_VERSION`].
+//!
+//! The full catalogue of metrics the workspace exports — names, labels,
+//! units, and how to read them — is documented for operators in
+//! `docs/OBSERVABILITY.md`, which a drift test keeps in sync with the
+//! registry.
+//!
+//! # Example
+//!
+//! ```
+//! use regcluster_obs::{MetricsRegistry, Unit};
+//!
+//! let registry = MetricsRegistry::new();
+//! let hits = registry.counter(
+//!     "cache_hits_total",
+//!     "Cache hits since process start.",
+//!     &[("tier", "l1")],
+//! );
+//! hits.add(3);
+//!
+//! let depth = registry.histogram(
+//!     "probe_depth",
+//!     "Probe depth per lookup.",
+//!     &[],
+//!     &[1.0, 2.0, 4.0, 8.0],
+//! );
+//! depth.observe(3.0);
+//!
+//! let text = registry.encode_prometheus();
+//! assert!(text.contains("# TYPE cache_hits_total counter"));
+//! assert!(text.contains("cache_hits_total{tier=\"l1\"} 3"));
+//! assert!(text.contains("probe_depth_bucket{le=\"4\"} 1"));
+//! # let _ = Unit::Count;
+//! ```
+
+pub mod encode;
+pub mod registry;
+pub mod span;
+
+pub use registry::{Counter, Histogram, MetricKind, MetricsRegistry, Unit};
+pub use span::{Clock, ManualClock, MonotonicClock, PhaseSpans, Span, PHASES};
+
+/// Schema version stamped into JSON snapshots written by
+/// [`MetricsRegistry::encode_json`]. Bump on incompatible layout changes;
+/// readers should refuse snapshots stamped with a newer version.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;

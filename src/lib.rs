@@ -18,7 +18,10 @@
 //! * [`eval`] — evaluation (recovery/relevance match scores, overlap
 //!   statistics, GO enrichment, reports);
 //! * [`store`] — the indexed on-disk `.rcs` cluster store (streaming
-//!   writer sink, checksum-verified reader, by-gene/by-condition queries).
+//!   writer sink, checksum-verified reader, by-gene/by-condition queries);
+//! * [`obs`] — dependency-free telemetry (lock-free metrics registry,
+//!   phase spans, Prometheus/JSON exposition; the metric catalogue is
+//!   documented in `docs/OBSERVABILITY.md`).
 //!
 //! The most common entry point:
 //!
@@ -36,6 +39,7 @@ pub use regcluster_core as core;
 pub use regcluster_datagen as datagen;
 pub use regcluster_eval as eval;
 pub use regcluster_matrix as matrix;
+pub use regcluster_obs as obs;
 pub use regcluster_store as store;
 
 /// The names needed by almost every user of the library.

@@ -21,9 +21,13 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use regcluster_core::{MineWorkspace, Miner, MiningParams, MiningStats, RegulationThreshold};
+use regcluster_core::{
+    metrics::MINE_NODES_METRIC, MetricsObserver, MineWorkspace, Miner, MiningParams, MiningStats,
+    RegulationThreshold,
+};
 use regcluster_datagen::{generate, running_example, PatternKind, SyntheticConfig};
 use regcluster_matrix::ExpressionMatrix;
+use regcluster_obs::MetricsRegistry;
 
 thread_local! {
     /// Number of allocator calls (alloc / realloc / alloc_zeroed) made by
@@ -141,6 +145,36 @@ fn warmed_zero_emission_run_allocates_nothing_synthetic() {
         allocs, 0,
         "steady-state enumeration must not allocate ({} nodes explored)",
         stats.nodes
+    );
+}
+
+#[test]
+fn warmed_zero_emission_run_with_metrics_observer_allocates_nothing() {
+    // The telemetry observer must be free to leave attached in production:
+    // its pre-registered counter/histogram handles are plain atomic cells,
+    // so recording every node, prune and depth observation adds zero
+    // allocations to the steady state.
+    let m = synthetic_100x30();
+    let params = MiningParams::new(4, 8, 0.1, 0.05).unwrap();
+    let miner = Miner::new(&m, &params).expect("valid mining input");
+    let registry = MetricsRegistry::new();
+    let mut observer = MetricsObserver::register(&registry);
+    let mut workspace = MineWorkspace::new();
+    let _ = miner.mine_all_with(&mut workspace, &mut observer);
+    let nodes_handle = registry.counter(
+        MINE_NODES_METRIC,
+        "Enumeration-tree nodes entered (partial representative chains expanded).",
+        &[],
+    );
+    let nodes_before = nodes_handle.get();
+    let (allocs, clusters) = count_allocs(|| miner.mine_all_with(&mut workspace, &mut observer));
+    drop(clusters);
+    let nodes_recorded = nodes_handle.get() - nodes_before;
+    assert!(nodes_recorded > 100, "observer must have seen many nodes");
+    assert_eq!(
+        allocs, 0,
+        "instrumented steady-state enumeration must not allocate \
+         ({nodes_recorded} nodes recorded)"
     );
 }
 

@@ -192,7 +192,7 @@ impl SizeRange for RangeInclusive<usize> {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     len: L,
