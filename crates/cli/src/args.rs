@@ -35,6 +35,14 @@ pub enum Command {
         /// Write a JSON snapshot of the run's metrics here (stamped with
         /// the snapshot `format_version`).
         metrics_json: Option<String>,
+        /// Write crash-recovery snapshots (`.rck`) here: on deadline,
+        /// cancellation or worker panic, and periodically when
+        /// `checkpoint_every_secs` is set.
+        checkpoint: Option<String>,
+        /// Also snapshot roughly every this many seconds while mining.
+        checkpoint_every_secs: Option<f64>,
+        /// Resume an interrupted run from this `.rck` checkpoint.
+        resume: Option<String>,
     },
     /// Generate a synthetic dataset.
     Generate {
@@ -128,6 +136,9 @@ pub enum Command {
         threads: usize,
         /// Stop gracefully after this many requests (smoke-test hook).
         requests: Option<u64>,
+        /// Accept-queue capacity; connections beyond it are shed with
+        /// `503 + Retry-After` instead of piling up unboundedly.
+        queue: usize,
     },
     /// Print usage.
     Help,
@@ -194,6 +205,13 @@ USAGE:
                              metrics (phase timings, per-rule prune counters;
                              see docs/OBSERVABILITY.md)
       --metrics-json <file.json>  the same snapshot as versioned JSON
+      --checkpoint <file.rck>  write crash-recovery snapshots here: on
+                             deadline/cancellation/worker panic, and
+                             periodically with --checkpoint-every-secs
+      --checkpoint-every-secs <F>  also snapshot about every F seconds
+      --resume <file.rck>    resume an interrupted run from its checkpoint
+                             (the result is bit-identical to an
+                             uninterrupted run; see docs/ROBUSTNESS.md)
 
   regcluster generate --output <matrix.tsv> [options]
       --genes <N>            number of genes (default 3000)
@@ -240,11 +258,13 @@ USAGE:
       --json                 print matching clusters as JSON
 
   regcluster serve --store <out.rcs> [--port <N>] [--threads <N>]
-      [--requests <N>]
+      [--requests <N>] [--queue <N>]
       serves the store over HTTP on 127.0.0.1 (port 0 = pick a free port,
       printed on startup); endpoints: /health, /stats,
       /clusters?gene=..&cond=..&min_genes=..&min_conds=..&top=..,
-      /clusters/{id}; --requests N stops gracefully after N requests
+      /clusters/{id}; --requests N stops gracefully after N requests;
+      --queue N bounds the accept queue (default 64) — overload beyond it
+      is shed with 503 + Retry-After instead of queueing unboundedly
 
   regcluster help
       prints this text
@@ -346,6 +366,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "store",
                     "metrics",
                     "metrics-json",
+                    "checkpoint",
+                    "checkpoint-every-secs",
+                    "resume",
                 ],
             )?;
             let input = require(&opts, "input")?;
@@ -396,6 +419,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 }
                 None => None,
             };
+            let checkpoint_every_secs = match opts.get("checkpoint-every-secs") {
+                Some(s) => {
+                    let v: f64 = s.parse().map_err(|_| {
+                        ParseError(format!("cannot parse --checkpoint-every-secs {s:?}"))
+                    })?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(ParseError(format!(
+                            "--checkpoint-every-secs must be a non-negative number, got {s:?}"
+                        )));
+                    }
+                    Some(v)
+                }
+                None => None,
+            };
+            let checkpoint = opts.get("checkpoint").cloned();
+            let resume = opts.get("resume").cloned();
+            if checkpoint_every_secs.is_some() && checkpoint.is_none() && resume.is_none() {
+                return Err(ParseError(
+                    "--checkpoint-every-secs needs --checkpoint (or --resume) \
+                     to know where snapshots go"
+                        .into(),
+                ));
+            }
             Ok(Command::Mine {
                 input,
                 params,
@@ -408,6 +454,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 store: opts.get("store").cloned(),
                 metrics: opts.get("metrics").cloned(),
                 metrics_json: opts.get("metrics-json").cloned(),
+                checkpoint,
+                checkpoint_every_secs,
+                resume,
             })
         }
         "generate" => {
@@ -561,7 +610,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         }
         "serve" => {
             let opts = take_options(rest)?;
-            check_known(&opts, &["store", "port", "threads", "requests"])?;
+            check_known(&opts, &["store", "port", "threads", "requests", "queue"])?;
             let requests = match opts.get("requests") {
                 Some(v) => Some(
                     v.parse::<u64>()
@@ -569,11 +618,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 ),
                 None => None,
             };
+            let queue = get(&opts, "queue", 64usize)?;
+            if queue == 0 {
+                return Err(ParseError(
+                    "--queue must be at least 1 (a zero-capacity accept queue \
+                     would shed every request)"
+                        .into(),
+                ));
+            }
             Ok(Command::Serve {
                 store: require(&opts, "store")?,
                 port: get(&opts, "port", 7878u16)?,
                 threads: get(&opts, "threads", 4usize)?,
                 requests,
+                queue,
             })
         }
         other => Err(ParseError(format!(
@@ -626,11 +684,17 @@ mod tests {
                 store,
                 metrics,
                 metrics_json,
+                checkpoint,
+                checkpoint_every_secs,
+                resume,
             } => {
                 assert_eq!(input, "m.tsv");
                 assert_eq!(store, None);
                 assert_eq!(metrics, None);
                 assert_eq!(metrics_json, None);
+                assert_eq!(checkpoint, None);
+                assert_eq!(checkpoint_every_secs, None);
+                assert_eq!(resume, None);
                 assert!(!stats);
                 assert!(!progress);
                 assert_eq!(params.min_genes, 5);
@@ -811,11 +875,74 @@ mod tests {
                 port: 0,
                 threads: 4,
                 requests: None,
+                queue: 64,
             }
         );
         assert!(parse_args(&sv(&["query"])).is_err(), "--store is required");
         assert!(parse_args(&sv(&["serve", "--store", "x", "--port", "high"])).is_err());
         assert!(parse_args(&sv(&["serve", "--store", "x", "--requests", "-1"])).is_err());
+        // The accept queue must hold at least one connection.
+        match parse_args(&sv(&["serve", "--store", "x", "--queue", "8"])).unwrap() {
+            Command::Serve { queue, .. } => assert_eq!(queue, 8),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&sv(&["serve", "--store", "x", "--queue", "0"])).is_err());
+    }
+
+    #[test]
+    fn mine_parses_checkpoint_flags() {
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--checkpoint",
+            "run.rck",
+            "--checkpoint-every-secs",
+            "30",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mine {
+                checkpoint,
+                checkpoint_every_secs,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint.as_deref(), Some("run.rck"));
+                assert_eq!(checkpoint_every_secs, Some(30.0));
+                assert_eq!(resume, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Resuming alone is fine; the resume path doubles as the sink.
+        match parse_args(&sv(&["mine", "--input", "m.tsv", "--resume", "run.rck"])).unwrap() {
+            Command::Mine { resume, .. } => assert_eq!(resume.as_deref(), Some("run.rck")),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A cadence with nowhere to write is rejected, as are bad values.
+        assert!(parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--checkpoint-every-secs",
+            "5"
+        ]))
+        .is_err());
+        for bad in ["-1", "abc", "inf", "NaN"] {
+            assert!(
+                parse_args(&sv(&[
+                    "mine",
+                    "--input",
+                    "m.tsv",
+                    "--checkpoint",
+                    "c.rck",
+                    "--checkpoint-every-secs",
+                    bad
+                ]))
+                .is_err(),
+                "--checkpoint-every-secs {bad} should be rejected"
+            );
+        }
     }
 
     /// The USAGE-drift guard: every subcommand the parser accepts must be

@@ -5,14 +5,15 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use regcluster_core::{
-    finalize_clusters, mine_prepared_to_sink, ClusterSink, EngineConfig, MetricsObserver,
-    MineControl, Miner, MiningParams, MiningStats, RegCluster, SyncMineObserver, VecSink,
+    finalize_clusters, mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, CheckpointPlan,
+    CheckpointReport, ClusterSink, EngineConfig, MetricsObserver, MineControl, Miner, MiningParams,
+    MiningStats, RegCluster, StreamReport, SyncMineObserver, VecSink,
 };
 use regcluster_datagen::{generate, PlantedCluster};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
 use regcluster_obs::{MetricsRegistry, MonotonicClock, PhaseSpans};
-use regcluster_store::{ClusterStore, StoreWriter};
+use regcluster_store::{read_checkpoint, CheckpointFile, ClusterStore, StoreWriter};
 
 use crate::args::{Command, USAGE};
 use crate::serve;
@@ -113,6 +114,11 @@ pub struct MineOutput {
     pub truncated: Option<bool>,
     /// Search-effort statistics, including per-rule prune counts.
     pub stats: Option<MiningStats>,
+    /// The `.rck` checkpoint this run resumed from (`--resume`).
+    pub resumed_from: Option<String>,
+    /// The `.rck` path a final/periodic checkpoint was written to during
+    /// this run, if any snapshot was flushed.
+    pub checkpoint_written: Option<String>,
     /// The mined clusters.
     pub clusters: Vec<RegCluster>,
 }
@@ -394,6 +400,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             store,
             metrics,
             metrics_json,
+            checkpoint,
+            checkpoint_every_secs,
+            resume,
         } => {
             // One registry per run: phase spans + the mining observer feed
             // it, and --metrics/--metrics-json snapshot it at the end.
@@ -415,18 +424,58 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // Building the RWave^γ models is its own phase, so enter the
             // engine with a prepared miner instead of mine_engine_with.
             let miner = spans.time(&clock, "index_build", || Miner::new(&m, params))?;
-            let (clusters, stat_counters, truncated, store_note) = match store {
+
+            // Crash-safe runs: --checkpoint (or --resume, whose path then
+            // doubles as the snapshot sink) persist the enumeration
+            // frontier to a .rck file on any stop; --resume seeds the run
+            // from one. See docs/ROBUSTNESS.md.
+            let ck_path = checkpoint.as_deref().or(resume.as_deref());
+            let ck_file = ck_path.map(CheckpointFile::new);
+            let resume_ck = match resume {
+                Some(path) => Some(read_checkpoint(path)?),
+                None => None,
+            };
+            let run_engine =
+                |sink: &dyn ClusterSink| -> Result<(StreamReport, CheckpointReport), CliError> {
+                    match &ck_file {
+                        Some(file) => {
+                            let mut plan = CheckpointPlan::new(file);
+                            if let Some(secs) = checkpoint_every_secs {
+                                plan = plan.with_every(std::time::Duration::from_secs_f64(*secs));
+                            }
+                            if let Some(ck) = resume_ck.clone() {
+                                plan = plan.with_resume(ck);
+                            }
+                            Ok(mine_prepared_to_sink_checkpointed(
+                                &miner, &config, &control, &observer, sink, plan,
+                            )?)
+                        }
+                        None => {
+                            let report =
+                                mine_prepared_to_sink(&miner, &config, &control, &observer, sink)?;
+                            Ok((
+                                report,
+                                CheckpointReport {
+                                    resumed: false,
+                                    checkpoints_written: 0,
+                                },
+                            ))
+                        }
+                    }
+                };
+
+            let (clusters, stat_counters, truncated, ck_report, store_note) = match store {
                 None => {
                     let sink = VecSink::new();
-                    let report = {
+                    let (report, ck_report) = {
                         let _span = spans.span(&clock, "enumeration");
-                        mine_prepared_to_sink(&miner, &config, &control, &observer, &sink)?
+                        run_engine(&sink)?
                     };
                     let mut clusters = sink.into_clusters();
                     spans.time(&clock, "postprocess", || {
                         finalize_clusters(&mut clusters, params)
                     });
-                    (clusters, report.stats, report.truncated, None)
+                    (clusters, report.stats, report.truncated, ck_report, None)
                 }
                 Some(store_path) => {
                     let writer = StoreWriter::create(
@@ -436,14 +485,14 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         params,
                     )?;
                     let post_filtered = params.maximal_only || params.max_clusters.is_some();
-                    let (clusters, stats, truncated) = if post_filtered {
+                    let (clusters, stats, truncated, ck_report) = if post_filtered {
                         // maximal-only / max-clusters prune *after* the full
                         // enumeration, so the store must hold the filtered
                         // set: collect first, then write it out.
                         let sink = VecSink::new();
-                        let report = {
+                        let (report, ck_report) = {
                             let _span = spans.span(&clock, "enumeration");
-                            mine_prepared_to_sink(&miner, &config, &control, &observer, &sink)?
+                            run_engine(&sink)?
                         };
                         let mut clusters = sink.into_clusters();
                         spans.time(&clock, "postprocess", || {
@@ -452,7 +501,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         spans.time(&clock, "store_write", || {
                             clusters.iter().try_for_each(|c| writer.write_cluster(c))
                         })?;
-                        (clusters, report.stats, report.truncated)
+                        (clusters, report.stats, report.truncated, ck_report)
                     } else {
                         // Common case: clusters stream to disk as the engine
                         // finds them, composing with deadlines/cancellation.
@@ -463,15 +512,15 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                             store: &writer,
                             collected: &collected,
                         };
-                        let report = {
+                        let (report, ck_report) = {
                             let _span = spans.span(&clock, "enumeration");
-                            mine_prepared_to_sink(&miner, &config, &control, &observer, &tee)?
+                            run_engine(&tee)?
                         };
                         let mut clusters = collected.into_clusters();
                         spans.time(&clock, "postprocess", || {
                             finalize_clusters(&mut clusters, params)
                         });
-                        (clusters, report.stats, report.truncated)
+                        (clusters, report.stats, report.truncated, ck_report)
                     };
                     // finish() seals the file and surfaces any write error
                     // that made the sink refuse clusters mid-run.
@@ -480,7 +529,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         "store written to {store_path} ({} clusters, {} bytes)\n",
                         summary.n_clusters, summary.file_bytes
                     );
-                    (clusters, stats, truncated, Some(note))
+                    (clusters, stats, truncated, ck_report, Some(note))
                 }
             };
             let elapsed = start.elapsed();
@@ -495,6 +544,25 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             );
             if truncated {
                 text.push_str("deadline expired: results are partial\n");
+            }
+            let resumed_from = ck_report
+                .resumed
+                .then(|| resume.clone().unwrap_or_default());
+            let checkpoint_written = (ck_report.checkpoints_written > 0)
+                .then(|| ck_path.unwrap_or_default().to_string());
+            if let Some(path) = &resumed_from {
+                text.push_str(&format!("resumed from checkpoint {path}\n"));
+            }
+            if let Some(path) = &checkpoint_written {
+                text.push_str(&format!(
+                    "checkpoint written to {path} ({} snapshot{})\n",
+                    ck_report.checkpoints_written,
+                    if ck_report.checkpoints_written == 1 {
+                        ""
+                    } else {
+                        "s"
+                    }
+                ));
             }
             if *stats {
                 text.push_str(&stat_counters.summary());
@@ -523,6 +591,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         elapsed_secs: Some(elapsed.as_secs_f64()),
                         truncated: Some(truncated),
                         stats: Some(stat_counters),
+                        resumed_from: resumed_from.clone(),
+                        checkpoint_written: checkpoint_written.clone(),
                         clusters,
                     };
                     std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
@@ -679,12 +749,15 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             port,
             threads,
             requests,
+            queue,
         } => {
             let cs = std::sync::Arc::new(ClusterStore::open(store)?);
             let config = serve::ServeConfig {
                 port: *port,
                 threads: *threads,
                 max_requests: *requests,
+                queue_capacity: *queue,
+                ..serve::ServeConfig::default()
             };
             let n_clusters = cs.n_clusters();
             let server = serve::Server::start(cs, &config)?;

@@ -32,11 +32,22 @@
 //! socket released. A request budget ([`ServeConfig::max_requests`])
 //! triggers the same path from inside a worker, which is how the smoke
 //! tests and `--requests` exercise graceful shutdown end-to-end.
+//!
+//! # Load shedding
+//!
+//! The acceptor hands connections to the workers over a **bounded** queue
+//! ([`ServeConfig::queue_capacity`]). When every worker is busy and the
+//! queue is full, further connections are answered immediately with
+//! `503 Service Unavailable` + `Retry-After: 1` and closed, instead of
+//! piling up until the kernel backlog overflows and clients time out
+//! blind. Shed connections are counted by the
+//! [`HTTP_SHED_METRIC`] counter on `/metrics`, so overload is visible the
+//! moment it starts (see `docs/ROBUSTNESS.md`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +66,14 @@ pub struct ServeConfig {
     /// Stop gracefully after this many requests (used by smoke tests and
     /// `--requests`); `None` serves until [`Server::shutdown`].
     pub max_requests: Option<u64>,
+    /// Accepted connections waiting for a worker (≥ 1 enforced); beyond
+    /// it the acceptor sheds with `503 + Retry-After` (see the module
+    /// docs on load shedding).
+    pub queue_capacity: usize,
+    /// Socket read/write timeout per connection. A client that connects
+    /// but never sends a request line is answered `408 Request Timeout`
+    /// after this long instead of pinning a worker forever.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +82,8 @@ impl Default for ServeConfig {
             port: 0,
             threads: 4,
             max_requests: None,
+            queue_capacity: 64,
+            io_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -82,6 +103,9 @@ pub const ROUTES: [&str; 6] = [
 pub const HTTP_REQUESTS_METRIC: &str = "regcluster_http_requests_total";
 /// Name of the per-route handling-latency histogram.
 pub const HTTP_DURATION_METRIC: &str = "regcluster_http_request_duration_seconds";
+/// Name of the overload counter: connections answered `503 + Retry-After`
+/// because the bounded accept queue was full.
+pub const HTTP_SHED_METRIC: &str = "regcluster_http_requests_shed_total";
 
 /// Handling-latency bucket bounds: local-store queries are sub-millisecond,
 /// the tail covers cold caches and large result pages.
@@ -95,6 +119,10 @@ const HTTP_LATENCY_BOUNDS: [f64; 9] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.
 pub struct ServeMetrics {
     requests: [Counter; ROUTES.len()],
     latency: [Histogram; ROUTES.len()],
+    /// Connections shed with 503 because the accept queue was full. Not
+    /// part of `requests` — a shed connection was never handled, so it
+    /// does not count toward the `max_requests` budget.
+    shed: Counter,
 }
 
 impl ServeMetrics {
@@ -115,7 +143,16 @@ impl ServeMetrics {
                 &HTTP_LATENCY_BOUNDS,
             )
         });
-        Self { requests, latency }
+        let shed = registry.counter(
+            HTTP_SHED_METRIC,
+            "Connections answered 503 + Retry-After because the accept queue was full.",
+            &[],
+        );
+        Self {
+            requests,
+            latency,
+            shed,
+        }
     }
 
     /// Records one handled request and returns the new server-wide total.
@@ -278,6 +315,7 @@ struct Shared {
     stop: AtomicBool,
     port: u16,
     max_requests: Option<u64>,
+    io_timeout: Duration,
 }
 
 impl Shared {
@@ -318,8 +356,10 @@ impl Server {
             stop: AtomicBool::new(false),
             port,
             max_requests: config.max_requests,
+            io_timeout: config.io_timeout,
         });
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let acceptor = {
@@ -334,8 +374,17 @@ impl Server {
                             if shared.stop.load(Ordering::SeqCst) {
                                 break; // the wake-up connection, or late traffic
                             }
-                            if tx.send(stream).is_err() {
-                                break;
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(stream)) => {
+                                    // Overload: every worker busy and the
+                                    // queue full. Shed instead of queueing
+                                    // unboundedly; the client gets an
+                                    // immediate, honest retry signal.
+                                    shared.metrics.shed.inc();
+                                    shed_connection(stream, shared.io_timeout);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(_) => {
@@ -410,16 +459,56 @@ impl Server {
     }
 }
 
+/// Set once the socket-timeout setters have failed and been reported;
+/// later failures stay quiet so a broken platform doesn't flood stderr.
+static TIMEOUT_SETUP_LOGGED: AtomicBool = AtomicBool::new(false);
+
+/// Arms read/write timeouts on `stream`. Failure is survivable — the
+/// connection is served without timeout protection — but it is reported
+/// once per process rather than silently discarded.
+fn arm_timeouts(stream: &TcpStream, timeout: Duration) {
+    let result = stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)));
+    if let Err(e) = result {
+        if !TIMEOUT_SETUP_LOGGED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "regcluster serve: could not arm socket timeouts ({e}); \
+                 serving without them — slow clients may pin workers"
+            );
+        }
+    }
+}
+
+/// Is `e` the read-timeout expiring? (`WouldBlock` on Unix,
+/// `TimedOut` on Windows — both mean the peer went quiet.)
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Handles one connection (one request). Returns whether a request was
 /// actually parsed and counted.
 fn handle_connection(stream: TcpStream, shared: &Shared) -> bool {
     let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    arm_timeouts(&stream, shared.io_timeout);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    if reader.read_line(&mut line).is_err() || line.is_empty() {
-        return false; // wake-up connection or dead client
+    match reader.read_line(&mut line) {
+        Err(e) if is_timeout(&e) => {
+            // The client connected but never sent a request line. Answer
+            // cleanly instead of resetting, so the client can tell a
+            // deliberate timeout from a crash.
+            let mut stream = reader.into_inner();
+            respond(&mut stream, 408, JSON, &json_error("request timed out"));
+            shared.metrics.record(OTHER_SLOT, started);
+            return true;
+        }
+        Err(_) => return false,                   // dead client
+        Ok(_) if line.is_empty() => return false, // wake-up connection / EOF
+        Ok(_) => {}
     }
     // Drain headers so well-behaved clients aren't reset mid-send.
     let mut header = String::new();
@@ -638,10 +727,26 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let response = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Answers a shed connection from the acceptor thread: `503` with a
+/// `Retry-After` hint so well-behaved clients back off instead of
+/// hammering a saturated server. Best-effort — the client may already be
+/// gone, and the acceptor must not block on it.
+fn shed_connection(mut stream: TcpStream, timeout: Duration) {
+    arm_timeouts(&stream, timeout);
+    let body = json_error("server overloaded; retry shortly");
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Type: {JSON}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());

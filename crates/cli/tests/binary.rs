@@ -236,6 +236,197 @@ fn zero_deadline_yields_truncated_partial_results() {
 }
 
 #[test]
+fn interrupted_mine_checkpoints_and_resumes_through_the_binary() {
+    let dir = tmpdir();
+    let matrix = dir.join("ck.tsv");
+    let ck = dir.join("run.rck");
+    let found = dir.join("ck-found.json");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+    let mine_args = |extra: &[&str]| {
+        let mut v = vec![
+            "mine".to_string(),
+            "--input".into(),
+            matrix.to_str().unwrap().into(),
+            "--min-genes".into(),
+            "3".into(),
+            "--min-conds".into(),
+            "5".into(),
+            "--gamma".into(),
+            "0.15".into(),
+            "--epsilon".into(),
+            "0.1".into(),
+            "--threads".into(),
+            "2".into(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_string()));
+        v
+    };
+
+    // Reference: an uninterrupted run.
+    let out = bin()
+        .args(mine_args(&["--output", found.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let reference: regcluster_cli::commands::MineOutput =
+        serde_json::from_str(&std::fs::read_to_string(&found).unwrap()).unwrap();
+    assert_eq!(reference.clusters.len(), 1);
+
+    // Interrupt at once (deadline 0) with a checkpoint armed: the run
+    // truncates but flushes a resumable snapshot and says where.
+    let out = bin()
+        .args(mine_args(&[
+            "--deadline-secs",
+            "0",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--output",
+            found.to_str().unwrap(),
+        ]))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("checkpoint written"), "{text}");
+    assert!(ck.exists(), "snapshot file must exist");
+    let doc: regcluster_cli::commands::MineOutput =
+        serde_json::from_str(&std::fs::read_to_string(&found).unwrap()).unwrap();
+    assert_eq!(doc.truncated, Some(true));
+    assert_eq!(
+        doc.checkpoint_written.as_deref(),
+        Some(ck.to_str().unwrap())
+    );
+    assert_eq!(doc.resumed_from, None);
+
+    // Resume completes the run bit-identically to the reference.
+    let out = bin()
+        .args(mine_args(&[
+            "--resume",
+            ck.to_str().unwrap(),
+            "--output",
+            found.to_str().unwrap(),
+        ]))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("resumed from checkpoint"), "{text}");
+    let doc: regcluster_cli::commands::MineOutput =
+        serde_json::from_str(&std::fs::read_to_string(&found).unwrap()).unwrap();
+    assert_eq!(doc.truncated, Some(false));
+    assert_eq!(doc.resumed_from.as_deref(), Some(ck.to_str().unwrap()));
+    assert_eq!(doc.clusters, reference.clusters);
+
+    // A snapshot taken under different parameters is refused, not mis-mined.
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "2",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--resume",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("parameters"), "{err}");
+}
+
+#[test]
+fn failpoints_env_var_reaches_the_binary() {
+    let dir = tmpdir();
+    let matrix = dir.join("fp.tsv");
+    let ck = dir.join("fp.rck");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+
+    // A malformed spec is refused up front.
+    let out = bin()
+        .env("FAILPOINTS", "no::such::site=panic")
+        .arg("help")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("FAILPOINTS"), "{err}");
+
+    // An injected worker panic surfaces as a mining error — and the
+    // final checkpoint still gets flushed on the way down.
+    let out = bin()
+        .env("FAILPOINTS", "engine::worker=panic@1")
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--threads",
+            "2",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "injected panic must fail the run");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("injected failpoint panic"), "{err}");
+    assert!(ck.exists(), "crash checkpoint must be flushed");
+
+    // With the environment clean, resuming that crash snapshot succeeds.
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "5",
+            "--gamma",
+            "0.15",
+            "--epsilon",
+            "0.1",
+            "--threads",
+            "2",
+            "--resume",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mined 1 reg-clusters"), "{text}");
+}
+
+#[test]
 fn rwave_subcommand_via_binary() {
     let dir = tmpdir();
     let matrix = dir.join("running.tsv");

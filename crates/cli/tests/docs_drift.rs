@@ -8,24 +8,28 @@ use regcluster_core::observer::PruneRule;
 use regcluster_core::MetricsObserver;
 use regcluster_obs::{MetricsRegistry, PhaseSpans, PHASES};
 
+fn repo_doc(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel} must exist: {e}"))
+}
+
 fn observability_doc() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBSERVABILITY.md");
-    std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("docs/OBSERVABILITY.md must exist: {e}"))
+    repo_doc("docs/OBSERVABILITY.md")
 }
 
 #[test]
 fn every_registered_metric_is_documented() {
-    // Register every instrument the workspace exposes, from all three
+    // Register every instrument the workspace exposes, from all four
     // layers, into one registry — metric_names() is then the ground truth.
     let registry = MetricsRegistry::new();
     let _ = MetricsObserver::register(&registry);
     let _ = PhaseSpans::new(&registry);
     let _ = ServeMetrics::register(&registry);
+    regcluster_failpoint::register_metrics(&registry);
 
     let doc = observability_doc();
     let names = registry.metric_names();
-    assert!(names.len() >= 9, "expected the full catalogue: {names:?}");
+    assert!(names.len() >= 10, "expected the full catalogue: {names:?}");
     for name in &names {
         assert!(
             doc.contains(name.as_str()),
@@ -55,11 +59,36 @@ fn every_phase_and_prune_rule_label_is_documented() {
 #[test]
 fn doc_is_linked_from_user_facing_pages() {
     for page in ["README.md", "docs/GUIDE.md"] {
-        let path = format!("{}/../../{page}", env!("CARGO_MANIFEST_DIR"));
-        let text = std::fs::read_to_string(&path).unwrap();
+        let text = repo_doc(page);
         assert!(
             text.contains("OBSERVABILITY.md"),
             "{page} must link to the observability catalogue"
         );
+        assert!(
+            text.contains("ROBUSTNESS.md"),
+            "{page} must link to the robustness guide"
+        );
     }
+}
+
+#[test]
+fn every_failpoint_site_is_documented_in_robustness_md() {
+    // The robustness guide carries the failpoint catalogue; arming a
+    // site that isn't documented there (or documenting one that no
+    // longer exists) is drift.
+    let doc = repo_doc("docs/ROBUSTNESS.md");
+    for site in regcluster_failpoint::SITES {
+        assert!(
+            doc.contains(&format!("`{site}`")),
+            "failpoint site `{site}` is not documented in docs/ROBUSTNESS.md"
+        );
+    }
+    assert!(
+        doc.contains(regcluster_failpoint::FIRED_METRIC),
+        "ROBUSTNESS.md must name the fired-fault metric"
+    );
+    assert!(
+        doc.contains(regcluster_failpoint::ENV_VAR),
+        "ROBUSTNESS.md must document the FAILPOINTS env var"
+    );
 }

@@ -132,6 +132,7 @@ fn serves_32_concurrent_clients_and_shuts_down_gracefully() {
         port: 0,
         threads: 4,
         max_requests: None,
+        ..ServeConfig::default()
     };
     let server = Server::start(store, &config).unwrap();
     let port = server.port();
@@ -262,6 +263,7 @@ fn request_budget_stops_the_server_on_its_own() {
         port: 0,
         threads: 2,
         max_requests: Some(5),
+        ..ServeConfig::default()
     };
     let server = Server::start(store, &config).unwrap();
     let port = server.port();
@@ -274,4 +276,97 @@ fn request_budget_stops_the_server_on_its_own() {
     let report = server.wait();
     assert!(report.requests >= 5, "{}", report.requests);
     assert!(TcpListener::bind(("127.0.0.1", port)).is_ok());
+}
+
+#[test]
+fn overload_is_shed_with_503_and_recovers() {
+    let store_path = build_store("shed.rcs");
+    let store = Arc::new(ClusterStore::open(&store_path).unwrap());
+    let config = ServeConfig {
+        port: 0,
+        threads: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+
+    // Saturate: open connections that never send a request line. The
+    // single worker absorbs one, the queue holds one, and everything
+    // beyond that must be shed by the acceptor with an immediate 503.
+    let mut stalls = Vec::new();
+    let mut shed_seen = 0usize;
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .unwrap();
+        let mut raw = String::new();
+        match stream.read_to_string(&mut raw) {
+            Ok(_) if !raw.is_empty() => {
+                // A response without a request means the acceptor shed us.
+                assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+                assert!(raw.contains("Retry-After: 1"), "{raw}");
+                shed_seen += 1;
+            }
+            // Absorbed (worker or queue): no bytes until we hang up.
+            _ => stalls.push(stream),
+        }
+    }
+    assert!(
+        shed_seen >= 1,
+        "flooding past the capacity-2 pipeline must shed"
+    );
+    assert!(stalls.len() <= 2, "only worker + queue slot can absorb");
+
+    // Recovery: release the stalled connections; the worker drains them
+    // (EOF, nothing counted) and normal service resumes.
+    drop(stalls);
+    let (status, body) = get(port, "/health");
+    assert_eq!(status, 200, "{body}");
+
+    // The shed counter on /metrics saw every 503, and shed connections
+    // were never counted as handled requests.
+    let samples = scrape_metrics(port);
+    let shed_metric = samples
+        .iter()
+        .find(|(s, _)| s.starts_with("regcluster_http_requests_shed_total"))
+        .map(|(_, v)| *v)
+        .expect("shed counter must be exported");
+    assert!(
+        shed_metric >= shed_seen as f64,
+        "metrics report {shed_metric} sheds, client saw {shed_seen}"
+    );
+    let report = server.shutdown();
+    assert!(
+        report.requests >= 2 && report.requests < 8,
+        "shed connections must not count as handled requests: {}",
+        report.requests
+    );
+}
+
+#[test]
+fn silent_client_gets_408_not_a_reset() {
+    let store_path = build_store("timeout.rcs");
+    let store = Arc::new(ClusterStore::open(&store_path).unwrap());
+    let config = ServeConfig {
+        port: 0,
+        threads: 2,
+        io_timeout: std::time::Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+
+    // Connect and say nothing: the read timeout must produce a clean 408,
+    // not a dropped connection.
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+
+    // The server is still healthy afterwards.
+    let (status, body) = get(port, "/health");
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
 }

@@ -40,6 +40,22 @@
 //! [`MineControl::cancel`], a deadline, or a sink refusing clusters — yield
 //! a prefix of the work whose content depends on scheduling, and are flagged
 //! accordingly.
+//!
+//! # Checkpointing
+//!
+//! A run given a [`CheckpointPlan`] can snapshot its enumeration frontier —
+//! the un-expanded subtree roots plus every cluster emitted so far — to a
+//! [`CheckpointSink`](crate::checkpoint::CheckpointSink), periodically and
+//! on every early shutdown (cancellation, deadline, sink stop, worker
+//! panic). On any stop, each worker *drains* its pending local nodes back
+//! to the shared queue, so after the workers park the queue is exactly the
+//! frontier. Periodic snapshots pause the run between enumeration "legs":
+//! workers park once the leg's deadline passes, the controlling thread
+//! snapshots, and a fresh leg resumes from the queue in the same call.
+//! Resuming a checkpoint later (see
+//! [`CheckpointPlan::with_resume`]) completes the run with the
+//! bit-identical collected cluster set an uninterrupted run produces — see
+//! `DESIGN.md` §10 and `crates/core/tests/checkpoint.rs`.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,8 +66,12 @@ use std::time::{Duration, Instant};
 
 use regcluster_matrix::{CondId, ExpressionMatrix};
 
-use crate::intern::EmittedSet;
-use crate::miner::{finalize, EmitOutcome, Member, Miner};
+use crate::checkpoint::{
+    matrix_fingerprint, CheckpointPlan, CheckpointReport, EngineCheckpoint, PendingMember,
+    PendingNode,
+};
+use crate::intern::{ClusterView, EmittedSet};
+use crate::miner::{finalize, Dir, EmitOutcome, Member, Miner};
 use crate::observer::{MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver};
 use crate::scratch::{ChildBuf, NodeScratch};
 use crate::{CoreError, MiningParams, RegCluster};
@@ -475,6 +495,99 @@ pub fn mine_prepared_to_sink(
     })
 }
 
+/// As [`mine_prepared_to_sink`], with crash-safety: snapshots the
+/// enumeration frontier to the plan's
+/// [`CheckpointSink`](crate::checkpoint::CheckpointSink) periodically
+/// (when [`CheckpointPlan::every`] is set) and on every early shutdown,
+/// and optionally resumes an interrupted run from
+/// [`CheckpointPlan::resume`].
+///
+/// Resuming first replays the checkpoint's emitted clusters into `sink`
+/// (so the sink receives the complete set) and then completes the pending
+/// frontier. Stats cover only the work done by *this* call — resumed runs
+/// do not repeat the interrupted run's enumeration effort, which is the
+/// point.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for an invalid configuration,
+/// [`CoreError::Checkpoint`] when the resume checkpoint does not match
+/// this run or a snapshot cannot be persisted, and
+/// [`CoreError::WorkerPanic`] if a worker, the observer, or the sink
+/// panicked — after flushing a final checkpoint (best-effort) that still
+/// covers the panicking node's subtree.
+pub fn mine_prepared_to_sink_checkpointed(
+    miner: &Miner<'_>,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+    plan: CheckpointPlan<'_>,
+) -> Result<(StreamReport, CheckpointReport), CoreError> {
+    config.validate()?;
+    let (outcome, report) = run_checkpointed(
+        miner,
+        miner.n_conditions(),
+        config,
+        control,
+        observer,
+        sink,
+        Some(plan),
+    )?;
+    Ok((
+        StreamReport {
+            stats: outcome.stats,
+            truncated: outcome.truncated,
+            stopped_by_sink: outcome.stopped_by_sink,
+        },
+        report,
+    ))
+}
+
+/// The checkpointed collect path: like
+/// [`mine_engine_with`] under a [`CheckpointPlan`].
+///
+/// A resumed run collects the checkpoint's emitted clusters plus
+/// everything the completed frontier yields, then finalizes — producing
+/// the **bit-identical** cluster set an uninterrupted [`mine_engine`] run
+/// returns (golden-tested across thread counts in
+/// `crates/core/tests/checkpoint.rs`).
+///
+/// # Errors
+///
+/// As [`mine_prepared_to_sink_checkpointed`].
+pub fn mine_engine_checkpointed(
+    matrix: &ExpressionMatrix,
+    params: &MiningParams,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    plan: CheckpointPlan<'_>,
+) -> Result<(MineReport, CheckpointReport), CoreError> {
+    config.validate()?;
+    let miner = Miner::new(matrix, params)?;
+    let sink = VecSink::new();
+    let (outcome, report) = run_checkpointed(
+        &miner,
+        matrix.n_conditions(),
+        config,
+        control,
+        observer,
+        &sink,
+        Some(plan),
+    )?;
+    let mut clusters = sink.into_clusters();
+    finalize(&mut clusters, params);
+    Ok((
+        MineReport {
+            clusters,
+            stats: outcome.stats,
+            truncated: outcome.truncated,
+        },
+        report,
+    ))
+}
+
 /// One enumeration node awaiting expansion on the **shared** queue. Shared
 /// tasks own their data because they cross workers; a worker's local pending
 /// nodes are [`NodeRef`] ranges into its arenas instead.
@@ -522,6 +635,19 @@ struct Shared<'e> {
     /// different roots have different chains and can never collide, so
     /// cross-root emissions never contend on a lock.
     emitted: Vec<Mutex<EmittedSet>>,
+    /// Checkpointing runs only: every cluster delivered to (and kept by)
+    /// the sink, in emission order. Snapshots copy it; resume seeds it.
+    journal: Option<Mutex<Vec<RegCluster>>>,
+    /// This leg should end for a periodic snapshot (checked per node once
+    /// `pause_at` passes). Distinct from `truncated`/`stopped_by_sink`: a
+    /// paused run continues with a fresh leg after the snapshot.
+    paused: AtomicBool,
+    /// Deadline of the current enumeration leg (periodic checkpoints only).
+    /// Written by the controlling thread between legs, read by workers.
+    pause_at: Option<Instant>,
+    /// The run carries a [`CheckpointPlan`]: stop paths preserve the
+    /// frontier (drains, push-backs) instead of abandoning it.
+    checkpointing: bool,
     sink: &'e dyn ClusterSink,
     observer: &'e dyn SyncMineObserver,
     control: &'e MineControl,
@@ -583,67 +709,260 @@ fn run(
     observer: &dyn SyncMineObserver,
     sink: &dyn ClusterSink,
 ) -> Result<Outcome, CoreError> {
-    let shared = Shared {
-        queue: Mutex::new(VecDeque::new()),
+    run_checkpointed(miner, n_roots, config, control, observer, sink, None)
+        .map(|(outcome, _)| outcome)
+}
+
+/// Refuses a resume checkpoint that does not belong to this run: different
+/// parameters or matrix (the frontier's pruning decisions depend on both),
+/// or structurally out-of-range ids (a corrupted or foreign snapshot).
+fn validate_resume(miner: &Miner<'_>, ck: &EngineCheckpoint) -> Result<(), CoreError> {
+    let matrix = miner.matrix();
+    let fail = |msg: String| Err(CoreError::Checkpoint(msg));
+    if ck.params != *miner.params() {
+        return fail("resume checkpoint was taken under different mining parameters".into());
+    }
+    if ck.n_genes != matrix.n_genes() || ck.n_conditions != matrix.n_conditions() {
+        return fail(format!(
+            "resume checkpoint is for a {}×{} matrix, input is {}×{}",
+            ck.n_genes,
+            ck.n_conditions,
+            matrix.n_genes(),
+            matrix.n_conditions()
+        ));
+    }
+    if ck.matrix_fingerprint != matrix_fingerprint(matrix) {
+        return fail(
+            "resume checkpoint does not match the input matrix (content fingerprint differs)"
+                .into(),
+        );
+    }
+    for node in &ck.pending {
+        if node.chain.is_empty()
+            || node.chain.iter().any(|&c| c >= matrix.n_conditions())
+            || node.members.iter().any(|m| m.gene >= matrix.n_genes())
+        {
+            return fail("resume checkpoint holds an out-of-range pending node".into());
+        }
+    }
+    for c in &ck.emitted {
+        if c.chain.is_empty()
+            || c.chain.iter().any(|&cc| cc >= matrix.n_conditions())
+            || c.p_members
+                .iter()
+                .chain(&c.n_members)
+                .any(|&g| g >= matrix.n_genes())
+        {
+            return fail("resume checkpoint holds an out-of-range emitted cluster".into());
+        }
+    }
+    Ok(())
+}
+
+/// Snapshots the frontier (the shared queue, after workers drained into it)
+/// and the emission journal. Called between legs — no worker is running.
+fn snapshot(miner: &Miner<'_>, shared: &Shared<'_>, fingerprint: u64) -> EngineCheckpoint {
+    let pending = lock(&shared.queue)
+        .iter()
+        .map(|task| PendingNode {
+            chain: task.chain.clone(),
+            members: task
+                .members
+                .iter()
+                .map(|m| PendingMember {
+                    gene: m.gene,
+                    forward: m.dir == Dir::Fwd,
+                    denom_bits: m.denom.to_bits(),
+                })
+                .collect(),
+        })
+        .collect();
+    let emitted = shared
+        .journal
+        .as_ref()
+        .map(|journal| lock(journal).clone())
+        .unwrap_or_default();
+    EngineCheckpoint {
+        params: miner.params().clone(),
+        n_genes: miner.matrix().n_genes(),
+        n_conditions: miner.matrix().n_conditions(),
+        matrix_fingerprint: fingerprint,
+        pending,
+        emitted,
+    }
+}
+
+fn run_checkpointed(
+    miner: &Miner<'_>,
+    n_roots: usize,
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+    plan: Option<CheckpointPlan<'_>>,
+) -> Result<(Outcome, CheckpointReport), CoreError> {
+    let (ck_sink, every, resume) = match plan {
+        Some(CheckpointPlan {
+            sink,
+            every,
+            resume,
+        }) => (Some(sink), every, resume),
+        None => (None, None, None),
+    };
+    let checkpointing = ck_sink.is_some();
+    let resumed = resume.is_some();
+
+    // Seed the queue and the dedup shards: from the checkpoint when
+    // resuming (replaying its emitted clusters into the sink so the sink
+    // sees the complete set), from the roots otherwise.
+    let emitted_shards: Vec<Mutex<EmittedSet>> = (0..n_roots)
+        .map(|_| Mutex::new(EmittedSet::default()))
+        .collect();
+    let mut initial: VecDeque<Task> = VecDeque::new();
+    let mut journal_seed: Vec<RegCluster> = Vec::new();
+    match resume {
+        Some(ck) => {
+            validate_resume(miner, &ck)?;
+            for cluster in &ck.emitted {
+                let genes = cluster.genes();
+                let view = ClusterView {
+                    chain: &cluster.chain,
+                    p_members: &cluster.p_members,
+                    n_members: &cluster.n_members,
+                    genes: &genes,
+                };
+                let fingerprint = view.fingerprint();
+                lock(&emitted_shards[cluster.chain[0]]).insert(fingerprint, &view);
+                // Replay delivery; refusal is ignored — a resumed sink that
+                // wants to stop does so at the first fresh emission.
+                let _ = sink.accept(cluster.clone());
+            }
+            journal_seed = ck.emitted;
+            for node in ck.pending {
+                initial.push_back(Task {
+                    chain: node.chain,
+                    members: node
+                        .members
+                        .iter()
+                        .map(|m| Member {
+                            gene: m.gene,
+                            dir: if m.forward { Dir::Fwd } else { Dir::Bwd },
+                            denom: f64::from_bits(m.denom_bits),
+                        })
+                        .collect(),
+                });
+            }
+        }
+        None => {
+            for root in 0..n_roots {
+                initial.push_back(Task {
+                    chain: vec![root],
+                    members: miner.root_members(root),
+                });
+            }
+        }
+    }
+
+    let outstanding = initial.len();
+    let mut shared = Shared {
+        queue: Mutex::new(initial),
         available: Condvar::new(),
-        outstanding: AtomicUsize::new(n_roots),
+        outstanding: AtomicUsize::new(outstanding),
         waiting: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         truncated: AtomicBool::new(false),
         stopped_by_sink: AtomicBool::new(false),
         panic_msg: Mutex::new(None),
-        emitted: (0..n_roots)
-            .map(|_| Mutex::new(EmittedSet::default()))
-            .collect(),
+        emitted: emitted_shards,
+        journal: checkpointing.then(|| Mutex::new(journal_seed)),
+        paused: AtomicBool::new(false),
+        pause_at: None,
+        checkpointing,
         sink,
         observer,
         control,
         spill_threshold: config.spill_threshold.max(1),
         stealing: config.split == SplitStrategy::WorkStealing,
     };
-    {
-        let mut queue = lock(&shared.queue);
-        for root in 0..n_roots {
-            queue.push_back(Task {
-                chain: vec![root],
-                members: miner.root_members(root),
-            });
-        }
-    }
+    // Computed once: snapshots of a large matrix would otherwise re-hash
+    // every cell per checkpoint.
+    let fingerprint = if checkpointing {
+        matrix_fingerprint(miner.matrix())
+    } else {
+        0
+    };
 
     let mut stats = MiningStats::default();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.threads);
-        for _ in 0..config.threads {
-            handles.push(scope.spawn(|| {
-                catch_unwind(AssertUnwindSafe(|| worker(miner, n_roots, &shared))).unwrap_or_else(
-                    |payload| {
-                        let mut slot = lock(&shared.panic_msg);
-                        if slot.is_none() {
-                            *slot = Some(panic_message(payload));
-                        }
-                        drop(slot);
-                        shared.request_stop();
-                        MiningStats::default()
-                    },
-                )
-            }));
+    let mut checkpoints_written = 0u64;
+    // Each iteration is one enumeration leg. Legs after the first occur
+    // only for periodic checkpoints: the paused leg's workers drained the
+    // frontier into the queue, the snapshot was taken, and the next leg
+    // resumes from the queue.
+    let outcome = loop {
+        shared.stop.store(false, Ordering::Release);
+        shared.paused.store(false, Ordering::Release);
+        shared.pause_at = every.and_then(|d| Instant::now().checked_add(d));
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let mut handles = Vec::with_capacity(config.threads);
+            for _ in 0..config.threads {
+                handles.push(scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| worker(miner, n_roots, shared)))
+                        .unwrap_or_else(|payload| {
+                            let mut slot = lock(&shared.panic_msg);
+                            if slot.is_none() {
+                                *slot = Some(panic_message(payload));
+                            }
+                            drop(slot);
+                            shared.request_stop();
+                            MiningStats::default()
+                        })
+                }));
+            }
+            for handle in handles {
+                if let Ok(worker_stats) = handle.join() {
+                    stats.merge(&worker_stats);
+                }
+            }
+        });
+
+        if let Some(msg) = lock(&shared.panic_msg).take() {
+            // Best-effort final checkpoint: the panic is the primary error
+            // (so a save failure is swallowed here), but the frontier the
+            // surviving workers drained — including the restored panicking
+            // node — is persisted so the run can be resumed.
+            if let Some(ck_sink) = ck_sink {
+                let _ = ck_sink.save(&snapshot(miner, &shared, fingerprint));
+            }
+            return Err(CoreError::WorkerPanic(msg));
         }
-        for handle in handles {
-            if let Ok(worker_stats) = handle.join() {
-                stats.merge(&worker_stats);
+        let truncated = shared.truncated.load(Ordering::Acquire);
+        let stopped_by_sink = shared.stopped_by_sink.load(Ordering::Acquire);
+        let stopping = truncated || stopped_by_sink;
+        if stopping || shared.paused.load(Ordering::Acquire) {
+            if let Some(ck_sink) = ck_sink {
+                ck_sink
+                    .save(&snapshot(miner, &shared, fingerprint))
+                    .map_err(|e| CoreError::Checkpoint(format!("checkpoint save failed: {e}")))?;
+                checkpoints_written += 1;
+            }
+            if !stopping {
+                continue;
             }
         }
-    });
-
-    if let Some(msg) = lock(&shared.panic_msg).take() {
-        return Err(CoreError::WorkerPanic(msg));
-    }
-    Ok(Outcome {
-        stats,
-        truncated: shared.truncated.load(Ordering::Acquire),
-        stopped_by_sink: shared.stopped_by_sink.load(Ordering::Acquire),
-    })
+        break Outcome {
+            stats: std::mem::take(&mut stats),
+            truncated,
+            stopped_by_sink,
+        };
+    };
+    Ok((
+        outcome,
+        CheckpointReport {
+            resumed,
+            checkpoints_written,
+        },
+    ))
 }
 
 /// The worker loop: depth-first over the local deque, stealing from the
@@ -673,12 +992,22 @@ fn worker(miner: &Miner<'_>, n_conds: usize, shared: &Shared<'_>) -> MiningStats
     // The node currently being expanded.
     let mut chain: Vec<CondId> = Vec::new();
     let mut members: Vec<Member> = Vec::new();
+    // Pristine pre-expansion copy of `chain`, maintained only on
+    // checkpointing runs: `expand_node` mutates `chain` in place, so a
+    // panicking expansion (or a sink-initiated stop, which discards the
+    // children) restores the node for the frontier from this buffer.
+    // Reused across nodes — no steady-state allocation.
+    let mut chain_backup: Vec<CondId> = Vec::new();
     // Pending local nodes: ranges into the arenas, addressed by the deque.
     let mut chain_arena: Vec<CondId> = Vec::new();
     let mut member_arena: Vec<Member> = Vec::new();
     let mut local: VecDeque<NodeRef> = VecDeque::new();
     loop {
         if shared.stop.load(Ordering::Acquire) {
+            // A stopping checkpointing run must not lose this worker's
+            // pending subtrees: they move to the shared queue, which
+            // becomes the snapshot frontier once every worker has parked.
+            drain_local(shared, &mut local, &chain_arena, &member_arena);
             break;
         }
         if let Some(node) = local.pop_back() {
@@ -711,36 +1040,78 @@ fn worker(miner: &Miner<'_>, n_conds: usize, shared: &Shared<'_>) -> MiningStats
         // that even a single heavy subtree stops promptly.
         if shared.control.is_cancelled() {
             shared.truncated.store(true, Ordering::Release);
+            // The popped node was not expanded: back to the queue it goes
+            // (it still holds its `outstanding` slot), so a checkpoint
+            // resumes from it. The loop-top stop check drains the rest.
+            push_back_current(shared, &chain, &members);
             shared.request_stop();
-            break;
+            continue;
         }
-        let stop = miner.expand_node(
-            &mut chain,
-            &members,
-            None,
-            &mut scratch,
-            &mut children,
-            &mut observer,
-            &mut |view, obs| {
-                // The fingerprint is computed outside the shard lock; the
-                // shard resolves exact membership. Duplicate probes take the
-                // lock but allocate nothing.
-                let fingerprint = view.fingerprint();
-                let shard = &shared.emitted[view.chain[0]];
-                if !lock(shard).insert(fingerprint, view) {
-                    return EmitOutcome::Duplicate;
+        if shared.checkpointing {
+            chain_backup.clear();
+            chain_backup.extend_from_slice(&chain);
+        }
+        let expansion = catch_unwind(AssertUnwindSafe(|| {
+            // Fault-injection site for worker-crash drills
+            // (`FAILPOINTS=engine::worker=panic@N`).
+            regcluster_failpoint::trigger("engine::worker");
+            miner.expand_node(
+                &mut chain,
+                &members,
+                None,
+                &mut scratch,
+                &mut children,
+                &mut observer,
+                &mut |view, obs| {
+                    // The fingerprint is computed outside the shard lock; the
+                    // shard resolves exact membership. Duplicate probes take the
+                    // lock but allocate nothing.
+                    let fingerprint = view.fingerprint();
+                    let shard = &shared.emitted[view.chain[0]];
+                    if !lock(shard).insert(fingerprint, view) {
+                        return EmitOutcome::Duplicate;
+                    }
+                    // Fresh: materialize the cluster exactly once and move it
+                    // into the sink — no clone anywhere on the emission path
+                    // (checkpointing runs add one clone, for the journal).
+                    let cluster = view.to_cluster();
+                    obs.cluster_emitted(&cluster);
+                    if let Some(journal) = &shared.journal {
+                        // Journal the cluster only when the sink keeps the
+                        // run alive: a refused cluster's node returns to the
+                        // frontier un-journaled, so resume re-emits it and
+                        // expands the subtree the stop abandoned.
+                        let copy = cluster.clone();
+                        if shared.sink.accept(cluster) {
+                            lock(journal).push(copy);
+                            EmitOutcome::Fresh
+                        } else {
+                            EmitOutcome::FreshAndStop
+                        }
+                    } else if shared.sink.accept(cluster) {
+                        EmitOutcome::Fresh
+                    } else {
+                        EmitOutcome::FreshAndStop
+                    }
+                },
+            )
+        }));
+        let stop = match expansion {
+            Ok(stop) => stop,
+            Err(payload) => {
+                // Contain the panic at node granularity: record it, restore
+                // the node it consumed (so the final checkpoint still covers
+                // its subtree), and shut the run down.
+                let mut slot = lock(&shared.panic_msg);
+                if slot.is_none() {
+                    *slot = Some(panic_message(payload));
                 }
-                // Fresh: materialize the cluster exactly once and move it
-                // into the sink — no clone anywhere on the emission path.
-                let cluster = view.to_cluster();
-                obs.cluster_emitted(&cluster);
-                if shared.sink.accept(cluster) {
-                    EmitOutcome::Fresh
-                } else {
-                    EmitOutcome::FreshAndStop
-                }
-            },
-        );
+                drop(slot);
+                push_back_current(shared, &chain_backup, &members);
+                shared.request_stop();
+                continue;
+            }
+        };
         if stop {
             // A control-aware sink refuses clusters once cancellation fires
             // mid-send; report that as truncation, not a sink-initiated stop.
@@ -749,8 +1120,12 @@ fn worker(miner: &Miner<'_>, n_conds: usize, shared: &Shared<'_>) -> MiningStats
             } else {
                 shared.stopped_by_sink.store(true, Ordering::Release);
             }
+            // The stop abandoned this node's children before they were
+            // materialized; restore the pre-expansion node so a checkpoint
+            // re-expands it on resume.
+            push_back_current(shared, &chain_backup, &members);
             shared.request_stop();
-            break;
+            continue;
         }
         if !children.index.is_empty() {
             // Count the children as live before retiring the parent so
@@ -778,8 +1153,58 @@ fn worker(miner: &Miner<'_>, n_conds: usize, shared: &Shared<'_>) -> MiningStats
             maybe_spill(shared, &mut local, &chain_arena, &member_arena);
         }
         finish_task(shared);
+        // Periodic checkpoints: once the leg deadline passes, ask everyone
+        // to park. Checked *after* a full node expansion, so every leg makes
+        // progress on every worker — even `every = Duration::ZERO` (one node
+        // per worker per leg) cannot livelock. Skipped when the tree is
+        // already exhausted: termination needs no snapshot.
+        if let Some(pause_at) = shared.pause_at {
+            if Instant::now() >= pause_at
+                && !shared.stop.load(Ordering::Acquire)
+                && shared.outstanding.load(Ordering::Acquire) != 0
+            {
+                shared.paused.store(true, Ordering::Release);
+                shared.request_stop();
+            }
+        }
     }
     observer.stats
+}
+
+/// Returns a popped-but-unfinished node to the shared queue (checkpointing
+/// runs only). The node keeps the `outstanding` slot it has held since its
+/// creation, so the termination counter needs no adjustment.
+fn push_back_current(shared: &Shared<'_>, chain: &[CondId], members: &[Member]) {
+    if !shared.checkpointing {
+        return;
+    }
+    lock(&shared.queue).push_back(Task {
+        chain: chain.to_vec(),
+        members: members.to_vec(),
+    });
+}
+
+/// Moves every pending local node to the shared queue when a checkpointing
+/// run stops: once all workers park, the queue holds the complete
+/// enumeration frontier for the snapshot. Each node keeps its
+/// `outstanding` slot. Non-checkpointing runs skip this — their stop paths
+/// simply abandon pending work, as before.
+fn drain_local(
+    shared: &Shared<'_>,
+    local: &mut VecDeque<NodeRef>,
+    chain_arena: &[CondId],
+    member_arena: &[Member],
+) {
+    if !shared.checkpointing || local.is_empty() {
+        return;
+    }
+    let mut queue = lock(&shared.queue);
+    while let Some(node) = local.pop_front() {
+        queue.push_back(Task {
+            chain: chain_arena[node.chain_start..node.chain_start + node.chain_len].to_vec(),
+            members: member_arena[node.member_start..node.member_start + node.member_len].to_vec(),
+        });
+    }
 }
 
 /// Retires one task; the last retirement wakes every waiter for shutdown.

@@ -14,8 +14,17 @@ pub enum CoreError {
     /// A worker thread panicked; the message is the captured panic payload.
     /// The panic is contained — no other worker's results are lost — but the
     /// run's output is discarded because the panicking subtree is
-    /// incomplete.
+    /// incomplete. When the run carried a
+    /// [`CheckpointPlan`](crate::checkpoint::CheckpointPlan), a final
+    /// checkpoint (including the panicking node) was flushed before this
+    /// error was raised, so the run can be resumed.
     WorkerPanic(String),
+    /// Checkpointing failed: a resume checkpoint did not match this run
+    /// (different parameters, dimensions, or matrix content) or the
+    /// [`CheckpointSink`](crate::checkpoint::CheckpointSink) could not
+    /// persist a snapshot. A run that cannot honor its durability contract
+    /// aborts rather than continuing un-checkpointed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParams(msg) => write!(f, "invalid mining parameters: {msg}"),
             CoreError::Cancelled => write!(f, "mining run cancelled before completion"),
             CoreError::WorkerPanic(msg) => write!(f, "mining worker panicked: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

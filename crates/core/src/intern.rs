@@ -69,9 +69,10 @@ impl ClusterView<'_> {
 }
 
 /// One round of a splitmix64-style permutation, good enough to spread
-/// structured id sequences across buckets.
+/// structured id sequences across buckets. Also the primitive behind
+/// [`matrix_fingerprint`](crate::checkpoint::matrix_fingerprint).
 #[inline]
-fn mix(h: u64, v: u64) -> u64 {
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
     let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^ (x >> 27)

@@ -55,6 +55,7 @@ mod intern;
 mod scratch;
 
 pub mod chain;
+pub mod checkpoint;
 pub mod cluster;
 pub mod coherence;
 pub mod engine;
@@ -67,10 +68,15 @@ pub mod rwave;
 pub mod threshold;
 
 pub use chain::RegulationChain;
+pub use checkpoint::{
+    matrix_fingerprint, CheckpointPlan, CheckpointReport, CheckpointSink, EngineCheckpoint,
+    MemoryCheckpointSink, PendingMember, PendingNode,
+};
 pub use cluster::{RegCluster, ValidationError};
 pub use engine::{
-    mine_engine, mine_engine_with, mine_prepared_to_sink, mine_to_sink, CappedSink, ClusterSink,
-    EngineConfig, MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
+    mine_engine, mine_engine_checkpointed, mine_engine_with, mine_prepared_to_sink,
+    mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
+    MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
 };
 pub use error::CoreError;
 pub use metrics::MetricsObserver;

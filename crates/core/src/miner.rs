@@ -119,6 +119,16 @@ impl<'a> Miner<'a> {
         &self.models
     }
 
+    /// The matrix this miner was built over (for checkpoint provenance).
+    pub(crate) fn matrix(&self) -> &'a ExpressionMatrix {
+        self.matrix
+    }
+
+    /// The parameters this miner was built with (for checkpoint provenance).
+    pub(crate) fn params(&self) -> &'a MiningParams {
+        self.params
+    }
+
     /// Number of conditions in the underlying matrix — one enumeration
     /// root per condition.
     pub fn n_conditions(&self) -> usize {

@@ -1,0 +1,407 @@
+#![deny(missing_docs)]
+
+//! Named-site fault injection for crash-safety testing.
+//!
+//! Production code marks the places where a crash would be interesting —
+//! a section flush in the store writer, a worker loop iteration in the
+//! mining engine — with a **failpoint site**: a call to [`io`] or
+//! [`trigger`] naming an entry of the static [`SITES`] catalogue. A test
+//! (or an operator running a chaos drill) then arms sites with an
+//! *action*:
+//!
+//! ```text
+//! FAILPOINTS='store::section_flush=io_err@2;engine::worker=panic@40'
+//! ```
+//!
+//! arms the second flush of the section writer to fail with an injected
+//! [`std::io::Error`] and the 40th engine worker loop iteration to panic.
+//! The grammar is `site=action[@n]` entries separated by `;`, where
+//! `action` is `io_err` or `panic` and the optional `@n` (1-based) fires
+//! the action only on the n-th evaluation of that site instead of every
+//! evaluation.
+//!
+//! # Cost when disabled
+//!
+//! When no site is armed — the production steady state — every failpoint
+//! evaluation is **one relaxed atomic load and a predictable branch**:
+//! no lock, no lookup, no allocation. The workspace-root `tests/alloc.rs`
+//! counts allocations through an instrumented global allocator with this
+//! crate linked in and asserts the zero-allocation mining paths stay at
+//! exactly zero.
+//!
+//! # Observability
+//!
+//! Every fired fault increments a per-site counter. Call
+//! [`register_metrics`] to mirror those counters into a
+//! [`MetricsRegistry`] as `regcluster_failpoints_fired_total{site=…}`,
+//! so a chaos drill shows up on the same `/metrics` endpoint operators
+//! already scrape (`docs/OBSERVABILITY.md`).
+//!
+//! # Scope
+//!
+//! The armed configuration is process-global (that is the point — the
+//! code under test must not know it is being sabotaged), so tests that
+//! call [`configure`] must serialize themselves and [`clear`] on exit.
+//! The full site catalogue with the failure each site simulates is
+//! documented in `docs/ROBUSTNESS.md`, kept in sync by a drift test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use regcluster_obs::{Counter, MetricsRegistry};
+
+/// Every failpoint site the workspace instruments, in catalogue order.
+///
+/// [`configure`] rejects names outside this list, so a typo in a chaos
+/// spec fails loudly instead of silently arming nothing. The docs-drift
+/// test iterates this list against `docs/ROBUSTNESS.md`.
+pub const SITES: &[&str] = &[
+    "store::record_write",
+    "store::section_flush",
+    "store::seal_header",
+    "store::fsync_file",
+    "store::rename",
+    "store::dir_sync",
+    "checkpoint::save",
+    "engine::worker",
+];
+
+/// Metric family name under which fired-fault counters are exported.
+pub const FIRED_METRIC: &str = "regcluster_failpoints_fired_total";
+
+/// Environment variable read by [`init_from_env`].
+pub const ENV_VAR: &str = "FAILPOINTS";
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// The site returns an injected [`std::io::Error`] (kind `Other`).
+    IoErr,
+    /// The site panics, simulating a crashed worker thread.
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    action: Action,
+    /// 1-based evaluation ordinal on which to fire; `None` = every time.
+    fire_at: Option<u64>,
+}
+
+const N_SITES: usize = 8;
+const _: () = assert!(SITES.len() == N_SITES, "keep N_SITES in sync with SITES");
+
+/// Fast-path gate: false (the default) means every site is a
+/// branch-on-relaxed-load no-op.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+/// Evaluations per site while armed (drives `@n` ordinals).
+static HITS: [AtomicU64; N_SITES] = [ZERO; N_SITES];
+/// Faults actually fired per site.
+static FIRED: [AtomicU64; N_SITES] = [ZERO; N_SITES];
+
+/// Armed actions per site plus the obs-registry mirror handles.
+/// Locked only on the slow path (armed process) and at (re)configuration.
+static CONFIG: Mutex<Option<[Option<Armed>; N_SITES]>> = Mutex::new(None);
+static MIRRORS: Mutex<Vec<[Counter; N_SITES]>> = Mutex::new(Vec::new());
+
+fn site_index(site: &str) -> Option<usize> {
+    SITES.iter().position(|&s| s == site)
+}
+
+/// Parses and arms a failpoint spec (`site=action[@n]` entries separated
+/// by `;`), replacing any previous configuration and resetting the
+/// per-site evaluation ordinals. An empty spec disarms everything, like
+/// [`clear`].
+///
+/// # Errors
+///
+/// A description of the first malformed entry: unknown site name, unknown
+/// action, or an unparsable `@n` ordinal.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut armed: [Option<Armed>; N_SITES] = [None; N_SITES];
+    let mut any = false;
+    for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry {entry:?}: expected site=action[@n]"))?;
+        let idx = site_index(site.trim()).ok_or_else(|| {
+            format!(
+                "unknown failpoint site {:?}; known sites: {}",
+                site.trim(),
+                SITES.join(", ")
+            )
+        })?;
+        let (action, ordinal) = match rest.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("failpoint entry {entry:?}: bad ordinal {n:?}"))?;
+                if n == 0 {
+                    return Err(format!("failpoint entry {entry:?}: ordinal is 1-based"));
+                }
+                (a, Some(n))
+            }
+            None => (rest, None),
+        };
+        let action = match action.trim() {
+            "io_err" => Action::IoErr,
+            "panic" => Action::Panic,
+            other => {
+                return Err(format!(
+                    "unknown failpoint action {other:?}; want io_err or panic"
+                ))
+            }
+        };
+        armed[idx] = Some(Armed {
+            action,
+            fire_at: ordinal,
+        });
+        any = true;
+    }
+    let mut config = lock(&CONFIG);
+    for hits in &HITS {
+        hits.store(0, Ordering::Relaxed);
+    }
+    *config = any.then_some(armed);
+    // Publish the gate after the config so a racing slow path sees the
+    // new actions; release pairs with the slow path's acquire reload.
+    ACTIVE.store(any, Ordering::Release);
+    Ok(())
+}
+
+/// Arms failpoints from the `FAILPOINTS` environment variable; a missing
+/// or empty variable leaves everything disarmed. Returns whether any site
+/// was armed.
+///
+/// # Errors
+///
+/// As [`configure`], for a malformed spec.
+pub fn init_from_env() -> Result<bool, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) => {
+            configure(&spec)?;
+            Ok(ACTIVE.load(Ordering::Relaxed))
+        }
+        Err(_) => Ok(false),
+    }
+}
+
+/// Disarms every site and resets the per-site evaluation ordinals.
+/// Cumulative fired counters are kept (they are monotonic metrics).
+pub fn clear() {
+    let mut config = lock(&CONFIG);
+    for hits in &HITS {
+        hits.store(0, Ordering::Relaxed);
+    }
+    *config = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// Evaluates the failpoint at `site`, returning the injected error when
+/// an `io_err` action fires. Instrument fallible I/O boundaries with
+/// `failpoint::io("store::…")?`.
+///
+/// When nothing is armed (the production steady state) this is one
+/// relaxed atomic load and a branch: no lock, no allocation.
+///
+/// # Errors
+///
+/// The injected error when `site` is armed with `io_err` and its ordinal
+/// matches.
+///
+/// # Panics
+///
+/// When `site` is armed with `panic` and its ordinal matches.
+#[inline]
+pub fn io(site: &'static str) -> std::io::Result<()> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    slow(site)
+}
+
+/// Evaluates the failpoint at `site` where no error can be returned —
+/// only the `panic` action is observable; a fired `io_err` is counted but
+/// otherwise ignored. Instrument infallible hot paths (the engine worker
+/// loop) with this.
+///
+/// # Panics
+///
+/// When `site` is armed with `panic` and its ordinal matches.
+#[inline]
+pub fn trigger(site: &'static str) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let _ = slow(site);
+}
+
+#[cold]
+fn slow(site: &'static str) -> std::io::Result<()> {
+    let Some(idx) = site_index(site) else {
+        // An uncatalogued site is a wiring bug; surface it in tests.
+        debug_assert!(false, "failpoint site {site:?} is not in SITES");
+        return Ok(());
+    };
+    let armed = {
+        let config = lock(&CONFIG);
+        // Re-check under the lock: `clear` may have won the race.
+        let Some(table) = config.as_ref() else {
+            return Ok(());
+        };
+        let Some(armed) = table[idx] else {
+            return Ok(());
+        };
+        armed
+    };
+    let hit = HITS[idx].fetch_add(1, Ordering::Relaxed) + 1;
+    if armed.fire_at.is_some_and(|n| n != hit) {
+        return Ok(());
+    }
+    FIRED[idx].fetch_add(1, Ordering::Relaxed);
+    for mirror in lock(&MIRRORS).iter() {
+        mirror[idx].inc();
+    }
+    match armed.action {
+        Action::IoErr => Err(std::io::Error::other(format!(
+            "injected failpoint error at {site} (hit {hit})"
+        ))),
+        Action::Panic => panic!("injected failpoint panic at {site} (hit {hit})"),
+    }
+}
+
+/// Faults fired at `site` since process start (cumulative across
+/// [`configure`]/[`clear`] cycles).
+///
+/// # Panics
+///
+/// If `site` is not in [`SITES`].
+pub fn fired(site: &str) -> u64 {
+    let idx = site_index(site).unwrap_or_else(|| panic!("unknown failpoint site {site:?}"));
+    FIRED[idx].load(Ordering::Relaxed)
+}
+
+/// Mirrors the per-site fired counters into `registry` as
+/// [`FIRED_METRIC`]`{site=…}` series, seeding each with the count fired
+/// so far, and keeps them updated as further faults fire.
+pub fn register_metrics(registry: &MetricsRegistry) {
+    let counters: Vec<Counter> = SITES
+        .iter()
+        .enumerate()
+        .map(|(idx, site)| {
+            let c = registry.counter(
+                FIRED_METRIC,
+                "Injected faults fired per failpoint site.",
+                &[("site", site)],
+            );
+            let already = FIRED[idx].load(Ordering::Relaxed);
+            if already > c.get() {
+                c.add(already - c.get());
+            }
+            c
+        })
+        .collect();
+    let mirror: [Counter; N_SITES] = counters.try_into().expect("SITES.len() == N_SITES");
+    lock(&MIRRORS).push(mirror);
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The armed configuration is process-global, so every test arming
+    // sites serializes on this and clears on exit.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_sites_are_silent() {
+        let _guard = lock(&SERIAL);
+        clear();
+        for &site in SITES {
+            io(site).unwrap();
+            trigger(site);
+        }
+    }
+
+    #[test]
+    fn io_err_fires_every_time_without_ordinal() {
+        let _guard = lock(&SERIAL);
+        configure("store::section_flush=io_err").unwrap();
+        let before = fired("store::section_flush");
+        assert!(io("store::section_flush").is_err());
+        assert!(io("store::section_flush").is_err());
+        io("store::rename").unwrap();
+        assert_eq!(fired("store::section_flush"), before + 2);
+        clear();
+        io("store::section_flush").unwrap();
+    }
+
+    #[test]
+    fn ordinal_fires_exactly_once_at_n() {
+        let _guard = lock(&SERIAL);
+        configure("store::record_write=io_err@3").unwrap();
+        assert!(io("store::record_write").is_ok());
+        assert!(io("store::record_write").is_ok());
+        assert!(io("store::record_write").is_err());
+        assert!(io("store::record_write").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn panic_action_panics_and_trigger_ignores_io_err() {
+        let _guard = lock(&SERIAL);
+        configure("engine::worker=panic@1;store::dir_sync=io_err").unwrap();
+        trigger("store::dir_sync"); // io_err on a trigger site: counted, ignored
+        let payload = std::panic::catch_unwind(|| trigger("engine::worker"))
+            .expect_err("armed panic must fire");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("engine::worker"), "payload: {msg}");
+        clear();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _guard = lock(&SERIAL);
+        assert!(configure("nonsense").is_err());
+        assert!(configure("no::such::site=io_err").is_err());
+        assert!(configure("engine::worker=explode").is_err());
+        assert!(configure("engine::worker=panic@zero").is_err());
+        assert!(configure("engine::worker=panic@0").is_err());
+        // A failed configure leaves nothing armed.
+        for &site in SITES {
+            io(site).unwrap();
+        }
+        clear();
+    }
+
+    #[test]
+    fn metrics_mirror_counts_fired_faults() {
+        let _guard = lock(&SERIAL);
+        clear();
+        let registry = MetricsRegistry::new();
+        register_metrics(&registry);
+        let handle = registry.counter(
+            FIRED_METRIC,
+            "Injected faults fired per failpoint site.",
+            &[("site", "store::seal_header")],
+        );
+        let before = handle.get();
+        configure("store::seal_header=io_err@1").unwrap();
+        assert!(io("store::seal_header").is_err());
+        assert_eq!(handle.get(), before + 1);
+        assert_eq!(
+            registry.metric_names(),
+            vec![FIRED_METRIC.to_string()],
+            "one family, one series per site"
+        );
+        clear();
+    }
+}

@@ -1,0 +1,171 @@
+//! Fuzzing the matrix loader: no input — binary garbage, token soup,
+//! NaN/Inf cells, ragged rows — may ever panic it. Malformed matrices
+//! must come back as typed [`MatrixError`]s, well-formed ones must
+//! round-trip. Mirrors the argument-parser fuzz in
+//! `crates/cli/tests/parser_fuzz.rs`.
+
+use proptest::prelude::*;
+
+use regcluster_matrix::io::{read_matrix, read_ragged};
+use regcluster_matrix::MatrixError;
+
+/// One data-cell token: valid numbers, the documented missing-value
+/// markers, non-finite spellings, and outright garbage (including
+/// delimiter characters, so raggedness emerges naturally).
+fn cell_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "-?[0-9]{1,5}(\\.[0-9]{0,3})?",
+        Just("NA".to_string()),
+        Just("NaN".to_string()),
+        Just("?".to_string()),
+        Just(String::new()),
+        Just("inf".to_string()),
+        Just("-inf".to_string()),
+        Just("1e309".to_string()), // overflows f64 to +inf
+        "[a-zA-Z%#,;. -]{0,6}",
+    ]
+}
+
+/// Builds a tab-delimited document from a header width and token rows.
+fn render(n_conds: usize, rows: &[Vec<String>]) -> String {
+    let mut text = "GENE".to_string();
+    for c in 0..n_conds {
+        text.push_str(&format!("\tc{c}"));
+    }
+    text.push('\n');
+    for (g, row) in rows.iter().enumerate() {
+        text.push_str(&format!("g{g}"));
+        for tok in row {
+            text.push('\t');
+            text.push_str(tok);
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// A rectangular matrix of in-range finite values, rendered to text.
+fn well_formed() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(n_conds, n_genes)| {
+        let rows =
+            prop::collection::vec(prop::collection::vec(-1000.0f64..1000.0, n_conds), n_genes);
+        (Just(n_conds), rows)
+    })
+}
+
+fn render_values(n_conds: usize, rows: &[Vec<f64>]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| format!("{v}")).collect())
+        .collect();
+    render(n_conds, &rendered)
+}
+
+proptest! {
+    /// Arbitrary bytes — not even UTF-8 — must parse or error, never panic.
+    #[test]
+    fn loader_never_panics_on_binary_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_ragged(bytes.as_slice());
+        let _ = read_matrix(bytes.as_slice());
+    }
+
+    /// Token-soup grids (holes, infinities, garbage, ragged widths) must
+    /// parse or error, never panic — and whenever the grid is rectangular
+    /// with parseable finite cells, parsing must succeed.
+    #[test]
+    fn loader_never_panics_on_token_grids(
+        n_conds in 1usize..5,
+        rows in prop::collection::vec(prop::collection::vec(cell_token(), 0..6), 0..5),
+    ) {
+        let text = render(n_conds, &rows);
+        let _ = read_matrix(text.as_bytes());
+        if let Ok(r) = read_ragged(text.as_bytes()) {
+            prop_assert_eq!(r.cells.len(), r.genes.len() * r.conditions.len());
+        }
+    }
+
+    /// Well-formed matrices round-trip exactly.
+    #[test]
+    fn well_formed_matrices_parse_and_roundtrip((n_conds, rows) in well_formed()) {
+        let m = read_matrix(render_values(n_conds, &rows).as_bytes()).unwrap();
+        prop_assert_eq!(m.n_genes(), rows.len());
+        prop_assert_eq!(m.n_conditions(), n_conds);
+        for (g, row) in rows.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                prop_assert_eq!(m.value(g, c), *v);
+            }
+        }
+    }
+
+    /// An infinity anywhere is a typed `NonFinite` naming the exact cell.
+    /// (`NaN` spellings are missing-value markers by the format spec, so
+    /// the non-finite rejection is specifically about infinities.)
+    #[test]
+    fn infinities_are_rejected_with_the_cell_position(
+        (n_conds, rows) in well_formed(),
+        pick in 0usize..10_000,
+        spelling in prop_oneof![Just("inf"), Just("-inf"), Just("Infinity"), Just("1e309")],
+    ) {
+        let flat = pick % (rows.len() * n_conds);
+        let (bad_row, bad_col) = (flat / n_conds, flat % n_conds);
+        let mut rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| format!("{v}")).collect())
+            .collect();
+        rendered[bad_row][bad_col] = spelling.to_string();
+        match read_matrix(render(n_conds, &rendered).as_bytes()) {
+            Err(MatrixError::NonFinite { gene, cond }) => {
+                prop_assert_eq!((gene, cond), (bad_row, bad_col));
+            }
+            other => prop_assert!(false, "expected NonFinite, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// Missing-value markers become holes that `read_matrix` refuses and
+    /// `read_ragged` counts exactly.
+    #[test]
+    fn holes_are_counted_and_refused(
+        (n_conds, rows) in well_formed(),
+        pick in 0usize..10_000,
+        marker in prop_oneof![Just("NA"), Just("nan"), Just("?"), Just("")],
+    ) {
+        let flat = pick % (rows.len() * n_conds);
+        let mut rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| format!("{v}")).collect())
+            .collect();
+        rendered[flat / n_conds][flat % n_conds] = marker.to_string();
+        let text = render(n_conds, &rendered);
+        prop_assert!(read_matrix(text.as_bytes()).is_err());
+        let r = read_ragged(text.as_bytes()).unwrap();
+        prop_assert_eq!(r.n_missing(), 1);
+    }
+
+    /// A row of the wrong width is a typed `RaggedRow` naming the row,
+    /// whether a cell is missing or extra.
+    #[test]
+    fn ragged_rows_are_rejected_with_the_row_index(
+        (n_conds, rows) in well_formed(),
+        pick in 0usize..10_000,
+        extend in any::<bool>(),
+    ) {
+        let bad_row = pick % rows.len();
+        let mut rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| format!("{v}")).collect())
+            .collect();
+        if extend {
+            rendered[bad_row].push("1".to_string());
+        } else {
+            rendered[bad_row].pop();
+        }
+        match read_matrix(render(n_conds, &rendered).as_bytes()) {
+            Err(MatrixError::RaggedRow { row, expected, found }) => {
+                prop_assert_eq!(row, bad_row);
+                prop_assert_eq!(expected, n_conds);
+                prop_assert_eq!(found, if extend { n_conds + 1 } else { n_conds - 1 });
+            }
+            other => prop_assert!(false, "expected RaggedRow, got {:?}", other.map(|_| ())),
+        }
+    }
+}

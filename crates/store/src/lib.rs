@@ -23,6 +23,11 @@
 //! * **[`StoreError`]** types every failure: corrupted or truncated files
 //!   are rejected with checksum/format errors, never a panic and never
 //!   garbage clusters.
+//! * **[`CheckpointFile`]** persists engine crash-recovery snapshots as
+//!   `.rck` files ([`read_checkpoint`] loads them back), reusing the same
+//!   checksummed section format and the same atomic tmp + rename
+//!   discipline, so `regcluster mine --checkpoint run.rck` survives
+//!   crashes and resumes bit-identically.
 //!
 //! # Quick start
 //!
@@ -56,12 +61,14 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
+mod checkpoint;
 mod error;
 mod format;
 mod query;
 mod reader;
 mod writer;
 
+pub use checkpoint::{read_checkpoint, CheckpointFile, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use error::StoreError;
 pub use format::FORMAT_VERSION;
 pub use query::Query;

@@ -73,6 +73,14 @@ impl ClusterStore {
     /// * [`StoreError::Metadata`] — provenance parameters unreadable;
     /// * [`StoreError::Io`] — the file could not be read.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        // A writer that crashed before its sealing rename leaves
+        // `<path>.tmp` behind; it is never the destination, so clear it
+        // (best effort) rather than letting stale scratch files pile up.
+        let stale = crate::writer::tmp_path(path);
+        if stale.symlink_metadata().is_ok() {
+            let _ = std::fs::remove_file(&stale);
+        }
         Self::from_bytes(std::fs::read(path)?)
     }
 

@@ -15,7 +15,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use regcluster_core::{ClusterSink, MiningParams, RegCluster};
@@ -52,19 +52,55 @@ struct WriterState {
 /// [`mine_to_sink`](regcluster_core::mine_to_sink): an I/O failure makes
 /// `accept` return `false`, which stops the run cooperatively
 /// (`stopped_by_sink`), and the failure itself is returned by
-/// [`finish`](StoreWriter::finish). A writer that is dropped without
-/// `finish` leaves a file without a section table, which
-/// [`ClusterStore::open`](crate::ClusterStore::open) rejects — a crashed
-/// run can never masquerade as a complete store.
+/// [`finish`](StoreWriter::finish).
+///
+/// # Crash atomicity
+///
+/// All streaming and sealing I/O goes to `<path>.tmp`; only after the
+/// sealed file is flushed and fsynced does [`finish`](StoreWriter::finish)
+/// rename it over `path` and fsync the parent directory. A crash (or an
+/// injected failpoint, see `docs/ROBUSTNESS.md`) at **any** point
+/// therefore leaves the destination either untouched (the previous
+/// complete store, or absent) or the new complete store — never a torn
+/// file. A writer dropped without `finish` leaves only the `.tmp`, which
+/// [`ClusterStore::open`](crate::ClusterStore::open) clears as a stale
+/// leftover.
 pub struct StoreWriter {
     state: Mutex<WriterState>,
+    final_path: PathBuf,
+    tmp_path: PathBuf,
     gene_names: Vec<String>,
     cond_names: Vec<String>,
     params_json: String,
 }
 
+/// The scratch path a writer streams into before the sealing rename:
+/// `<path>.tmp`, with the suffix appended to the full file name.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Fsyncs the directory containing `path` so a just-renamed entry is
+/// durable (on platforms where directories cannot be opened for sync,
+/// e.g. Windows, this degrades to a no-op).
+pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
 impl StoreWriter {
-    /// Creates (truncating) `path` and prepares it for streaming writes.
+    /// Prepares to write the store that will land at `path`, streaming
+    /// into `<path>.tmp` until [`finish`](StoreWriter::finish) renames it
+    /// into place. An existing complete store at `path` stays intact (and
+    /// readable) until that rename.
     ///
     /// `gene_names` / `cond_names` are the matrix dictionaries: member and
     /// chain ids of every accepted cluster must index into them. `params`
@@ -72,7 +108,7 @@ impl StoreWriter {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] if the file cannot be created, or
+    /// [`StoreError::Io`] if the scratch file cannot be created, or
     /// [`StoreError::Metadata`] if the parameters fail to serialize.
     pub fn create(
         path: impl AsRef<Path>,
@@ -82,12 +118,14 @@ impl StoreWriter {
     ) -> Result<Self, StoreError> {
         let params_json =
             serde_json::to_string(params).map_err(|e| StoreError::Metadata(e.to_string()))?;
+        let final_path = path.as_ref().to_path_buf();
+        let tmp = tmp_path(&final_path);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(&tmp)?;
         let mut file = BufWriter::new(file);
         // Placeholder header; patched by `finish` once the table offset and
         // checksum are known. Until then the magic is zeroed, so a reader
@@ -101,6 +139,8 @@ impl StoreWriter {
                 record_buf: Vec::new(),
                 error: None,
             }),
+            final_path,
+            tmp_path: tmp,
             gene_names: gene_names.to_vec(),
             cond_names: cond_names.to_vec(),
             params_json,
@@ -166,6 +206,7 @@ impl StoreWriter {
         }
         let mut buf = std::mem::take(&mut state.record_buf);
         let result = self.encode_record(cluster, &mut buf).and_then(|()| {
+            regcluster_failpoint::io("store::record_write")?;
             state.file.write_all(&buf)?;
             let off = state.clusters_len;
             state.offsets.push(off);
@@ -183,13 +224,28 @@ impl StoreWriter {
 
     /// Seals the store: canonical offsets table, size table, inverted
     /// indexes, metadata, dictionaries, section table, header — in that
-    /// order — then syncs to disk.
+    /// order — then fsyncs the scratch file, renames it over the
+    /// destination, and fsyncs the parent directory. The destination is
+    /// replaced atomically: it either still holds its previous contents
+    /// or the new complete store, never a torn intermediate.
     ///
     /// # Errors
     ///
     /// The first write failure recorded during streaming, or any failure
-    /// while sealing.
+    /// while sealing. On error the scratch `.tmp` is removed (best
+    /// effort) and the destination is left untouched.
     pub fn finish(self) -> Result<StoreSummary, StoreError> {
+        let tmp = self.tmp_path.clone();
+        let result = self.finish_inner();
+        if result.is_err() {
+            // Best effort: if the failure happened after the rename the
+            // tmp is already gone and this is a no-op.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    fn finish_inner(self) -> Result<StoreSummary, StoreError> {
         let state = self
             .state
             .into_inner()
@@ -253,6 +309,9 @@ impl StoreWriter {
 
         let mut write_section =
             |file: &mut BufWriter<File>, id: SectionId, payload: &[u8]| -> Result<(), StoreError> {
+                // One evaluation per section boundary: `@n` picks which
+                // of the seven sealing sections the chaos test kills at.
+                regcluster_failpoint::io("store::section_flush")?;
                 file.write_all(payload)?;
                 sections.push(Section {
                     id,
@@ -316,10 +375,20 @@ impl StoreWriter {
         put_u64(&mut header, table_offset);
         put_u64(&mut header, table_checksum);
         debug_assert_eq!(header.len(), HEADER_LEN);
+        regcluster_failpoint::io("store::seal_header")?;
         file.seek(SeekFrom::Start(0))?;
         file.write_all(&header)?;
         file.flush()?;
+        regcluster_failpoint::io("store::fsync_file")?;
         file.get_ref().sync_all()?;
+        drop(file);
+        // The commit point: everything before this leaves the destination
+        // untouched; everything at or after it leaves the new complete
+        // store in place.
+        regcluster_failpoint::io("store::rename")?;
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
+        regcluster_failpoint::io("store::dir_sync")?;
+        sync_parent_dir(&self.final_path)?;
 
         Ok(StoreSummary {
             n_clusters: decoded.len() as u64,

@@ -111,11 +111,14 @@ fn foreign_and_future_files_are_rejected() {
 }
 
 #[test]
-fn unsealed_file_is_rejected() {
-    // A writer dropped without finish leaves the zeroed placeholder header.
+fn unsealed_writer_leaves_no_destination_and_its_tmp_is_rejected_then_cleared() {
+    // A writer dropped without finish never touched the destination: all
+    // streaming went to `<path>.tmp`, which still carries the zeroed
+    // placeholder header.
     let dir = std::env::temp_dir().join(format!("regcluster-unsealed-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path: PathBuf = dir.join("unsealed.rcs");
+    let tmp = dir.join("unsealed.rcs.tmp");
     let m = running_example();
     let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
     {
@@ -126,7 +129,13 @@ fn unsealed_file_is_rejected() {
         }
         // dropped without finish()
     }
-    let err = ClusterStore::open(&path).unwrap_err();
+    assert!(!path.exists(), "destination must stay untouched");
+    assert!(tmp.exists(), "streaming goes to the scratch file");
+    // The scratch bytes themselves can never masquerade as a store.
+    let err = ClusterStore::from_bytes(std::fs::read(&tmp).unwrap()).unwrap_err();
     assert!(matches!(err, StoreError::Format(_)), "{err}");
     assert!(err.to_string().contains("magic"), "{err}");
+    // Opening the destination fails (nothing there) and clears the stale tmp.
+    assert!(matches!(ClusterStore::open(&path), Err(StoreError::Io(_))));
+    assert!(!tmp.exists(), "open clears stale .tmp leftovers");
 }

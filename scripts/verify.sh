@@ -13,7 +13,13 @@ cargo test -q
 echo "==> store durability (round-trip + corruption)"
 cargo test -q -p regcluster-store --test roundtrip --test corruption
 
-echo "==> serve smoke (concurrent clients, graceful shutdown)"
+echo "==> chaos (failpoint-injected faults: torn writes, crash checkpoints, worker panics)"
+cargo test -q -p regcluster-store --test torn_write --test checkpoint_file
+cargo test -q -p regcluster-core --test fault --test checkpoint
+cargo test -q -p regcluster-cli --test binary -- failpoints_env interrupted_mine
+cargo test -q --test alloc disabled_failpoints
+
+echo "==> serve smoke (concurrent clients, overload shedding, graceful shutdown)"
 cargo test -q -p regcluster-cli --test serve_smoke
 
 echo "==> cargo fmt --check"

@@ -209,6 +209,43 @@ fn warmed_emitting_run_allocates_only_per_cluster_synthetic() {
 }
 
 #[test]
+fn disabled_failpoints_are_allocation_free() {
+    // The fault-injection sites stay compiled into production binaries;
+    // their disabled steady state must be a branch on a relaxed atomic
+    // load — nothing else. Hammer both evaluation flavors with nothing
+    // armed and demand literally zero allocator calls.
+    let (allocs, _) = count_allocs(|| {
+        for _ in 0..100_000 {
+            regcluster_failpoint::trigger("engine::worker");
+            regcluster_failpoint::io("store::record_write").expect("disarmed site cannot fire");
+            regcluster_failpoint::io("checkpoint::save").expect("disarmed site cannot fire");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled failpoints must not allocate ({allocs} allocs over 300k evaluations)"
+    );
+}
+
+#[test]
+fn warmed_zero_emission_run_allocates_nothing_with_failpoints_linked() {
+    // Same zero-allocation property as above, with the failpoint crate
+    // linked and explicitly disarmed — proving the instrumented build
+    // keeps the allocation-free enumeration guarantee.
+    regcluster_failpoint::clear();
+    let m = running_example();
+    let params = MiningParams::new(3, 6, 0.15, 0.1).unwrap();
+    let (allocs, stats) = warmed_run(&m, &params, &mut MineWorkspace::new());
+    assert!(stats.nodes > 0, "workload must explore nodes");
+    assert_eq!(
+        allocs, 0,
+        "failpoint-linked steady-state enumeration must not allocate \
+         ({} nodes explored)",
+        stats.nodes
+    );
+}
+
+#[test]
 fn duplicate_probes_allocate_nothing_beyond_fresh_emissions() {
     // The engineered 4×4 matrix from the miner's duplicate-pruning test:
     // two overlapping ε-windows converge to the identical cluster one chain
