@@ -46,9 +46,27 @@ impl Bicluster {
     }
 }
 
+/// The outcome of a cancellation-aware baseline run: the (still verified,
+/// still maximal) clusters found so far, plus whether the search was cut
+/// short by its [`MineControl`](regcluster_core::MineControl).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// The clusters found before the stop. Every one satisfies the
+    /// algorithm's model definition; on a truncated run the set is merely
+    /// incomplete, never invalid.
+    pub clusters: Vec<Bicluster>,
+    /// The run was stopped by cancellation or a deadline before the search
+    /// space was exhausted.
+    pub truncated: bool,
+}
+
 /// Drops every bicluster contained in another one (keeping the first of
 /// exact duplicates), preserving order.
-pub(crate) fn retain_maximal(mut clusters: Vec<Bicluster>) -> Vec<Bicluster> {
+///
+/// This is the dedup/maximality filter every baseline applies before
+/// returning — the "never over-report" half of the crate contract. Public
+/// so engine adapters can re-apply it after merging multiple runs.
+pub fn retain_maximal(mut clusters: Vec<Bicluster>) -> Vec<Bicluster> {
     let mut keep = vec![true; clusters.len()];
     for i in 0..clusters.len() {
         if !keep[i] {

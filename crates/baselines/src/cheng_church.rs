@@ -341,14 +341,19 @@ pub fn cheng_church(matrix: &ExpressionMatrix, params: &ChengChurchParams) -> Ve
         let inverted: Vec<bool> = pairs.iter().map(|&(_, s)| s < 0.0).collect();
         let mut conds = v.cols.clone();
         conds.sort_unstable();
-        out.push(CcBicluster {
-            bicluster: Bicluster {
-                genes: genes.clone(),
-                conds: conds.clone(),
-            },
-            inverted,
-            msr: h,
-        });
+        let bicluster = Bicluster {
+            genes: genes.clone(),
+            conds: conds.clone(),
+        };
+        // Masked cells can (on small matrices) accidentally re-form an
+        // already-extracted block; report each block once.
+        if !out.iter().any(|c: &CcBicluster| c.bicluster == bicluster) {
+            out.push(CcBicluster {
+                bicluster,
+                inverted,
+                msr: h,
+            });
+        }
 
         // Phase 4: mask with random values.
         for &r in &genes {

@@ -19,8 +19,10 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use regcluster_core::MineControl;
 use regcluster_matrix::ExpressionMatrix;
 
+use crate::bicluster::BaselineRun;
 use crate::Bicluster;
 
 /// Parameters of the FLOC search.
@@ -115,11 +117,34 @@ fn residue(matrix: &ExpressionMatrix, c: &Candidate) -> f64 {
 
 /// Runs FLOC and returns the clusters whose residue converged below δ.
 pub fn floc(matrix: &ExpressionMatrix, params: &FlocParams) -> Vec<Bicluster> {
+    floc_with_control(matrix, params, &MineControl::new()).clusters
+}
+
+/// As [`floc`], polling `control` once per improvement iteration so a
+/// deadline or cancellation bounds the run.
+///
+/// A tripped control stops iterating and reports whichever candidates have
+/// *already* converged below δ (partial convergence still passes the final
+/// residue filter, so every reported cluster is a valid δ-cluster), with
+/// [`BaselineRun::truncated`] set. A pre-cancelled control skips even the
+/// random seeding and returns an empty truncated run.
+pub fn floc_with_control(
+    matrix: &ExpressionMatrix,
+    params: &FlocParams,
+    control: &MineControl,
+) -> BaselineRun {
     assert!(params.delta >= 0.0, "delta must be ≥ 0");
     assert!(
         (0.0..=1.0).contains(&params.seed_prob),
         "seed_prob must be a probability"
     );
+    if control.is_cancelled() {
+        return BaselineRun {
+            clusters: Vec::new(),
+            truncated: true,
+        };
+    }
+    let mut truncated = false;
     let n_rows = matrix.n_genes();
     let n_cols = matrix.n_conditions();
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
@@ -164,6 +189,10 @@ pub fn floc(matrix: &ExpressionMatrix, params: &FlocParams) -> Vec<Bicluster> {
     };
 
     for _ in 0..params.max_iterations {
+        if control.is_cancelled() {
+            truncated = true;
+            break;
+        }
         let mut improved = false;
         // Row actions: toggle row r in its best cluster.
         for r in 0..n_rows {
@@ -236,13 +265,20 @@ pub fn floc(matrix: &ExpressionMatrix, params: &FlocParams) -> Vec<Bicluster> {
             out.push(Bicluster::new(rows, cols));
         }
     }
+    // The tie-break on conds makes the order total, so exact duplicates
+    // (distinct candidates converging onto the same block) are adjacent
+    // and dedup removes every one of them.
     out.sort_by(|a, b| {
         (b.n_genes() * b.n_conds())
             .cmp(&(a.n_genes() * a.n_conds()))
             .then_with(|| a.genes.cmp(&b.genes))
+            .then_with(|| a.conds.cmp(&b.conds))
     });
     out.dedup();
-    out
+    BaselineRun {
+        clusters: out,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +366,24 @@ mod tests {
         let m = matrix(rows);
         let params = FlocParams::default();
         assert_eq!(floc(&m, &params), floc(&m, &params));
+    }
+
+    #[test]
+    fn precancelled_control_returns_truncated_and_empty() {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..5).map(|j| ((i * 13 + j * 7 + 1) % 17) as f64).collect())
+            .collect();
+        let m = matrix(rows);
+        let params = FlocParams::default();
+        let control = MineControl::new();
+        control.cancel();
+        let run = floc_with_control(&m, &params, &control);
+        assert!(run.truncated);
+        assert!(run.clusters.is_empty());
+        // An untripped control reproduces the plain entry point.
+        let run = floc_with_control(&m, &params, &MineControl::new());
+        assert!(!run.truncated);
+        assert_eq!(run.clusters, floc(&m, &params));
     }
 
     #[test]

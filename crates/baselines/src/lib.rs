@@ -31,11 +31,11 @@ pub mod opsm;
 pub mod pcluster;
 pub mod scaling;
 
-pub use bicluster::Bicluster;
+pub use bicluster::{retain_maximal, BaselineRun, Bicluster};
 pub use cheng_church::{cheng_church, CcBicluster, ChengChurchParams};
-pub use floc::{floc, FlocParams};
+pub use floc::{floc, floc_with_control, FlocParams};
 pub use microcluster::{microcluster, MicroClusterParams};
 pub use op_cluster::{op_cluster, OpClusterParams};
 pub use opsm::{opsm, OpsmParams};
-pub use pcluster::{pcluster, PClusterParams};
+pub use pcluster::{pcluster, pcluster_with_control, PClusterParams};
 pub use scaling::{scaling_pcluster, ScalingError};

@@ -30,9 +30,10 @@
 
 use std::collections::HashMap;
 
+use regcluster_core::MineControl;
 use regcluster_matrix::{CondId, ExpressionMatrix, GeneId};
 
-use crate::bicluster::retain_maximal;
+use crate::bicluster::{retain_maximal, BaselineRun};
 use crate::Bicluster;
 
 /// Parameters of the pCluster miner.
@@ -89,6 +90,23 @@ impl Default for PClusterParams {
 /// assert_eq!(found[0].genes, vec![0, 1, 2]);
 /// ```
 pub fn pcluster(matrix: &ExpressionMatrix, params: &PClusterParams) -> Vec<Bicluster> {
+    pcluster_with_control(matrix, params, &MineControl::new()).clusters
+}
+
+/// As [`pcluster`], polling `control` so a deadline or cancellation bounds
+/// the run.
+///
+/// The two long-running phases — pairwise candidate generation and
+/// per-candidate clique search — each check the control once per outer
+/// unit of work (gene, candidate set). A tripped control stops the search
+/// and finalizes whatever was found so far: the returned
+/// [`BaselineRun::clusters`] are still pairwise-validated and maximal,
+/// only incomplete, and [`BaselineRun::truncated`] is set.
+pub fn pcluster_with_control(
+    matrix: &ExpressionMatrix,
+    params: &PClusterParams,
+    control: &MineControl,
+) -> BaselineRun {
     assert!(params.delta >= 0.0, "delta must be ≥ 0");
     assert!(
         params.min_genes >= 2 && params.min_conds >= 2,
@@ -97,13 +115,21 @@ pub fn pcluster(matrix: &ExpressionMatrix, params: &PClusterParams) -> Vec<Biclu
     let n_genes = matrix.n_genes();
     let n_conds = matrix.n_conditions();
     if n_genes < params.min_genes || n_conds < params.min_conds {
-        return Vec::new();
+        return BaselineRun {
+            clusters: Vec::new(),
+            truncated: control.is_cancelled(),
+        };
     }
+    let mut truncated = false;
 
     // 1. Pairwise maximal dimension sets.
     let mut candidate_freq: HashMap<Vec<CondId>, usize> = HashMap::new();
     let mut diffs: Vec<(f64, CondId)> = Vec::with_capacity(n_conds);
     for i in 0..n_genes {
+        if control.is_cancelled() {
+            truncated = true;
+            break;
+        }
         let row_i = matrix.row(i);
         for j in i + 1..n_genes {
             let row_j = matrix.row(j);
@@ -165,6 +191,10 @@ pub fn pcluster(matrix: &ExpressionMatrix, params: &PClusterParams) -> Vec<Biclu
     // pairwise-spread-≤-δ relation, then grow conditions to maximality.
     let mut out: Vec<Bicluster> = Vec::new();
     for y in &pool {
+        if control.is_cancelled() {
+            truncated = true;
+            break;
+        }
         let cliques = gene_cliques(matrix, y, params);
         for clique in cliques {
             let full_y = grow_conditions(matrix, &clique, y, params.delta);
@@ -179,7 +209,10 @@ pub fn pcluster(matrix: &ExpressionMatrix, params: &PClusterParams) -> Vec<Biclu
             .then_with(|| a.genes.cmp(&b.genes))
             .then_with(|| a.conds.cmp(&b.conds))
     });
-    out
+    BaselineRun {
+        clusters: out,
+        truncated,
+    }
 }
 
 fn intersect_sorted(a: &[CondId], b: &[CondId]) -> Vec<CondId> {
@@ -483,6 +516,32 @@ mod tests {
             ..Default::default()
         };
         assert!(pcluster(&m, &params).is_empty());
+    }
+
+    #[test]
+    fn precancelled_control_returns_truncated_and_empty() {
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows = vec![
+            base.to_vec(),
+            base.iter().map(|v| v + 3.0).collect(),
+            base.iter().map(|v| v - 2.0).collect(),
+        ];
+        let m = matrix(rows);
+        let params = PClusterParams {
+            delta: 1e-9,
+            min_genes: 3,
+            min_conds: 5,
+            ..Default::default()
+        };
+        let control = MineControl::new();
+        control.cancel();
+        let run = pcluster_with_control(&m, &params, &control);
+        assert!(run.truncated);
+        assert!(run.clusters.is_empty());
+        // An untripped control reproduces the plain entry point.
+        let run = pcluster_with_control(&m, &params, &MineControl::new());
+        assert!(!run.truncated);
+        assert_eq!(run.clusters, pcluster(&m, &params));
     }
 
     #[test]

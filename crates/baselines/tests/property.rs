@@ -1,0 +1,280 @@
+//! Property-based verification of the baseline algorithms' output contract:
+//! every reported bicluster satisfies its algorithm's *model definition*
+//! (recomputed here from the raw matrix, independently of the miner's own
+//! bookkeeping), and the reported set is deduplicated — maximal for the
+//! enumeration-style miners, free of exact duplicates for the stochastic
+//! k-cluster searches (FLOC, Cheng–Church).
+
+use proptest::prelude::*;
+
+use regcluster_baselines::cheng_church::mean_squared_residue;
+use regcluster_baselines::op_cluster::condition_groups;
+use regcluster_baselines::{
+    cheng_church, floc, microcluster, op_cluster, opsm, pcluster, scaling_pcluster, Bicluster,
+    ChengChurchParams, FlocParams, MicroClusterParams, OpClusterParams, OpsmParams, PClusterParams,
+};
+use regcluster_matrix::ExpressionMatrix;
+
+/// A small random matrix with values in [-10, 10].
+fn any_matrix() -> impl Strategy<Value = ExpressionMatrix> {
+    (3usize..=7, 3usize..=6).prop_flat_map(|(g, c)| {
+        prop::collection::vec(-10.0f64..10.0, g * c).prop_map(move |v| {
+            ExpressionMatrix::from_flat_unlabeled(g, c, v).expect("finite values")
+        })
+    })
+}
+
+/// A small random matrix with strictly positive values (for the ratio- and
+/// log-based models).
+fn positive_matrix() -> impl Strategy<Value = ExpressionMatrix> {
+    (3usize..=7, 3usize..=6).prop_flat_map(|(g, c)| {
+        prop::collection::vec(0.5f64..10.0, g * c).prop_map(move |v| {
+            ExpressionMatrix::from_flat_unlabeled(g, c, v).expect("finite values")
+        })
+    })
+}
+
+/// Spread of the per-condition differences `d_i − d_j` — the pairwise
+/// pCluster criterion, recomputed from scratch.
+fn diff_spread(m: &ExpressionMatrix, i: usize, j: usize, conds: &[usize]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &c in conds {
+        let d = m.value(i, c) - m.value(j, c);
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    hi - lo
+}
+
+/// Mean squared residue under Cheng–Church's additive model with optional
+/// per-row inversion, recomputed from scratch.
+fn signed_msr(m: &ExpressionMatrix, bc: &Bicluster, inverted: &[bool]) -> f64 {
+    let nr = bc.genes.len() as f64;
+    let nc = bc.conds.len() as f64;
+    let val = |gi: usize, c: usize| {
+        let v = m.value(bc.genes[gi], c);
+        if inverted[gi] {
+            -v
+        } else {
+            v
+        }
+    };
+    let mut row_mean = vec![0.0f64; bc.genes.len()];
+    let mut col_mean = vec![0.0f64; bc.conds.len()];
+    let mut total = 0.0f64;
+    for (gi, rm) in row_mean.iter_mut().enumerate() {
+        for (ci, &c) in bc.conds.iter().enumerate() {
+            let v = val(gi, c);
+            *rm += v;
+            col_mean[ci] += v;
+            total += v;
+        }
+    }
+    for v in &mut row_mean {
+        *v /= nc;
+    }
+    for v in &mut col_mean {
+        *v /= nr;
+    }
+    let overall = total / (nr * nc);
+    let mut acc = 0.0;
+    for (gi, &rm) in row_mean.iter().enumerate() {
+        for (ci, &c) in bc.conds.iter().enumerate() {
+            let d = val(gi, c) - rm - col_mean[ci] + overall;
+            acc += d * d;
+        }
+    }
+    acc / (nr * nc)
+}
+
+/// No cluster may be contained in (or equal to) another one.
+fn assert_maximal(clusters: &[Bicluster]) -> Result<(), TestCaseError> {
+    for (i, a) in clusters.iter().enumerate() {
+        for (j, b) in clusters.iter().enumerate() {
+            if i != j {
+                prop_assert!(
+                    !a.is_contained_in(b),
+                    "cluster {i} ({a:?}) is contained in cluster {j} ({b:?})"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// pCluster: every gene pair's difference spread is within δ, sizes
+    /// respect the minima, and the output is maximal.
+    #[test]
+    fn pcluster_output_satisfies_model(m in any_matrix(), delta in 0.0f64..3.0) {
+        let params = PClusterParams { delta, min_genes: 2, min_conds: 2, ..Default::default() };
+        let found = pcluster(&m, &params);
+        for bc in &found {
+            prop_assert!(bc.n_genes() >= 2 && bc.n_conds() >= 2);
+            for (ai, &i) in bc.genes.iter().enumerate() {
+                for &j in &bc.genes[ai + 1..] {
+                    prop_assert!(diff_spread(&m, i, j, &bc.conds) <= delta + 1e-9);
+                }
+            }
+        }
+        assert_maximal(&found)?;
+    }
+
+    /// Scaling pCluster: the same spread criterion holds in log₂ space —
+    /// i.e. `log₂(d_i / d_j)` wobbles by at most δ within a cluster.
+    #[test]
+    fn scaling_output_satisfies_model(m in positive_matrix(), delta in 0.0f64..1.0) {
+        let params = PClusterParams { delta, min_genes: 2, min_conds: 2, ..Default::default() };
+        let found = scaling_pcluster(&m, &params).expect("positive matrix");
+        let logged = ExpressionMatrix::from_flat_unlabeled(
+            m.n_genes(),
+            m.n_conditions(),
+            m.flat_values().iter().map(|v| v.log2()).collect(),
+        )
+        .expect("log of positive values is finite");
+        for bc in &found {
+            for (ai, &i) in bc.genes.iter().enumerate() {
+                for &j in &bc.genes[ai + 1..] {
+                    prop_assert!(diff_spread(&logged, i, j, &bc.conds) <= delta + 1e-9);
+                }
+            }
+        }
+        assert_maximal(&found)?;
+    }
+
+    /// OPSM: all member rows strictly increase along the shared column
+    /// order (recovered from any member, here the first).
+    #[test]
+    fn opsm_output_satisfies_model(m in any_matrix()) {
+        let params = OpsmParams { size: 3, beam_width: 50, min_genes: 2, max_models: 20 };
+        let found = opsm(&m, &params);
+        for bc in &found {
+            prop_assert!(bc.n_genes() >= 2 && bc.n_conds() >= 3);
+            let first = m.row(bc.genes[0]);
+            let mut order = bc.conds.clone();
+            order.sort_by(|&a, &b| first[a].total_cmp(&first[b]));
+            for &g in &bc.genes {
+                let row = m.row(g);
+                for w in order.windows(2) {
+                    prop_assert!(row[w[0]] < row[w[1]], "row {g} breaks the shared order");
+                }
+            }
+        }
+        assert_maximal(&found)?;
+    }
+
+    /// OP-Cluster: every member gene's similarity-group ranks strictly
+    /// increase along the sequence (recovered from the first member).
+    #[test]
+    fn op_cluster_output_satisfies_model(m in any_matrix(), mult in 0.0f64..2.0) {
+        let params = OpClusterParams {
+            group_multiplier: mult,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 1000,
+        };
+        let found = op_cluster(&m, &params);
+        let groups: Vec<Vec<usize>> = (0..m.n_genes())
+            .map(|g| condition_groups(m.row(g), mult))
+            .collect();
+        for bc in &found {
+            prop_assert!(bc.n_genes() >= 2 && bc.n_conds() >= 2);
+            let mut order = bc.conds.clone();
+            order.sort_by_key(|&c| groups[bc.genes[0]][c]);
+            for &g in &bc.genes {
+                for w in order.windows(2) {
+                    prop_assert!(
+                        groups[g][w[0]] < groups[g][w[1]],
+                        "gene {g} breaks the group order"
+                    );
+                }
+            }
+        }
+        assert_maximal(&found)?;
+    }
+
+    /// MicroCluster: for every condition pair, the member genes' value
+    /// ratios agree within the multiplicative tolerance `1 + ε`.
+    #[test]
+    fn microcluster_output_satisfies_model(m in positive_matrix(), eps in 0.0f64..0.5) {
+        let params = MicroClusterParams {
+            epsilon: eps,
+            min_genes: 2,
+            min_conds: 2,
+            max_clusters: 1000,
+            state_budget: 20_000,
+        };
+        let found = microcluster(&m, &params);
+        for bc in &found {
+            prop_assert!(bc.n_genes() >= 2 && bc.n_conds() >= 2);
+            for (ai, &a) in bc.conds.iter().enumerate() {
+                for &b in &bc.conds[ai + 1..] {
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &g in &bc.genes {
+                        let r = m.value(g, a) / m.value(g, b);
+                        lo = lo.min(r);
+                        hi = hi.max(r);
+                    }
+                    prop_assert!(hi <= lo * (1.0 + eps) + 1e-9);
+                }
+            }
+        }
+        assert_maximal(&found)?;
+    }
+
+    /// FLOC: every reported δ-cluster's plain additive residue really is
+    /// below δ, and the set has no duplicates.
+    #[test]
+    fn floc_output_satisfies_model(m in any_matrix(), seed in 0u64..64) {
+        let params = FlocParams { delta: 0.4, seed, ..Default::default() };
+        let found = floc(&m, &params);
+        for bc in &found {
+            prop_assert!(bc.n_genes() >= params.min_genes);
+            prop_assert!(bc.n_conds() >= params.min_conds);
+            prop_assert!(mean_squared_residue(&m, bc) <= params.delta + 1e-9);
+        }
+        for (i, a) in found.iter().enumerate() {
+            for b in &found[i + 1..] {
+                prop_assert!(a != b, "duplicate FLOC cluster: {a:?}");
+            }
+        }
+    }
+
+    /// Cheng–Church: every reported MSR is below δ; the *first* cluster's
+    /// MSR additionally matches an independent recomputation (honoring row
+    /// inversions) against the raw matrix — later clusters are mined from
+    /// the masked matrix, as in the original algorithm, so their residues
+    /// are only meaningful against it. No duplicate clusters.
+    #[test]
+    fn cheng_church_output_satisfies_model(m in any_matrix(), seed in 0u64..64) {
+        let params = ChengChurchParams {
+            delta: 0.4,
+            n_clusters: 4,
+            mask_range: (-10.0, 10.0),
+            seed,
+            ..Default::default()
+        };
+        let found = cheng_church(&m, &params);
+        for cc in &found {
+            prop_assert_eq!(cc.inverted.len(), cc.bicluster.genes.len());
+            prop_assert!(cc.msr <= params.delta + 1e-9);
+        }
+        if let Some(first) = found.first() {
+            let recomputed = signed_msr(&m, &first.bicluster, &first.inverted);
+            prop_assert!(
+                (recomputed - first.msr).abs() <= 1e-6,
+                "reported {} vs recomputed {recomputed}",
+                first.msr
+            );
+        }
+        for (i, a) in found.iter().enumerate() {
+            for b in &found[i + 1..] {
+                prop_assert!(
+                    a.bicluster != b.bicluster,
+                    "duplicate Cheng–Church cluster: {:?}",
+                    a.bicluster
+                );
+            }
+        }
+    }
+}

@@ -7,14 +7,25 @@ use regcluster_core::{MiningParams, RegulationThreshold};
 use regcluster_datagen::{PatternKind, SyntheticConfig};
 
 /// A parsed invocation.
+// One value of this type exists per process; variant size is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Mine reg-clusters from a matrix file.
+    /// Mine clusters from a matrix file with any registered engine.
     Mine {
         /// Input matrix path.
         input: String,
-        /// Mining parameters.
+        /// Engine name (see [`regcluster_engines::ENGINE_NAMES`]); the
+        /// default `reg-cluster` is the paper's miner.
+        engine: String,
+        /// Mining parameters. For non-default engines only `min_genes` /
+        /// `min_conds` (and the post-filters) apply; γ/ε are reg-cluster
+        /// knobs.
         params: MiningParams,
+        /// Baseline model tolerance (pScore δ, residue δ, ratio ε or
+        /// quantization step, engine-dependent); `None` = the engine's
+        /// conventional default. Ignored by `reg-cluster`.
+        delta: Option<f64>,
         /// Worker threads (1 = a single engine worker).
         threads: usize,
         /// Wall-clock budget in seconds; the run stops cooperatively when it
@@ -85,21 +96,6 @@ pub enum Command {
         /// Input matrix path.
         input: String,
     },
-    /// Run one of the baseline biclustering algorithms.
-    Baseline {
-        /// Input matrix path.
-        input: String,
-        /// Algorithm name: `pcluster`, `scaling`, `opsm`, `op-cluster`,
-        /// `cheng-church`, `floc`.
-        algorithm: String,
-        /// Model tolerance (pScore δ / residue δ, meaning depends on the
-        /// algorithm).
-        delta: f64,
-        /// Minimum genes per cluster.
-        min_genes: usize,
-        /// Minimum conditions per cluster.
-        min_conds: usize,
-    },
     /// Print a gene's RWave^γ model (ordering + regulation pointers).
     RWave {
         /// Input matrix path.
@@ -158,7 +154,6 @@ impl Command {
             Command::Enrich { .. } => "enrich",
             Command::Eval { .. } => "eval",
             Command::Info { .. } => "info",
-            Command::Baseline { .. } => "baseline",
             Command::RWave { .. } => "rwave",
             Command::Query { .. } => "query",
             Command::Serve { .. } => "serve",
@@ -185,8 +180,15 @@ regcluster — mining shifting-and-scaling co-regulation patterns (ICDE 2006)
 
 USAGE:
   regcluster mine --input <matrix.tsv> [options]
+      --engine <NAME>        mining engine (default reg-cluster):
+                             reg-cluster | pcluster | scaling | cheng-church |
+                             floc | opsm | op-cluster | microcluster | boolean
       --min-genes <N>        minimum genes per cluster (default 20)
       --min-conds <N>        minimum chain length (default 6)
+      --delta <F>            baseline model tolerance (pScore δ / residue δ /
+                             ratio ε / quantization step, engine-dependent);
+                             each engine has its own default; reg-cluster
+                             ignores it
       --gamma <F>            regulation threshold, fraction of range (default 0.05)
       --gamma-absolute <F>   use an absolute regulation threshold instead
       --epsilon <F>          coherence threshold (default 1.0)
@@ -233,15 +235,16 @@ USAGE:
       prints the top GO term per category for each mined cluster
       (the paper's Table 2 layout)
 
-  regcluster eval --clusters <found.json> --ground-truth <truth.json>
+  regcluster eval --clusters <found.json|store.rcs> --ground-truth <truth.json>
+      scores mined clusters (a `mine --output` JSON or a `.rcs` store
+      from any engine) against the planted ground truth
 
   regcluster info --input <matrix.tsv>
 
   regcluster baseline --input <matrix.tsv> --algorithm <NAME> [options]
+      deprecated alias for `mine --engine <NAME>` with the historical
+      defaults (--delta 0.1, --min-genes 5, --min-conds 3)
       NAME: pcluster | scaling | opsm | op-cluster | cheng-church | floc
-      --delta <F>            model tolerance (default 0.1)
-      --min-genes <N>        minimum genes (default 5)
-      --min-conds <N>        minimum conditions (default 3)
 
   regcluster rwave --input <matrix.tsv> --gene <label> [--gamma <F>]
       prints the gene's RWave^γ model: the condition ordering and the
@@ -350,6 +353,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 &opts,
                 &[
                     "input",
+                    "engine",
+                    "delta",
                     "min-genes",
                     "min-conds",
                     "gamma",
@@ -372,6 +377,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 ],
             )?;
             let input = require(&opts, "input")?;
+            let engine = get(&opts, "engine", "reg-cluster".to_string())?;
+            if !regcluster_engines::ENGINE_NAMES.contains(&engine.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown engine {engine:?}; known engines: {}",
+                    regcluster_engines::ENGINE_NAMES.join(", ")
+                )));
+            }
+            let delta = match opts.get("delta") {
+                Some(s) => {
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| ParseError(format!("cannot parse --delta {s:?}")))?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(ParseError(format!(
+                            "--delta must be a positive number, got {s:?}"
+                        )));
+                    }
+                    Some(v)
+                }
+                None => None,
+            };
             let min_genes = get(&opts, "min-genes", 20usize)?;
             let min_conds = get(&opts, "min-conds", 6usize)?;
             let epsilon = get(&opts, "epsilon", 1.0f64)?;
@@ -442,9 +468,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         .into(),
                 ));
             }
+            // Checkpoints snapshot the reg-cluster enumeration frontier; no
+            // other engine has one, so refuse up front rather than silently
+            // mining without crash safety.
+            if engine != "reg-cluster" && (checkpoint.is_some() || resume.is_some()) {
+                return Err(ParseError(format!(
+                    "--checkpoint/--resume are only supported by the reg-cluster \
+                     engine, not {engine:?}"
+                )));
+            }
             Ok(Command::Mine {
                 input,
+                engine,
                 params,
+                delta,
                 threads: get(&opts, "threads", 1usize)?,
                 deadline_secs,
                 progress: opts.contains_key("progress"),
@@ -540,6 +577,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 input: require(&opts, "input")?,
             })
         }
+        // Deprecated alias, kept for script compatibility: the historical
+        // bespoke baselines subcommand is now `mine --engine <NAME>` with
+        // the old defaults.
         "baseline" => {
             let opts = take_options(rest)?;
             check_known(
@@ -560,12 +600,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "unknown algorithm {algorithm:?}; expected one of {KNOWN:?}"
                 )));
             }
-            Ok(Command::Baseline {
+            let min_genes = get(&opts, "min-genes", 5usize)?;
+            let min_conds = get(&opts, "min-conds", 3usize)?;
+            let params = MiningParams::new(min_genes, min_conds, 0.05, 1.0)
+                .map_err(|e| ParseError(e.to_string()))?;
+            Ok(Command::Mine {
                 input: require(&opts, "input")?,
-                algorithm,
-                delta: get(&opts, "delta", 0.1f64)?,
-                min_genes: get(&opts, "min-genes", 5usize)?,
-                min_conds: get(&opts, "min-conds", 3usize)?,
+                engine: algorithm,
+                params,
+                delta: Some(get(&opts, "delta", 0.1f64)?),
+                threads: 1,
+                deadline_secs: None,
+                progress: false,
+                output: None,
+                impute: "none".to_string(),
+                stats: false,
+                store: None,
+                metrics: None,
+                metrics_json: None,
+                checkpoint: None,
+                checkpoint_every_secs: None,
+                resume: None,
             })
         }
         "rwave" => {
@@ -674,7 +729,9 @@ mod tests {
         match cmd {
             Command::Mine {
                 input,
+                engine,
                 params,
+                delta,
                 threads,
                 deadline_secs,
                 progress,
@@ -689,6 +746,8 @@ mod tests {
                 resume,
             } => {
                 assert_eq!(input, "m.tsv");
+                assert_eq!(engine, "reg-cluster");
+                assert_eq!(delta, None);
                 assert_eq!(store, None);
                 assert_eq!(metrics, None);
                 assert_eq!(metrics_json, None);
@@ -758,6 +817,79 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn mine_parses_engine_and_delta() {
+        match parse_args(&sv(&[
+            "mine", "--input", "m.tsv", "--engine", "pcluster", "--delta", "0.2",
+        ]))
+        .unwrap()
+        {
+            Command::Mine { engine, delta, .. } => {
+                assert_eq!(engine, "pcluster");
+                assert_eq!(delta, Some(0.2));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Unknown engines and out-of-domain deltas fail at parse time.
+        let err = parse_args(&sv(&["mine", "--input", "m", "--engine", "kmeans"])).unwrap_err();
+        assert!(err.0.contains("known engines"), "{err}");
+        for bad in ["0", "-1", "abc", "inf", "NaN"] {
+            assert!(
+                parse_args(&sv(&["mine", "--input", "m", "--delta", bad])).is_err(),
+                "--delta {bad} should be rejected"
+            );
+        }
+        // Checkpointing is a reg-cluster capability.
+        let err = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m",
+            "--engine",
+            "floc",
+            "--checkpoint",
+            "c.rck",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("reg-cluster"), "{err}");
+        assert!(parse_args(&sv(&[
+            "mine", "--input", "m", "--engine", "opsm", "--resume", "c.rck",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_is_an_alias_for_mine_with_engine() {
+        match parse_args(&sv(&[
+            "baseline",
+            "--input",
+            "m.tsv",
+            "--algorithm",
+            "opsm",
+        ]))
+        .unwrap()
+        {
+            Command::Mine {
+                input,
+                engine,
+                delta,
+                params,
+                threads,
+                ..
+            } => {
+                assert_eq!(input, "m.tsv");
+                assert_eq!(engine, "opsm");
+                assert_eq!(delta, Some(0.1));
+                assert_eq!(params.min_genes, 5);
+                assert_eq!(params.min_conds, 3);
+                assert_eq!(threads, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The alias keeps its historical algorithm catalogue.
+        assert!(parse_args(&sv(&["baseline", "--input", "x", "--algorithm", "boolean"])).is_err());
+        assert!(parse_args(&sv(&["baseline", "--input", "x", "--algorithm", "magic"])).is_err());
     }
 
     #[test]
@@ -958,7 +1090,6 @@ mod tests {
             parse_args(&sv(&["enrich", "--clusters", "a", "--go", "b"])).unwrap(),
             parse_args(&sv(&["eval", "--clusters", "a", "--ground-truth", "b"])).unwrap(),
             parse_args(&sv(&["info", "--input", "m.tsv"])).unwrap(),
-            parse_args(&sv(&["baseline", "--input", "m", "--algorithm", "opsm"])).unwrap(),
             parse_args(&sv(&["rwave", "--input", "m", "--gene", "g1"])).unwrap(),
             parse_args(&sv(&["query", "--store", "s.rcs"])).unwrap(),
             parse_args(&sv(&["serve", "--store", "s.rcs"])).unwrap(),

@@ -6,10 +6,11 @@ use serde::{Deserialize, Serialize};
 
 use regcluster_core::{
     finalize_clusters, mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, CheckpointPlan,
-    CheckpointReport, ClusterSink, EngineConfig, MetricsObserver, MineControl, Miner, MiningParams,
-    MiningStats, RegCluster, StreamReport, SyncMineObserver, VecSink,
+    CheckpointReport, ClusterSink, EngineConfig, EngineReport, MetricsObserver, MineControl, Miner,
+    MiningParams, MiningStats, RegCluster, StreamReport, SyncMineObserver, VecSink,
 };
 use regcluster_datagen::{generate, PlantedCluster};
+use regcluster_engines::{build_engine, EngineMetrics, EngineSpec};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
 use regcluster_obs::{MetricsRegistry, MonotonicClock, PhaseSpans};
@@ -99,6 +100,9 @@ pub struct MineOutput {
     /// Schema version of this document (`None` in pre-versioning files,
     /// which remain readable).
     pub format_version: Option<u32>,
+    /// Engine that mined the clusters (`None` in documents written before
+    /// engines existed — those are reg-cluster runs).
+    pub engine: Option<String>,
     /// Parameters of the run.
     pub params: MiningParams,
     /// Matrix dimensions, for sanity checks.
@@ -237,6 +241,181 @@ fn load_matrix(path: &str, impute_mode: &str) -> Result<ExpressionMatrix, CliErr
     }
 }
 
+/// The `mine` flags a non-default engine run needs (checkpointing is
+/// excluded: the parser refuses it for anything but reg-cluster).
+struct EngineMineArgs<'a> {
+    engine: &'a str,
+    input: &'a str,
+    params: &'a MiningParams,
+    delta: Option<f64>,
+    threads: usize,
+    deadline_secs: Option<f64>,
+    progress: bool,
+    output: Option<&'a str>,
+    impute: &'a str,
+    stats: bool,
+    store: Option<&'a str>,
+    metrics: Option<&'a str>,
+    metrics_json: Option<&'a str>,
+}
+
+/// `mine --engine <name>` for every engine except the default: builds the
+/// engine from the registry and drives it through the same pipeline as the
+/// reg-cluster path — phase spans, metrics registry, deadline control,
+/// streaming sinks and the `.rcs` store (stamped with the engine's name
+/// and native parameters as provenance).
+fn run_engine_mine(args: EngineMineArgs<'_>) -> Result<String, CliError> {
+    let registry = MetricsRegistry::new();
+    let clock = MonotonicClock::new();
+    let spans = PhaseSpans::new(&registry);
+    let observer = MineRunObserver {
+        metrics: MetricsObserver::register(&registry),
+        progress: args.progress.then(ProgressObserver::default),
+    };
+    let engine_metrics = EngineMetrics::register(&registry, args.engine);
+
+    let m = spans.time(&clock, "load", || load_matrix(args.input, args.impute))?;
+    let spec = EngineSpec {
+        min_genes: args.params.min_genes,
+        min_conds: args.params.min_conds,
+        delta: args.delta,
+        threads: args.threads,
+        max_clusters: args.params.max_clusters,
+        maximal_only: args.params.maximal_only,
+        ..EngineSpec::default()
+    };
+    let engine = build_engine(args.engine, &spec)?;
+    let control = match args.deadline_secs {
+        Some(s) => MineControl::with_deadline(std::time::Duration::from_secs_f64(s)),
+        None => MineControl::new(),
+    };
+    let start = std::time::Instant::now();
+    let post_filtered = args.params.maximal_only || args.params.max_clusters.is_some();
+    let (clusters, report, store_note) = match args.store {
+        None => {
+            let sink = VecSink::new();
+            let report = {
+                let _span = spans.span(&clock, "enumeration");
+                engine.run(&m, &sink, &control, &observer)?
+            };
+            let mut clusters = sink.into_clusters();
+            spans.time(&clock, "postprocess", || {
+                finalize_clusters(&mut clusters, args.params)
+            });
+            (clusters, report, None)
+        }
+        Some(store_path) => {
+            let writer = StoreWriter::create_with_engine(
+                store_path,
+                m.gene_names(),
+                m.condition_names(),
+                args.params,
+                engine.name(),
+                &engine.params_json(),
+            )?;
+            let (clusters, report) = if post_filtered {
+                // The post-filters need the full result set, so the store
+                // must hold the filtered clusters: collect, filter, write.
+                let sink = VecSink::new();
+                let report = {
+                    let _span = spans.span(&clock, "enumeration");
+                    engine.run(&m, &sink, &control, &observer)?
+                };
+                let mut clusters = sink.into_clusters();
+                spans.time(&clock, "postprocess", || {
+                    finalize_clusters(&mut clusters, args.params)
+                });
+                spans.time(&clock, "store_write", || {
+                    clusters.iter().try_for_each(|c| writer.write_cluster(c))
+                })?;
+                (clusters, report)
+            } else {
+                // Common case: clusters stream to disk as the engine emits
+                // them, composing with deadlines and cancellation.
+                let collected = VecSink::new();
+                let tee = TeeSink {
+                    store: &writer,
+                    collected: &collected,
+                };
+                let report = {
+                    let _span = spans.span(&clock, "enumeration");
+                    engine.run(&m, &tee, &control, &observer)?
+                };
+                let mut clusters = collected.into_clusters();
+                spans.time(&clock, "postprocess", || {
+                    finalize_clusters(&mut clusters, args.params)
+                });
+                (clusters, report)
+            };
+            let summary = spans.time(&clock, "store_write", || writer.finish())?;
+            let note = format!(
+                "store written to {store_path} ({} clusters, {} bytes)\n",
+                summary.n_clusters, summary.file_bytes
+            );
+            (clusters, report, Some(note))
+        }
+    };
+    engine_metrics.record(&report);
+    let elapsed = start.elapsed();
+
+    let mut text = format!(
+        "{}: {} biclusters in {:.3}s from {} genes × {} conditions\n",
+        args.engine,
+        clusters.len(),
+        elapsed.as_secs_f64(),
+        m.n_genes(),
+        m.n_conditions()
+    );
+    if report.truncated {
+        text.push_str("run interrupted (deadline, cancellation or budget): results are partial\n");
+    }
+    if args.stats {
+        match &report.stats {
+            Some(s) => {
+                text.push_str(&s.summary());
+                text.push('\n');
+            }
+            None => text.push_str(&format!(
+                "{} reports no search-effort statistics\n",
+                args.engine
+            )),
+        }
+    }
+    if let Some(note) = store_note {
+        text.push_str(&note);
+    }
+    for note in write_metric_snapshots(&registry, args.metrics, args.metrics_json)? {
+        text.push_str(&note);
+    }
+    match args.output {
+        Some(path) => {
+            let doc = MineOutput {
+                format_version: Some(MINE_OUTPUT_FORMAT_VERSION),
+                engine: Some(args.engine.to_string()),
+                params: args.params.clone(),
+                n_genes: m.n_genes(),
+                n_conds: m.n_conditions(),
+                threads: Some(args.threads),
+                elapsed_secs: Some(elapsed.as_secs_f64()),
+                truncated: Some(report.truncated),
+                stats: report.stats.clone(),
+                resumed_from: None,
+                checkpoint_written: None,
+                clusters,
+            };
+            std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+            text.push_str(&format!("clusters written to {path}\n"));
+        }
+        None => {
+            text.push_str("id\tgenes\tconds\n");
+            for (i, c) in clusters.iter().enumerate() {
+                text.push_str(&format!("{i}\t{}\t{}\n", c.n_genes(), c.n_conditions()));
+            }
+        }
+    }
+    Ok(text)
+}
+
 /// Executes a parsed command and returns the text to print.
 ///
 /// # Errors
@@ -260,89 +439,6 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 m.n_genes(),
                 m.n_conditions()
             ))
-        }
-        Command::Baseline {
-            input,
-            algorithm,
-            delta,
-            min_genes,
-            min_conds,
-        } => {
-            use regcluster_baselines as bl;
-            let m = io::read_matrix_file(input)?;
-            let start = std::time::Instant::now();
-            let found: Vec<bl::Bicluster> = match algorithm.as_str() {
-                "pcluster" => bl::pcluster(
-                    &m,
-                    &bl::PClusterParams {
-                        delta: *delta,
-                        min_genes: *min_genes,
-                        min_conds: *min_conds,
-                        ..Default::default()
-                    },
-                ),
-                "scaling" => bl::scaling_pcluster(
-                    &m,
-                    &bl::PClusterParams {
-                        delta: *delta,
-                        min_genes: *min_genes,
-                        min_conds: *min_conds,
-                        ..Default::default()
-                    },
-                )
-                .map_err(|e| {
-                    CliError::Matrix(regcluster_matrix::MatrixError::Transform(e.to_string()))
-                })?,
-                "opsm" => bl::opsm(
-                    &m,
-                    &bl::OpsmParams {
-                        size: *min_conds,
-                        beam_width: 100,
-                        min_genes: *min_genes,
-                        max_models: 10,
-                    },
-                ),
-                "op-cluster" => bl::op_cluster(
-                    &m,
-                    &bl::OpClusterParams {
-                        group_multiplier: *delta,
-                        min_genes: *min_genes,
-                        min_conds: *min_conds,
-                        max_clusters: 50,
-                    },
-                ),
-                "cheng-church" => bl::cheng_church(
-                    &m,
-                    &bl::ChengChurchParams {
-                        delta: *delta,
-                        n_clusters: 10,
-                        ..Default::default()
-                    },
-                )
-                .into_iter()
-                .map(|cc| cc.bicluster)
-                .collect(),
-                "floc" => bl::floc(
-                    &m,
-                    &bl::FlocParams {
-                        delta: *delta,
-                        min_genes: *min_genes,
-                        min_conds: *min_conds,
-                        ..Default::default()
-                    },
-                ),
-                other => unreachable!("parser rejects algorithm {other}"),
-            };
-            let mut text = format!(
-                "{algorithm}: {} biclusters in {:.3}s\n",
-                found.len(),
-                start.elapsed().as_secs_f64()
-            );
-            text.push_str("id\tgenes\tconds\n");
-            for (i, b) in found.iter().enumerate() {
-                text.push_str(&format!("{i}\t{}\t{}\n", b.n_genes(), b.n_conds()));
-            }
-            Ok(text)
         }
         Command::RWave { input, gene, gamma } => {
             let m = io::read_matrix_file(input)?;
@@ -390,7 +486,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Mine {
             input,
+            engine,
             params,
+            delta,
             threads,
             deadline_secs,
             progress,
@@ -404,6 +502,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             checkpoint_every_secs,
             resume,
         } => {
+            // Non-default engines run through the BiclusterEngine registry:
+            // same matrix loading, sinks, deadline control, observer,
+            // metrics and store plumbing — no bespoke per-algorithm wiring.
+            if engine != "reg-cluster" {
+                return run_engine_mine(EngineMineArgs {
+                    engine,
+                    input,
+                    params,
+                    delta: *delta,
+                    threads: *threads,
+                    deadline_secs: *deadline_secs,
+                    progress: *progress,
+                    output: output.as_deref(),
+                    impute,
+                    stats: *stats,
+                    store: store.as_deref(),
+                    metrics: metrics.as_deref(),
+                    metrics_json: metrics_json.as_deref(),
+                });
+            }
             // One registry per run: phase spans + the mining observer feed
             // it, and --metrics/--metrics-json snapshot it at the end.
             let registry = MetricsRegistry::new();
@@ -413,6 +531,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 metrics: MetricsObserver::register(&registry),
                 progress: progress.then(ProgressObserver::default),
             };
+            let engine_metrics = EngineMetrics::register(&registry, "reg-cluster");
 
             let m = spans.time(&clock, "load", || load_matrix(input, impute))?;
             let start = std::time::Instant::now();
@@ -464,31 +583,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     }
                 };
 
-            let (clusters, stat_counters, truncated, ck_report, store_note) = match store {
-                None => {
-                    let sink = VecSink::new();
-                    let (report, ck_report) = {
-                        let _span = spans.span(&clock, "enumeration");
-                        run_engine(&sink)?
-                    };
-                    let mut clusters = sink.into_clusters();
-                    spans.time(&clock, "postprocess", || {
-                        finalize_clusters(&mut clusters, params)
-                    });
-                    (clusters, report.stats, report.truncated, ck_report, None)
-                }
-                Some(store_path) => {
-                    let writer = StoreWriter::create(
-                        store_path,
-                        m.gene_names(),
-                        m.condition_names(),
-                        params,
-                    )?;
-                    let post_filtered = params.maximal_only || params.max_clusters.is_some();
-                    let (clusters, stats, truncated, ck_report) = if post_filtered {
-                        // maximal-only / max-clusters prune *after* the full
-                        // enumeration, so the store must hold the filtered
-                        // set: collect first, then write it out.
+            let (clusters, stat_counters, truncated, stopped_by_sink, ck_report, store_note) =
+                match store {
+                    None => {
                         let sink = VecSink::new();
                         let (report, ck_report) = {
                             let _span = spans.span(&clock, "enumeration");
@@ -498,40 +595,90 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         spans.time(&clock, "postprocess", || {
                             finalize_clusters(&mut clusters, params)
                         });
-                        spans.time(&clock, "store_write", || {
-                            clusters.iter().try_for_each(|c| writer.write_cluster(c))
-                        })?;
-                        (clusters, report.stats, report.truncated, ck_report)
-                    } else {
-                        // Common case: clusters stream to disk as the engine
-                        // finds them, composing with deadlines/cancellation.
-                        // Store writes overlap enumeration here, so the
-                        // store_write span covers only the final seal.
-                        let collected = VecSink::new();
-                        let tee = TeeSink {
-                            store: &writer,
-                            collected: &collected,
+                        (
+                            clusters,
+                            report.stats,
+                            report.truncated,
+                            report.stopped_by_sink,
+                            ck_report,
+                            None,
+                        )
+                    }
+                    Some(store_path) => {
+                        let writer = StoreWriter::create_with_engine(
+                            store_path,
+                            m.gene_names(),
+                            m.condition_names(),
+                            params,
+                            "reg-cluster",
+                            &serde_json::to_string(params)?,
+                        )?;
+                        let post_filtered = params.maximal_only || params.max_clusters.is_some();
+                        let (clusters, stats, truncated, stopped, ck_report) = if post_filtered {
+                            // maximal-only / max-clusters prune *after* the full
+                            // enumeration, so the store must hold the filtered
+                            // set: collect first, then write it out.
+                            let sink = VecSink::new();
+                            let (report, ck_report) = {
+                                let _span = spans.span(&clock, "enumeration");
+                                run_engine(&sink)?
+                            };
+                            let mut clusters = sink.into_clusters();
+                            spans.time(&clock, "postprocess", || {
+                                finalize_clusters(&mut clusters, params)
+                            });
+                            spans.time(&clock, "store_write", || {
+                                clusters.iter().try_for_each(|c| writer.write_cluster(c))
+                            })?;
+                            (
+                                clusters,
+                                report.stats,
+                                report.truncated,
+                                report.stopped_by_sink,
+                                ck_report,
+                            )
+                        } else {
+                            // Common case: clusters stream to disk as the engine
+                            // finds them, composing with deadlines/cancellation.
+                            // Store writes overlap enumeration here, so the
+                            // store_write span covers only the final seal.
+                            let collected = VecSink::new();
+                            let tee = TeeSink {
+                                store: &writer,
+                                collected: &collected,
+                            };
+                            let (report, ck_report) = {
+                                let _span = spans.span(&clock, "enumeration");
+                                run_engine(&tee)?
+                            };
+                            let mut clusters = collected.into_clusters();
+                            spans.time(&clock, "postprocess", || {
+                                finalize_clusters(&mut clusters, params)
+                            });
+                            (
+                                clusters,
+                                report.stats,
+                                report.truncated,
+                                report.stopped_by_sink,
+                                ck_report,
+                            )
                         };
-                        let (report, ck_report) = {
-                            let _span = spans.span(&clock, "enumeration");
-                            run_engine(&tee)?
-                        };
-                        let mut clusters = collected.into_clusters();
-                        spans.time(&clock, "postprocess", || {
-                            finalize_clusters(&mut clusters, params)
-                        });
-                        (clusters, report.stats, report.truncated, ck_report)
-                    };
-                    // finish() seals the file and surfaces any write error
-                    // that made the sink refuse clusters mid-run.
-                    let summary = spans.time(&clock, "store_write", || writer.finish())?;
-                    let note = format!(
-                        "store written to {store_path} ({} clusters, {} bytes)\n",
-                        summary.n_clusters, summary.file_bytes
-                    );
-                    (clusters, stats, truncated, ck_report, Some(note))
-                }
-            };
+                        // finish() seals the file and surfaces any write error
+                        // that made the sink refuse clusters mid-run.
+                        let summary = spans.time(&clock, "store_write", || writer.finish())?;
+                        let note = format!(
+                            "store written to {store_path} ({} clusters, {} bytes)\n",
+                            summary.n_clusters, summary.file_bytes
+                        );
+                        (clusters, stats, truncated, stopped, ck_report, Some(note))
+                    }
+                };
+            engine_metrics.record(&EngineReport {
+                n_emitted: stat_counters.emitted,
+                truncated,
+                stopped_by_sink,
+                stats: None,
+            });
             let elapsed = start.elapsed();
             let mut text = format!(
                 "mined {} reg-clusters from {} genes × {} conditions in {:.3}s on {} thread{}\n",
@@ -584,6 +731,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 Some(path) => {
                     let doc = MineOutput {
                         format_version: Some(MINE_OUTPUT_FORMAT_VERSION),
+                        engine: Some("reg-cluster".to_string()),
                         params: params.clone(),
                         n_genes: m.n_genes(),
                         n_conds: m.n_conditions(),
@@ -679,18 +827,24 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             clusters,
             ground_truth,
         } => {
-            let found = read_mine_output(clusters)?;
+            // Either a `mine --output` JSON document or a `.rcs` store from
+            // any engine scores the same way.
+            let found: Vec<RegCluster> = if clusters.ends_with(".rcs") {
+                let cs = ClusterStore::open(clusters)?;
+                cs.iter().collect::<Result<_, _>>()?
+            } else {
+                read_mine_output(clusters)?.clusters
+            };
             let truth: Vec<PlantedCluster> =
                 serde_json::from_str(&std::fs::read_to_string(ground_truth)?)?;
-            let found_shapes: Vec<ClusterShape> =
-                found.clusters.iter().map(ClusterShape::from).collect();
+            let found_shapes: Vec<ClusterShape> = found.iter().map(ClusterShape::from).collect();
             let truth_shapes: Vec<ClusterShape> = truth.iter().map(ClusterShape::from).collect();
             let rec = recovery(&truth_shapes, &found_shapes);
             let rel = relevance(&found_shapes, &truth_shapes);
-            let stats = overlap::overlap_stats(&found.clusters);
+            let stats = overlap::overlap_stats(&found);
             Ok(format!(
                 "found {} clusters vs {} planted\nrecovery  {rec:.4}\nrelevance {rel:.4}\nmax pairwise cell overlap {:.1}%\n",
-                found.clusters.len(),
+                found.len(),
                 truth.len(),
                 stats.max_percent
             ))

@@ -6,6 +6,7 @@
 use regcluster_cli::serve::ServeMetrics;
 use regcluster_core::observer::PruneRule;
 use regcluster_core::MetricsObserver;
+use regcluster_engines::EngineMetrics;
 use regcluster_obs::{MetricsRegistry, PhaseSpans, PHASES};
 
 fn repo_doc(rel: &str) -> String {
@@ -25,6 +26,7 @@ fn every_registered_metric_is_documented() {
     let _ = MetricsObserver::register(&registry);
     let _ = PhaseSpans::new(&registry);
     let _ = ServeMetrics::register(&registry);
+    let _ = EngineMetrics::register(&registry, "reg-cluster");
     regcluster_failpoint::register_metrics(&registry);
 
     let doc = observability_doc();
@@ -52,6 +54,24 @@ fn every_phase_and_prune_rule_label_is_documented() {
         assert!(
             doc.contains(&format!("`{label}`")),
             "prune-rule label `{label}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn every_engine_name_is_documented() {
+    // The engine catalogue must stay in sync across the registry, the
+    // metrics doc (label values) and the user guide (how to run one).
+    let obs = observability_doc();
+    let guide = repo_doc("docs/GUIDE.md");
+    for name in regcluster_engines::ENGINE_NAMES {
+        assert!(
+            obs.contains(&format!("`{name}`")),
+            "engine `{name}` is not listed in docs/OBSERVABILITY.md"
+        );
+        assert!(
+            guide.contains(name),
+            "engine `{name}` is not mentioned in docs/GUIDE.md"
         );
     }
 }

@@ -59,6 +59,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod coherence;
 pub mod engine;
+pub mod engine_api;
 pub mod metrics;
 pub mod miner;
 pub mod observer;
@@ -78,6 +79,7 @@ pub use engine::{
     mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
     MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
 };
+pub use engine_api::{BiclusterEngine, EngineReport};
 pub use error::CoreError;
 pub use metrics::MetricsObserver;
 pub use miner::{

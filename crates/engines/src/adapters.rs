@@ -1,0 +1,645 @@
+//! [`BiclusterEngine`] adapters for the seven baseline algorithms.
+//!
+//! Each adapter owns its algorithm's native parameter struct, validates it
+//! up front (returning [`CoreError::InvalidParams`] instead of tripping the
+//! baseline crate's `assert!`s), converts the output
+//! [`Bicluster`]s into [`RegCluster`]s — condition set as an ascending
+//! chain, genes as `p_members`, Cheng–Church's inverted rows as
+//! `n_members` — and streams them through the sink with observer events.
+//!
+//! Cancellation granularity: `pcluster`, `scaling` and `floc` poll their
+//! [`MineControl`] *inside* the search (per gene pair batch / per
+//! improvement iteration, via the baselines' `*_with_control` entry
+//! points), so deadlines bound even a single long run. The remaining
+//! algorithms are batch searches that complete in one pass on realistic
+//! inputs; they poll once on entry and once before streaming, which is
+//! enough to honor a pre-cancelled control and to stop between runs.
+
+use regcluster_baselines::{
+    cheng_church, floc_with_control, microcluster, op_cluster, opsm, pcluster_with_control,
+    Bicluster, ChengChurchParams, FlocParams, MicroClusterParams, OpClusterParams, OpsmParams,
+    PClusterParams,
+};
+use regcluster_core::{
+    BiclusterEngine, ClusterSink, CoreError, EngineReport, MineControl, RegCluster,
+    SyncMineObserver,
+};
+use regcluster_matrix::transform::log_transform;
+use regcluster_matrix::ExpressionMatrix;
+
+/// Embeds a plain bicluster into the common cluster currency: conditions
+/// become the chain (ascending order), all genes are p-members.
+fn to_regcluster(bc: Bicluster) -> RegCluster {
+    RegCluster {
+        chain: bc.conds,
+        p_members: bc.genes,
+        n_members: Vec::new(),
+    }
+}
+
+/// Streams converted clusters into the sink, reporting each emission.
+/// Returns `(n_emitted, stopped_by_sink)`.
+fn emit_all(
+    clusters: impl IntoIterator<Item = RegCluster>,
+    sink: &dyn ClusterSink,
+    observer: &dyn SyncMineObserver,
+) -> (usize, bool) {
+    let mut n = 0;
+    for cluster in clusters {
+        observer.cluster_emitted(&cluster);
+        n += 1;
+        if !sink.accept(cluster) {
+            return (n, true);
+        }
+    }
+    (n, false)
+}
+
+fn invalid(msg: impl Into<String>) -> CoreError {
+    CoreError::InvalidParams(msg.into())
+}
+
+fn check_min_dims(min_genes: usize, min_conds: usize) -> Result<(), CoreError> {
+    if min_genes < 2 || min_conds < 2 {
+        return Err(invalid(
+            "baseline clusters need ≥ 2 genes and ≥ 2 conditions",
+        ));
+    }
+    Ok(())
+}
+
+fn check_delta(delta: f64, what: &str) -> Result<(), CoreError> {
+    if !(delta.is_finite() && delta >= 0.0) {
+        return Err(invalid(format!(
+            "{what} must be finite and ≥ 0, got {delta}"
+        )));
+    }
+    Ok(())
+}
+
+/// pCluster (pure shifting patterns) as an engine.
+#[derive(Debug, Clone)]
+pub struct PClusterEngine {
+    params: PClusterParams,
+}
+
+impl PClusterEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: PClusterParams) -> Result<Self, CoreError> {
+        check_delta(params.delta, "delta")?;
+        check_min_dims(params.min_genes, params.min_conds)?;
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for PClusterEngine {
+    fn name(&self) -> &str {
+        "pcluster"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"delta\":{},\"min_genes\":{},\"min_conds\":{}}}",
+            self.params.delta, self.params.min_genes, self.params.min_conds
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        let run = pcluster_with_control(matrix, &self.params, control);
+        let (n, stopped) = emit_all(run.clusters.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated: run.truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// pCluster on the log₂-transformed matrix (pure scaling patterns) as an
+/// engine. Errors at run time when the matrix has non-positive values.
+#[derive(Debug, Clone)]
+pub struct ScalingEngine {
+    params: PClusterParams,
+}
+
+impl ScalingEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: PClusterParams) -> Result<Self, CoreError> {
+        check_delta(params.delta, "delta")?;
+        check_min_dims(params.min_genes, params.min_conds)?;
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for ScalingEngine {
+    fn name(&self) -> &str {
+        "scaling"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"delta\":{},\"min_genes\":{},\"min_conds\":{},\"space\":\"log2\"}}",
+            self.params.delta, self.params.min_genes, self.params.min_conds
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        let logged = log_transform(matrix, 2.0)
+            .map_err(|e| invalid(format!("scaling engine needs positive values: {e}")))?;
+        let run = pcluster_with_control(&logged, &self.params, control);
+        let (n, stopped) = emit_all(run.clusters.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated: run.truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// Cheng & Church δ-biclusters as an engine.
+///
+/// The masking range is chosen per run from the matrix's own value range,
+/// as the original paper prescribes; inverted (anti-correlated) rows map to
+/// the cluster's `n_members`.
+#[derive(Debug, Clone)]
+pub struct ChengChurchEngine {
+    params: ChengChurchParams,
+}
+
+impl ChengChurchEngine {
+    /// Creates the engine. The `mask_range` in `params` is ignored — it is
+    /// recomputed from each run's matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: ChengChurchParams) -> Result<Self, CoreError> {
+        check_delta(params.delta, "delta")?;
+        if !(params.alpha.is_finite() && params.alpha > 1.0) {
+            return Err(invalid("alpha must be > 1"));
+        }
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for ChengChurchEngine {
+    fn name(&self) -> &str {
+        "cheng-church"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"delta\":{},\"alpha\":{},\"n_clusters\":{},\"seed\":{},\"mask_range\":\"auto\"}}",
+            self.params.delta, self.params.alpha, self.params.n_clusters, self.params.seed
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        if control.is_cancelled() {
+            return Ok(EngineReport::interrupted(0));
+        }
+        let (lo, hi) = matrix
+            .flat_values()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        let mut params = self.params.clone();
+        params.mask_range = if lo < hi { (lo, hi) } else { (lo, lo + 1.0) };
+        let found = cheng_church(matrix, &params);
+        let truncated = control.is_cancelled();
+        let clusters = found.into_iter().map(|cc| {
+            let mut p_members = Vec::new();
+            let mut n_members = Vec::new();
+            for (g, inv) in cc.bicluster.genes.into_iter().zip(cc.inverted) {
+                if inv {
+                    n_members.push(g);
+                } else {
+                    p_members.push(g);
+                }
+            }
+            RegCluster {
+                chain: cc.bicluster.conds,
+                p_members,
+                n_members,
+            }
+        });
+        let (n, stopped) = emit_all(clusters, sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// FLOC δ-clusters as an engine.
+#[derive(Debug, Clone)]
+pub struct FlocEngine {
+    params: FlocParams,
+}
+
+impl FlocEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: FlocParams) -> Result<Self, CoreError> {
+        check_delta(params.delta, "delta")?;
+        if !(0.0..=1.0).contains(&params.seed_prob) {
+            return Err(invalid("seed_prob must be a probability"));
+        }
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for FlocEngine {
+    fn name(&self) -> &str {
+        "floc"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"delta\":{},\"n_clusters\":{},\"seed_prob\":{},\"max_iterations\":{},\"min_genes\":{},\"min_conds\":{},\"seed\":{}}}",
+            self.params.delta,
+            self.params.n_clusters,
+            self.params.seed_prob,
+            self.params.max_iterations,
+            self.params.min_genes,
+            self.params.min_conds,
+            self.params.seed
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        let run = floc_with_control(matrix, &self.params, control);
+        let (n, stopped) = emit_all(run.clusters.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated: run.truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// OPSM (order-preserving submatrices) as an engine. `min_conds` maps to
+/// the model size `s` (the length of the shared column order).
+#[derive(Debug, Clone)]
+pub struct OpsmEngine {
+    params: OpsmParams,
+}
+
+impl OpsmEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: OpsmParams) -> Result<Self, CoreError> {
+        if params.size < 2 {
+            return Err(invalid("OPSM model size must be ≥ 2"));
+        }
+        if params.beam_width == 0 {
+            return Err(invalid("OPSM beam width must be ≥ 1"));
+        }
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for OpsmEngine {
+    fn name(&self) -> &str {
+        "opsm"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"size\":{},\"beam_width\":{},\"min_genes\":{},\"max_models\":{}}}",
+            self.params.size, self.params.beam_width, self.params.min_genes, self.params.max_models
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        if control.is_cancelled() {
+            return Ok(EngineReport::interrupted(0));
+        }
+        let found = opsm(matrix, &self.params);
+        let truncated = control.is_cancelled();
+        let (n, stopped) = emit_all(found.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// OP-Cluster (grouped tendency sequences) as an engine.
+#[derive(Debug, Clone)]
+pub struct OpClusterEngine {
+    params: OpClusterParams,
+}
+
+impl OpClusterEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: OpClusterParams) -> Result<Self, CoreError> {
+        if !(params.group_multiplier.is_finite() && params.group_multiplier >= 0.0) {
+            return Err(invalid("group multiplier must be finite and ≥ 0"));
+        }
+        if params.min_conds < 2 {
+            return Err(invalid("sequences need at least 2 conditions"));
+        }
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for OpClusterEngine {
+    fn name(&self) -> &str {
+        "op-cluster"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"group_multiplier\":{},\"min_genes\":{},\"min_conds\":{},\"max_clusters\":{}}}",
+            self.params.group_multiplier,
+            self.params.min_genes,
+            self.params.min_conds,
+            self.params.max_clusters
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        if control.is_cancelled() {
+            return Ok(EngineReport::interrupted(0));
+        }
+        let found = op_cluster(matrix, &self.params);
+        let truncated = control.is_cancelled();
+        let (n, stopped) = emit_all(found.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+/// The TriCluster-style ratio-range miner (pure scaling) as an engine.
+#[derive(Debug, Clone)]
+pub struct MicroClusterEngine {
+    params: MicroClusterParams,
+}
+
+impl MicroClusterEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on out-of-domain parameters.
+    pub fn new(params: MicroClusterParams) -> Result<Self, CoreError> {
+        check_delta(params.epsilon, "epsilon")?;
+        check_min_dims(params.min_genes, params.min_conds)?;
+        Ok(Self { params })
+    }
+}
+
+impl BiclusterEngine for MicroClusterEngine {
+    fn name(&self) -> &str {
+        "microcluster"
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"epsilon\":{},\"min_genes\":{},\"min_conds\":{},\"max_clusters\":{},\"state_budget\":{}}}",
+            self.params.epsilon,
+            self.params.min_genes,
+            self.params.min_conds,
+            self.params.max_clusters,
+            self.params.state_budget
+        )
+    }
+
+    fn run(
+        &self,
+        matrix: &ExpressionMatrix,
+        sink: &dyn ClusterSink,
+        control: &MineControl,
+        observer: &dyn SyncMineObserver,
+    ) -> Result<EngineReport, CoreError> {
+        if control.is_cancelled() {
+            return Ok(EngineReport::interrupted(0));
+        }
+        let found = microcluster(matrix, &self.params);
+        let truncated = control.is_cancelled();
+        let (n, stopped) = emit_all(found.into_iter().map(to_regcluster), sink, observer);
+        Ok(EngineReport {
+            n_emitted: n,
+            truncated,
+            stopped_by_sink: stopped,
+            stats: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcluster_core::{NoopObserver, VecSink};
+
+    // All-positive so the log-space scaling engine accepts it too.
+    fn shifted_matrix() -> ExpressionMatrix {
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows: Vec<Vec<f64>> = vec![
+            base.to_vec(),
+            base.iter().map(|v| v + 3.0).collect(),
+            base.iter().map(|v| v + 1.0).collect(),
+        ];
+        ExpressionMatrix::from_rows(
+            (0..3).map(|i| format!("g{i}")).collect(),
+            (0..5).map(|i| format!("c{i}")).collect(),
+            rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pcluster_engine_streams_converted_clusters() {
+        let m = shifted_matrix();
+        let engine = PClusterEngine::new(PClusterParams {
+            delta: 1e-9,
+            min_genes: 3,
+            min_conds: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let sink = VecSink::new();
+        let report = engine
+            .run(&m, &sink, &MineControl::new(), &NoopObserver)
+            .unwrap();
+        let clusters = sink.into_clusters();
+        assert_eq!(report.n_emitted, 1);
+        assert_eq!(clusters[0].p_members, vec![0, 1, 2]);
+        assert_eq!(clusters[0].chain, vec![0, 1, 2, 3, 4]);
+        assert!(clusters[0].n_members.is_empty());
+    }
+
+    #[test]
+    fn every_adapter_honors_a_precancelled_control() {
+        let m = shifted_matrix();
+        let engines: Vec<Box<dyn BiclusterEngine>> = vec![
+            Box::new(PClusterEngine::new(PClusterParams::default()).unwrap()),
+            Box::new(ScalingEngine::new(PClusterParams::default()).unwrap()),
+            Box::new(ChengChurchEngine::new(ChengChurchParams::default()).unwrap()),
+            Box::new(FlocEngine::new(FlocParams::default()).unwrap()),
+            Box::new(OpsmEngine::new(OpsmParams::default()).unwrap()),
+            Box::new(OpClusterEngine::new(OpClusterParams::default()).unwrap()),
+            Box::new(MicroClusterEngine::new(MicroClusterParams::default()).unwrap()),
+        ];
+        for engine in engines {
+            let control = MineControl::new();
+            control.cancel();
+            let sink = VecSink::new();
+            let report = engine
+                .run(&m, &sink, &control, &NoopObserver)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", engine.name()));
+            assert!(report.truncated, "{} ignored cancellation", engine.name());
+            assert_eq!(report.n_emitted, 0, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn cheng_church_inverted_rows_become_n_members() {
+        // g2 = −g0 + 10: anti-correlated, additive after inversion.
+        let base = [1.0f64, 4.0, 2.0, 8.0, 5.0];
+        let rows: Vec<Vec<f64>> = vec![
+            base.to_vec(),
+            base.iter().map(|v| v + 3.0).collect(),
+            base.iter().map(|v| 10.0 - v).collect(),
+        ];
+        let m = ExpressionMatrix::from_rows(
+            (0..3).map(|i| format!("g{i}")).collect(),
+            (0..5).map(|i| format!("c{i}")).collect(),
+            rows,
+        )
+        .unwrap();
+        let engine = ChengChurchEngine::new(ChengChurchParams {
+            delta: 0.01,
+            n_clusters: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let sink = VecSink::new();
+        let report = engine
+            .run(&m, &sink, &MineControl::new(), &NoopObserver)
+            .unwrap();
+        assert_eq!(report.n_emitted, 1);
+        let clusters = sink.into_clusters();
+        assert_eq!(
+            clusters[0].n_members,
+            vec![2],
+            "inverted row maps to n-member"
+        );
+        assert_eq!(clusters[0].p_members, vec![0, 1]);
+    }
+
+    #[test]
+    fn adapters_reject_out_of_domain_params() {
+        assert!(PClusterEngine::new(PClusterParams {
+            delta: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(PClusterEngine::new(PClusterParams {
+            min_genes: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ChengChurchEngine::new(ChengChurchParams {
+            alpha: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(FlocEngine::new(FlocParams {
+            seed_prob: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(OpsmEngine::new(OpsmParams {
+            size: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(OpClusterEngine::new(OpClusterParams {
+            min_conds: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(MicroClusterEngine::new(MicroClusterParams {
+            epsilon: f64::NAN,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn scaling_engine_rejects_non_positive_matrices() {
+        let m = ExpressionMatrix::from_flat_unlabeled(2, 2, vec![1.0, -1.0, 2.0, 3.0]).unwrap();
+        let engine = ScalingEngine::new(PClusterParams::default()).unwrap();
+        let sink = VecSink::new();
+        let err = engine.run(&m, &sink, &MineControl::new(), &NoopObserver);
+        assert!(err.is_err());
+    }
+}

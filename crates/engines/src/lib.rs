@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Every mining algorithm in the workspace as a first-class
+//! [`BiclusterEngine`](regcluster_core::BiclusterEngine).
+//!
+//! Historically only the reg-cluster miner spoke the full pipeline dialect
+//! — streaming [`ClusterSink`](regcluster_core::ClusterSink)s, cancellation
+//! via [`MineControl`](regcluster_core::MineControl), observer events,
+//! `.rcs` stores — while the baselines were bespoke
+//! `fn(matrix, params) -> Vec<Bicluster>` calls wired ad hoc into the CLI.
+//! This crate closes the gap with one adapter per algorithm plus a
+//! name-keyed [`registry`], so `mine --engine <name>`, `bench`, `query` and
+//! `serve` treat all of them uniformly:
+//!
+//! | engine name      | algorithm                                     |
+//! |------------------|-----------------------------------------------|
+//! | `reg-cluster`    | the paper's shifting-and-scaling miner        |
+//! | `pcluster`       | pCluster (pure shifting)                      |
+//! | `scaling`        | pCluster in log₂ space (pure scaling)         |
+//! | `cheng-church`   | Cheng & Church δ-biclusters                   |
+//! | `floc`           | FLOC δ-clusters                               |
+//! | `opsm`           | OPSM (order-preserving submatrices)           |
+//! | `op-cluster`     | OP-Cluster (grouped tendency sequences)       |
+//! | `microcluster`   | TriCluster-style ratio-range miner            |
+//! | `boolean`        | Boolean-reasoning shifting-pattern extractor  |
+//!
+//! Baseline output ([`Bicluster`](regcluster_baselines::Bicluster)) is
+//! embedded losslessly into the common
+//! [`RegCluster`](regcluster_core::RegCluster) currency: the condition set
+//! becomes the chain (ascending), genes become `p_members` (Cheng–Church's
+//! inverted rows become `n_members` — the same anti-correlation idea).
+//!
+//! ```
+//! use regcluster_core::{MineControl, NoopObserver, VecSink};
+//! use regcluster_engines::registry::{build_engine, EngineSpec};
+//!
+//! let matrix = regcluster_datagen::running_example();
+//! let spec = EngineSpec {
+//!     min_genes: 2,
+//!     min_conds: 2,
+//!     ..EngineSpec::default()
+//! };
+//! let engine = build_engine("pcluster", &spec).unwrap();
+//! let sink = VecSink::new();
+//! let report = engine
+//!     .run(&matrix, &sink, &MineControl::new(), &NoopObserver)
+//!     .unwrap();
+//! assert_eq!(report.n_emitted, sink.into_clusters().len());
+//! ```
+
+pub mod adapters;
+pub mod boolean;
+pub mod metrics;
+mod regcluster_engine;
+pub mod registry;
+
+pub use adapters::{
+    ChengChurchEngine, FlocEngine, MicroClusterEngine, OpClusterEngine, OpsmEngine, PClusterEngine,
+    ScalingEngine,
+};
+pub use boolean::{BooleanEngine, BooleanParams};
+pub use metrics::EngineMetrics;
+pub use regcluster_engine::RegClusterEngine;
+pub use registry::{build_engine, EngineSpec, ENGINE_NAMES};

@@ -1,0 +1,82 @@
+//! Per-engine run metrics: counters labeled with the engine name, so one
+//! registry can compare `reg-cluster` against any baseline run through the
+//! same pipeline. Documented in `docs/OBSERVABILITY.md` (guarded by the
+//! CLI's docs-drift test).
+
+use regcluster_core::EngineReport;
+use regcluster_obs::{Counter, MetricsRegistry};
+
+/// Counters for one engine's runs.
+///
+/// Register once per engine name (idempotent — the registry hands back the
+/// same cells) and call [`EngineMetrics::record`] with each run's report.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    runs: Counter,
+    clusters: Counter,
+    truncated: Counter,
+    sink_stops: Counter,
+}
+
+impl EngineMetrics {
+    /// Registers the engine-labeled counter family in `registry`.
+    pub fn register(registry: &MetricsRegistry, engine: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("engine", engine)];
+        Self {
+            runs: registry.counter(
+                "regcluster_engine_runs_total",
+                "Completed engine runs, by engine name",
+                labels,
+            ),
+            clusters: registry.counter(
+                "regcluster_engine_clusters_emitted_total",
+                "Clusters the engine offered to its sink, by engine name",
+                labels,
+            ),
+            truncated: registry.counter(
+                "regcluster_engine_runs_truncated_total",
+                "Engine runs cut short by cancellation or a deadline, by engine name",
+                labels,
+            ),
+            sink_stops: registry.counter(
+                "regcluster_engine_runs_sink_stopped_total",
+                "Engine runs stopped early by a refusing sink, by engine name",
+                labels,
+            ),
+        }
+    }
+
+    /// Records one finished run.
+    pub fn record(&self, report: &EngineReport) {
+        self.runs.inc();
+        self.clusters.add(report.n_emitted as u64);
+        if report.truncated {
+            self.truncated.inc();
+        }
+        if report.stopped_by_sink {
+            self.sink_stops.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_report_shape_into_labeled_counters() {
+        let registry = MetricsRegistry::new();
+        let metrics = EngineMetrics::register(&registry, "pcluster");
+        metrics.record(&EngineReport::completed(3));
+        metrics.record(&EngineReport::interrupted(1).with_stopped_by_sink(true));
+        let json = registry.encode_json();
+        assert!(json.contains("regcluster_engine_runs_total"));
+        assert!(json.contains("pcluster"));
+        let text = registry.encode_prometheus();
+        assert!(text.contains("regcluster_engine_clusters_emitted_total"));
+        // Same name, different engine label: independent cells.
+        let other = EngineMetrics::register(&registry, "floc");
+        other.record(&EngineReport::completed(0));
+        assert!(registry.encode_prometheus().contains("floc"));
+    }
+}

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use regcluster_core::{MiningParams, RegCluster};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
 use crate::format::{
@@ -28,6 +28,18 @@ pub struct StoreStats {
     pub file_bytes: u64,
     /// Mining parameters of the run that produced the store (provenance).
     pub params: MiningParams,
+    /// Engine that produced the store (`None` for stores written before
+    /// engine provenance existed — those are reg-cluster runs).
+    pub engine: Option<String>,
+}
+
+/// The engine half of a store's provenance metadata. Both fields are
+/// absent in stores written before engines existed; the rest of the meta
+/// JSON (the [`MiningParams`]) parses identically either way.
+#[derive(Debug, Clone, Default, Deserialize)]
+struct Provenance {
+    engine: Option<String>,
+    engine_params: Option<String>,
 }
 
 /// An open, fully-validated cluster store.
@@ -44,6 +56,7 @@ pub struct ClusterStore {
     n_conds: u32,
     n_clusters: u32,
     params: MiningParams,
+    provenance: Provenance,
     gene_names: Vec<String>,
     cond_names: Vec<String>,
     gene_lookup: HashMap<String, u32>,
@@ -201,6 +214,10 @@ impl ClusterStore {
             .map_err(|_| StoreError::Metadata("params JSON is not UTF-8".into()))?;
         let params: MiningParams = serde_json::from_str(params_str)
             .map_err(|e| StoreError::Metadata(format!("params JSON unreadable: {e}")))?;
+        // Same JSON object, second view: pre-engine stores simply lack the
+        // engine keys, which deserializes to `None` on both fields.
+        let provenance: Provenance = serde_json::from_str(params_str)
+            .map_err(|e| StoreError::Metadata(format!("provenance JSON unreadable: {e}")))?;
 
         let gene_names = decode_dict(section(SectionId::GeneDict), n_genes, "gene-dict")?;
         let cond_names = decode_dict(section(SectionId::CondDict), n_conds, "cond-dict")?;
@@ -261,6 +278,7 @@ impl ClusterStore {
             n_conds,
             n_clusters,
             params,
+            provenance,
             gene_names,
             cond_names,
             gene_lookup,
@@ -293,6 +311,21 @@ impl ClusterStore {
         &self.params
     }
 
+    /// Name of the engine that produced the store, when recorded.
+    ///
+    /// `None` means the store predates engine provenance; those were
+    /// always written by the reg-cluster miner.
+    pub fn engine(&self) -> Option<&str> {
+        self.provenance.engine.as_deref()
+    }
+
+    /// The producing engine's native parameters as a JSON string, when
+    /// recorded (see
+    /// [`BiclusterEngine::params_json`](regcluster_core::BiclusterEngine::params_json)).
+    pub fn engine_params_json(&self) -> Option<&str> {
+        self.provenance.engine_params.as_deref()
+    }
+
     /// Gene names, indexed by gene id.
     pub fn gene_names(&self) -> &[String] {
         &self.gene_names
@@ -321,6 +354,7 @@ impl ClusterStore {
             n_conds: self.n_conds,
             file_bytes: self.buf.len() as u64,
             params: self.params.clone(),
+            engine: self.provenance.engine.clone(),
         }
     }
 

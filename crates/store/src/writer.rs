@@ -118,7 +118,49 @@ impl StoreWriter {
     ) -> Result<Self, StoreError> {
         let params_json =
             serde_json::to_string(params).map_err(|e| StoreError::Metadata(e.to_string()))?;
-        let final_path = path.as_ref().to_path_buf();
+        Self::create_inner(path.as_ref(), gene_names, cond_names, params_json)
+    }
+
+    /// Like [`create`](StoreWriter::create), additionally recording which
+    /// engine produced the store and its native parameters (a JSON string,
+    /// typically [`BiclusterEngine::params_json`]) in the metadata section.
+    ///
+    /// The engine fields are spliced into the same meta JSON object that
+    /// carries `params`, so a reader from before the engine era still
+    /// parses the provenance it understands and simply ignores the rest.
+    ///
+    /// [`BiclusterEngine::params_json`]: regcluster_core::BiclusterEngine::params_json
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](StoreWriter::create).
+    pub fn create_with_engine(
+        path: impl AsRef<Path>,
+        gene_names: &[String],
+        cond_names: &[String],
+        params: &MiningParams,
+        engine: &str,
+        engine_params_json: &str,
+    ) -> Result<Self, StoreError> {
+        let meta = |e| StoreError::Metadata(format!("{e}"));
+        let params_json = serde_json::to_string(params).map_err(meta)?;
+        debug_assert!(params_json.starts_with('{') && params_json.len() > 2);
+        let merged = format!(
+            "{{\"engine\":{},\"engine_params\":{},{}",
+            serde_json::to_string(engine).map_err(meta)?,
+            serde_json::to_string(engine_params_json).map_err(meta)?,
+            &params_json[1..],
+        );
+        Self::create_inner(path.as_ref(), gene_names, cond_names, merged)
+    }
+
+    fn create_inner(
+        path: &Path,
+        gene_names: &[String],
+        cond_names: &[String],
+        params_json: String,
+    ) -> Result<Self, StoreError> {
+        let final_path = path.to_path_buf();
         let tmp = tmp_path(&final_path);
         let file = OpenOptions::new()
             .read(true)

@@ -271,3 +271,47 @@ fn writer_rejects_out_of_dictionary_ids_and_poisons() {
     assert!(!w.accept(ok));
     assert!(w.finish().is_err());
 }
+
+#[test]
+fn engine_provenance_roundtrips_and_pre_engine_stores_read_as_none() {
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let cluster = RegCluster {
+        chain: vec![0, 1],
+        p_members: vec![0],
+        n_members: vec![],
+    };
+
+    // A store written with engine provenance reports it back verbatim —
+    // including an engine params string that itself needs JSON escaping.
+    let engine_params = r#"{"delta":0.1,"note":"quote \" inside"}"#;
+    let path = tmp("provenance.rcs");
+    let w = StoreWriter::create_with_engine(
+        &path,
+        m.gene_names(),
+        m.condition_names(),
+        &params,
+        "pcluster",
+        engine_params,
+    )
+    .unwrap();
+    w.write_cluster(&cluster).unwrap();
+    w.finish().unwrap();
+    let store = ClusterStore::open(&path).unwrap();
+    assert_eq!(store.engine(), Some("pcluster"));
+    assert_eq!(store.engine_params_json(), Some(engine_params));
+    assert_eq!(store.params(), &params);
+    assert_eq!(store.stats().engine.as_deref(), Some("pcluster"));
+
+    // A store written through the pre-engine entry point reads back with no
+    // engine recorded (the reg-cluster-only era).
+    let legacy = tmp("provenance-legacy.rcs");
+    let w = StoreWriter::create(&legacy, m.gene_names(), m.condition_names(), &params).unwrap();
+    w.write_cluster(&cluster).unwrap();
+    w.finish().unwrap();
+    let store = ClusterStore::open(&legacy).unwrap();
+    assert_eq!(store.engine(), None);
+    assert_eq!(store.engine_params_json(), None);
+    assert_eq!(store.params(), &params);
+    assert_eq!(store.stats().engine, None);
+}

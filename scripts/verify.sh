@@ -22,6 +22,13 @@ cargo test -q --test alloc disabled_failpoints
 echo "==> serve smoke (concurrent clients, overload shedding, graceful shutdown)"
 cargo test -q -p regcluster-cli --test serve_smoke
 
+echo "==> engine matrix (every engine mines, stores, queries, exports metrics)"
+cargo test -q -p regcluster-cli --test engines_matrix
+
+echo "==> engine-comparison bench, smoke mode"
+REGCLUSTER_RESULTS="$(mktemp -d)" \
+  cargo run --release -q -p regcluster-bench --bin comparison -- --quick
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -15,6 +15,9 @@
 //!   synthetic generator, simulated yeast benchmark, synthetic GO database);
 //! * [`baselines`] — the prior-work algorithms the paper compares against
 //!   (Cheng–Church, pCluster, log-space scaling miner, OPSM);
+//! * [`engines`] — every algorithm behind the uniform
+//!   [`BiclusterEngine`](regcluster_core::BiclusterEngine) contract, plus
+//!   a name-keyed registry (`mine --engine <name>` dispatch);
 //! * [`eval`] — evaluation (recovery/relevance match scores, overlap
 //!   statistics, GO enrichment, reports);
 //! * [`store`] — the indexed on-disk `.rcs` cluster store (streaming
@@ -37,6 +40,7 @@
 pub use regcluster_baselines as baselines;
 pub use regcluster_core as core;
 pub use regcluster_datagen as datagen;
+pub use regcluster_engines as engines;
 pub use regcluster_eval as eval;
 pub use regcluster_matrix as matrix;
 pub use regcluster_obs as obs;
