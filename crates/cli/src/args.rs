@@ -54,6 +54,10 @@ pub enum Command {
         checkpoint_every_secs: Option<f64>,
         /// Resume an interrupted run from this `.rck` checkpoint.
         resume: Option<String>,
+        /// Delta-mine against this previous `.rcs` store (or generations
+        /// directory): re-enumerate only the subtrees whose input rows
+        /// changed, splicing the rest from the previous run.
+        delta_from: Option<String>,
     },
     /// Generate a synthetic dataset.
     Generate {
@@ -124,8 +128,13 @@ pub enum Command {
     },
     /// Serve a `.rcs` cluster store over HTTP.
     Serve {
-        /// Store path (as written by `mine --store`).
+        /// Store path (as written by `mine --store`), or — when `watch`
+        /// is set — a generations directory (`serve --watch <dir>`).
         store: String,
+        /// `store` is a generations directory: serve its published
+        /// generation and hot-swap to new ones as `mine --store <dir>`
+        /// publishes them, while in-flight readers drain off the old one.
+        watch: bool,
         /// Port on 127.0.0.1 (0 = pick a free port, printed on startup).
         port: u16,
         /// Worker threads handling requests.
@@ -214,6 +223,15 @@ USAGE:
       --resume <file.rck>    resume an interrupted run from its checkpoint
                              (the result is bit-identical to an
                              uninterrupted run; see docs/ROBUSTNESS.md)
+      --delta-from <prev>    delta-mine against a previous run: <prev> is
+                             its .rcs store (or a generations directory),
+                             only subtrees whose input rows changed are
+                             re-enumerated, the rest is spliced from the
+                             previous store; output is bit-identical to a
+                             full re-mine (reg-cluster only; see
+                             DESIGN.md §13)
+                             with --store <dir> the new store is published
+                             as the directory's next generation
 
   regcluster generate --output <matrix.tsv> [options]
       --genes <N>            number of genes (default 3000)
@@ -267,7 +285,10 @@ USAGE:
       /clusters?gene=..&cond=..&min_genes=..&min_conds=..&top=..,
       /clusters/{id}; --requests N stops gracefully after N requests;
       --queue N bounds the accept queue (default 64) — overload beyond it
-      is shed with 503 + Retry-After instead of queueing unboundedly
+      is shed with 503 + Retry-After instead of queueing unboundedly;
+      --watch <dir> (instead of --store) serves a generations directory's
+      published generation and hot-swaps to new ones as they are
+      published, without dropping in-flight requests
 
   regcluster help
       prints this text
@@ -374,6 +395,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "checkpoint",
                     "checkpoint-every-secs",
                     "resume",
+                    "delta-from",
                 ],
             )?;
             let input = require(&opts, "input")?;
@@ -477,6 +499,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                      engine, not {engine:?}"
                 )));
             }
+            let delta_from = opts.get("delta-from").cloned();
+            if delta_from.is_some() {
+                // Per-root reuse leans on the reg-cluster enumeration
+                // tree's root decomposition; no other engine has one.
+                if engine != "reg-cluster" {
+                    return Err(ParseError(format!(
+                        "--delta-from is only supported by the reg-cluster \
+                         engine, not {engine:?}"
+                    )));
+                }
+                if checkpoint.is_some() || resume.is_some() {
+                    return Err(ParseError(
+                        "--delta-from cannot be combined with --checkpoint/--resume \
+                         (a delta mine is already incremental)"
+                            .into(),
+                    ));
+                }
+                // maximal-only / max-clusters filter across root
+                // boundaries, so per-root splicing from an already-filtered
+                // store would not be bit-identical to a full re-mine.
+                if params.maximal_only || params.max_clusters.is_some() {
+                    return Err(ParseError(
+                        "--delta-from cannot be combined with --maximal-only or \
+                         --max-clusters (those filters act across subtree \
+                         boundaries; run a full mine instead)"
+                            .into(),
+                    ));
+                }
+            }
             Ok(Command::Mine {
                 input,
                 engine,
@@ -494,6 +545,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 checkpoint,
                 checkpoint_every_secs,
                 resume,
+                delta_from,
             })
         }
         "generate" => {
@@ -621,6 +673,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 checkpoint: None,
                 checkpoint_every_secs: None,
                 resume: None,
+                delta_from: None,
             })
         }
         "rwave" => {
@@ -665,7 +718,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         }
         "serve" => {
             let opts = take_options(rest)?;
-            check_known(&opts, &["store", "port", "threads", "requests", "queue"])?;
+            check_known(
+                &opts,
+                &["store", "watch", "port", "threads", "requests", "queue"],
+            )?;
             let requests = match opts.get("requests") {
                 Some(v) => Some(
                     v.parse::<u64>()
@@ -681,8 +737,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         .into(),
                 ));
             }
+            // Exactly one of --store (a sealed .rcs file) and --watch (a
+            // generations directory to hot-swap from) names what to serve.
+            let (store, watch) = match (opts.get("store"), opts.get("watch")) {
+                (Some(s), None) => (s.clone(), false),
+                (None, Some(d)) => (d.clone(), true),
+                (Some(_), Some(_)) => {
+                    return Err(ParseError(
+                        "--store and --watch are mutually exclusive (a file vs a \
+                         generations directory)"
+                            .into(),
+                    ))
+                }
+                (None, None) => {
+                    return Err(ParseError(
+                        "serve needs --store <file.rcs> or --watch <dir>".into(),
+                    ))
+                }
+            };
             Ok(Command::Serve {
-                store: require(&opts, "store")?,
+                store,
+                watch,
                 port: get(&opts, "port", 7878u16)?,
                 threads: get(&opts, "threads", 4usize)?,
                 requests,
@@ -744,6 +819,7 @@ mod tests {
                 checkpoint,
                 checkpoint_every_secs,
                 resume,
+                delta_from,
             } => {
                 assert_eq!(input, "m.tsv");
                 assert_eq!(engine, "reg-cluster");
@@ -754,6 +830,7 @@ mod tests {
                 assert_eq!(checkpoint, None);
                 assert_eq!(checkpoint_every_secs, None);
                 assert_eq!(resume, None);
+                assert_eq!(delta_from, None);
                 assert!(!stats);
                 assert!(!progress);
                 assert_eq!(params.min_genes, 5);
@@ -1004,12 +1081,24 @@ mod tests {
             cmd,
             Command::Serve {
                 store: "out.rcs".into(),
+                watch: false,
                 port: 0,
                 threads: 4,
                 requests: None,
                 queue: 64,
             }
         );
+        // --watch <dir> names a generations directory instead of a file.
+        match parse_args(&sv(&["serve", "--watch", "gens/"])).unwrap() {
+            Command::Serve { store, watch, .. } => {
+                assert_eq!(store, "gens/");
+                assert!(watch);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Exactly one of --store / --watch.
+        assert!(parse_args(&sv(&["serve"])).is_err());
+        assert!(parse_args(&sv(&["serve", "--store", "a.rcs", "--watch", "gens/"])).is_err());
         assert!(parse_args(&sv(&["query"])).is_err(), "--store is required");
         assert!(parse_args(&sv(&["serve", "--store", "x", "--port", "high"])).is_err());
         assert!(parse_args(&sv(&["serve", "--store", "x", "--requests", "-1"])).is_err());
@@ -1075,6 +1164,72 @@ mod tests {
                 "--checkpoint-every-secs {bad} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn mine_parses_delta_from_and_its_conflicts() {
+        match parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m.tsv",
+            "--delta-from",
+            "prev.rcs",
+        ]))
+        .unwrap()
+        {
+            Command::Mine { delta_from, .. } => {
+                assert_eq!(delta_from.as_deref(), Some("prev.rcs"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // reg-cluster only.
+        let err = parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m",
+            "--engine",
+            "opsm",
+            "--delta-from",
+            "p.rcs",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("reg-cluster"), "{err}");
+        // No checkpointing on top of a delta mine.
+        for conflict in [["--checkpoint", "c.rck"], ["--resume", "c.rck"]] {
+            assert!(
+                parse_args(&sv(&[
+                    "mine",
+                    "--input",
+                    "m",
+                    "--delta-from",
+                    "p.rcs",
+                    conflict[0],
+                    conflict[1],
+                ]))
+                .is_err(),
+                "{conflict:?} must conflict with --delta-from"
+            );
+        }
+        // Cross-root post-filters cannot splice soundly.
+        assert!(parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m",
+            "--delta-from",
+            "p.rcs",
+            "--maximal-only",
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&[
+            "mine",
+            "--input",
+            "m",
+            "--delta-from",
+            "p.rcs",
+            "--max-clusters",
+            "5",
+        ]))
+        .is_err());
     }
 
     /// The USAGE-drift guard: every subcommand the parser accepts must be

@@ -5,7 +5,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use regcluster_core::{
-    finalize_clusters, mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, CheckpointPlan,
+    classify_roots, finalize_clusters, matrix_fingerprint, mine_prepared_roots_to_sink,
+    mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, root_fingerprints, CheckpointPlan,
     CheckpointReport, ClusterSink, EngineConfig, EngineReport, MetricsObserver, MineControl, Miner,
     MiningParams, MiningStats, RegCluster, StreamReport, SyncMineObserver, VecSink,
 };
@@ -14,7 +15,9 @@ use regcluster_engines::{build_engine, EngineMetrics, EngineSpec};
 use regcluster_eval::{overlap, recovery, relevance, report, ClusterShape};
 use regcluster_matrix::{io, missing, ExpressionMatrix};
 use regcluster_obs::{MetricsRegistry, MonotonicClock, PhaseSpans};
-use regcluster_store::{read_checkpoint, CheckpointFile, ClusterStore, StoreWriter};
+use regcluster_store::{
+    read_checkpoint, CheckpointFile, ClusterStore, Generations, StoreProvenance, StoreWriter,
+};
 
 use crate::args::{Command, USAGE};
 use crate::serve;
@@ -416,6 +419,349 @@ fn run_engine_mine(args: EngineMineArgs<'_>) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Where a reg-cluster `--store` argument points: a plain `.rcs` file, or
+/// a generations directory (`mine --store <dir>`) whose next generation
+/// the run writes and then publishes atomically.
+enum StoreTarget {
+    /// An ordinary single-file store.
+    File(std::path::PathBuf),
+    /// `gen-<N>.rcs` inside a generations directory, published (the
+    /// `CURRENT` pointer swung and stale files swept) after the writer
+    /// seals it.
+    Generation { gens: Generations, generation: u64 },
+}
+
+impl StoreTarget {
+    /// `spec` is a generations directory iff it names an *existing*
+    /// directory — a typo'd file path must not silently become a lineage.
+    fn resolve(spec: &str) -> Result<Self, CliError> {
+        let path = std::path::Path::new(spec);
+        if path.is_dir() {
+            let gens = Generations::open(path)?;
+            let generation = gens.next()?;
+            Ok(StoreTarget::Generation { gens, generation })
+        } else {
+            Ok(StoreTarget::File(path.to_path_buf()))
+        }
+    }
+
+    /// The file the [`StoreWriter`] should create.
+    fn write_path(&self) -> std::path::PathBuf {
+        match self {
+            StoreTarget::File(p) => p.clone(),
+            StoreTarget::Generation { gens, generation } => gens.path_for(*generation),
+        }
+    }
+
+    /// The generation number to stamp into the store's provenance.
+    /// Single-file stores default to one past the run they replace
+    /// (`previous`, 0 when there is none); directory targets use their
+    /// slot in the lineage.
+    fn generation(&self, previous: Option<u64>) -> u64 {
+        match self {
+            StoreTarget::File(_) => previous.map_or(0, |g| g + 1),
+            StoreTarget::Generation { generation, .. } => *generation,
+        }
+    }
+
+    /// Publishes a sealed generation (no-op for file targets); returns
+    /// the note to append to the run's output.
+    fn publish(&self) -> Result<Option<String>, CliError> {
+        match self {
+            StoreTarget::File(_) => Ok(None),
+            StoreTarget::Generation { gens, generation } => {
+                gens.publish(*generation)?;
+                Ok(Some(format!(
+                    "generation {generation} published in {}\n",
+                    gens.dir().display()
+                )))
+            }
+        }
+    }
+}
+
+/// Opens the store a `--delta-from` argument names: either a sealed
+/// `.rcs` file or a generations directory (whose published generation is
+/// used). Returns the store and the resolved path for messages.
+fn open_previous_store(spec: &str) -> Result<(ClusterStore, String), CliError> {
+    let path = std::path::Path::new(spec);
+    let resolved = if path.is_dir() {
+        match Generations::open(path)?.current_path()? {
+            Some(p) => p,
+            None => {
+                return Err(CliError::Format(format!(
+                    "{spec}: generations directory has no published generation \
+                     to delta-mine against"
+                )))
+            }
+        }
+    } else {
+        path.to_path_buf()
+    };
+    let store = ClusterStore::open(&resolved)?;
+    Ok((store, resolved.display().to_string()))
+}
+
+/// The `mine` flags a `--delta-from` run needs. Checkpointing and the
+/// cross-root post-filters are excluded — the parser refuses both.
+struct DeltaMineArgs<'a> {
+    input: &'a str,
+    params: &'a MiningParams,
+    threads: usize,
+    deadline_secs: Option<f64>,
+    progress: bool,
+    output: Option<&'a str>,
+    impute: &'a str,
+    stats: bool,
+    store: Option<&'a str>,
+    metrics: Option<&'a str>,
+    metrics_json: Option<&'a str>,
+    delta_from: &'a str,
+}
+
+/// `mine --delta-from <prev>`: re-mine only the enumeration subtrees whose
+/// input rows changed since `prev` was mined, splicing every other
+/// subtree's clusters out of the previous store verbatim. The result is
+/// bit-identical to a full re-mine (see `crates/core/src/delta.rs` for the
+/// soundness argument and `crates/core/tests/delta_golden.rs` for the
+/// golden proof); on the store path the spliced records are copied as raw
+/// bytes, never deserialized.
+fn run_delta_mine(args: DeltaMineArgs<'_>) -> Result<String, CliError> {
+    let registry = MetricsRegistry::new();
+    let clock = MonotonicClock::new();
+    let spans = PhaseSpans::new(&registry);
+    let observer = MineRunObserver {
+        metrics: MetricsObserver::register(&registry),
+        progress: args.progress.then(ProgressObserver::default),
+    };
+    let engine_metrics = EngineMetrics::register(&registry, "reg-cluster");
+
+    let m = spans.time(&clock, "load", || load_matrix(args.input, args.impute))?;
+    let (prev, prev_path) = open_previous_store(args.delta_from)?;
+
+    // A previous run is only reusable when it mined the same problem:
+    // same engine, same parameters, same matrix shape — and it must carry
+    // root fingerprints to diff against.
+    if let Some(engine) = prev.engine() {
+        if engine != "reg-cluster" {
+            return Err(CliError::Format(format!(
+                "{prev_path}: store was mined by engine {engine:?}; --delta-from \
+                 needs a reg-cluster store"
+            )));
+        }
+    }
+    if (prev.n_genes() as usize, prev.n_conds() as usize) != (m.n_genes(), m.n_conditions()) {
+        return Err(CliError::Format(format!(
+            "{prev_path}: store covers {} genes × {} conditions but the matrix \
+             has {} × {}; delta mining needs identical dimensions",
+            prev.n_genes(),
+            prev.n_conds(),
+            m.n_genes(),
+            m.n_conditions()
+        )));
+    }
+    if prev.params() != args.params {
+        return Err(CliError::Format(format!(
+            "{prev_path}: store was mined with different parameters; delta \
+             mining requires the identical parameter set (store: {:?}, \
+             requested: {:?})",
+            prev.params(),
+            args.params
+        )));
+    }
+    let Some(prev_fps) = prev.root_fingerprints() else {
+        return Err(CliError::Format(format!(
+            "{prev_path}: store carries no root fingerprints (it predates delta \
+             mining); run a full mine with --store to create a delta-capable one"
+        )));
+    };
+
+    let miner = spans.time(&clock, "index_build", || Miner::new(&m, args.params))?;
+    let new_fps = root_fingerprints(&miner);
+    let plan = classify_roots(prev_fps, &new_fps)?;
+    let unchanged = plan.unchanged_mask();
+
+    // Clusters to carry over: everything rooted in an unchanged subtree.
+    // `cluster_root` reads one u32 from the packed record — no decode.
+    let mut spliced: Vec<u32> = Vec::new();
+    for id in 0..prev.n_clusters() {
+        if unchanged[prev.cluster_root(id)? as usize] {
+            spliced.push(id);
+        }
+    }
+
+    let control = match args.deadline_secs {
+        Some(s) => MineControl::with_deadline(std::time::Duration::from_secs_f64(s)),
+        None => MineControl::new(),
+    };
+    let config = EngineConfig::new(args.threads);
+    let start = std::time::Instant::now();
+
+    let (clusters, stat_counters, truncated, stopped_by_sink, store_note) = match args.store {
+        None => {
+            let sink = VecSink::new();
+            let report = {
+                let _span = spans.span(&clock, "enumeration");
+                mine_prepared_roots_to_sink(
+                    &miner,
+                    &plan.dirty,
+                    &config,
+                    &control,
+                    &observer,
+                    &sink,
+                )?
+            };
+            let mut clusters = sink.into_clusters();
+            for &id in &spliced {
+                clusters.push(prev.cluster(id)?);
+            }
+            spans.time(&clock, "postprocess", || {
+                finalize_clusters(&mut clusters, args.params)
+            });
+            (
+                clusters,
+                report.stats,
+                report.truncated,
+                report.stopped_by_sink,
+                None,
+            )
+        }
+        Some(store_spec) => {
+            let target = StoreTarget::resolve(store_spec)?;
+            let provenance = StoreProvenance {
+                engine: Some("reg-cluster".to_string()),
+                engine_params: Some(serde_json::to_string(args.params)?),
+                generation: target.generation(Some(prev.generation())),
+                matrix_fingerprint: Some(matrix_fingerprint(&m)),
+                root_fingerprints: Some(new_fps.clone()),
+            };
+            let write_path = target.write_path();
+            let writer = StoreWriter::create_with_provenance(
+                &write_path,
+                m.gene_names(),
+                m.condition_names(),
+                args.params,
+                &provenance,
+            )?;
+            // Splice first: raw packed records, straight from the old file
+            // to the new one.
+            spans.time(&clock, "store_write", || {
+                spliced
+                    .iter()
+                    .try_for_each(|&id| writer.write_raw_record(prev.record_bytes(id)?))
+            })?;
+            // Then stream the dirty subtrees' fresh clusters on top.
+            let collected = VecSink::new();
+            let tee = TeeSink {
+                store: &writer,
+                collected: &collected,
+            };
+            let report = {
+                let _span = spans.span(&clock, "enumeration");
+                mine_prepared_roots_to_sink(
+                    &miner,
+                    &plan.dirty,
+                    &config,
+                    &control,
+                    &observer,
+                    &tee,
+                )?
+            };
+            let mut clusters = collected.into_clusters();
+            for &id in &spliced {
+                clusters.push(prev.cluster(id)?);
+            }
+            spans.time(&clock, "postprocess", || {
+                finalize_clusters(&mut clusters, args.params)
+            });
+            // Sealing canonicalizes ids, so splice order does not matter.
+            let summary = spans.time(&clock, "store_write", || writer.finish())?;
+            let mut note = format!(
+                "store written to {} ({} clusters, {} bytes)\n",
+                write_path.display(),
+                summary.n_clusters,
+                summary.file_bytes
+            );
+            if let Some(published) = target.publish()? {
+                note.push_str(&published);
+            }
+            (
+                clusters,
+                report.stats,
+                report.truncated,
+                report.stopped_by_sink,
+                Some(note),
+            )
+        }
+    };
+    engine_metrics.record(&EngineReport {
+        n_emitted: stat_counters.emitted,
+        truncated,
+        stopped_by_sink,
+        stats: None,
+    });
+    let elapsed = start.elapsed();
+
+    let mut text = format!(
+        "delta-mined {} reg-clusters from {} genes × {} conditions in {:.3}s on {} thread{}\n",
+        clusters.len(),
+        m.n_genes(),
+        m.n_conditions(),
+        elapsed.as_secs_f64(),
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
+    );
+    text.push_str(&format!(
+        "{} of {} roots dirty: re-enumerated them, spliced {} clusters from \
+         {} unchanged subtrees of {prev_path}\n",
+        plan.dirty.len(),
+        new_fps.len(),
+        spliced.len(),
+        plan.unchanged.len()
+    ));
+    if truncated {
+        text.push_str("deadline expired: results are partial\n");
+    }
+    if args.stats {
+        text.push_str(&stat_counters.summary());
+        text.push('\n');
+    }
+    if !clusters.is_empty() {
+        text.push_str(&report::overlap_summary(&clusters));
+        text.push('\n');
+    }
+    if let Some(note) = store_note {
+        text.push_str(&note);
+    }
+    for note in write_metric_snapshots(&registry, args.metrics, args.metrics_json)? {
+        text.push_str(&note);
+    }
+    match args.output {
+        Some(path) => {
+            let doc = MineOutput {
+                format_version: Some(MINE_OUTPUT_FORMAT_VERSION),
+                engine: Some("reg-cluster".to_string()),
+                params: args.params.clone(),
+                n_genes: m.n_genes(),
+                n_conds: m.n_conditions(),
+                threads: Some(args.threads),
+                elapsed_secs: Some(elapsed.as_secs_f64()),
+                truncated: Some(truncated),
+                stats: Some(stat_counters),
+                resumed_from: None,
+                checkpoint_written: None,
+                clusters,
+            };
+            std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+            text.push_str(&format!("clusters written to {path}\n"));
+        }
+        None => {
+            text.push_str(&report::cluster_table(&m, &clusters));
+        }
+    }
+    Ok(text)
+}
+
 /// Executes a parsed command and returns the text to print.
 ///
 /// # Errors
@@ -501,6 +847,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             checkpoint,
             checkpoint_every_secs,
             resume,
+            delta_from,
         } => {
             // Non-default engines run through the BiclusterEngine registry:
             // same matrix loading, sinks, deadline control, observer,
@@ -520,6 +867,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     store: store.as_deref(),
                     metrics: metrics.as_deref(),
                     metrics_json: metrics_json.as_deref(),
+                });
+            }
+            // Incremental runs re-mine only the subtrees whose input
+            // changed since a previous store; everything else (including
+            // checkpointing, which the parser refuses alongside it) stays
+            // on the full-mine path below.
+            if let Some(prev) = delta_from {
+                return run_delta_mine(DeltaMineArgs {
+                    input,
+                    params,
+                    threads: *threads,
+                    deadline_secs: *deadline_secs,
+                    progress: *progress,
+                    output: output.as_deref(),
+                    impute,
+                    stats: *stats,
+                    store: store.as_deref(),
+                    metrics: metrics.as_deref(),
+                    metrics_json: metrics_json.as_deref(),
+                    delta_from: prev,
                 });
             }
             // One registry per run: phase spans + the mining observer feed
@@ -604,14 +971,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                             None,
                         )
                     }
-                    Some(store_path) => {
-                        let writer = StoreWriter::create_with_engine(
-                            store_path,
+                    Some(store_spec) => {
+                        // Full mines stamp delta provenance (matrix + root
+                        // fingerprints, generation) so a later
+                        // `mine --delta-from` can diff against this store.
+                        // A directory-valued --store writes the lineage's
+                        // next generation and publishes it after sealing.
+                        let target = StoreTarget::resolve(store_spec)?;
+                        let write_path = target.write_path();
+                        let writer = StoreWriter::create_with_provenance(
+                            &write_path,
                             m.gene_names(),
                             m.condition_names(),
                             params,
-                            "reg-cluster",
-                            &serde_json::to_string(params)?,
+                            &StoreProvenance {
+                                engine: Some("reg-cluster".to_string()),
+                                engine_params: Some(serde_json::to_string(params)?),
+                                generation: target.generation(None),
+                                matrix_fingerprint: Some(matrix_fingerprint(&m)),
+                                root_fingerprints: Some(root_fingerprints(&miner)),
+                            },
                         )?;
                         let post_filtered = params.maximal_only || params.max_clusters.is_some();
                         let (clusters, stats, truncated, stopped, ck_report) = if post_filtered {
@@ -666,10 +1045,15 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         // finish() seals the file and surfaces any write error
                         // that made the sink refuse clusters mid-run.
                         let summary = spans.time(&clock, "store_write", || writer.finish())?;
-                        let note = format!(
-                            "store written to {store_path} ({} clusters, {} bytes)\n",
-                            summary.n_clusters, summary.file_bytes
+                        let mut note = format!(
+                            "store written to {} ({} clusters, {} bytes)\n",
+                            write_path.display(),
+                            summary.n_clusters,
+                            summary.file_bytes
                         );
+                        if let Some(published) = target.publish()? {
+                            note.push_str(&published);
+                        }
                         (clusters, stats, truncated, stopped, ck_report, Some(note))
                     }
                 };
@@ -871,11 +1255,27 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             q.top_k = *top;
             let ids = cs.query(&q)?;
             if *json {
-                let docs: Vec<serve::ClusterDoc> = ids
+                let clusters: Vec<serve::ClusterDoc> = ids
                     .iter()
                     .map(|&id| serve::cluster_doc(&cs, id))
                     .collect::<Result<_, _>>()?;
-                Ok(format!("{}\n", serde_json::to_string_pretty(&docs)?))
+                // Wrapped in an object so consumers see where the clusters
+                // came from: mining engine and store generation ride along
+                // with every export.
+                #[derive(Serialize)]
+                struct QueryOutput {
+                    engine: Option<String>,
+                    generation: u64,
+                    total: usize,
+                    clusters: Vec<serve::ClusterDoc>,
+                }
+                let doc = QueryOutput {
+                    engine: cs.engine().map(str::to_string),
+                    generation: cs.generation(),
+                    total: clusters.len(),
+                    clusters,
+                };
+                Ok(format!("{}\n", serde_json::to_string_pretty(&doc)?))
             } else {
                 let mut text = format!("{} of {} clusters match\n", ids.len(), cs.n_clusters());
                 if !ids.is_empty() {
@@ -900,24 +1300,44 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Serve {
             store,
+            watch,
             port,
             threads,
             requests,
             queue,
         } => {
-            let cs = std::sync::Arc::new(ClusterStore::open(store)?);
+            // --watch serves a generations directory: open the published
+            // generation now, let the server's watcher hot-swap to later
+            // ones as `mine --store <dir>` publishes them.
+            let (cs, source) = if *watch {
+                let gens = Generations::open(store)?;
+                let Some(path) = gens.current_path()? else {
+                    return Err(CliError::Format(format!(
+                        "{store}: generations directory has no published generation \
+                         to serve (run `mine --store {store}` first)"
+                    )));
+                };
+                (
+                    ClusterStore::open(&path)?,
+                    format!("{} (watching for new generations)", path.display()),
+                )
+            } else {
+                (ClusterStore::open(store)?, store.clone())
+            };
+            let cs = std::sync::Arc::new(cs);
             let config = serve::ServeConfig {
                 port: *port,
                 threads: *threads,
                 max_requests: *requests,
                 queue_capacity: *queue,
+                watch: watch.then(|| std::path::PathBuf::from(store)),
                 ..serve::ServeConfig::default()
             };
             let n_clusters = cs.n_clusters();
             let server = serve::Server::start(cs, &config)?;
             // Announced on stderr so it shows before the blocking wait.
             eprintln!(
-                "serving {n_clusters} clusters from {store} on http://127.0.0.1:{}/ \
+                "serving {n_clusters} clusters from {source} on http://127.0.0.1:{}/ \
                  ({} worker thread{})",
                 server.port(),
                 config.threads.max(1),
@@ -1512,6 +1932,222 @@ mod tests {
                 "non-maximal cluster leaked into the store"
             );
         }
+    }
+
+    /// Writes a synthetic matrix, returning its path; `tweak` lets a test
+    /// re-measure one gene before writing.
+    fn write_delta_matrix(path: &std::path::Path, tweak: bool) {
+        let cfg = regcluster_datagen::SyntheticConfig {
+            n_genes: 60,
+            n_conds: 12,
+            n_clusters: 2,
+            cluster_gene_frac: 0.1,
+            noise_sigma: 0.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let data = regcluster_datagen::generate(&cfg).unwrap();
+        let mut rows: Vec<Vec<f64>> = (0..data.matrix.n_genes())
+            .map(|g| data.matrix.row(g).to_vec())
+            .collect();
+        if tweak {
+            for v in &mut rows[7] {
+                *v = *v * 1.05 + 0.25;
+            }
+        }
+        let genes = data.matrix.gene_names().to_vec();
+        let conds = data.matrix.condition_names().to_vec();
+        let m = regcluster_matrix::ExpressionMatrix::from_rows(genes, conds, rows).unwrap();
+        regcluster_matrix::io::write_matrix_file(&m, path).unwrap();
+    }
+
+    const DELTA_MINE_FLAGS: [&str; 8] = [
+        "--min-genes",
+        "4",
+        "--min-conds",
+        "4",
+        "--gamma",
+        "0.1",
+        "--epsilon",
+        "0.05",
+    ];
+
+    fn mine_cmd(extra: &[&str]) -> Command {
+        let mut argv = vec!["mine"];
+        argv.extend_from_slice(&DELTA_MINE_FLAGS);
+        argv.extend_from_slice(extra);
+        parse_args(&sv(&argv)).unwrap()
+    }
+
+    /// `mine --delta-from` against a previous store is bit-identical to a
+    /// full re-mine of the new matrix, and the generations-directory flow
+    /// (full mine → gen-0, delta mine → gen-1, CURRENT swung) works
+    /// end-to-end through the CLI layer.
+    #[test]
+    fn delta_mine_matches_full_remine_and_publishes_generations() {
+        let dir = tmpdir().join(format!("delta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let before = dir.join("before.tsv");
+        let after = dir.join("after.tsv");
+        write_delta_matrix(&before, false);
+        write_delta_matrix(&after, true);
+        let gens_dir = dir.join("lineage");
+        std::fs::create_dir_all(&gens_dir).unwrap();
+        let full_after = dir.join("full-after.rcs");
+
+        // Full mine of the old matrix into the lineage → generation 0.
+        let out = run(&mine_cmd(&[
+            "--input",
+            before.to_str().unwrap(),
+            "--store",
+            gens_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("generation 0 published"), "{out}");
+        let gens = Generations::open(&gens_dir).unwrap();
+        assert_eq!(gens.current().unwrap(), Some(0));
+
+        // Delta mine of the re-measured matrix against the lineage → gen-1.
+        let out = run(&mine_cmd(&[
+            "--input",
+            after.to_str().unwrap(),
+            "--delta-from",
+            gens_dir.to_str().unwrap(),
+            "--store",
+            gens_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("delta-mined"), "{out}");
+        assert!(out.contains("generation 1 published"), "{out}");
+        assert_eq!(gens.current().unwrap(), Some(1));
+
+        // Reference: a from-scratch mine of the new matrix.
+        run(&mine_cmd(&[
+            "--input",
+            after.to_str().unwrap(),
+            "--store",
+            full_after.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let delta_store = ClusterStore::open(gens.path_for(1)).unwrap();
+        let full_store = ClusterStore::open(&full_after).unwrap();
+        let delta: Vec<RegCluster> = delta_store.iter().collect::<Result<_, _>>().unwrap();
+        let full: Vec<RegCluster> = full_store.iter().collect::<Result<_, _>>().unwrap();
+        assert!(!full.is_empty(), "reference mine found nothing");
+        assert_eq!(delta, full, "delta mine must equal a full re-mine");
+        assert_eq!(delta_store.generation(), 1);
+        assert!(delta_store.root_fingerprints().is_some());
+        assert_eq!(
+            delta_store.root_fingerprints(),
+            full_store.root_fingerprints(),
+            "both stores fingerprint the same matrix"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The delta path refuses stores it cannot soundly splice from:
+    /// foreign engines, different parameters, different dimensions.
+    #[test]
+    fn delta_mine_rejects_incompatible_previous_stores() {
+        let dir = tmpdir().join(format!("delta-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let matrix = dir.join("m.tsv");
+        write_delta_matrix(&matrix, false);
+        let store = dir.join("prev.rcs");
+        run(&mine_cmd(&[
+            "--input",
+            matrix.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Different parameters.
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--min-genes",
+            "5",
+            "--delta-from",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(matches!(err, CliError::Format(_)), "{err}");
+        assert!(err.to_string().contains("parameters"), "{err}");
+
+        // A store from another engine.
+        let foreign = dir.join("foreign.rcs");
+        let cmd = parse_args(&sv(&[
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--engine",
+            "pcluster",
+            "--min-genes",
+            "3",
+            "--min-conds",
+            "3",
+            "--store",
+            foreign.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cmd).unwrap();
+        let err = run(&mine_cmd(&[
+            "--input",
+            matrix.to_str().unwrap(),
+            "--delta-from",
+            foreign.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("reg-cluster"), "{err}");
+
+        // An empty lineage has nothing to delta against.
+        let empty = dir.join("empty-lineage");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&mine_cmd(&[
+            "--input",
+            matrix.to_str().unwrap(),
+            "--delta-from",
+            empty.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no published generation"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `query --json` wraps the matches in an object carrying the store's
+    /// provenance: engine and generation.
+    #[test]
+    fn query_json_carries_engine_and_generation() {
+        let dir = tmpdir().join(format!("queryjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let matrix = dir.join("m.tsv");
+        write_delta_matrix(&matrix, false);
+        let store = dir.join("q.rcs");
+        run(&mine_cmd(&[
+            "--input",
+            matrix.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cmd = parse_args(&sv(&[
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("\"engine\": \"reg-cluster\""), "{out}");
+        assert!(out.contains("\"generation\": 0"), "{out}");
+        assert!(out.contains("\"total\""), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

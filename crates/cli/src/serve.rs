@@ -46,14 +46,15 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use regcluster_obs::{Counter, Histogram, MetricsRegistry};
-use regcluster_store::{ClusterStore, Query, StoreStats};
+use regcluster_store::{ClusterStore, Generations, Query, StoreStats};
 use serde::Serialize;
 
 /// How a [`Server`] is launched.
@@ -74,6 +75,14 @@ pub struct ServeConfig {
     /// but never sends a request line is answered `408 Request Timeout`
     /// after this long instead of pinning a worker forever.
     pub io_timeout: Duration,
+    /// Generations directory to watch (`serve --watch <dir>`): a thread
+    /// polls its `CURRENT` pointer and hot-swaps the served store to each
+    /// newly published generation. In-flight requests keep the [`Arc`]
+    /// they started with and drain off the old generation; nothing is
+    /// dropped or retried.
+    pub watch: Option<PathBuf>,
+    /// How often the watcher re-reads `CURRENT`.
+    pub watch_poll: Duration,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +93,8 @@ impl Default for ServeConfig {
             max_requests: None,
             queue_capacity: 64,
             io_timeout: Duration::from_secs(5),
+            watch: None,
+            watch_poll: Duration::from_millis(100),
         }
     }
 }
@@ -106,6 +117,12 @@ pub const HTTP_DURATION_METRIC: &str = "regcluster_http_request_duration_seconds
 /// Name of the overload counter: connections answered `503 + Retry-After`
 /// because the bounded accept queue was full.
 pub const HTTP_SHED_METRIC: &str = "regcluster_http_requests_shed_total";
+/// Name of the hot-swap counter, labelled by the generation swapped *to*
+/// (`generation="N"`). The initial load at startup increments its
+/// generation's cell too, so `/metrics` always names every generation
+/// this process has served; the family's sum minus one is the number of
+/// live swaps.
+pub const STORE_SWAPS_METRIC: &str = "regcluster_store_swaps_total";
 
 /// Handling-latency bucket bounds: local-store queries are sub-millisecond,
 /// the tail covers cold caches and large result pages.
@@ -307,7 +324,11 @@ fn resolve(
 }
 
 struct Shared {
-    store: Arc<ClusterStore>,
+    /// The served store, swappable while requests are in flight: each
+    /// request clones the [`Arc`] once up front and works off that
+    /// snapshot, so a hot swap never changes the store mid-request and
+    /// the old generation is freed when its last reader finishes.
+    store: RwLock<Arc<ClusterStore>>,
     /// The server's registry; `/metrics` encodes it, [`ServeMetrics`]
     /// holds pre-resolved handles into it.
     registry: MetricsRegistry,
@@ -319,6 +340,39 @@ struct Shared {
 }
 
 impl Shared {
+    /// The store snapshot a request should serve from.
+    fn store(&self) -> Arc<ClusterStore> {
+        Arc::clone(
+            &self
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Publishes a freshly opened generation to future requests and
+    /// stamps its swap-counter cell.
+    fn swap_store(&self, store: Arc<ClusterStore>) {
+        let generation = store.generation();
+        *self
+            .store
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = store;
+        self.record_generation(generation);
+    }
+
+    /// Increments the [`STORE_SWAPS_METRIC`] cell of `generation`.
+    fn record_generation(&self, generation: u64) {
+        self.registry
+            .counter(
+                STORE_SWAPS_METRIC,
+                "Store generations this server has swapped in (the initial \
+                 load counts once), by generation number.",
+                &[("generation", &generation.to_string())],
+            )
+            .inc();
+    }
+
     /// Sets the stop flag and wakes the acceptor (idempotent).
     fn trigger_shutdown(&self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
@@ -335,6 +389,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -349,8 +404,9 @@ impl Server {
         let port = listener.local_addr()?.port();
         let registry = MetricsRegistry::new();
         let metrics = ServeMetrics::register(&registry);
+        let initial_generation = store.generation();
         let shared = Arc::new(Shared {
-            store,
+            store: RwLock::new(store),
             registry,
             metrics,
             stop: AtomicBool::new(false),
@@ -358,6 +414,7 @@ impl Server {
             max_requests: config.max_requests,
             io_timeout: config.io_timeout,
         });
+        shared.record_generation(initial_generation);
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
             sync_channel(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -422,10 +479,48 @@ impl Server {
             })
             .collect();
 
+        // --watch: poll the generations directory's CURRENT pointer and
+        // hot-swap to each newly published generation. The watcher never
+        // sweeps (that is the publisher's job — see the Generations docs)
+        // and tolerates transient read errors: a torn observation just
+        // means the next poll tries again.
+        let watcher = config.watch.as_ref().map(|dir| {
+            let shared = Arc::clone(&shared);
+            let dir = dir.clone();
+            let poll = config.watch_poll;
+            std::thread::spawn(move || {
+                let Ok(gens) = Generations::open(&dir) else {
+                    return;
+                };
+                let mut serving = shared.store().generation();
+                while !shared.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(poll);
+                    let Ok(Some(current)) = gens.current() else {
+                        continue;
+                    };
+                    if current == serving {
+                        continue;
+                    }
+                    // CURRENT only ever points at a completely sealed
+                    // store, so a failed open is transient (e.g. the file
+                    // vanished under a concurrent publish burst): keep
+                    // serving the old generation and retry next poll.
+                    match ClusterStore::open(gens.path_for(current)) {
+                        Ok(cs) => {
+                            shared.swap_store(Arc::new(cs));
+                            serving = current;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        });
+
         Ok(Server {
             shared,
             acceptor,
             workers,
+            watcher,
         })
     }
 
@@ -451,6 +546,9 @@ impl Server {
     fn join(self) -> ServeReport {
         let _ = self.acceptor.join();
         for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watcher {
             let _ = w.join();
         }
         ServeReport {
@@ -562,7 +660,11 @@ const OTHER_SLOT: usize = ROUTES.len() - 1;
 /// Dispatches a parsed request, returning
 /// (metrics slot, status, content type, body).
 fn route_request(shared: &Shared, path: &str, query: &str) -> (usize, u16, &'static str, String) {
-    let store = &shared.store;
+    // One snapshot per request: a concurrent hot swap affects the *next*
+    // request, never this one, and the old generation stays alive until
+    // its last in-flight reader drops this Arc.
+    let store = shared.store();
+    let store = &store;
     match path {
         "/health" => {
             let body = format!("{{\"status\":\"ok\",\"clusters\":{}}}", store.n_clusters());

@@ -427,6 +427,154 @@ fn failpoints_env_var_reaches_the_binary() {
 }
 
 #[test]
+fn baseline_alias_warns_once_on_stderr_and_still_works() {
+    let dir = tmpdir();
+    let matrix = dir.join("baseline-warn.tsv");
+    regcluster_matrix::io::write_matrix_file(&regcluster_datagen::running_example(), &matrix)
+        .unwrap();
+
+    // The deprecated alias still runs, but stderr carries exactly one
+    // deprecation line pointing at the replacement.
+    let out = bin()
+        .args([
+            "baseline",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--algorithm",
+            "pcluster",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        err.matches("deprecated").count(),
+        1,
+        "exactly one deprecation line: {err}"
+    );
+    assert!(
+        err.contains("mine --engine"),
+        "points at replacement: {err}"
+    );
+
+    // The warning precedes parsing, so even a malformed baseline call
+    // carries it — still exactly once.
+    let out = bin().arg("baseline").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(err.matches("deprecated").count(), 1, "{err}");
+
+    // The replacement spelling is warning-free.
+    let out = bin()
+        .args([
+            "mine",
+            "--input",
+            matrix.to_str().unwrap(),
+            "--engine",
+            "pcluster",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !err.contains("deprecated"),
+        "`mine --engine` must not warn: {err}"
+    );
+}
+
+#[test]
+fn delta_mine_through_the_binary_matches_full_remine() {
+    let dir = tmpdir();
+    let gens = dir.join("delta-lineage");
+    let m0 = dir.join("delta-gen0.tsv");
+    let m1 = dir.join("delta-gen1.tsv");
+
+    // Two measurements of the same panel: the second re-measures a
+    // handful of genes (rows 3 and 17 shifted + rescaled).
+    let cfg = regcluster_datagen::SyntheticConfig {
+        n_genes: 80,
+        n_conds: 12,
+        n_clusters: 2,
+        cluster_gene_frac: 0.08,
+        noise_sigma: 0.0,
+        seed: 23,
+        ..Default::default()
+    };
+    let mut matrix = regcluster_datagen::generate(&cfg).unwrap().matrix;
+    regcluster_matrix::io::write_matrix_file(&matrix, &m0).unwrap();
+    for row in [3usize, 17] {
+        for c in 0..matrix.n_conditions() {
+            let v = matrix.value(row, c);
+            matrix.set_value(row, c, v * 1.1 + 0.4);
+        }
+    }
+    regcluster_matrix::io::write_matrix_file(&matrix, &m1).unwrap();
+
+    let mine = |input: &PathBuf, extra: &[&str]| {
+        let mut args = vec![
+            "mine".to_string(),
+            "--input".into(),
+            input.to_str().unwrap().into(),
+            "--min-genes".into(),
+            "4".into(),
+            "--min-conds".into(),
+            "4".into(),
+            "--gamma".into(),
+            "0.1".into(),
+            "--epsilon".into(),
+            "0.05".into(),
+        ];
+        args.extend(extra.iter().map(|s| (*s).to_string()));
+        let out = bin().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // Generation 0, then a delta mine of the re-measured matrix into the
+    // same lineage. `--store` enters generations mode for an existing
+    // directory, so the lineage dir is made first.
+    std::fs::create_dir_all(&gens).unwrap();
+    let text = mine(&m0, &["--store", gens.to_str().unwrap()]);
+    assert!(text.contains("generation 0 published"), "{text}");
+    let prev = gens.join("gen-0.rcs");
+    let text = mine(
+        &m1,
+        &[
+            "--store",
+            gens.to_str().unwrap(),
+            "--delta-from",
+            prev.to_str().unwrap(),
+        ],
+    );
+    assert!(text.contains("delta-mined"), "{text}");
+    assert!(text.contains("generation 1 published"), "{text}");
+
+    // Bit-identical to mining the new matrix from scratch.
+    let scratch = dir.join("delta-scratch.rcs");
+    mine(&m1, &["--store", scratch.to_str().unwrap()]);
+    let delta_store = regcluster_store::ClusterStore::open(gens.join("gen-1.rcs")).unwrap();
+    let full_store = regcluster_store::ClusterStore::open(&scratch).unwrap();
+    let delta: Vec<_> = delta_store.iter().collect::<Result<_, _>>().unwrap();
+    let full: Vec<_> = full_store.iter().collect::<Result<_, _>>().unwrap();
+    assert!(!full.is_empty(), "workload must mine something");
+    assert_eq!(delta, full, "delta store drifted from a full re-mine");
+    assert_eq!(delta_store.generation(), 1);
+}
+
+#[test]
 fn rwave_subcommand_via_binary() {
     let dir = tmpdir();
     let matrix = dir.join("running.tsv");

@@ -92,6 +92,50 @@ fn doc_is_linked_from_user_facing_pages() {
 }
 
 #[test]
+fn generations_and_delta_mining_are_documented() {
+    // DESIGN.md §13 owns the lifecycle/swap protocol, GUIDE.md the
+    // operator recipe, OBSERVABILITY.md the swap metric. Renaming a flag
+    // or metric without updating the trio is drift.
+    let design = repo_doc("DESIGN.md");
+    assert!(
+        design.contains("## 13. Generations and delta mining"),
+        "DESIGN.md must keep the generations/delta section"
+    );
+    for needle in [
+        "root_fingerprints",
+        "classify_roots",
+        "`CURRENT`",
+        "store::current_publish",
+        regcluster_cli::serve::STORE_SWAPS_METRIC,
+    ] {
+        assert!(
+            design.contains(needle),
+            "DESIGN.md §13 must mention {needle}"
+        );
+    }
+
+    let guide = repo_doc("docs/GUIDE.md");
+    for needle in ["--delta-from", "--watch", "generation"] {
+        assert!(
+            guide.contains(needle),
+            "docs/GUIDE.md live re-mining recipe must mention {needle}"
+        );
+    }
+
+    // The swap counter registers lazily (per-generation label cells), so
+    // the registry sweep above can't see it — pin it here explicitly.
+    let obs = observability_doc();
+    assert!(
+        obs.contains(regcluster_cli::serve::STORE_SWAPS_METRIC),
+        "swap metric must be in docs/OBSERVABILITY.md"
+    );
+    assert!(
+        obs.contains("`generation`"),
+        "the generation label must be documented"
+    );
+}
+
+#[test]
 fn every_failpoint_site_is_documented_in_robustness_md() {
     // The robustness guide carries the failpoint catalogue; arming a
     // site that isn't documented there (or documenting one that no

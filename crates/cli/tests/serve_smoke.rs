@@ -6,12 +6,13 @@
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use regcluster_cli::serve::{ServeConfig, Server};
+use regcluster_cli::serve::{ServeConfig, Server, STORE_SWAPS_METRIC};
 use regcluster_core::{mine, MiningParams};
 use regcluster_datagen::{generate, PatternKind, SyntheticConfig};
-use regcluster_store::{ClusterStore, StoreWriter};
+use regcluster_store::{ClusterStore, Generations, StoreProvenance, StoreWriter};
 
 /// Mines a small synthetic workload and writes it to a store.
 fn build_store(name: &str) -> PathBuf {
@@ -343,6 +344,134 @@ fn overload_is_shed_with_503_and_recovers() {
         "shed connections must not count as handled requests: {}",
         report.requests
     );
+}
+
+#[test]
+fn watcher_hot_swaps_generations_under_concurrent_load() {
+    // A generations lineage with two distinguishable generations: 0 holds
+    // the full mined set, 1 only its first cluster.
+    let dir = std::env::temp_dir().join(format!("regcluster-serve-gens-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gens = Generations::open(&dir).unwrap();
+
+    let cfg = SyntheticConfig {
+        n_genes: 100,
+        n_conds: 30,
+        n_clusters: 6,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.06,
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 7,
+    };
+    let m = generate(&cfg).unwrap().matrix;
+    let params = MiningParams::new(4, 4, 0.1, 0.05).unwrap();
+    let clusters = mine(&m, &params).unwrap();
+    assert!(
+        clusters.len() > 1,
+        "need ≥ 2 clusters to tell the gens apart"
+    );
+    let write_gen = |generation: u64, set: &[regcluster_core::RegCluster]| {
+        let provenance = StoreProvenance {
+            generation,
+            ..StoreProvenance::default()
+        };
+        let w = StoreWriter::create_with_provenance(
+            gens.path_for(generation),
+            m.gene_names(),
+            m.condition_names(),
+            &params,
+            &provenance,
+        )
+        .unwrap();
+        for c in set {
+            w.write_cluster(c).unwrap();
+        }
+        w.finish().unwrap();
+    };
+    write_gen(0, &clusters);
+    gens.publish(0).unwrap();
+
+    let store = Arc::new(ClusterStore::open(gens.path_for(0)).unwrap());
+    let config = ServeConfig {
+        port: 0,
+        threads: 4,
+        watch: Some(dir.clone()),
+        watch_poll: std::time::Duration::from_millis(20),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+
+    // 32 clients hammer the server for the whole publish + swap window.
+    // Every single request must succeed — the swap may never be visible
+    // as an error, only as a changed generation.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut requests = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let path = match (requests + i) % 3 {
+                        0 => "/health",
+                        1 => "/clusters/0",
+                        _ => "/stats",
+                    };
+                    let (status, body) = get(port, path);
+                    assert_eq!(status, 200, "{path} failed mid-swap: {body}");
+                    requests += 1;
+                }
+                requests
+            })
+        })
+        .collect();
+
+    // Publish generation 1 while the load is running, then wait for the
+    // watcher to pick it up (poll interval 20ms; allow a generous 5s).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    write_gen(1, &clusters[..1]);
+    gens.publish(1).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (status, body) = get(port, "/stats");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"generation\":1") {
+            assert!(body.contains("\"n_clusters\":1"), "{body}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never swapped to generation 1: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0usize;
+    for c in clients {
+        total += c.join().expect("a client saw a failed request");
+    }
+    assert!(total >= 32, "every client got at least one response in");
+
+    // The swap counter carries per-generation labels: one cell for the
+    // initial load of generation 0, one for the swap to generation 1.
+    let samples = scrape_metrics(port);
+    for generation in 0..=1 {
+        let series = format!("{STORE_SWAPS_METRIC}{{generation=\"{generation}\"}}");
+        let v = samples
+            .iter()
+            .find(|(s, _)| *s == series)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing {series} in {samples:?}"));
+        assert_eq!(v, 1.0, "{series}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

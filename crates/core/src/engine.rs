@@ -495,6 +495,59 @@ pub fn mine_prepared_to_sink(
     })
 }
 
+/// As [`mine_prepared_to_sink`], but enumerating **only the subtrees rooted
+/// at the given conditions** — the delta-mining path
+/// ([`delta`](crate::delta)): after
+/// [`classify_roots`](crate::delta::classify_roots) marks which roots are
+/// dirty, this re-mines exactly those subtrees while the unchanged roots'
+/// clusters are spliced from the previous run.
+///
+/// The clusters delivered to `sink` are exactly the clusters a full run
+/// emits with `chain[0]` in `roots` (subtree outputs are disjoint by root;
+/// see the [`delta`](crate::delta) module docs for why). Duplicate entries
+/// in `roots` are ignored.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParams`] for an invalid configuration or a root
+/// outside the matrix's conditions, and [`CoreError::WorkerPanic`] if a
+/// worker, the observer, or the sink panicked.
+pub fn mine_prepared_roots_to_sink(
+    miner: &Miner<'_>,
+    roots: &[CondId],
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+) -> Result<StreamReport, CoreError> {
+    config.validate()?;
+    let n_roots = miner.n_conditions();
+    if let Some(&bad) = roots.iter().find(|&&r| r >= n_roots) {
+        return Err(CoreError::InvalidParams(format!(
+            "root condition {bad} out of range (matrix has {n_roots} conditions)"
+        )));
+    }
+    let mut subset: Vec<CondId> = roots.to_vec();
+    subset.sort_unstable();
+    subset.dedup();
+    let outcome = run_checkpointed(
+        miner,
+        n_roots,
+        Some(&subset),
+        config,
+        control,
+        observer,
+        sink,
+        None,
+    )
+    .map(|(outcome, _)| outcome)?;
+    Ok(StreamReport {
+        stats: outcome.stats,
+        truncated: outcome.truncated,
+        stopped_by_sink: outcome.stopped_by_sink,
+    })
+}
+
 /// As [`mine_prepared_to_sink`], with crash-safety: snapshots the
 /// enumeration frontier to the plan's
 /// [`CheckpointSink`](crate::checkpoint::CheckpointSink) periodically
@@ -528,6 +581,7 @@ pub fn mine_prepared_to_sink_checkpointed(
     let (outcome, report) = run_checkpointed(
         miner,
         miner.n_conditions(),
+        None,
         config,
         control,
         observer,
@@ -570,6 +624,7 @@ pub fn mine_engine_checkpointed(
     let (outcome, report) = run_checkpointed(
         &miner,
         matrix.n_conditions(),
+        None,
         config,
         control,
         observer,
@@ -709,7 +764,7 @@ fn run(
     observer: &dyn SyncMineObserver,
     sink: &dyn ClusterSink,
 ) -> Result<Outcome, CoreError> {
-    run_checkpointed(miner, n_roots, config, control, observer, sink, None)
+    run_checkpointed(miner, n_roots, None, config, control, observer, sink, None)
         .map(|(outcome, _)| outcome)
 }
 
@@ -792,9 +847,11 @@ fn snapshot(miner: &Miner<'_>, shared: &Shared<'_>, fingerprint: u64) -> EngineC
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     miner: &Miner<'_>,
     n_roots: usize,
+    roots: Option<&[CondId]>,
     config: &EngineConfig,
     control: &MineControl,
     observer: &dyn SyncMineObserver,
@@ -854,11 +911,18 @@ fn run_checkpointed(
             }
         }
         None => {
-            for root in 0..n_roots {
+            // A roots subset (delta mining) seeds only the dirty subtrees;
+            // the dedup shards stay sized n_roots so `chain[0]` indexing
+            // holds either way.
+            let mut seed = |root: CondId| {
                 initial.push_back(Task {
                     chain: vec![root],
                     members: miner.root_members(root),
                 });
+            };
+            match roots {
+                Some(subset) => subset.iter().copied().for_each(&mut seed),
+                None => (0..n_roots).for_each(&mut seed),
             }
         }
     }

@@ -25,6 +25,11 @@ pub enum CoreError {
     /// persist a snapshot. A run that cannot honor its durability contract
     /// aborts rather than continuing un-checkpointed.
     Checkpoint(String),
+    /// Delta mining could not reuse the previous run: the root-fingerprint
+    /// vectors are incomparable (different condition counts) or the
+    /// previous run's provenance is unusable. The remedy is a full
+    /// re-mine; this error never silently degrades into one.
+    Delta(String),
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +39,7 @@ impl fmt::Display for CoreError {
             CoreError::Cancelled => write!(f, "mining run cancelled before completion"),
             CoreError::WorkerPanic(msg) => write!(f, "mining worker panicked: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CoreError::Delta(msg) => write!(f, "delta mining error: {msg}"),
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod chain;
 pub mod checkpoint;
 pub mod cluster;
 pub mod coherence;
+pub mod delta;
 pub mod engine;
 pub mod engine_api;
 pub mod metrics;
@@ -74,10 +75,12 @@ pub use checkpoint::{
     MemoryCheckpointSink, PendingMember, PendingNode,
 };
 pub use cluster::{RegCluster, ValidationError};
+pub use delta::{classify_roots, gene_fingerprints, root_fingerprints, DeltaPlan};
 pub use engine::{
-    mine_engine, mine_engine_checkpointed, mine_engine_with, mine_prepared_to_sink,
-    mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
-    MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
+    mine_engine, mine_engine_checkpointed, mine_engine_with, mine_prepared_roots_to_sink,
+    mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink,
+    ClusterSink, EngineConfig, MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink,
+    VecSink,
 };
 pub use engine_api::{BiclusterEngine, EngineReport};
 pub use error::CoreError;

@@ -62,6 +62,7 @@ pub const SITES: &[&str] = &[
     "store::fsync_file",
     "store::rename",
     "store::dir_sync",
+    "store::current_publish",
     "checkpoint::save",
     "engine::worker",
 ];
@@ -88,7 +89,7 @@ struct Armed {
     fire_at: Option<u64>,
 }
 
-const N_SITES: usize = 8;
+const N_SITES: usize = 9;
 const _: () = assert!(SITES.len() == N_SITES, "keep N_SITES in sync with SITES");
 
 /// Fast-path gate: false (the default) means every site is a

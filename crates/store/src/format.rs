@@ -41,8 +41,15 @@ use crate::error::StoreError;
 /// File magic, first 8 bytes of every store.
 pub const MAGIC: [u8; 8] = *b"RCSTORE\0";
 
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes. Version 2 added generation and
+/// fingerprint provenance keys to the META section's JSON.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads. Stores between
+/// [`MIN_SUPPORTED_VERSION`] and [`FORMAT_VERSION`] are upgraded in memory
+/// at open through the [`migrations`](crate::migrations) registry; the
+/// file on disk is never rewritten.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 32;

@@ -64,13 +64,16 @@
 mod checkpoint;
 mod error;
 mod format;
+mod generations;
+pub mod migrations;
 mod query;
 mod reader;
 mod writer;
 
 pub use checkpoint::{read_checkpoint, CheckpointFile, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use error::StoreError;
-pub use format::FORMAT_VERSION;
+pub use format::{FORMAT_VERSION, MIN_SUPPORTED_VERSION};
+pub use generations::{Generations, CURRENT_FILE};
 pub use query::Query;
 pub use reader::{ClusterStore, PostingsIter, StoreStats};
-pub use writer::{StoreSummary, StoreWriter};
+pub use writer::{StoreProvenance, StoreSummary, StoreWriter};

@@ -1,0 +1,143 @@
+//! In-memory upgrades for stores written by older format versions.
+//!
+//! A `.rcs` file opened with a header version in
+//! `[MIN_SUPPORTED_VERSION, FORMAT_VERSION)` is **not** rewritten on
+//! disk; instead its META-section JSON is upgraded here, step by step,
+//! until it looks like a current-version document. Each registry entry
+//! migrates exactly one version to the next, so reading a v1 store under
+//! a v4 build runs three steps in order.
+//!
+//! Migrations edit the parsed [`Value`] tree in place and must preserve
+//! every key they do not understand — unknown keys are forward
+//! compatibility (a newer minor writer may have recorded extras), and the
+//! property test in `crates/store/tests/roundtrip.rs` pins that they
+//! survive an open/re-render cycle untouched.
+
+use serde::Value;
+
+use crate::error::StoreError;
+use crate::format::{FORMAT_VERSION, MIN_SUPPORTED_VERSION};
+
+/// One migration step: edits a version-`N` meta object into a
+/// version-`N+1` one.
+type Migration = fn(&mut Vec<(String, Value)>);
+
+/// v1 → v2: generation provenance. Pre-generational stores are implicitly
+/// generation 0, the seed of any [`Generations`](crate::Generations)
+/// lineage they are adopted into. Injected only when absent, so a v1
+/// writer that somehow recorded the key (forward-written files) wins.
+fn v1_to_v2(meta: &mut Vec<(String, Value)>) {
+    if !meta.iter().any(|(k, _)| k == "generation") {
+        meta.insert(0, ("generation".to_string(), Value::Int(0)));
+    }
+}
+
+/// The registry. Entry `(from, step)` upgrades version `from` to
+/// `from + 1`; entries are contiguous and ascending from
+/// [`MIN_SUPPORTED_VERSION`].
+const MIGRATIONS: [(u32, Migration); 1] = [(1, v1_to_v2)];
+
+// Every version in [MIN_SUPPORTED_VERSION, FORMAT_VERSION) must have a
+// step, or an old store would come out of `upgrade` half-migrated.
+const _: () = assert!(MIGRATIONS.len() == (FORMAT_VERSION - MIN_SUPPORTED_VERSION) as usize);
+
+/// Upgrades a meta JSON document written at header version `found` to the
+/// current format, in place.
+///
+/// # Errors
+///
+/// [`StoreError::Version`] when `found` is outside
+/// `[MIN_SUPPORTED_VERSION, FORMAT_VERSION]` (the caller normally checks
+/// first), [`StoreError::Metadata`] when the document is not an object.
+pub fn upgrade(found: u32, meta: &mut Value) -> Result<(), StoreError> {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&found) {
+        return Err(StoreError::Version {
+            found,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let Value::Object(pairs) = meta else {
+        return Err(StoreError::Metadata(
+            "meta JSON is not an object; cannot migrate".into(),
+        ));
+    };
+    for (from, step) in MIGRATIONS {
+        if from >= found {
+            step(pairs);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn v1_gains_a_zero_generation() {
+        let mut meta = obj(&[("min_genes", Value::Int(4))]);
+        upgrade(1, &mut meta).unwrap();
+        assert_eq!(meta.field("generation"), Ok(&Value::Int(0)));
+        // The original keys survive.
+        assert_eq!(meta.field("min_genes"), Ok(&Value::Int(4)));
+    }
+
+    #[test]
+    fn current_version_is_a_no_op() {
+        let mut meta = obj(&[("generation", Value::Int(7))]);
+        let before = meta.clone();
+        upgrade(FORMAT_VERSION, &mut meta).unwrap();
+        assert_eq!(meta, before);
+    }
+
+    #[test]
+    fn an_existing_generation_key_wins() {
+        let mut meta = obj(&[("generation", Value::Int(3))]);
+        upgrade(1, &mut meta).unwrap();
+        assert_eq!(meta.field("generation"), Ok(&Value::Int(3)));
+    }
+
+    #[test]
+    fn unknown_keys_pass_through_untouched() {
+        let mut meta = obj(&[
+            ("from_the_future", Value::Str("keep me".into())),
+            ("min_genes", Value::Int(4)),
+        ]);
+        upgrade(1, &mut meta).unwrap();
+        assert_eq!(
+            meta.field("from_the_future"),
+            Ok(&Value::Str("keep me".into()))
+        );
+    }
+
+    #[test]
+    fn out_of_range_versions_are_refused() {
+        let mut meta = obj(&[]);
+        assert!(matches!(
+            upgrade(0, &mut meta),
+            Err(StoreError::Version { found: 0, .. })
+        ));
+        assert!(matches!(
+            upgrade(FORMAT_VERSION + 1, &mut meta),
+            Err(StoreError::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn non_object_meta_is_a_metadata_error() {
+        let mut meta = Value::Array(vec![]);
+        assert!(matches!(
+            upgrade(1, &mut meta),
+            Err(StoreError::Metadata(_))
+        ));
+    }
+}

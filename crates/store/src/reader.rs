@@ -6,13 +6,14 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use regcluster_core::{MiningParams, RegCluster};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::StoreError;
 use crate::format::{
     u32_at, u64_at, ByteReader, Fnv64, Section, SectionId, FORMAT_VERSION, HEADER_LEN, MAGIC,
-    SECTION_ENTRY_LEN,
+    MIN_SUPPORTED_VERSION, SECTION_ENTRY_LEN,
 };
+use crate::migrations;
 use crate::writer::decode_record;
 
 /// Summary facts about an open store (also the `/stats` payload shape).
@@ -31,15 +32,23 @@ pub struct StoreStats {
     /// Engine that produced the store (`None` for stores written before
     /// engine provenance existed — those are reg-cluster runs).
     pub engine: Option<String>,
+    /// Generation number within a [`Generations`](crate::Generations)
+    /// lineage (0 for standalone stores and pre-generational files).
+    pub generation: u64,
 }
 
-/// The engine half of a store's provenance metadata. Both fields are
-/// absent in stores written before engines existed; the rest of the meta
-/// JSON (the [`MiningParams`]) parses identically either way.
+/// The optional half of a store's provenance metadata. All fields are
+/// absent in stores written before the respective feature existed; the
+/// rest of the meta JSON (the [`MiningParams`]) parses identically either
+/// way. Version-1 files gain `generation: 0` through the
+/// [`migrations`](crate::migrations) registry at open.
 #[derive(Debug, Clone, Default, Deserialize)]
 struct Provenance {
     engine: Option<String>,
     engine_params: Option<String>,
+    generation: Option<u64>,
+    matrix_fingerprint: Option<u64>,
+    root_fingerprints: Option<Vec<u64>>,
 }
 
 /// An open, fully-validated cluster store.
@@ -57,6 +66,9 @@ pub struct ClusterStore {
     n_clusters: u32,
     params: MiningParams,
     provenance: Provenance,
+    /// The META params JSON after migration to the current version, keys
+    /// (known and unknown) preserved in file order.
+    meta: Value,
     gene_names: Vec<String>,
     cond_names: Vec<String>,
     gene_lookup: HashMap<String, u32>,
@@ -112,7 +124,7 @@ impl ClusterStore {
         }
         let mut h = ByteReader::new(&buf[8..HEADER_LEN], "header");
         let version = h.u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::Version {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -212,11 +224,18 @@ impl ClusterStore {
         let params_raw = m.bytes(m.remaining())?;
         let params_str = std::str::from_utf8(params_raw)
             .map_err(|_| StoreError::Metadata("params JSON is not UTF-8".into()))?;
-        let params: MiningParams = serde_json::from_str(params_str)
+        // Parse once into a document tree, upgrade older versions in
+        // memory (the file itself is never rewritten), then read the two
+        // typed views off the migrated tree. Keys neither view knows stay
+        // in `meta` untouched — forward compatibility for minor writers.
+        let mut meta = serde_json::parse_value_str(params_str)
             .map_err(|e| StoreError::Metadata(format!("params JSON unreadable: {e}")))?;
-        // Same JSON object, second view: pre-engine stores simply lack the
-        // engine keys, which deserializes to `None` on both fields.
-        let provenance: Provenance = serde_json::from_str(params_str)
+        migrations::upgrade(version, &mut meta)?;
+        let params = MiningParams::from_json_value(&meta)
+            .map_err(|e| StoreError::Metadata(format!("params JSON unreadable: {e}")))?;
+        // Same JSON object, second view: older stores simply lack the
+        // provenance keys, which deserialize to `None`.
+        let provenance = Provenance::from_json_value(&meta)
             .map_err(|e| StoreError::Metadata(format!("provenance JSON unreadable: {e}")))?;
 
         let gene_names = decode_dict(section(SectionId::GeneDict), n_genes, "gene-dict")?;
@@ -279,6 +298,7 @@ impl ClusterStore {
             n_clusters,
             params,
             provenance,
+            meta,
             gene_names,
             cond_names,
             gene_lookup,
@@ -326,6 +346,38 @@ impl ClusterStore {
         self.provenance.engine_params.as_deref()
     }
 
+    /// Generation number within a [`Generations`](crate::Generations)
+    /// lineage. Standalone stores — and version-1 files, migrated at open
+    /// — are generation 0.
+    pub fn generation(&self) -> u64 {
+        self.provenance.generation.unwrap_or(0)
+    }
+
+    /// Fingerprint of the mined expression matrix, when the producing run
+    /// recorded one (see [`matrix_fingerprint`]).
+    ///
+    /// [`matrix_fingerprint`]: regcluster_core::matrix_fingerprint
+    pub fn matrix_fingerprint(&self) -> Option<u64> {
+        self.provenance.matrix_fingerprint
+    }
+
+    /// Per-root enumeration fingerprints of the producing run, when
+    /// recorded (see [`root_fingerprints`]). A later run diffs these
+    /// against the re-measured matrix's to decide which subtrees to
+    /// re-mine and which clusters to splice over unchanged.
+    ///
+    /// [`root_fingerprints`]: regcluster_core::root_fingerprints
+    pub fn root_fingerprints(&self) -> Option<&[u64]> {
+        self.provenance.root_fingerprints.as_deref()
+    }
+
+    /// The META section's JSON document, re-rendered after migration to
+    /// the current format version. Keys this build does not understand
+    /// are preserved verbatim, in file order.
+    pub fn meta_json(&self) -> String {
+        serde_json::to_string(&self.meta).unwrap_or_else(|_| "{}".into())
+    }
+
     /// Gene names, indexed by gene id.
     pub fn gene_names(&self) -> &[String] {
         &self.gene_names
@@ -355,6 +407,7 @@ impl ClusterStore {
             file_bytes: self.buf.len() as u64,
             params: self.params.clone(),
             engine: self.provenance.engine.clone(),
+            generation: self.generation(),
         }
     }
 
@@ -373,6 +426,58 @@ impl ClusterStore {
         }
         let off = u64_at(self.section(SectionId::Offsets), id as usize);
         decode_record(self.section(SectionId::Clusters), off).map(|(c, _)| c)
+    }
+
+    /// The packed record bytes of cluster `id`, exactly as stored — the
+    /// splice path of delta mining copies these into a new store through
+    /// [`StoreWriter::write_raw_record`](crate::StoreWriter::write_raw_record)
+    /// without materializing a [`RegCluster`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ClusterOutOfBounds`] for `id ≥ n_clusters`;
+    /// [`StoreError::Format`] if the record bytes are inconsistent.
+    pub fn record_bytes(&self, id: u32) -> Result<&[u8], StoreError> {
+        if id >= self.n_clusters {
+            return Err(StoreError::ClusterOutOfBounds {
+                id,
+                len: self.n_clusters,
+            });
+        }
+        let clusters = self.section(SectionId::Clusters);
+        let off = u64_at(self.section(SectionId::Offsets), id as usize) as usize;
+        let mut r = ByteReader::new(&clusters[off..], "cluster record");
+        let chain_len = r.u32()? as usize;
+        let p_len = r.u32()? as usize;
+        let n_len = r.u32()? as usize;
+        let used = 12 + 4 * (chain_len + p_len + n_len);
+        if off + used > clusters.len() {
+            return Err(StoreError::Format(format!(
+                "cluster {id} record [{off}, +{used}) past clusters section \
+                 ({} bytes)",
+                clusters.len()
+            )));
+        }
+        Ok(&clusters[off..off + used])
+    }
+
+    /// The root condition (`chain[0]`) of cluster `id`, read straight from
+    /// the packed record — no decode. This is the key delta mining splices
+    /// by: a cluster carries over iff its root is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`record_bytes`](ClusterStore::record_bytes); additionally
+    /// [`StoreError::Format`] for an empty chain (no well-formed writer
+    /// produces one).
+    pub fn cluster_root(&self, id: u32) -> Result<u32, StoreError> {
+        let record = self.record_bytes(id)?;
+        if u32_at(record, 0) == 0 {
+            return Err(StoreError::Format(format!(
+                "cluster {id} has an empty chain"
+            )));
+        }
+        Ok(u32_at(record, 3))
     }
 
     /// `(n_genes, n_conds)` of cluster `id`, straight from the size table —

@@ -19,11 +19,35 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use regcluster_core::{ClusterSink, MiningParams, RegCluster};
+use serde::{Serialize, Value};
 
 use crate::error::StoreError;
 use crate::format::{
     put_u32, put_u64, ByteReader, Fnv64, Section, SectionId, FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
+
+/// Optional provenance recorded alongside the mining parameters in a
+/// store's META section (see
+/// [`StoreWriter::create_with_provenance`]). Every field defaults to
+/// "not recorded"; absent fields cost no bytes and read back as `None`
+/// (generation: as 0).
+#[derive(Debug, Clone, Default)]
+pub struct StoreProvenance {
+    /// Name of the producing engine (e.g. `"reg-cluster"`).
+    pub engine: Option<String>,
+    /// The engine's native parameters as a JSON string.
+    pub engine_params: Option<String>,
+    /// Generation number within a [`Generations`](crate::Generations)
+    /// lineage.
+    pub generation: u64,
+    /// Fingerprint of the mined matrix
+    /// ([`matrix_fingerprint`](regcluster_core::matrix_fingerprint)).
+    pub matrix_fingerprint: Option<u64>,
+    /// Per-root enumeration fingerprints
+    /// ([`root_fingerprints`](regcluster_core::root_fingerprints)) — the
+    /// input of a later delta mine's dirty/unchanged classification.
+    pub root_fingerprints: Option<Vec<u64>>,
+}
 
 /// What [`StoreWriter::finish`] reports about the sealed file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +178,78 @@ impl StoreWriter {
         Self::create_inner(path.as_ref(), gene_names, cond_names, merged)
     }
 
+    /// Like [`create`](StoreWriter::create), additionally recording the
+    /// full provenance set — engine, generation, matrix and per-root
+    /// fingerprints — in the META JSON. This is the writer the delta
+    /// mining pipeline uses: the fingerprints it records are what a later
+    /// `mine --delta-from` run diffs against.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](StoreWriter::create).
+    pub fn create_with_provenance(
+        path: impl AsRef<Path>,
+        gene_names: &[String],
+        cond_names: &[String],
+        params: &MiningParams,
+        provenance: &StoreProvenance,
+    ) -> Result<Self, StoreError> {
+        let Value::Object(params_pairs) = params.to_json_value() else {
+            return Err(StoreError::Metadata(
+                "mining parameters did not serialize to an object".into(),
+            ));
+        };
+        let int = |v: u64| Value::Int(i128::from(v));
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        if let Some(e) = &provenance.engine {
+            pairs.push(("engine".into(), Value::Str(e.clone())));
+        }
+        if let Some(p) = &provenance.engine_params {
+            pairs.push(("engine_params".into(), Value::Str(p.clone())));
+        }
+        pairs.push(("generation".into(), int(provenance.generation)));
+        if let Some(fp) = provenance.matrix_fingerprint {
+            pairs.push(("matrix_fingerprint".into(), int(fp)));
+        }
+        if let Some(fps) = &provenance.root_fingerprints {
+            pairs.push((
+                "root_fingerprints".into(),
+                Value::Array(fps.iter().map(|&f| int(f)).collect()),
+            ));
+        }
+        pairs.extend(params_pairs);
+        let merged = serde_json::to_string(&Value::Object(pairs))
+            .map_err(|e| StoreError::Metadata(e.to_string()))?;
+        Self::create_inner(path.as_ref(), gene_names, cond_names, merged)
+    }
+
+    /// Like [`create`](StoreWriter::create), but taking the META JSON
+    /// document verbatim. The document must be an object parseable as
+    /// [`MiningParams`]; any **additional** keys are stored untouched and
+    /// survive an open/re-render cycle (the round-trip property the
+    /// format's forward compatibility rests on — see the proptest in
+    /// `crates/store/tests/roundtrip.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Metadata`] when the document does not parse as a
+    /// params-bearing object, otherwise as [`create`](StoreWriter::create).
+    pub fn create_with_meta_json(
+        path: impl AsRef<Path>,
+        gene_names: &[String],
+        cond_names: &[String],
+        meta_json: &str,
+    ) -> Result<Self, StoreError> {
+        let doc = serde_json::parse_value_str(meta_json)
+            .map_err(|e| StoreError::Metadata(format!("meta JSON unreadable: {e}")))?;
+        if !matches!(doc, Value::Object(_)) {
+            return Err(StoreError::Metadata("meta JSON is not an object".into()));
+        }
+        let _: MiningParams = serde_json::from_str(meta_json)
+            .map_err(|e| StoreError::Metadata(format!("meta JSON lacks valid params: {e}")))?;
+        Self::create_inner(path.as_ref(), gene_names, cond_names, meta_json.to_string())
+    }
+
     fn create_inner(
         path: &Path,
         gene_names: &[String],
@@ -256,6 +352,78 @@ impl StoreWriter {
             Ok(())
         });
         state.record_buf = buf;
+        if let Err(e) = result {
+            let msg = e.to_string();
+            state.error = Some(e);
+            return Err(StoreError::Format(msg));
+        }
+        Ok(())
+    }
+
+    /// Appends one cluster as already-packed record bytes, e.g. straight
+    /// from [`ClusterStore::record_bytes`](crate::ClusterStore::record_bytes)
+    /// — the splice path of delta mining, which copies unchanged-root
+    /// records between stores without materializing [`RegCluster`]s. The
+    /// record's shape and every id are still validated against this
+    /// writer's dictionaries, so a cross-store mix-up cannot seal a
+    /// corrupt file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Format`] for malformed record bytes,
+    /// [`StoreError::IdOutOfRange`] for ids outside the dictionaries,
+    /// [`StoreError::Io`] on write failure — with the same poisoning
+    /// behavior as [`write_cluster`](StoreWriter::write_cluster).
+    pub fn write_raw_record(&self, record: &[u8]) -> Result<(), StoreError> {
+        if record.len() < 12 {
+            return Err(StoreError::Format(format!(
+                "raw record of {} bytes is shorter than its length prefix",
+                record.len()
+            )));
+        }
+        let chain_len = crate::format::u32_at(record, 0) as usize;
+        let p_len = crate::format::u32_at(record, 1) as usize;
+        let n_len = crate::format::u32_at(record, 2) as usize;
+        let expected = 12 + 4 * (chain_len + p_len + n_len);
+        if record.len() != expected || chain_len == 0 {
+            return Err(StoreError::Format(format!(
+                "raw record declares {chain_len}+{p_len}+{n_len} ids \
+                 ({expected} bytes) but holds {} bytes",
+                record.len()
+            )));
+        }
+        for i in 0..chain_len {
+            let c = crate::format::u32_at(record, 3 + i) as usize;
+            if c >= self.cond_names.len() {
+                return Err(StoreError::IdOutOfRange(format!(
+                    "condition id {c} not in dictionary (size {})",
+                    self.cond_names.len()
+                )));
+            }
+        }
+        for i in 0..p_len + n_len {
+            let g = crate::format::u32_at(record, 3 + chain_len + i) as usize;
+            if g >= self.gene_names.len() {
+                return Err(StoreError::IdOutOfRange(format!(
+                    "gene id {g} not in dictionary (size {})",
+                    self.gene_names.len()
+                )));
+            }
+        }
+        let mut state = self.lock();
+        if let Some(e) = &state.error {
+            return Err(StoreError::Format(format!(
+                "writer already failed: {e}; record refused"
+            )));
+        }
+        let result = (|| -> Result<(), StoreError> {
+            regcluster_failpoint::io("store::record_write")?;
+            state.file.write_all(record)?;
+            let off = state.clusters_len;
+            state.offsets.push(off);
+            state.clusters_len += record.len() as u64;
+            Ok(())
+        })();
         if let Err(e) = result {
             let msg = e.to_string();
             state.error = Some(e);

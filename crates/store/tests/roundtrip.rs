@@ -11,6 +11,7 @@ use regcluster_core::{
 use regcluster_datagen::{generate, running_example, PatternKind, SyntheticConfig};
 use regcluster_matrix::ExpressionMatrix;
 use regcluster_store::{ClusterStore, Query, StoreWriter};
+use serde::{Serialize as _, Value};
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("regcluster-store-{}", std::process::id()));
@@ -270,6 +271,181 @@ fn writer_rejects_out_of_dictionary_ids_and_poisons() {
     };
     assert!(!w.accept(ok));
     assert!(w.finish().is_err());
+}
+
+/// A tiny deterministic xorshift64 generator — enough randomness for a
+/// property sweep without pulling in a proptest dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random JSON value of bounded depth, covering every [`Value`] arm the
+/// vendored serde implements, including strings that need escaping.
+fn random_value(rng: &mut Rng, depth: u32) -> Value {
+    let arm = if depth == 0 {
+        rng.below(5)
+    } else {
+        rng.below(7)
+    };
+    match arm {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Int(rng.next() as i64 as i128),
+        3 => Value::Float(rng.below(1000) as f64 * 0.25),
+        4 => {
+            let tricky = [
+                "plain",
+                "quote \" inside",
+                "back\\slash",
+                "line\nbreak",
+                "tab\there",
+            ];
+            Value::Str(format!(
+                "{}-{}",
+                tricky[rng.below(tricky.len() as u64) as usize],
+                rng.below(100)
+            ))
+        }
+        5 => Value::Array(
+            (0..rng.below(4))
+                .map(|_| random_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.below(4))
+                .map(|i| (format!("k{i}"), random_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn unknown_meta_keys_roundtrip_untouched_and_never_fail_open() {
+    // The forward-compatibility property `create_with_meta_json`'s docs
+    // promise: META keys this build does not understand are preserved
+    // verbatim — value and key order — through a write → open →
+    // re-render cycle, and never make a store fail to open.
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let cluster = RegCluster {
+        chain: vec![0, 1],
+        p_members: vec![0],
+        n_members: vec![],
+    };
+    let Value::Object(params_pairs) = params.to_json_value() else {
+        panic!("params serialize to an object");
+    };
+
+    let mut rng = Rng(0x5eed_cafe_d00d_0001);
+    for case in 0..64 {
+        // Unknown keys both before and after the known params keys, so
+        // ordering is exercised on both sides.
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        for i in 0..rng.below(3) {
+            pairs.push((format!("future_pre_{i}"), random_value(&mut rng, 2)));
+        }
+        pairs.extend(params_pairs.iter().cloned());
+        for i in 0..1 + rng.below(3) {
+            pairs.push((format!("future_post_{i}"), random_value(&mut rng, 2)));
+        }
+        let doc = Value::Object(pairs);
+        let rendered = serde_json::to_string(&doc).unwrap();
+
+        let path = tmp(&format!("future-meta-{case}.rcs"));
+        let w = StoreWriter::create_with_meta_json(
+            &path,
+            m.gene_names(),
+            m.condition_names(),
+            &rendered,
+        )
+        .unwrap_or_else(|e| panic!("case {case}: doc {rendered} refused: {e}"));
+        w.write_cluster(&cluster).unwrap();
+        w.finish().unwrap();
+
+        let store = ClusterStore::open(&path)
+            .unwrap_or_else(|e| panic!("case {case}: store with unknown keys failed open: {e}"));
+        let reread = serde_json::parse_value_str(&store.meta_json()).unwrap();
+        assert_eq!(
+            reread, doc,
+            "case {case}: META drifted through the round trip"
+        );
+        assert_eq!(store.params(), &params);
+        assert_eq!(read_all(&store), vec![cluster.clone()]);
+    }
+}
+
+#[test]
+fn v1_headers_are_migrated_in_memory_on_open() {
+    // A version-1 store (before generation/fingerprint provenance) opens
+    // under this build with the v1→v2 migration applied in memory: a
+    // zero generation is injected, params and unknown keys survive, and
+    // the file on disk is never rewritten. The header version field is
+    // outside the section-table checksum, so a sealed v2 file patched to
+    // claim v1 is a faithful stand-in for a store an old build wrote.
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let mined = mine(&m, &params).unwrap();
+    let path = tmp("v1-migrate.rcs");
+    let meta = format!(
+        r#"{{"vintage_note":"pre-generation era",{}}}"#,
+        serde_json::to_string(&params.to_json_value())
+            .unwrap()
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+    );
+    let w = StoreWriter::create_with_meta_json(&path, m.gene_names(), m.condition_names(), &meta)
+        .unwrap();
+    for c in &mined {
+        w.write_cluster(c).unwrap();
+    }
+    w.finish().unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        regcluster_store::FORMAT_VERSION,
+        "sealed header carries the current version"
+    );
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ClusterStore::open(&path).expect("v1 store must still open");
+    assert_eq!(store.generation(), 0, "migration injects generation 0");
+    assert!(store.matrix_fingerprint().is_none());
+    assert!(store.root_fingerprints().is_none());
+    assert_eq!(store.params(), &params);
+    assert_eq!(read_all(&store), mined);
+    let reread = serde_json::parse_value_str(&store.meta_json()).unwrap();
+    assert_eq!(
+        reread.field("vintage_note"),
+        Ok(&Value::Str("pre-generation era".into())),
+        "unknown v1 keys survive the migration"
+    );
+    assert_eq!(reread.field("generation"), Ok(&Value::Int(0)));
+    // The disk file is untouched: still claiming v1.
+    let after = std::fs::read(&path).unwrap();
+    assert_eq!(after, bytes, "open must never rewrite the store");
+
+    // A version above this build is a typed refusal, not a panic.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        ClusterStore::open(&path),
+        Err(regcluster_store::StoreError::Version { found: 99, .. })
+    ));
 }
 
 #[test]

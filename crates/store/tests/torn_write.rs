@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use regcluster_core::{mine, MiningParams, RegCluster};
 use regcluster_datagen::running_example;
-use regcluster_store::{ClusterStore, StoreWriter};
+use regcluster_store::{ClusterStore, Generations, StoreWriter, CURRENT_FILE};
 
 /// Failpoint state is process-global; tests arming it take this lock.
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -117,6 +117,75 @@ fn killing_the_writer_at_every_failpoint_leaves_old_or_new_complete_store() {
     // Exactly the post-commit-point scenario (dir_sync, after the rename)
     // lands the new generation.
     assert_eq!(landed_new, 1, "only the post-rename fault commits");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_publish_keeps_the_old_generation_and_sweeps_the_orphan_later() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The generations variant of the torn-write property: a crash at the
+    // `CURRENT` commit point leaves the pointer on the old generation
+    // with the fully-written new store file orphaned beside it, and the
+    // next successful publish sweeps the orphan away.
+    let dir = std::env::temp_dir().join(format!("regcluster-torn-publish-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gens = Generations::open(&dir).unwrap();
+
+    let m = running_example();
+    let params = MiningParams::new(3, 5, 0.15, 0.1).unwrap();
+    let set = mine(&m, &params).unwrap();
+    write_store(&gens.path_for(0), &set, &params).unwrap();
+    gens.publish(0).unwrap();
+    assert_eq!(gens.current().unwrap(), Some(0));
+
+    // Generation 1 is written completely, but the pointer flip dies at
+    // the commit point (just before the rename).
+    write_store(&gens.path_for(1), &set, &params).unwrap();
+    regcluster_failpoint::configure("store::current_publish=io_err@1").unwrap();
+    let result = gens.publish(1);
+    regcluster_failpoint::clear();
+    assert!(result.is_err(), "the injected fault must surface");
+
+    // Old pointer intact, readable; no pointer scratch leaked; the new
+    // generation survives as an orphan (sweep is publish-side only, so
+    // nothing has cleaned it yet).
+    assert_eq!(gens.current().unwrap(), Some(0));
+    assert_eq!(stored_clusters(&gens.path_for(0)), set);
+    assert!(
+        !dir.join(format!("{CURRENT_FILE}.tmp")).exists(),
+        "failed publish must not leak the pointer scratch file"
+    );
+    assert!(gens.path_for(1).is_file(), "orphan left for the sweep");
+
+    // Recovery: rewrite and publish generation 1 for real. The publish
+    // lands, and its sweep keeps current + predecessor (here: both).
+    write_store(&gens.path_for(1), &set, &params).unwrap();
+    gens.publish(1).unwrap();
+    assert_eq!(gens.current().unwrap(), Some(1));
+    assert_eq!(stored_clusters(&gens.path_for(1)), set);
+    assert!(gens.path_for(0).is_file(), "predecessor kept for draining");
+
+    // An orphan that stays above the pointer: crash the publish of a
+    // speculative generation 3 (current is still 1), then successfully
+    // publish 2. The sweep removes the gen-3 orphan — it sits above the
+    // new pointer — along with the now-ancient gen-0.
+    write_store(&gens.path_for(3), &set, &params).unwrap();
+    regcluster_failpoint::configure("store::current_publish=io_err@1").unwrap();
+    assert!(gens.publish(3).is_err());
+    regcluster_failpoint::clear();
+    assert_eq!(gens.current().unwrap(), Some(1));
+    write_store(&gens.path_for(2), &set, &params).unwrap();
+    gens.publish(2).unwrap();
+    assert_eq!(gens.current().unwrap(), Some(2));
+    assert!(
+        !gens.path_for(3).exists(),
+        "orphaned generation above the pointer must be swept"
+    );
+    assert!(!gens.path_for(0).exists(), "ancient generation swept");
+    assert!(gens.path_for(1).is_file(), "predecessor kept for draining");
 
     std::fs::remove_dir_all(&dir).ok();
 }

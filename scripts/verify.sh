@@ -22,6 +22,14 @@ cargo test -q --test alloc disabled_failpoints
 echo "==> serve smoke (concurrent clients, overload shedding, graceful shutdown)"
 cargo test -q -p regcluster-cli --test serve_smoke
 
+echo "==> delta equivalence (mutated matrix delta-mined bit-identical to a full re-mine, 1-8 threads)"
+cargo test -q -p regcluster-core --test delta_golden
+cargo test -q -p regcluster-cli --test binary -- delta_mine_through_the_binary
+
+echo "==> generations hot-swap (publish under 32 concurrent clients, zero failed requests)"
+cargo test -q -p regcluster-cli --test serve_smoke -- watcher_hot_swaps
+cargo test -q -p regcluster-store --test torn_write -- torn_publish
+
 echo "==> engine matrix (every engine mines, stores, queries, exports metrics)"
 cargo test -q -p regcluster-cli --test engines_matrix
 

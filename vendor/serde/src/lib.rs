@@ -84,6 +84,21 @@ pub trait Deserialize: Sized {
     fn from_json_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` serializes as itself — this is what lets callers round-trip
+// arbitrary JSON documents (e.g. store metadata with keys from a future
+// format version) through the text layer without knowing their shape.
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
