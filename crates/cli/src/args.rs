@@ -144,6 +144,52 @@ pub enum Command {
         /// Accept-queue capacity; connections beyond it are shed with
         /// `503 + Retry-After` instead of piling up unboundedly.
         queue: usize,
+        /// How often (milliseconds) the `--watch` poller re-reads the
+        /// generations directory's `CURRENT` pointer.
+        watch_interval_ms: u64,
+    },
+    /// Coordinate a distributed mining run: partition the root space,
+    /// lease ranges to workers over HTTP, merge uploaded shards
+    /// bit-identically to a single-node run and publish the result as the
+    /// store directory's next generation.
+    Coordinator {
+        /// Input matrix path (workers must load a byte-identical copy).
+        input: String,
+        /// Mining parameters (reg-cluster engine; no post-filters — they
+        /// act across root boundaries and would break merge identity).
+        params: MiningParams,
+        /// Generations directory the merged store is published into.
+        store: String,
+        /// Scratch directory for staged shards.
+        work_dir: String,
+        /// Control-plane port on 127.0.0.1 (0 = pick a free port).
+        port: u16,
+        /// Number of leases to slice the root space into.
+        leases: usize,
+        /// Lease time-to-live in milliseconds; a lease not renewed within
+        /// this window is returned to the pool and re-granted.
+        lease_ttl_ms: u64,
+        /// Keep serving `/job`, `/status` and `/metrics` after publishing
+        /// instead of exiting (for scripted harnesses).
+        linger: bool,
+    },
+    /// Mine root ranges leased from a coordinator, uploading sealed
+    /// shards and resuming interrupted leases from local checkpoints.
+    Worker {
+        /// Input matrix path (must match the coordinator's copy).
+        input: String,
+        /// Coordinator control-plane address, `host:port`.
+        coordinator: String,
+        /// Scratch directory for in-progress shards and checkpoints.
+        work_dir: String,
+        /// Mining threads for the leased subtrees.
+        threads: usize,
+        /// Worker name reported to the coordinator (default: pid-based).
+        worker_id: Option<String>,
+        /// Idle poll interval in milliseconds while waiting for a grant.
+        poll_ms: u64,
+        /// Snapshot the mining frontier about every this many seconds.
+        checkpoint_every_secs: f64,
     },
     /// Print usage.
     Help,
@@ -166,6 +212,8 @@ impl Command {
             Command::RWave { .. } => "rwave",
             Command::Query { .. } => "query",
             Command::Serve { .. } => "serve",
+            Command::Coordinator { .. } => "coordinator",
+            Command::Worker { .. } => "worker",
             Command::Help => "help",
         }
     }
@@ -229,7 +277,9 @@ USAGE:
                              re-enumerated, the rest is spliced from the
                              previous store; output is bit-identical to a
                              full re-mine (reg-cluster only; see
-                             DESIGN.md §13)
+                             DESIGN.md §13); --maximal-only/--max-clusters
+                             run as a post-pass over the spliced result
+                             (the previous store must be unfiltered)
                              with --store <dir> the new store is published
                              as the directory's next generation
 
@@ -288,7 +338,30 @@ USAGE:
       is shed with 503 + Retry-After instead of queueing unboundedly;
       --watch <dir> (instead of --store) serves a generations directory's
       published generation and hot-swaps to new ones as they are
-      published, without dropping in-flight requests
+      published, without dropping in-flight requests;
+      --watch-interval-ms N re-reads CURRENT about every N ms
+      (default 100); unreadable CURRENT observations are counted on
+      regcluster_store_watch_errors_total and retried
+
+  regcluster coordinator --input <matrix.tsv> --store <gens-dir>
+      --work-dir <dir> [--port <N>] [--leases <N>] [--lease-ttl-ms <N>]
+      [--min-genes <N>] [--min-conds <N>] [--gamma <F>]
+      [--gamma-absolute <F>] [--epsilon <F>] [--linger]
+      coordinates a distributed mine: partitions the root space into
+      --leases ranges, leases them to workers over HTTP on 127.0.0.1
+      (port 0 = pick a free port, printed on startup), expires and
+      re-grants leases not renewed within --lease-ttl-ms, merges the
+      uploaded shards bit-identically to a single-node `mine --store`
+      and publishes the result as <gens-dir>'s next generation;
+      --linger keeps /job, /status and /metrics up after publishing
+
+  regcluster worker --input <matrix.tsv> --coordinator <host:port>
+      --work-dir <dir> [--threads <N>] [--worker-id <NAME>]
+      [--poll-ms <N>] [--checkpoint-every-secs <F>]
+      mines root ranges leased from a coordinator, checkpointing the
+      frontier to --work-dir (crash-resumable per lease), heartbeating
+      to keep its leases and uploading sealed shards; exits when the
+      coordinator reports every lease done
 
   regcluster help
       prints this text
@@ -324,7 +397,7 @@ fn take_options(rest: &[String]) -> Result<HashMap<String, String>, ParseError> 
 fn is_boolean_flag(name: &str) -> bool {
     matches!(
         name,
-        "maximal-only" | "help" | "stats" | "progress" | "json"
+        "maximal-only" | "help" | "stats" | "progress" | "json" | "linger"
     )
 }
 
@@ -516,17 +589,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                             .into(),
                     ));
                 }
-                // maximal-only / max-clusters filter across root
-                // boundaries, so per-root splicing from an already-filtered
-                // store would not be bit-identical to a full re-mine.
-                if params.maximal_only || params.max_clusters.is_some() {
-                    return Err(ParseError(
-                        "--delta-from cannot be combined with --maximal-only or \
-                         --max-clusters (those filters act across subtree \
-                         boundaries; run a full mine instead)"
-                            .into(),
-                    ));
-                }
+                // maximal-only / max-clusters compose with --delta-from:
+                // the splice produces the unfiltered union and the filters
+                // run as a post-pass over it (the previous store must
+                // itself be unfiltered; `run_delta_mine` checks that).
             }
             Ok(Command::Mine {
                 input,
@@ -720,7 +786,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let opts = take_options(rest)?;
             check_known(
                 &opts,
-                &["store", "watch", "port", "threads", "requests", "queue"],
+                &[
+                    "store",
+                    "watch",
+                    "port",
+                    "threads",
+                    "requests",
+                    "queue",
+                    "watch-interval-ms",
+                ],
             )?;
             let requests = match opts.get("requests") {
                 Some(v) => Some(
@@ -755,6 +829,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     ))
                 }
             };
+            let watch_interval_ms = get(&opts, "watch-interval-ms", 100u64)?;
+            if watch_interval_ms == 0 {
+                return Err(ParseError(
+                    "--watch-interval-ms must be at least 1 (a zero interval \
+                     would spin the watcher thread)"
+                        .into(),
+                ));
+            }
+            if opts.contains_key("watch-interval-ms") && !watch {
+                return Err(ParseError(
+                    "--watch-interval-ms only applies with --watch <dir>".into(),
+                ));
+            }
             Ok(Command::Serve {
                 store,
                 watch,
@@ -762,6 +849,97 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 threads: get(&opts, "threads", 4usize)?,
                 requests,
                 queue,
+                watch_interval_ms,
+            })
+        }
+        "coordinator" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &[
+                    "input",
+                    "store",
+                    "work-dir",
+                    "port",
+                    "leases",
+                    "lease-ttl-ms",
+                    "linger",
+                    "min-genes",
+                    "min-conds",
+                    "gamma",
+                    "gamma-absolute",
+                    "epsilon",
+                ],
+            )?;
+            let min_genes = get(&opts, "min-genes", 20usize)?;
+            let min_conds = get(&opts, "min-conds", 6usize)?;
+            let epsilon = get(&opts, "epsilon", 1.0f64)?;
+            let mut params = MiningParams::new(min_genes, min_conds, 0.05, epsilon)
+                .map_err(|e| ParseError(e.to_string()))?;
+            if let Some(abs) = opts.get("gamma-absolute") {
+                let v: f64 = abs
+                    .parse()
+                    .map_err(|_| ParseError(format!("cannot parse --gamma-absolute {abs:?}")))?;
+                params = params
+                    .with_threshold(RegulationThreshold::Absolute(v))
+                    .map_err(|e| ParseError(e.to_string()))?;
+            } else {
+                let gamma = get(&opts, "gamma", 0.05f64)?;
+                params = params
+                    .with_threshold(RegulationThreshold::FractionOfRange(gamma))
+                    .map_err(|e| ParseError(e.to_string()))?;
+            }
+            let leases = get(&opts, "leases", 8usize)?;
+            if leases == 0 {
+                return Err(ParseError("--leases must be at least 1".into()));
+            }
+            let lease_ttl_ms = get(&opts, "lease-ttl-ms", 10_000u64)?;
+            if lease_ttl_ms == 0 {
+                return Err(ParseError("--lease-ttl-ms must be at least 1".into()));
+            }
+            Ok(Command::Coordinator {
+                input: require(&opts, "input")?,
+                params,
+                store: require(&opts, "store")?,
+                work_dir: require(&opts, "work-dir")?,
+                port: get(&opts, "port", 0u16)?,
+                leases,
+                lease_ttl_ms,
+                linger: opts.contains_key("linger"),
+            })
+        }
+        "worker" => {
+            let opts = take_options(rest)?;
+            check_known(
+                &opts,
+                &[
+                    "input",
+                    "coordinator",
+                    "work-dir",
+                    "threads",
+                    "worker-id",
+                    "poll-ms",
+                    "checkpoint-every-secs",
+                ],
+            )?;
+            let poll_ms = get(&opts, "poll-ms", 200u64)?;
+            if poll_ms == 0 {
+                return Err(ParseError("--poll-ms must be at least 1".into()));
+            }
+            let checkpoint_every_secs = get(&opts, "checkpoint-every-secs", 1.0f64)?;
+            if !checkpoint_every_secs.is_finite() || checkpoint_every_secs < 0.0 {
+                return Err(ParseError(
+                    "--checkpoint-every-secs must be a non-negative number".into(),
+                ));
+            }
+            Ok(Command::Worker {
+                input: require(&opts, "input")?,
+                coordinator: require(&opts, "coordinator")?,
+                work_dir: require(&opts, "work-dir")?,
+                threads: get(&opts, "threads", 1usize)?,
+                worker_id: opts.get("worker-id").cloned(),
+                poll_ms,
+                checkpoint_every_secs,
             })
         }
         other => Err(ParseError(format!(
@@ -1086,6 +1264,7 @@ mod tests {
                 threads: 4,
                 requests: None,
                 queue: 64,
+                watch_interval_ms: 100,
             }
         );
         // --watch <dir> names a generations directory instead of a file.
@@ -1210,8 +1389,9 @@ mod tests {
                 "{conflict:?} must conflict with --delta-from"
             );
         }
-        // Cross-root post-filters cannot splice soundly.
-        assert!(parse_args(&sv(&[
+        // Cross-root post-filters compose with a delta mine: they run as
+        // a post-pass over the spliced union.
+        match parse_args(&sv(&[
             "mine",
             "--input",
             "m",
@@ -1219,8 +1399,12 @@ mod tests {
             "p.rcs",
             "--maximal-only",
         ]))
-        .is_err());
-        assert!(parse_args(&sv(&[
+        .unwrap()
+        {
+            Command::Mine { params, .. } => assert!(params.maximal_only),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&sv(&[
             "mine",
             "--input",
             "m",
@@ -1228,6 +1412,165 @@ mod tests {
             "p.rcs",
             "--max-clusters",
             "5",
+        ]))
+        .unwrap()
+        {
+            Command::Mine { params, .. } => assert_eq!(params.max_clusters, Some(5)),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinator_and_worker_parse() {
+        match parse_args(&sv(&[
+            "coordinator",
+            "--input",
+            "m.tsv",
+            "--store",
+            "gens/",
+            "--work-dir",
+            "scratch/",
+            "--leases",
+            "4",
+            "--lease-ttl-ms",
+            "500",
+            "--min-genes",
+            "3",
+            "--linger",
+        ]))
+        .unwrap()
+        {
+            Command::Coordinator {
+                input,
+                store,
+                work_dir,
+                leases,
+                lease_ttl_ms,
+                linger,
+                params,
+                port,
+            } => {
+                assert_eq!(input, "m.tsv");
+                assert_eq!(store, "gens/");
+                assert_eq!(work_dir, "scratch/");
+                assert_eq!(leases, 4);
+                assert_eq!(lease_ttl_ms, 500);
+                assert!(linger);
+                assert_eq!(params.min_genes, 3);
+                assert_eq!(port, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&sv(&[
+            "worker",
+            "--input",
+            "m.tsv",
+            "--coordinator",
+            "127.0.0.1:7000",
+            "--work-dir",
+            "scratch/",
+            "--threads",
+            "2",
+            "--worker-id",
+            "w1",
+        ]))
+        .unwrap()
+        {
+            Command::Worker {
+                input,
+                coordinator,
+                work_dir,
+                threads,
+                worker_id,
+                poll_ms,
+                ..
+            } => {
+                assert_eq!(input, "m.tsv");
+                assert_eq!(coordinator, "127.0.0.1:7000");
+                assert_eq!(work_dir, "scratch/");
+                assert_eq!(threads, 2);
+                assert_eq!(worker_id.as_deref(), Some("w1"));
+                assert_eq!(poll_ms, 200);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Required options and degenerate values are rejected.
+        assert!(parse_args(&sv(&["coordinator", "--input", "m"])).is_err());
+        assert!(parse_args(&sv(&[
+            "coordinator",
+            "--input",
+            "m",
+            "--store",
+            "g/",
+            "--work-dir",
+            "w/",
+            "--leases",
+            "0",
+        ]))
+        .is_err());
+        // Post-filters are not accepted: they act across root boundaries.
+        assert!(parse_args(&sv(&[
+            "coordinator",
+            "--input",
+            "m",
+            "--store",
+            "g/",
+            "--work-dir",
+            "w/",
+            "--maximal-only",
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&["worker", "--input", "m", "--work-dir", "w/"])).is_err());
+        assert!(parse_args(&sv(&[
+            "worker",
+            "--input",
+            "m",
+            "--coordinator",
+            "c",
+            "--work-dir",
+            "w/",
+            "--poll-ms",
+            "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_parses_watch_interval() {
+        match parse_args(&sv(&[
+            "serve",
+            "--watch",
+            "gens/",
+            "--watch-interval-ms",
+            "25",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                watch,
+                watch_interval_ms,
+                ..
+            } => {
+                assert!(watch);
+                assert_eq!(watch_interval_ms, 25);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Zero would spin; the flag is watch-only.
+        assert!(parse_args(&sv(&[
+            "serve",
+            "--watch",
+            "gens/",
+            "--watch-interval-ms",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&[
+            "serve",
+            "--store",
+            "s.rcs",
+            "--watch-interval-ms",
+            "25"
         ]))
         .is_err());
     }
@@ -1248,6 +1591,26 @@ mod tests {
             parse_args(&sv(&["rwave", "--input", "m", "--gene", "g1"])).unwrap(),
             parse_args(&sv(&["query", "--store", "s.rcs"])).unwrap(),
             parse_args(&sv(&["serve", "--store", "s.rcs"])).unwrap(),
+            parse_args(&sv(&[
+                "coordinator",
+                "--input",
+                "m.tsv",
+                "--store",
+                "gens/",
+                "--work-dir",
+                "scratch/",
+            ]))
+            .unwrap(),
+            parse_args(&sv(&[
+                "worker",
+                "--input",
+                "m.tsv",
+                "--coordinator",
+                "127.0.0.1:7000",
+                "--work-dir",
+                "scratch/",
+            ]))
+            .unwrap(),
             Command::Help,
         ];
         let mut names: Vec<&str> = samples.iter().map(Command::subcommand_name).collect();

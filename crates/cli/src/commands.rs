@@ -40,6 +40,8 @@ pub enum CliError {
     /// Unsupported or inconsistent file content (e.g. a cluster JSON
     /// written by a newer release).
     Format(String),
+    /// Distributed-mining failure (coordinator or worker).
+    Cluster(regcluster_cluster::ClusterError),
 }
 
 impl fmt::Display for CliError {
@@ -52,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Store(e) => write!(f, "store error: {e}"),
             CliError::Format(msg) => write!(f, "{msg}"),
+            CliError::Cluster(e) => write!(f, "cluster error: {e}"),
         }
     }
 }
@@ -86,6 +89,11 @@ impl From<std::io::Error> for CliError {
 impl From<regcluster_store::StoreError> for CliError {
     fn from(e: regcluster_store::StoreError) -> Self {
         CliError::Store(e)
+    }
+}
+impl From<regcluster_cluster::ClusterError> for CliError {
+    fn from(e: regcluster_cluster::ClusterError) -> Self {
+        CliError::Cluster(e)
     }
 }
 
@@ -502,8 +510,8 @@ fn open_previous_store(spec: &str) -> Result<(ClusterStore, String), CliError> {
     Ok((store, resolved.display().to_string()))
 }
 
-/// The `mine` flags a `--delta-from` run needs. Checkpointing and the
-/// cross-root post-filters are excluded — the parser refuses both.
+/// The `mine` flags a `--delta-from` run needs. Checkpointing is
+/// excluded — the parser refuses it alongside a delta mine.
 struct DeltaMineArgs<'a> {
     input: &'a str,
     params: &'a MiningParams,
@@ -560,13 +568,28 @@ fn run_delta_mine(args: DeltaMineArgs<'_>) -> Result<String, CliError> {
             m.n_conditions()
         )));
     }
-    if prev.params() != args.params {
+    // The post-filters (--maximal-only / --max-clusters) act across root
+    // boundaries, so they run as a post-pass over the spliced union: the
+    // previous store must hold the *unfiltered* enumeration, and the
+    // remaining parameters must match it exactly.
+    let post_filtered = args.params.maximal_only || args.params.max_clusters.is_some();
+    if prev.params().maximal_only || prev.params().max_clusters.is_some() {
+        return Err(CliError::Format(format!(
+            "{prev_path}: store is post-filtered (--maximal-only/--max-clusters); \
+             delta mining splices per root and needs the unfiltered store — \
+             re-run the full mine without post-filters to create one"
+        )));
+    }
+    let mut base_params = args.params.clone();
+    base_params.maximal_only = false;
+    base_params.max_clusters = None;
+    if prev.params() != &base_params {
         return Err(CliError::Format(format!(
             "{prev_path}: store was mined with different parameters; delta \
              mining requires the identical parameter set (store: {:?}, \
              requested: {:?})",
             prev.params(),
-            args.params
+            base_params
         )));
     }
     let Some(prev_fps) = prev.root_fingerprints() else {
@@ -643,37 +666,67 @@ fn run_delta_mine(args: DeltaMineArgs<'_>) -> Result<String, CliError> {
                 args.params,
                 &provenance,
             )?;
-            // Splice first: raw packed records, straight from the old file
-            // to the new one.
-            spans.time(&clock, "store_write", || {
-                spliced
-                    .iter()
-                    .try_for_each(|&id| writer.write_raw_record(prev.record_bytes(id)?))
-            })?;
-            // Then stream the dirty subtrees' fresh clusters on top.
-            let collected = VecSink::new();
-            let tee = TeeSink {
-                store: &writer,
-                collected: &collected,
+            let (clusters, report) = if post_filtered {
+                // The post-filters see the whole spliced union, so the
+                // store must hold the filtered set: collect fresh and
+                // spliced clusters, filter, then write it out.
+                let sink = VecSink::new();
+                let report = {
+                    let _span = spans.span(&clock, "enumeration");
+                    mine_prepared_roots_to_sink(
+                        &miner,
+                        &plan.dirty,
+                        &config,
+                        &control,
+                        &observer,
+                        &sink,
+                    )?
+                };
+                let mut clusters = sink.into_clusters();
+                for &id in &spliced {
+                    clusters.push(prev.cluster(id)?);
+                }
+                spans.time(&clock, "postprocess", || {
+                    finalize_clusters(&mut clusters, args.params)
+                });
+                spans.time(&clock, "store_write", || {
+                    clusters.iter().try_for_each(|c| writer.write_cluster(c))
+                })?;
+                (clusters, report)
+            } else {
+                // Splice first: raw packed records, straight from the old
+                // file to the new one.
+                spans.time(&clock, "store_write", || {
+                    spliced
+                        .iter()
+                        .try_for_each(|&id| writer.write_raw_record(prev.record_bytes(id)?))
+                })?;
+                // Then stream the dirty subtrees' fresh clusters on top.
+                let collected = VecSink::new();
+                let tee = TeeSink {
+                    store: &writer,
+                    collected: &collected,
+                };
+                let report = {
+                    let _span = spans.span(&clock, "enumeration");
+                    mine_prepared_roots_to_sink(
+                        &miner,
+                        &plan.dirty,
+                        &config,
+                        &control,
+                        &observer,
+                        &tee,
+                    )?
+                };
+                let mut clusters = collected.into_clusters();
+                for &id in &spliced {
+                    clusters.push(prev.cluster(id)?);
+                }
+                spans.time(&clock, "postprocess", || {
+                    finalize_clusters(&mut clusters, args.params)
+                });
+                (clusters, report)
             };
-            let report = {
-                let _span = spans.span(&clock, "enumeration");
-                mine_prepared_roots_to_sink(
-                    &miner,
-                    &plan.dirty,
-                    &config,
-                    &control,
-                    &observer,
-                    &tee,
-                )?
-            };
-            let mut clusters = collected.into_clusters();
-            for &id in &spliced {
-                clusters.push(prev.cluster(id)?);
-            }
-            spans.time(&clock, "postprocess", || {
-                finalize_clusters(&mut clusters, args.params)
-            });
             // Sealing canonicalizes ids, so splice order does not matter.
             let summary = spans.time(&clock, "store_write", || writer.finish())?;
             let mut note = format!(
@@ -1305,6 +1358,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             threads,
             requests,
             queue,
+            watch_interval_ms,
         } => {
             // --watch serves a generations directory: open the published
             // generation now, let the server's watcher hot-swap to later
@@ -1331,6 +1385,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 max_requests: *requests,
                 queue_capacity: *queue,
                 watch: watch.then(|| std::path::PathBuf::from(store)),
+                watch_poll: std::time::Duration::from_millis(*watch_interval_ms),
                 ..serve::ServeConfig::default()
             };
             let n_clusters = cs.n_clusters();
@@ -1345,6 +1400,69 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             );
             let report = server.wait();
             Ok(format!("served {} requests\n", report.requests))
+        }
+        Command::Coordinator {
+            input,
+            params,
+            store,
+            work_dir,
+            port,
+            leases,
+            lease_ttl_ms,
+            linger,
+        } => {
+            let report =
+                regcluster_cluster::run_coordinator(&regcluster_cluster::CoordinatorConfig {
+                    matrix_path: input.into(),
+                    params: params.clone(),
+                    store_dir: store.into(),
+                    work_dir: work_dir.into(),
+                    port: *port,
+                    n_leases: *leases,
+                    lease_ttl: std::time::Duration::from_millis(*lease_ttl_ms),
+                    linger: *linger,
+                })?;
+            Ok(format!(
+                "generation {} published in {store} ({} clusters merged from \
+                 {} leases, {} reassignment{})\n",
+                report.generation,
+                report.n_clusters,
+                report.n_leases,
+                report.reassignments,
+                if report.reassignments == 1 { "" } else { "s" }
+            ))
+        }
+        Command::Worker {
+            input,
+            coordinator,
+            work_dir,
+            threads,
+            worker_id,
+            poll_ms,
+            checkpoint_every_secs,
+        } => {
+            let worker_id = worker_id
+                .clone()
+                .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+            let report = regcluster_cluster::run_worker(&regcluster_cluster::WorkerConfig {
+                coordinator: coordinator.clone(),
+                matrix_path: input.into(),
+                work_dir: work_dir.into(),
+                worker_id,
+                threads: *threads,
+                checkpoint_every: std::time::Duration::from_secs_f64(*checkpoint_every_secs),
+                poll: std::time::Duration::from_millis(*poll_ms),
+            })?;
+            Ok(format!(
+                "mined {} lease{} ({} resumed from checkpoints), uploaded {} \
+                 shard{}, lost {}\n",
+                report.leases_mined,
+                if report.leases_mined == 1 { "" } else { "s" },
+                report.leases_resumed,
+                report.shards_uploaded,
+                if report.shards_uploaded == 1 { "" } else { "s" },
+                report.leases_lost
+            ))
         }
     }
 }

@@ -123,6 +123,12 @@ pub const HTTP_SHED_METRIC: &str = "regcluster_http_requests_shed_total";
 /// this process has served; the family's sum minus one is the number of
 /// live swaps.
 pub const STORE_SWAPS_METRIC: &str = "regcluster_store_swaps_total";
+/// Name of the watcher-error counter: polls of a `--watch` generations
+/// directory that found an unreadable `CURRENT` pointer or failed to open
+/// the store it named. The server keeps serving its current generation
+/// and retries next poll; a growing value means the directory is damaged
+/// or mid-publish churn is outrunning the poll interval.
+pub const STORE_WATCH_ERRORS_METRIC: &str = "regcluster_store_watch_errors_total";
 
 /// Handling-latency bucket bounds: local-store queries are sub-millisecond,
 /// the tail covers cold caches and large result pages.
@@ -140,6 +146,9 @@ pub struct ServeMetrics {
     /// part of `requests` — a shed connection was never handled, so it
     /// does not count toward the `max_requests` budget.
     shed: Counter,
+    /// `--watch` polls that could not read `CURRENT` or open the store it
+    /// named (the server keeps serving and retries).
+    watch_errors: Counter,
 }
 
 impl ServeMetrics {
@@ -165,10 +174,17 @@ impl ServeMetrics {
             "Connections answered 503 + Retry-After because the accept queue was full.",
             &[],
         );
+        let watch_errors = registry.counter(
+            STORE_WATCH_ERRORS_METRIC,
+            "Watch polls that found an unreadable CURRENT pointer or an \
+             unopenable store (the server keeps serving and retries).",
+            &[],
+        );
         Self {
             requests,
             latency,
             shed,
+            watch_errors,
         }
     }
 
@@ -495,8 +511,14 @@ impl Server {
                 let mut serving = shared.store().generation();
                 while !shared.stop.load(Ordering::SeqCst) {
                     std::thread::sleep(poll);
-                    let Ok(Some(current)) = gens.current() else {
-                        continue;
+                    let current = match gens.current() {
+                        Ok(Some(current)) => current,
+                        // No published generation (yet) is not an error.
+                        Ok(None) => continue,
+                        Err(_) => {
+                            shared.metrics.watch_errors.inc();
+                            continue;
+                        }
                     };
                     if current == serving {
                         continue;
@@ -510,7 +532,10 @@ impl Server {
                             shared.swap_store(Arc::new(cs));
                             serving = current;
                         }
-                        Err(_) => continue,
+                        Err(_) => {
+                            shared.metrics.watch_errors.inc();
+                            continue;
+                        }
                     }
                 }
             })

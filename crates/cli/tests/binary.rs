@@ -575,6 +575,121 @@ fn delta_mine_through_the_binary_matches_full_remine() {
 }
 
 #[test]
+fn delta_mine_composes_with_post_filters() {
+    let dir = tmpdir();
+    let m0 = dir.join("deltafilter-gen0.tsv");
+    let m1 = dir.join("deltafilter-gen1.tsv");
+
+    let cfg = regcluster_datagen::SyntheticConfig {
+        n_genes: 80,
+        n_conds: 12,
+        n_clusters: 2,
+        cluster_gene_frac: 0.08,
+        noise_sigma: 0.0,
+        seed: 29,
+        ..Default::default()
+    };
+    let mut matrix = regcluster_datagen::generate(&cfg).unwrap().matrix;
+    regcluster_matrix::io::write_matrix_file(&matrix, &m0).unwrap();
+    for row in [5usize, 40] {
+        for c in 0..matrix.n_conditions() {
+            let v = matrix.value(row, c);
+            matrix.set_value(row, c, v * 0.9 - 0.2);
+        }
+    }
+    regcluster_matrix::io::write_matrix_file(&matrix, &m1).unwrap();
+
+    let mine = |input: &PathBuf, extra: &[&str]| {
+        let mut args = vec![
+            "mine".to_string(),
+            "--input".into(),
+            input.to_str().unwrap().into(),
+            "--min-genes".into(),
+            "4".into(),
+            "--min-conds".into(),
+            "4".into(),
+            "--gamma".into(),
+            "0.1".into(),
+            "--epsilon".into(),
+            "0.05".into(),
+        ];
+        args.extend(extra.iter().map(|s| (*s).to_string()));
+        bin().args(&args).output().unwrap()
+    };
+    let expect_ok = |out: std::process::Output| {
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // An *unfiltered* generation 0 to delta against.
+    let prev = dir.join("deltafilter-prev.rcs");
+    expect_ok(mine(&m0, &["--store", prev.to_str().unwrap()]));
+
+    // The post-filters run after the splice, so a filtered delta mine must
+    // equal a filtered from-scratch mine of the new matrix.
+    let filters = ["--maximal-only", "--max-clusters", "7"];
+    let delta_store_path = dir.join("deltafilter-delta.rcs");
+    let text = expect_ok(mine(
+        &m1,
+        &[
+            "--delta-from",
+            prev.to_str().unwrap(),
+            "--store",
+            delta_store_path.to_str().unwrap(),
+            filters[0],
+            filters[1],
+            filters[2],
+        ],
+    ));
+    assert!(text.contains("delta-mined"), "{text}");
+    let full_store_path = dir.join("deltafilter-full.rcs");
+    expect_ok(mine(
+        &m1,
+        &[
+            "--store",
+            full_store_path.to_str().unwrap(),
+            filters[0],
+            filters[1],
+            filters[2],
+        ],
+    ));
+    let delta_store = regcluster_store::ClusterStore::open(&delta_store_path).unwrap();
+    let full_store = regcluster_store::ClusterStore::open(&full_store_path).unwrap();
+    let delta: Vec<_> = delta_store.iter().collect::<Result<_, _>>().unwrap();
+    let full: Vec<_> = full_store.iter().collect::<Result<_, _>>().unwrap();
+    assert!(!full.is_empty(), "workload must mine something");
+    assert!(
+        full.len() <= 7,
+        "--max-clusters must cap the result, got {}",
+        full.len()
+    );
+    assert_eq!(
+        delta, full,
+        "filtered delta drifted from a filtered full mine"
+    );
+
+    // A *filtered* previous store cannot be spliced from: the filters
+    // dropped clusters across root boundaries.
+    let out = mine(
+        &m1,
+        &[
+            "--delta-from",
+            full_store_path.to_str().unwrap(),
+            filters[0],
+            filters[1],
+            filters[2],
+        ],
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unfiltered"), "{err}");
+}
+
+#[test]
 fn rwave_subcommand_via_binary() {
     let dir = tmpdir();
     let matrix = dir.join("running.tsv");

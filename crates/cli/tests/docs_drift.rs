@@ -27,6 +27,7 @@ fn every_registered_metric_is_documented() {
     let _ = PhaseSpans::new(&registry);
     let _ = ServeMetrics::register(&registry);
     let _ = EngineMetrics::register(&registry, "reg-cluster");
+    let _ = regcluster_cluster::ClusterMetrics::register(&registry);
     regcluster_failpoint::register_metrics(&registry);
 
     let doc = observability_doc();
@@ -132,6 +133,56 @@ fn generations_and_delta_mining_are_documented() {
     assert!(
         obs.contains("`generation`"),
         "the generation label must be documented"
+    );
+}
+
+#[test]
+fn distributed_cluster_is_documented() {
+    // DESIGN.md §14 owns the lease/merge protocol, GUIDE.md §10 the
+    // operator quickstart, OBSERVABILITY.md the coordinator's control
+    // plane — renaming a subcommand, flag or endpoint without updating
+    // the trio is drift.
+    let design = repo_doc("DESIGN.md");
+    assert!(
+        design.contains("## 14. Distributed mining cluster"),
+        "DESIGN.md must keep the distributed-cluster section"
+    );
+    for needle in [
+        "partition_roots",
+        "merge_shards",
+        "validate_shard",
+        "/lease/acquire",
+        "/lease/renew",
+        "`--linger`",
+        "byte-identical",
+    ] {
+        assert!(
+            design.contains(needle),
+            "DESIGN.md §14 must mention {needle}"
+        );
+    }
+
+    let guide = repo_doc("docs/GUIDE.md");
+    for needle in [
+        "regcluster coordinator",
+        "regcluster worker",
+        "--lease-ttl-ms",
+        "--work-dir",
+        "cluster_harness",
+    ] {
+        assert!(
+            guide.contains(needle),
+            "docs/GUIDE.md cluster quickstart must mention {needle}"
+        );
+    }
+
+    // The watch-error counter is in the ServeMetrics sweep above, but
+    // its operator story (absence vs failure) lives next to the swap
+    // metric — pin the name so a rename can't strand the prose.
+    let obs = observability_doc();
+    assert!(
+        obs.contains(regcluster_cli::serve::STORE_WATCH_ERRORS_METRIC),
+        "watch-error metric must be in docs/OBSERVABILITY.md"
     );
 }
 

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use regcluster_cli::serve::{ServeConfig, Server, STORE_SWAPS_METRIC};
+use regcluster_cli::serve::{ServeConfig, Server, STORE_SWAPS_METRIC, STORE_WATCH_ERRORS_METRIC};
 use regcluster_core::{mine, MiningParams};
 use regcluster_datagen::{generate, PatternKind, SyntheticConfig};
 use regcluster_store::{ClusterStore, Generations, StoreProvenance, StoreWriter};
@@ -468,6 +468,113 @@ fn watcher_hot_swaps_generations_under_concurrent_load() {
             .map(|(_, v)| *v)
             .unwrap_or_else(|| panic!("missing {series} in {samples:?}"));
         assert_eq!(v, 1.0, "{series}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watcher_counts_unreadable_current_and_recovers() {
+    // One published generation, then CURRENT is corrupted in place: the
+    // watcher must keep serving, count every failed observation on
+    // regcluster_store_watch_errors_total, and swap normally once the
+    // pointer is healthy again.
+    let dir =
+        std::env::temp_dir().join(format!("regcluster-serve-watcherr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gens = Generations::open(&dir).unwrap();
+
+    let cfg = SyntheticConfig {
+        n_genes: 100,
+        n_conds: 30,
+        n_clusters: 6,
+        avg_cluster_dims: 6,
+        cluster_gene_frac: 0.06,
+        neg_fraction: 0.3,
+        plant_gamma: 0.15,
+        pattern: PatternKind::ShiftScale,
+        value_max: 10.0,
+        noise_sigma: 0.0,
+        seed: 7,
+    };
+    let m = generate(&cfg).unwrap().matrix;
+    let params = MiningParams::new(4, 4, 0.1, 0.05).unwrap();
+    let clusters = mine(&m, &params).unwrap();
+    assert!(clusters.len() > 1, "need ≥ 2 clusters");
+    let write_gen = |generation: u64, set: &[regcluster_core::RegCluster]| {
+        let provenance = StoreProvenance {
+            generation,
+            ..StoreProvenance::default()
+        };
+        let w = StoreWriter::create_with_provenance(
+            gens.path_for(generation),
+            m.gene_names(),
+            m.condition_names(),
+            &params,
+            &provenance,
+        )
+        .unwrap();
+        for c in set {
+            w.write_cluster(c).unwrap();
+        }
+        w.finish().unwrap();
+    };
+    write_gen(0, &clusters);
+    gens.publish(0).unwrap();
+
+    let store = Arc::new(ClusterStore::open(gens.path_for(0)).unwrap());
+    let config = ServeConfig {
+        port: 0,
+        threads: 2,
+        watch: Some(dir.clone()),
+        watch_poll: std::time::Duration::from_millis(10),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(store, &config).unwrap();
+    let port = server.port();
+
+    let watch_errors = |samples: &[(String, f64)]| {
+        samples
+            .iter()
+            .find(|(s, _)| s.starts_with(STORE_WATCH_ERRORS_METRIC))
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    assert_eq!(watch_errors(&scrape_metrics(port)), 0.0, "clean start");
+
+    // Corrupt the pointer: not a number, so Generations::current errors.
+    std::fs::write(dir.join("CURRENT"), b"not-a-generation\n").unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (status, _) = get(port, "/health");
+        assert_eq!(status, 200, "server must keep serving through the damage");
+        if watch_errors(&scrape_metrics(port)) > 0.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watch errors were never counted"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Heal the pointer by publishing generation 1: the watcher recovers
+    // and swaps as if nothing happened.
+    write_gen(1, &clusters[..1]);
+    gens.publish(1).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (status, body) = get(port, "/stats");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"generation\":1") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never recovered after CURRENT was healed: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
     }
 
     server.shutdown();

@@ -1,0 +1,313 @@
+//! Dependency-free HTTP/1.1 plumbing for the cluster control plane.
+//!
+//! Unlike the serving layer's GET-only pool (`regcluster-cli::serve`),
+//! the coordinator needs request bodies: shard uploads POST whole `.rcs`
+//! files. Control-plane traffic is a handful of workers heartbeating, so
+//! a thread-per-connection acceptor is plenty — the fixed-pool + shed
+//! machinery of the read path would be over-engineering here.
+//!
+//! Every connection is one request/response exchange (`Connection:
+//! close` semantics), which keeps both ends trivially correct across
+//! coordinator restarts: a worker never has to reason about a half-dead
+//! keep-alive socket.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request body (a shard upload), 256 MiB.
+const MAX_BODY: usize = 256 << 20;
+
+/// Per-socket read/write timeout, so a hung peer cannot wedge a
+/// connection thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed inbound request.
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected with 405).
+    pub method: String,
+    /// Request path, e.g. `/lease/acquire`.
+    pub path: String,
+    /// Raw body bytes (empty for GET).
+    pub body: Vec<u8>,
+}
+
+/// One outbound response.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already-encoded document.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A running control-plane HTTP server. Dropping the handle does **not**
+/// stop it; call [`shutdown`](HttpServer::shutdown).
+pub struct HttpServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `127.0.0.1:port` (0 picks an ephemeral port) and serves
+    /// every connection on its own thread through `handler`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the port cannot be bound.
+    pub fn start<F>(port: u16, handler: F) -> std::io::Result<Self>
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let port = listener.local_addr()?.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+        let stop_accept = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &*handler);
+                });
+            }
+        });
+        Ok(HttpServer {
+            port,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Stops accepting and joins the acceptor thread. In-flight
+    /// connection threads finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_connection<F>(stream: TcpStream, handler: &F) -> std::io::Result<()>
+where
+    F: Fn(&Request) -> Response,
+{
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let response = match read_request(&mut reader) {
+        Ok(req) => handler(&req),
+        Err(status) => Response::text(status, reason(status)),
+    };
+    write_response(stream, &response)
+}
+
+/// Parses one request off `reader`; `Err` carries the status to reject
+/// with.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, u16> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|_| 400u16)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?.to_string();
+    let path = parts.next().ok_or(400u16)?.to_string();
+    if method != "GET" && method != "POST" {
+        return Err(405u16);
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|_| 400u16)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().map_err(|_| 400u16)?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(413u16);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| 400u16)?;
+    Ok(Request { method, path, body })
+}
+
+fn write_response(mut stream: TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Performs one blocking request against `addr` (`host:port`), returning
+/// `(status, body)`. Bodies are sent as `application/octet-stream`; the
+/// peer's declared `Content-Length` bounds the read.
+///
+/// # Errors
+///
+/// [`std::io::Error`] for connect/read/write failures or a malformed
+/// response.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("malformed status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = Some(
+                v.parse()
+                    .map_err(|_| std::io::Error::other("bad content-length"))?,
+            );
+        }
+    }
+    let body = match content_length {
+        Some(n) if n <= MAX_BODY => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        Some(n) => {
+            return Err(std::io::Error::other(format!(
+                "response body {n} too large"
+            )));
+        }
+        // Connection-close framing: read to EOF.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_get_and_post() {
+        let server = HttpServer::start(0, |req| match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/ping") => Response::text(200, "pong"),
+            ("POST", "/echo") => Response {
+                status: 200,
+                content_type: "application/octet-stream",
+                body: req.body.clone(),
+            },
+            _ => Response::text(404, "nope"),
+        })
+        .unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let (status, body) = http_request(&addr, "GET", "/ping", &[]).unwrap();
+        assert_eq!((status, body.as_slice()), (200, b"pong".as_slice()));
+        let payload = vec![7u8; 100_000];
+        let (status, body) = http_request(&addr, "POST", "/echo", &payload).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, payload);
+        let (status, _) = http_request(&addr, "GET", "/missing", &[]).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_unknown_methods() {
+        let server = HttpServer::start(0, |_| Response::text(200, "ok")).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let (status, _) = http_request(&addr, "DELETE", "/x", &[]).unwrap();
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+}

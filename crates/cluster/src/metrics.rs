@@ -1,0 +1,73 @@
+//! Cluster control-plane instruments, exported on the coordinator's
+//! `/metrics` endpoint and catalogued in `docs/OBSERVABILITY.md` (the
+//! docs-drift test registers this set and sweeps the doc).
+
+use regcluster_obs::{Counter, MetricsRegistry};
+
+/// Lease grants handed to workers.
+pub const LEASES_GRANTED_METRIC: &str = "regcluster_cluster_leases_granted_total";
+/// Successful heartbeat renewals.
+pub const LEASE_RENEWALS_METRIC: &str = "regcluster_cluster_lease_renewals_total";
+/// Leases expired for worker silence and returned to the pool.
+pub const LEASES_EXPIRED_METRIC: &str = "regcluster_cluster_leases_expired_total";
+/// Shards accepted (validated + durably staged).
+pub const SHARDS_UPLOADED_METRIC: &str = "regcluster_cluster_shards_uploaded_total";
+/// Shards refused (stale epoch, failed validation, torn upload).
+pub const SHARDS_REJECTED_METRIC: &str = "regcluster_cluster_shards_rejected_total";
+/// Completed shard merges (one per published generation).
+pub const MERGES_METRIC: &str = "regcluster_cluster_merges_total";
+
+/// The coordinator's instrument set.
+#[derive(Clone)]
+pub struct ClusterMetrics {
+    /// See [`LEASES_GRANTED_METRIC`].
+    pub leases_granted: Counter,
+    /// See [`LEASE_RENEWALS_METRIC`].
+    pub lease_renewals: Counter,
+    /// See [`LEASES_EXPIRED_METRIC`].
+    pub leases_expired: Counter,
+    /// See [`SHARDS_UPLOADED_METRIC`].
+    pub shards_uploaded: Counter,
+    /// See [`SHARDS_REJECTED_METRIC`].
+    pub shards_rejected: Counter,
+    /// See [`MERGES_METRIC`].
+    pub merges: Counter,
+}
+
+impl ClusterMetrics {
+    /// Registers every cluster instrument in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        ClusterMetrics {
+            leases_granted: registry.counter(
+                LEASES_GRANTED_METRIC,
+                "Root leases granted to workers",
+                &[],
+            ),
+            lease_renewals: registry.counter(
+                LEASE_RENEWALS_METRIC,
+                "Lease heartbeat renewals accepted",
+                &[],
+            ),
+            leases_expired: registry.counter(
+                LEASES_EXPIRED_METRIC,
+                "Leases expired for worker silence and reassigned",
+                &[],
+            ),
+            shards_uploaded: registry.counter(
+                SHARDS_UPLOADED_METRIC,
+                "Shard uploads accepted after validation",
+                &[],
+            ),
+            shards_rejected: registry.counter(
+                SHARDS_REJECTED_METRIC,
+                "Shard uploads refused (stale epoch or failed validation)",
+                &[],
+            ),
+            merges: registry.counter(
+                MERGES_METRIC,
+                "Completed shard merges into a published generation",
+                &[],
+            ),
+        }
+    }
+}

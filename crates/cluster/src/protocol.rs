@@ -1,0 +1,141 @@
+//! Wire types for the coordinator/worker control plane.
+//!
+//! All control messages are flat JSON structs (the vendored serde stub
+//! derives structs and unit/tuple enum variants only, so polymorphism is
+//! expressed with a `kind` discriminator field instead of tagged
+//! enums). Shard uploads are the one non-JSON message: the sealed
+//! `.rcs` bytes POSTed verbatim, with the lease identity in the path
+//! (`/shard/<lease>/<epoch>`).
+//!
+//! # Lease protocol
+//!
+//! A lease is `(lease id, root range, epoch)`. The epoch is a
+//! coordinator-global fencing token: every grant mints a fresh one, so
+//! a lease that expires and is re-granted can never be confused with
+//! its earlier incarnation — renewals and uploads carrying a stale
+//! epoch are refused with 409, which is how a worker learns it lost
+//! the lease.
+
+use serde::{Deserialize, Serialize};
+
+/// `GET /job` — everything a worker needs to mine compatibly with the
+/// coordinator (it loads the matrix itself and must agree on the
+/// fingerprint).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// Mining parameters as canonical JSON (the worker deserializes and
+    /// re-serializes these; the round trip is deterministic, so shard
+    /// provenance matches the coordinator's byte-for-byte).
+    pub params_json: String,
+    /// Engine name recorded in shard provenance.
+    pub engine: String,
+    /// Generation number the merged store will publish as.
+    pub generation: u64,
+    /// Fingerprint of the coordinator's matrix; a worker whose matrix
+    /// disagrees must refuse to mine.
+    pub matrix_fingerprint: u64,
+    /// Total root conditions being partitioned.
+    pub n_roots: u64,
+}
+
+/// `POST /lease/acquire` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcquireRequest {
+    /// Caller's self-assigned worker id (diagnostics + renew fencing).
+    pub worker: String,
+}
+
+/// `POST /lease/acquire` response. `kind` is `"grant"` (lease fields
+/// valid), `"wait"` (all leases granted but the run isn't finished —
+/// retry later; a lease may expire) or `"done"` (every shard is in,
+/// the worker can exit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcquireResponse {
+    /// `"grant"`, `"wait"` or `"done"`.
+    pub kind: String,
+    /// Lease id (slot index).
+    pub lease: u64,
+    /// First leased root (inclusive).
+    pub start: u64,
+    /// Past-the-end leased root.
+    pub end: u64,
+    /// Fencing epoch for this grant.
+    pub epoch: u64,
+    /// Milliseconds the lease stays valid without a renewal.
+    pub ttl_ms: u64,
+}
+
+impl AcquireResponse {
+    /// A non-grant response (`"wait"` / `"done"`).
+    pub fn signal(kind: &str) -> Self {
+        AcquireResponse {
+            kind: kind.to_string(),
+            lease: 0,
+            start: 0,
+            end: 0,
+            epoch: 0,
+            ttl_ms: 0,
+        }
+    }
+}
+
+/// `POST /lease/renew` request body; refreshes the lease deadline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RenewRequest {
+    /// Worker id that was granted the lease.
+    pub worker: String,
+    /// Lease id being renewed.
+    pub lease: u64,
+    /// Epoch from the grant; stale epochs are refused with 409.
+    pub epoch: u64,
+}
+
+/// `GET /status` — coordinator progress, polled by harnesses and
+/// operators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusDoc {
+    /// `"mining"`, `"merging"` or `"published"`.
+    pub state: String,
+    /// Generation the run will (or did) publish.
+    pub generation: u64,
+    /// Total leases in the partition.
+    pub leases_total: u64,
+    /// Leases whose shard has been accepted.
+    pub leases_done: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_types_round_trip() {
+        let job = JobInfo {
+            params_json: r#"{"min_genes":2}"#.into(),
+            engine: "reg-cluster".into(),
+            generation: 3,
+            matrix_fingerprint: 0xdead_beef,
+            n_roots: 20,
+        };
+        let back: JobInfo = serde_json::from_str(&serde_json::to_string(&job).unwrap()).unwrap();
+        assert_eq!(back.params_json, job.params_json);
+        assert_eq!(back.matrix_fingerprint, job.matrix_fingerprint);
+
+        let grant = AcquireResponse {
+            kind: "grant".into(),
+            lease: 1,
+            start: 5,
+            end: 10,
+            epoch: 42,
+            ttl_ms: 3000,
+        };
+        let back: AcquireResponse =
+            serde_json::from_str(&serde_json::to_string(&grant).unwrap()).unwrap();
+        assert_eq!(back.kind, "grant");
+        assert_eq!((back.start, back.end, back.epoch), (5, 10, 42));
+
+        let wait = AcquireResponse::signal("wait");
+        assert_eq!(wait.kind, "wait");
+        assert_eq!(wait.ttl_ms, 0);
+    }
+}

@@ -548,6 +548,63 @@ pub fn mine_prepared_roots_to_sink(
     })
 }
 
+/// As [`mine_prepared_roots_to_sink`], with crash-safety: the
+/// roots-subset analogue of [`mine_prepared_to_sink_checkpointed`],
+/// built for distributed workers mining a leased root range
+/// ([`partition_roots`](crate::partition_roots)) that must survive their
+/// own crashes.
+///
+/// A fresh run seeds the frontier with exactly `roots` and checkpoints
+/// per the plan. A resumed run ignores `roots` and completes the
+/// checkpoint's pending frontier instead — the checkpoint *is* the
+/// remaining work, including roots that never left the queue. Callers
+/// holding per-lease checkpoints must therefore only resume a
+/// checkpoint taken for the **same** root subset (the cluster worker
+/// keys checkpoint files by lease range for exactly this reason).
+///
+/// # Errors
+///
+/// As [`mine_prepared_roots_to_sink`] and
+/// [`mine_prepared_to_sink_checkpointed`].
+pub fn mine_prepared_roots_to_sink_checkpointed(
+    miner: &Miner<'_>,
+    roots: &[CondId],
+    config: &EngineConfig,
+    control: &MineControl,
+    observer: &dyn SyncMineObserver,
+    sink: &dyn ClusterSink,
+    plan: CheckpointPlan<'_>,
+) -> Result<(StreamReport, CheckpointReport), CoreError> {
+    config.validate()?;
+    let n_roots = miner.n_conditions();
+    if let Some(&bad) = roots.iter().find(|&&r| r >= n_roots) {
+        return Err(CoreError::InvalidParams(format!(
+            "root condition {bad} out of range (matrix has {n_roots} conditions)"
+        )));
+    }
+    let mut subset: Vec<CondId> = roots.to_vec();
+    subset.sort_unstable();
+    subset.dedup();
+    let (outcome, report) = run_checkpointed(
+        miner,
+        n_roots,
+        Some(&subset),
+        config,
+        control,
+        observer,
+        sink,
+        Some(plan),
+    )?;
+    Ok((
+        StreamReport {
+            stats: outcome.stats,
+            truncated: outcome.truncated,
+            stopped_by_sink: outcome.stopped_by_sink,
+        },
+        report,
+    ))
+}
+
 /// As [`mine_prepared_to_sink`], with crash-safety: snapshots the
 /// enumeration frontier to the plan's
 /// [`CheckpointSink`](crate::checkpoint::CheckpointSink) periodically

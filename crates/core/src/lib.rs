@@ -65,6 +65,7 @@ pub mod metrics;
 pub mod miner;
 pub mod observer;
 pub mod params;
+pub mod partition;
 pub mod postprocess;
 pub mod rwave;
 pub mod threshold;
@@ -78,9 +79,9 @@ pub use cluster::{RegCluster, ValidationError};
 pub use delta::{classify_roots, gene_fingerprints, root_fingerprints, DeltaPlan};
 pub use engine::{
     mine_engine, mine_engine_checkpointed, mine_engine_with, mine_prepared_roots_to_sink,
-    mine_prepared_to_sink, mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink,
-    ClusterSink, EngineConfig, MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink,
-    VecSink,
+    mine_prepared_roots_to_sink_checkpointed, mine_prepared_to_sink,
+    mine_prepared_to_sink_checkpointed, mine_to_sink, CappedSink, ClusterSink, EngineConfig,
+    MineControl, MineReport, SplitStrategy, StreamReport, StreamingSink, VecSink,
 };
 pub use engine_api::{BiclusterEngine, EngineReport};
 pub use error::CoreError;
@@ -92,5 +93,6 @@ pub use observer::{
     MineObserver, MiningStats, NoopObserver, PruneRule, SyncMineObserver, TraceEvent, TraceObserver,
 };
 pub use params::MiningParams;
+pub use partition::{partition_roots, range_roots};
 pub use scratch::MineWorkspace;
 pub use threshold::RegulationThreshold;

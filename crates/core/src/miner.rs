@@ -260,6 +260,20 @@ impl<'a> Miner<'a> {
         out
     }
 
+    /// The genes in `root`'s level-1 member set, as `(gene, forward)`
+    /// pairs in gene order. This is exactly the membership the delta
+    /// layer's per-root fingerprint hashes
+    /// ([`root_fingerprints`](crate::delta::root_fingerprints)) — exposed
+    /// so property tests can verify fingerprint stability claims (a
+    /// permutation of *non-member* rows must not disturb a root's
+    /// fingerprint) without reaching into crate internals.
+    pub fn root_member_genes(&self, root: CondId) -> Vec<(usize, bool)> {
+        self.root_members(root)
+            .into_iter()
+            .map(|m| (m.gene, m.dir == Dir::Fwd))
+            .collect()
+    }
+
     /// Depth-first traversal over [`expand_node`](Self::expand_node),
     /// threading the sequential run state. Returns `true` when the emission
     /// receiver asked the run to stop.

@@ -1,0 +1,104 @@
+//! Root partitioning for distributed mining.
+//!
+//! The enumeration tree is partitionable by root condition: a subtree's
+//! output is a pure function of the mining parameters and its root's
+//! member rows, and subtree outputs are disjoint by root (`chain[0]` —
+//! see the soundness argument in [`delta`](crate::delta)). A coordinator
+//! can therefore split the root id space `0..n_roots` into contiguous
+//! ranges, lease each range to a worker, and merge the resulting shards
+//! into a store bit-identical to a single-node run.
+//!
+//! Contiguous ranges (rather than striding) keep each lease describable
+//! as a `(start, end)` pair on the wire and make shard → root-range
+//! validation a pair of comparisons.
+
+use regcluster_matrix::CondId;
+
+/// Splits the root id space `0..n_roots` into at most `n_parts`
+/// contiguous, non-empty, disjoint ranges covering every root exactly
+/// once. Ranges are half-open `(start, end)` pairs, ordered by `start`,
+/// and balanced: sizes differ by at most one, larger parts first.
+///
+/// Fewer than `n_parts` ranges come back when there are fewer roots than
+/// parts (each root then gets its own range); zero roots or zero parts
+/// yield an empty partition.
+///
+/// ```
+/// use regcluster_core::partition_roots;
+/// assert_eq!(partition_roots(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+/// assert_eq!(partition_roots(2, 4), vec![(0, 1), (1, 2)]);
+/// assert_eq!(partition_roots(0, 4), vec![]);
+/// ```
+pub fn partition_roots(n_roots: usize, n_parts: usize) -> Vec<(CondId, CondId)> {
+    if n_roots == 0 || n_parts == 0 {
+        return Vec::new();
+    }
+    let parts = n_parts.min(n_roots);
+    let base = n_roots / parts;
+    let extra = n_roots % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n_roots);
+    ranges
+}
+
+/// Expands a half-open root range into the explicit root list the
+/// engine's roots-subset entry points take.
+pub fn range_roots(start: CondId, end: CondId) -> Vec<CondId> {
+    (start..end).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_root_exactly_once() {
+        for n_roots in 0..40 {
+            for n_parts in 1..10 {
+                let ranges = partition_roots(n_roots, n_parts);
+                let mut seen = Vec::new();
+                for &(s, e) in &ranges {
+                    assert!(s < e, "empty range in {ranges:?}");
+                    seen.extend(s..e);
+                }
+                let expect: Vec<usize> = (0..n_roots).collect();
+                assert_eq!(
+                    seen, expect,
+                    "partition_roots({n_roots}, {n_parts}) = {ranges:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        for n_roots in 1..50 {
+            for n_parts in 1..12 {
+                let ranges = partition_roots(n_roots, n_parts);
+                assert_eq!(ranges.len(), n_parts.min(n_roots));
+                let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_empty() {
+        assert!(partition_roots(0, 3).is_empty());
+        assert!(partition_roots(3, 0).is_empty());
+    }
+
+    #[test]
+    fn range_roots_expands_half_open() {
+        assert_eq!(range_roots(2, 5), vec![2, 3, 4]);
+        assert!(range_roots(4, 4).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Edge cases of the delta-mining root classification
+//! (`core::delta::classify_roots`) and a property check of the root
+//! fingerprints' locality: a root's fingerprint reads only its level-1
+//! member rows, so shuffling the *other* genes' rows cannot dirty it.
+
+use proptest::prelude::*;
+
+use regcluster_core::{classify_roots, root_fingerprints, Miner, MiningParams};
+use regcluster_matrix::ExpressionMatrix;
+
+#[test]
+fn empty_fingerprint_vectors_are_a_clean_plan() {
+    // A matrix with no conditions has no enumeration roots: the diff is
+    // vacuously clean and the mask is empty.
+    let plan = classify_roots(&[], &[]).unwrap();
+    assert!(plan.is_clean());
+    assert!(plan.dirty.is_empty());
+    assert!(plan.unchanged.is_empty());
+    assert!(plan.unchanged_mask().is_empty());
+}
+
+#[test]
+fn completely_rewritten_matrix_is_all_dirty() {
+    let params = MiningParams::new(1, 2, 0.15, 1.0).unwrap();
+    let before =
+        ExpressionMatrix::from_flat_unlabeled(2, 3, vec![1.0, 2.0, 3.0, 3.0, 2.0, 1.0]).unwrap();
+    // Every row changes, so every root's member multiset changes.
+    let after =
+        ExpressionMatrix::from_flat_unlabeled(2, 3, vec![9.0, 7.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+    let old = root_fingerprints(&Miner::new(&before, &params).unwrap());
+    let new = root_fingerprints(&Miner::new(&after, &params).unwrap());
+    let plan = classify_roots(&old, &new).unwrap();
+    assert!(plan.unchanged.is_empty(), "{plan:?}");
+    assert_eq!(plan.dirty, (0..before.n_conditions()).collect::<Vec<_>>());
+    assert!(plan.unchanged_mask().iter().all(|&u| !u));
+}
+
+#[test]
+fn mask_and_partition_cover_every_root_once() {
+    let old = [1u64, 2, 3, 4, 5];
+    let new = [1u64, 9, 3, 9, 5];
+    let plan = classify_roots(&old, &new).unwrap();
+    assert_eq!(plan.dirty, vec![1, 3]);
+    assert_eq!(plan.unchanged, vec![0, 2, 4]);
+    let mask = plan.unchanged_mask();
+    assert_eq!(mask, vec![true, false, true, false, true]);
+}
+
+/// A random matrix whose genes split into "members everywhere" candidates
+/// and background rows, plus a permutation of the background.
+fn matrix_strategy() -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (3usize..=7, 3usize..=6).prop_flat_map(|(n_genes, n_conds)| {
+        let values = prop::collection::vec(-20.0f64..20.0, n_genes * n_conds);
+        (Just(n_genes), Just(n_conds), values)
+    })
+}
+
+proptest! {
+    /// Fingerprint locality: permuting the rows of genes that are *not*
+    /// level-1 members of root `r` (amongst indices that are also
+    /// non-members) leaves `r`'s fingerprint untouched, because the
+    /// fingerprint hashes exactly the member list — ids, directions and
+    /// member rows.
+    #[test]
+    fn root_fingerprints_ignore_non_member_rows(
+        (n_genes, n_conds, values) in matrix_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let params = MiningParams::new(1, 2, 0.15, 1.0).unwrap();
+        let m = ExpressionMatrix::from_flat_unlabeled(n_genes, n_conds, values.clone()).unwrap();
+        let miner = Miner::new(&m, &params).unwrap();
+        let before = root_fingerprints(&miner);
+
+        for root in 0..n_conds {
+            let members: std::collections::HashSet<usize> = miner
+                .root_member_genes(root)
+                .into_iter()
+                .map(|(gene, _dir)| gene)
+                .collect();
+            let mut outsiders: Vec<usize> =
+                (0..n_genes).filter(|g| !members.contains(g)).collect();
+            if outsiders.len() < 2 {
+                continue; // nothing to permute
+            }
+            // Deterministic rotation keyed by the seed: a nontrivial
+            // permutation of the outsider rows.
+            let rot = 1 + (seed as usize) % (outsiders.len() - 1);
+            outsiders.rotate_left(rot);
+
+            let mut rows: Vec<Vec<f64>> = (0..n_genes).map(|g| m.row(g).to_vec()).collect();
+            let originals: Vec<usize> =
+                (0..n_genes).filter(|g| !members.contains(g)).collect();
+            for (dst, src) in originals.iter().zip(&outsiders) {
+                rows[*dst] = m.row(*src).to_vec();
+            }
+            let flat: Vec<f64> = rows.into_iter().flatten().collect();
+            let shuffled =
+                ExpressionMatrix::from_flat_unlabeled(n_genes, n_conds, flat).unwrap();
+            let after = root_fingerprints(&Miner::new(&shuffled, &params).unwrap());
+            prop_assert_eq!(
+                before[root], after[root],
+                "root {}'s fingerprint read a non-member row", root
+            );
+        }
+    }
+}

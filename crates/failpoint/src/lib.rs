@@ -63,8 +63,12 @@ pub const SITES: &[&str] = &[
     "store::rename",
     "store::dir_sync",
     "store::current_publish",
+    "store::merge_seal",
     "checkpoint::save",
     "engine::worker",
+    "cluster::lease_grant",
+    "cluster::shard_upload",
+    "cluster::publish",
 ];
 
 /// Metric family name under which fired-fault counters are exported.
@@ -89,7 +93,7 @@ struct Armed {
     fire_at: Option<u64>,
 }
 
-const N_SITES: usize = 9;
+const N_SITES: usize = 13;
 const _: () = assert!(SITES.len() == N_SITES, "keep N_SITES in sync with SITES");
 
 /// Fast-path gate: false (the default) means every site is a

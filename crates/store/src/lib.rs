@@ -65,6 +65,7 @@ mod checkpoint;
 mod error;
 mod format;
 mod generations;
+mod merge;
 pub mod migrations;
 mod query;
 mod reader;
@@ -74,6 +75,7 @@ pub use checkpoint::{read_checkpoint, CheckpointFile, CHECKPOINT_MAGIC, CHECKPOI
 pub use error::StoreError;
 pub use format::{FORMAT_VERSION, MIN_SUPPORTED_VERSION};
 pub use generations::{Generations, CURRENT_FILE};
+pub use merge::merge_shards;
 pub use query::Query;
 pub use reader::{ClusterStore, PostingsIter, StoreStats};
 pub use writer::{StoreProvenance, StoreSummary, StoreWriter};

@@ -1,0 +1,230 @@
+//! Shard merging for distributed mining: combine per-lease `.rcs` shards
+//! into one store **bit-identical** to a single-node run.
+//!
+//! # Why merge is deterministic
+//!
+//! A worker's shard holds exactly the clusters whose `chain[0]` falls in
+//! its leased root range (subtree outputs are disjoint by root — the
+//! delta-soundness argument in `regcluster_core::delta`). The merged
+//! record *set* is therefore the disjoint union of the shards, equal to
+//! the single-node set. [`StoreWriter::finish`] seals with
+//! **canonical-id ordering** — records are sorted by (chain, p-members,
+//! n-members) regardless of write order — and the META document is
+//! copied verbatim from the shards (which all carry the provenance a
+//! single-node run would write: same params, generation, matrix and
+//! root fingerprints). Same record set + same canonical order + same
+//! META + same dictionaries ⇒ same bytes.
+//!
+//! # Validation
+//!
+//! Merging refuses shards that disagree on META JSON or dictionaries
+//! (they were mined from different inputs or params), and shards whose
+//! root sets overlap (a double-granted lease or duplicate upload — the
+//! union would no longer be disjoint, and dedup here would mask the
+//! coordinator bug). The failpoint site `store::merge_seal` sits before
+//! the sealing [`finish`](StoreWriter::finish), so fault tests can prove
+//! a crashed merge never publishes a torn store.
+
+use std::path::Path;
+
+use crate::error::StoreError;
+use crate::reader::ClusterStore;
+use crate::writer::{StoreSummary, StoreWriter};
+
+/// Merges `shards` (paths to sealed `.rcs` shard files) into a single
+/// store at `out`, validating shard compatibility and root disjointness.
+/// Returns the merged store's summary.
+///
+/// The output is written through the ordinary tmp + fsync + rename
+/// discipline: `out` either holds the complete merged store or is left
+/// untouched, never a torn intermediate.
+///
+/// # Errors
+///
+/// [`StoreError::Format`] when `shards` is empty, when shards disagree
+/// on META JSON or dictionaries, or when two shards contain clusters
+/// rooted at the same condition; otherwise any open/write/seal error
+/// from the underlying reader and writer.
+pub fn merge_shards(
+    shards: &[impl AsRef<Path>],
+    out: impl AsRef<Path>,
+) -> Result<StoreSummary, StoreError> {
+    if shards.is_empty() {
+        return Err(StoreError::Format(
+            "cannot merge zero shards into a store".into(),
+        ));
+    }
+    let opened: Vec<ClusterStore> = shards
+        .iter()
+        .map(|p| ClusterStore::open(p.as_ref()))
+        .collect::<Result<_, _>>()?;
+
+    let first = &opened[0];
+    let meta = first.meta_json();
+    for (i, shard) in opened.iter().enumerate().skip(1) {
+        if shard.meta_json() != meta {
+            return Err(StoreError::Format(format!(
+                "shard {} disagrees with shard 0 on META (params/provenance); \
+                 shards of one merge must come from one coordinated run",
+                shards[i].as_ref().display()
+            )));
+        }
+        if shard.gene_names() != first.gene_names() || shard.cond_names() != first.cond_names() {
+            return Err(StoreError::Format(format!(
+                "shard {} disagrees with shard 0 on dictionaries",
+                shards[i].as_ref().display()
+            )));
+        }
+    }
+
+    // Root disjointness: one owner per root condition across all shards.
+    let n_conds = first.cond_names().len();
+    let mut root_owner: Vec<Option<usize>> = vec![None; n_conds];
+    for (i, shard) in opened.iter().enumerate() {
+        for id in 0..shard.n_clusters() {
+            let root = shard.cluster_root(id)? as usize;
+            match root_owner[root] {
+                None => root_owner[root] = Some(i),
+                Some(owner) if owner == i => {}
+                Some(owner) => {
+                    return Err(StoreError::Format(format!(
+                        "shards {} and {} both hold clusters rooted at \
+                         condition {root}; leases must be disjoint",
+                        shards[owner].as_ref().display(),
+                        shards[i].as_ref().display()
+                    )));
+                }
+            }
+        }
+    }
+
+    let writer =
+        StoreWriter::create_with_meta_json(out, first.gene_names(), first.cond_names(), &meta)?;
+    for shard in &opened {
+        for id in 0..shard.n_clusters() {
+            writer.write_raw_record(shard.record_bytes(id)?)?;
+        }
+    }
+    // The commit point: everything before this is scratch-file work.
+    regcluster_failpoint::io("store::merge_seal")?;
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regcluster_core::RegCluster;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("regcluster-merge-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn names(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    fn cluster(root: usize, genes: &[usize]) -> RegCluster {
+        RegCluster {
+            chain: vec![root, root + 1],
+            p_members: genes.to_vec(),
+            n_members: vec![],
+        }
+    }
+
+    const META: &str = r#"{"min_genes":2,"min_conds":2,"gamma":{"FractionOfRange":0.1},"epsilon":0.5,"max_clusters":null,"maximal_only":false}"#;
+
+    fn write_shard(path: &Path, clusters: &[RegCluster]) {
+        let w =
+            StoreWriter::create_with_meta_json(path, &names("g", 8), &names("c", 8), META).unwrap();
+        for c in clusters {
+            w.write_cluster(c).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn merged_store_is_byte_identical_to_single_writer() {
+        let dir = tmp_dir("golden");
+        let all = vec![
+            cluster(0, &[0, 1, 2]),
+            cluster(0, &[1, 2, 3]),
+            cluster(2, &[0, 3]),
+            cluster(4, &[4, 5, 6]),
+        ];
+        // Single-writer reference, written in canonical arrival order.
+        let single = dir.join("single.rcs");
+        write_shard(&single, &all);
+        // Two shards split by root, written in a scrambled order.
+        let s0 = dir.join("shard-0.rcs");
+        let s1 = dir.join("shard-1.rcs");
+        write_shard(&s0, &[all[3].clone()]);
+        write_shard(&s1, &[all[2].clone(), all[1].clone(), all[0].clone()]);
+        let merged = dir.join("merged.rcs");
+        let summary = merge_shards(&[&s0, &s1], &merged).unwrap();
+        assert_eq!(summary.n_clusters, 4);
+        assert_eq!(
+            std::fs::read(&single).unwrap(),
+            std::fs::read(&merged).unwrap(),
+            "merged shards must be bit-identical to the single-writer store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_zero_shards() {
+        let dir = tmp_dir("empty");
+        let err = merge_shards(&[] as &[&Path], dir.join("out.rcs")).unwrap_err();
+        assert!(matches!(err, StoreError::Format(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_meta_mismatch() {
+        let dir = tmp_dir("meta");
+        let s0 = dir.join("a.rcs");
+        let s1 = dir.join("b.rcs");
+        write_shard(&s0, &[cluster(0, &[0, 1])]);
+        let other = r#"{"min_genes":3,"min_conds":2,"gamma":{"FractionOfRange":0.1},"epsilon":0.5,"max_clusters":null,"maximal_only":false}"#;
+        let w =
+            StoreWriter::create_with_meta_json(&s1, &names("g", 8), &names("c", 8), other).unwrap();
+        w.write_cluster(&cluster(2, &[0, 1, 2])).unwrap();
+        w.finish().unwrap();
+        let err = merge_shards(&[&s0, &s1], dir.join("out.rcs")).unwrap_err();
+        assert!(matches!(err, StoreError::Format(m) if m.contains("META")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_overlapping_roots() {
+        let dir = tmp_dir("overlap");
+        let s0 = dir.join("a.rcs");
+        let s1 = dir.join("b.rcs");
+        write_shard(&s0, &[cluster(0, &[0, 1])]);
+        write_shard(&s1, &[cluster(0, &[2, 3])]);
+        let err = merge_shards(&[&s0, &s1], dir.join("out.rcs")).unwrap_err();
+        assert!(matches!(err, StoreError::Format(m) if m.contains("rooted at")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_seal_failpoint_leaves_no_output() {
+        let dir = tmp_dir("failpoint");
+        let s0 = dir.join("a.rcs");
+        write_shard(&s0, &[cluster(0, &[0, 1])]);
+        let out = dir.join("out.rcs");
+        regcluster_failpoint::configure("store::merge_seal=io_err").unwrap();
+        let err = merge_shards(&[&s0], &out).unwrap_err();
+        regcluster_failpoint::clear();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert!(!out.exists(), "a failed merge must not leave a store file");
+        // A clean retry over the same shards succeeds.
+        merge_shards(&[&s0], &out).unwrap();
+        assert!(out.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

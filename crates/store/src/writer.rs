@@ -494,6 +494,27 @@ impl StoreWriter {
                 .then_with(|| x.n_members.cmp(&y.n_members))
         });
 
+        // Rewrite the clusters section itself in canonical order, not just
+        // the offsets table. This makes the sealed *bytes* a function of
+        // the cluster set alone — independent of arrival order — so a
+        // multi-threaded run, a delta splice, and a multi-worker shard
+        // merge ([`merge_shards`](crate::merge_shards)) all seal to the
+        // identical file, which is what the distributed golden tests
+        // byte-compare.
+        let mut canonical_raw = Vec::with_capacity(clusters_raw.len());
+        let mut canonical_offsets = Vec::with_capacity(order.len());
+        for &arrival in &order {
+            let off = offsets[arrival as usize] as usize;
+            let c = &decoded[arrival as usize];
+            let len = 12 + 4 * (c.chain.len() + c.p_members.len() + c.n_members.len());
+            canonical_offsets.push(canonical_raw.len() as u64);
+            canonical_raw.extend_from_slice(&clusters_raw[off..off + len]);
+        }
+        debug_assert_eq!(canonical_raw.len(), clusters_raw.len());
+        file.seek(SeekFrom::Start(HEADER_LEN as u64))?;
+        file.write_all(&canonical_raw)?;
+        let clusters_raw = canonical_raw;
+
         // Inverted postings, ascending by construction (canonical id order).
         let mut gene_postings: Vec<Vec<u32>> = vec![Vec::new(); self.gene_names.len()];
         let mut cond_postings: Vec<Vec<u32>> = vec![Vec::new(); self.cond_names.len()];
@@ -534,8 +555,8 @@ impl StoreWriter {
             };
 
         let mut buf = Vec::new();
-        for &arrival in &order {
-            put_u64(&mut buf, offsets[arrival as usize]);
+        for &off in &canonical_offsets {
+            put_u64(&mut buf, off);
         }
         write_section(&mut file, SectionId::Offsets, &buf)?;
 

@@ -22,6 +22,9 @@ cargo test -q --test alloc disabled_failpoints
 echo "==> serve smoke (concurrent clients, overload shedding, graceful shutdown)"
 cargo test -q -p regcluster-cli --test serve_smoke
 
+echo "==> cluster smoke (coordinator/worker/replica processes, SIGKILL + restart, torn uploads, golden merges)"
+cargo test -q -p regcluster-cli --test cluster_harness
+
 echo "==> delta equivalence (mutated matrix delta-mined bit-identical to a full re-mine, 1-8 threads)"
 cargo test -q -p regcluster-core --test delta_golden
 cargo test -q -p regcluster-cli --test binary -- delta_mine_through_the_binary

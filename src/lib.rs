@@ -22,6 +22,9 @@
 //!   statistics, GO enrichment, reports);
 //! * [`store`] — the indexed on-disk `.rcs` cluster store (streaming
 //!   writer sink, checksum-verified reader, by-gene/by-condition queries);
+//! * [`cluster`] — the distributed mining cluster (coordinator/worker
+//!   root-leasing over HTTP, bit-identical shard merge into generations;
+//!   the `regcluster coordinator` / `regcluster worker` subcommands);
 //! * [`obs`] — dependency-free telemetry (lock-free metrics registry,
 //!   phase spans, Prometheus/JSON exposition; the metric catalogue is
 //!   documented in `docs/OBSERVABILITY.md`).
@@ -38,6 +41,7 @@
 //! ```
 
 pub use regcluster_baselines as baselines;
+pub use regcluster_cluster as cluster;
 pub use regcluster_core as core;
 pub use regcluster_datagen as datagen;
 pub use regcluster_engines as engines;
