@@ -124,6 +124,11 @@ pub struct MineOutput {
     pub threads: Option<usize>,
     /// Wall-clock mining time in seconds.
     pub elapsed_secs: Option<f64>,
+    /// Mean enumeration cost in nanoseconds per search-tree node
+    /// (`elapsed_secs · 10⁹ / stats.nodes`) — the headline metric of the
+    /// perf harness (see `docs/PERFORMANCE.md`). `None` when the engine
+    /// reports no statistics or expanded no nodes.
+    pub ns_per_node: Option<f64>,
     /// `true` when the run stopped early on a deadline or cancellation and
     /// the clusters below are a subset of the full result.
     pub truncated: Option<bool>,
@@ -136,6 +141,13 @@ pub struct MineOutput {
     pub checkpoint_written: Option<String>,
     /// The mined clusters.
     pub clusters: Vec<RegCluster>,
+}
+
+/// Mean per-node enumeration cost of a finished run, when node counts were
+/// collected and at least one node was expanded.
+fn ns_per_node(elapsed: std::time::Duration, stats: Option<&MiningStats>) -> Option<f64> {
+    let nodes = stats?.nodes;
+    (nodes > 0).then(|| elapsed.as_secs_f64() * 1e9 / nodes as f64)
 }
 
 /// Streams coarse mining progress to stderr: the first cluster prints
@@ -408,6 +420,7 @@ fn run_engine_mine(args: EngineMineArgs<'_>) -> Result<String, CliError> {
                 n_conds: m.n_conditions(),
                 threads: Some(args.threads),
                 elapsed_secs: Some(elapsed.as_secs_f64()),
+                ns_per_node: ns_per_node(elapsed, report.stats.as_ref()),
                 truncated: Some(report.truncated),
                 stats: report.stats.clone(),
                 resumed_from: None,
@@ -799,6 +812,7 @@ fn run_delta_mine(args: DeltaMineArgs<'_>) -> Result<String, CliError> {
                 n_conds: m.n_conditions(),
                 threads: Some(args.threads),
                 elapsed_secs: Some(elapsed.as_secs_f64()),
+                ns_per_node: ns_per_node(elapsed, Some(&stat_counters)),
                 truncated: Some(truncated),
                 stats: Some(stat_counters),
                 resumed_from: None,
@@ -1174,6 +1188,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         n_conds: m.n_conditions(),
                         threads: Some(*threads),
                         elapsed_secs: Some(elapsed.as_secs_f64()),
+                        ns_per_node: ns_per_node(elapsed, Some(&stat_counters)),
                         truncated: Some(truncated),
                         stats: Some(stat_counters),
                         resumed_from: resumed_from.clone(),

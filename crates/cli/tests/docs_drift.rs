@@ -187,6 +187,70 @@ fn distributed_cluster_is_documented() {
 }
 
 #[test]
+fn performance_hot_path_is_documented() {
+    // docs/PERFORMANCE.md owns the hot-path cost model and the perf
+    // harness contract, DESIGN.md §15 the layout rationale. Renaming a
+    // harness mode, env var or the committed baseline without updating
+    // the pair is drift.
+    let perf = repo_doc("docs/PERFORMANCE.md");
+    for needle in [
+        "BENCH_hotpath.json",
+        "--quick",
+        "--check",
+        "--check-baseline",
+        "REGCLUSTER_PERF_THRESHOLD",
+        "REGCLUSTER_BENCH_BASELINE",
+        "scripts/perf.sh",
+        "BitMask",
+        "HotTables",
+        "ns/node",
+        "ns_per_node",
+        "perf smoke",
+        "tests/alloc.rs",
+    ] {
+        assert!(
+            perf.contains(needle),
+            "docs/PERFORMANCE.md must mention {needle}"
+        );
+    }
+
+    let design = repo_doc("DESIGN.md");
+    assert!(
+        design.contains("## 15. Memory layout of the enumeration hot path"),
+        "DESIGN.md must keep the hot-path memory-layout section"
+    );
+    for needle in [
+        "`BitMask`",
+        "`HotTables`",
+        "or_range_masked",
+        "counting-sort",
+        "docs/PERFORMANCE.md",
+    ] {
+        assert!(
+            design.contains(needle),
+            "DESIGN.md §15 must mention {needle}"
+        );
+    }
+
+    // The perf page must be reachable from the user-facing entry points,
+    // and the harness recipe must live in the guide.
+    for page in ["README.md", "docs/GUIDE.md"] {
+        let text = repo_doc(page);
+        assert!(
+            text.contains("PERFORMANCE.md"),
+            "{page} must link to the performance guide"
+        );
+    }
+    let guide = repo_doc("docs/GUIDE.md");
+    for needle in ["hotpath", "ns/node", "scripts/perf.sh"] {
+        assert!(
+            guide.contains(needle),
+            "docs/GUIDE.md perf recipe must mention {needle}"
+        );
+    }
+}
+
+#[test]
 fn every_failpoint_site_is_documented_in_robustness_md() {
     // The robustness guide carries the failpoint catalogue; arming a
     // site that isn't documented there (or documenting one that no

@@ -1,0 +1,232 @@
+//! Packed `u64` bitsets over condition ids — the CandiSet representation.
+//!
+//! The enumeration hot path marks candidate extension conditions in a
+//! [`BitMask`]: one bit per condition, packed 64 to a `u64` word. Set
+//! algebra then runs word-at-a-time — candidate accumulation is
+//! `mask |= suffix[s] & !suffix[k]` over word lanes (see
+//! [`BitMask::or_range_masked`]), membership is a shift-and-test, and
+//! iteration walks set bits in ascending order via
+//! [`u64::trailing_zeros`], which is what keeps the bitset path's output
+//! byte-identical to the old `Vec<bool>` scan (same candidate order, same
+//! downstream arithmetic).
+//!
+//! The word layout is the conventional little-endian-in-words one: bit `i`
+//! lives in word `i / 64` at position `i % 64`. Helper free functions
+//! ([`intersect_into`], [`popcount`], [`from_indices`], [`indices`]) expose
+//! the same layout for tests and benches; the property tests assert
+//! [`intersect_into`] agrees with a sorted-`Vec` merge intersection on
+//! random sets, including at the 63/64/65 and 127/128/129 word boundaries.
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to cover `n_bits` bits.
+#[inline]
+pub const fn words_for(n_bits: usize) -> usize {
+    n_bits.div_ceil(WORD_BITS)
+}
+
+/// A grow-only packed bitset keyed by condition id.
+///
+/// Buffers are sized by [`BitMask::prepare`] and never shrink, so reusing
+/// one mask across every node of a traversal allocates nothing in the
+/// steady state (asserted by the workspace allocation tests).
+#[derive(Debug, Default, Clone)]
+pub struct BitMask {
+    words: Vec<u64>,
+}
+
+impl BitMask {
+    /// A mask already covering `n_bits` bits, all zero.
+    pub fn with_bits(n_bits: usize) -> Self {
+        BitMask {
+            words: vec![0; words_for(n_bits)],
+        }
+    }
+
+    /// Grows the mask to cover `n_bits` bits (never shrinks).
+    pub fn prepare(&mut self, n_bits: usize) {
+        let need = words_for(n_bits);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Zeroes every word (capacity retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets bit `i`. The mask must already cover `i` (see
+    /// [`BitMask::prepare`]).
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// True when bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// True when any bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        popcount(&self.words)
+    }
+
+    /// The backing words (low bit of word 0 is bit 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word-parallel accumulate of a rank range: `self |= lo & !hi`, where
+    /// `lo` and `hi` are suffix masks (`lo ⊇ hi`), so the contribution is
+    /// exactly the bits in `lo` but not in `hi`. This is the CandiSet
+    /// union-of-intersections kernel: one AND + ANDN + OR per word lane,
+    /// no per-bit work. Slices may be shorter than the mask (missing
+    /// words contribute nothing).
+    #[inline]
+    pub fn or_range_masked(&mut self, lo: &[u64], hi: &[u64]) {
+        debug_assert!(lo.len() >= hi.len());
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let l = lo.get(i).copied().unwrap_or(0);
+            let h = hi.get(i).copied().unwrap_or(0);
+            *w |= l & !h;
+        }
+    }
+
+    /// Calls `f` for every set bit, in ascending order.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (w_idx, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(w_idx * WORD_BITS + bit);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+/// Word-wise intersection `out[i] = a[i] & b[i]`.
+///
+/// All three slices must have equal length. The property tests pin this to
+/// the sorted-`Vec` merge intersection the pre-bitset code used.
+#[inline]
+pub fn intersect_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+    }
+}
+
+/// Total set bits across `words` (one `popcnt` per lane).
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Packs sorted-or-not indices `< n_bits` into a fresh word vector.
+pub fn from_indices(n_bits: usize, indices: &[usize]) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(n_bits)];
+    for &i in indices {
+        assert!(i < n_bits, "index {i} out of range {n_bits}");
+        words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+    words
+}
+
+/// Unpacks a word vector into ascending indices.
+pub fn indices(words: &[u64]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(popcount(words));
+    for (w_idx, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            out.push(w_idx * WORD_BITS + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn set_contains_iterate_round_trip() {
+        let mut m = BitMask::with_bits(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            m.set(i);
+        }
+        assert!(m.contains(63) && m.contains(64) && !m.contains(62));
+        let mut seen = Vec::new();
+        m.for_each(|i| seen.push(i));
+        assert_eq!(seen, vec![0, 1, 63, 64, 65, 127, 128, 129]);
+        assert_eq!(m.count(), 8);
+        assert!(m.any());
+        m.clear();
+        assert!(!m.any());
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn or_range_masked_is_set_difference_of_suffixes() {
+        // suffix(2) = {2..10}, suffix(7) = {7..10}: contribution {2..7}.
+        let lo = from_indices(10, &[2, 3, 4, 5, 6, 7, 8, 9]);
+        let hi = from_indices(10, &[7, 8, 9]);
+        let mut m = BitMask::with_bits(10);
+        m.or_range_masked(&lo, &hi);
+        let mut got = Vec::new();
+        m.for_each(|i| got.push(i));
+        assert_eq!(got, vec![2, 3, 4, 5, 6]);
+        // Accumulation ORs on top.
+        m.or_range_masked(&from_indices(10, &[0, 9]), &from_indices(10, &[]));
+        assert_eq!(m.count(), 7);
+        assert!(m.contains(0) && m.contains(9));
+    }
+
+    #[test]
+    fn prepare_grows_and_never_shrinks() {
+        let mut m = BitMask::default();
+        m.prepare(65);
+        assert_eq!(m.words().len(), 2);
+        m.prepare(10);
+        assert_eq!(m.words().len(), 2);
+        m.prepare(129);
+        assert_eq!(m.words().len(), 3);
+    }
+
+    #[test]
+    fn intersect_matches_indices() {
+        let a = from_indices(129, &[0, 5, 63, 64, 100, 128]);
+        let b = from_indices(129, &[5, 63, 65, 128]);
+        let mut out = vec![0u64; a.len()];
+        intersect_into(&a, &b, &mut out);
+        assert_eq!(indices(&out), vec![5, 63, 128]);
+        assert_eq!(popcount(&out), 3);
+    }
+}

@@ -99,29 +99,70 @@ pub fn maximal_windows_into(
     );
     out.clear();
     let n = sorted_scores.len();
-    if n == 0 || min_len == 0 || min_len > n {
+    // A negative (or NaN) epsilon admits no window at all — the extension
+    // test fails even on a single score — and the jump search below relies
+    // on `ε ≥ 0`, so bail out exactly as a start-by-start scan would.
+    if n == 0 || min_len == 0 || min_len > n || epsilon.is_nan() || epsilon < 0.0 {
         return;
     }
+    // Chunked fast-forward width for the right-edge advance: because the
+    // scores are sorted, the window predicate is monotone in `end`, so if
+    // the last score of a block passes, every score before it does too —
+    // the block test is exactly the scalar test on that element, and the
+    // final `end` is identical to the one-by-one scan's.
+    const LANES: usize = 8;
+    let mut start = 0usize;
     let mut end = 0usize;
-    let mut prev_end = 0usize;
-    for start in 0..n {
-        if end < start {
-            end = start;
+    loop {
+        while end + LANES <= n && sorted_scores[end + LANES - 1] - sorted_scores[start] <= epsilon {
+            end += LANES;
         }
         while end < n && sorted_scores[end] - sorted_scores[start] <= epsilon {
             end += 1;
         }
-        // The window [start, end) is maximal to the right by construction;
-        // it is maximal to the left iff shrinking did occur when start
-        // advanced (otherwise it is contained in [start-1, prev_end)).
-        if (start == 0 || prev_end < end) && end - start >= min_len {
+        // The window [start, end) is maximal to the right by construction
+        // and maximal to the left because `start` is only ever placed where
+        // the right edge just advanced (or at 0).
+        if end - start >= min_len {
             out.push((start, end));
         }
-        prev_end = end;
-        if end == n && sorted_scores[n - 1] - sorted_scores[start] <= epsilon {
-            // Every later window is a suffix of this one; none can be maximal.
-            break;
+        if end == n {
+            // Every later window is a suffix of this one; none can be
+            // maximal.
+            return;
         }
+        // Jump `start` to the next maximal-window position: the first index
+        // whose window extends past `end`. Intermediate starts leave `end`
+        // unchanged — their windows sit inside the one just emitted — which
+        // is exactly the `prev_end < end` test a start-by-start scan would
+        // apply, so the emitted sequence is identical. The predicate
+        // `sorted_scores[end] - sorted_scores[i] <= epsilon` is the scan's
+        // own extension test, monotone in `i` because IEEE subtraction is
+        // monotone in the subtrahend; it holds at `i = end` (`0 ≤ ε`), so
+        // gallop from `start + 1` toward `end`, then binary-search the
+        // bracket — O(log gap) instead of O(gap), and one probe in the
+        // dense case where every start advances the edge.
+        let next = |i: usize| sorted_scores[end] - sorted_scores[i] <= epsilon;
+        start = if next(start + 1) {
+            start + 1
+        } else {
+            let mut step = 1usize;
+            let mut lo = start + 1; // next(lo) is false
+            while lo + step < end && !next(lo + step) {
+                lo += step;
+                step *= 2;
+            }
+            let mut hi = (lo + step).min(end); // next(hi) is true
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                if next(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        };
     }
 }
 

@@ -54,6 +54,7 @@ mod error;
 mod intern;
 mod scratch;
 
+pub mod bitset;
 pub mod chain;
 pub mod checkpoint;
 pub mod cluster;
@@ -68,6 +69,7 @@ pub mod params;
 pub mod partition;
 pub mod postprocess;
 pub mod rwave;
+pub mod tables;
 pub mod threshold;
 
 pub use chain::RegulationChain;

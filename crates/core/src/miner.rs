@@ -36,6 +36,7 @@ use crate::intern::{ClusterView, EmittedSet};
 use crate::observer::{MineObserver, NoopObserver, PruneRule};
 use crate::rwave::RWaveModel;
 use crate::scratch::{ChildBuf, MineWorkspace, NodeScratch};
+use crate::tables::HotTables;
 use crate::{CoreError, MiningParams, RegCluster};
 
 /// Direction in which a gene follows the chain.
@@ -55,6 +56,19 @@ pub(crate) struct Member {
     /// The baseline difference `d[c_{k2}] − d[c_{k1}]` (signed; negative for
     /// n-members). Set when the chain reaches length 2; `0.0` before that.
     pub(crate) denom: f64,
+}
+
+/// Per-node qualification context of one member, precomputed before the
+/// candidate loop: a candidate condition at rank `r` in this member's model
+/// qualifies **iff** `lo ≤ r < hi` (the [`HotTables`] range collapsing the
+/// direction test, the regulation test, and the MinC max-chain test into
+/// two `u32` compares), and `base` caches the member's expression value at
+/// the chain tail so each candidate costs one load + one subtract.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MemberCtx {
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+    pub(crate) base: f64,
 }
 
 /// What the emission receiver made of a validated cluster.
@@ -80,6 +94,9 @@ pub struct Miner<'a> {
     matrix: &'a ExpressionMatrix,
     params: &'a MiningParams,
     models: Vec<RWaveModel>,
+    /// Flat struct-of-arrays projection of `models` for the hot path (see
+    /// [`HotTables`]); rebuilt with the models, never mutated afterwards.
+    tables: HotTables,
 }
 
 /// Per-run mutable state threaded through the recursion.
@@ -101,16 +118,18 @@ impl<'a> Miner<'a> {
     /// validation.
     pub fn new(matrix: &'a ExpressionMatrix, params: &'a MiningParams) -> Result<Self, CoreError> {
         params.validate()?;
-        let models = (0..matrix.n_genes())
+        let models: Vec<RWaveModel> = (0..matrix.n_genes())
             .map(|g| {
                 let row = matrix.row(g);
                 RWaveModel::build(row, params.gamma.resolve(row))
             })
             .collect();
+        let tables = HotTables::build(&models, matrix.n_conditions());
         Ok(Self {
             matrix,
             params,
             models,
+            tables,
         })
     }
 
@@ -232,17 +251,23 @@ impl<'a> Miner<'a> {
     /// given direction.
     pub(crate) fn root_members_into(&self, root: CondId, out: &mut Vec<Member>) {
         out.clear();
-        let min_c = self.params.min_conds;
-        for (g, model) in self.models.iter().enumerate() {
-            let r = model.rank_of(root);
-            if model.max_chain_fwd(r) >= min_c {
+        let t = &self.tables;
+        let idx = t.need_index(self.params.min_conds);
+        // `maxlen_fwd(r) ≥ MinC ⟺ r < fwd_ge[MinC]` and
+        // `maxlen_bwd(r) ≥ MinC ⟺ r ≥ bwd_start[MinC]` — the threshold
+        // tables make the root sweep a flat sequential walk.
+        for g in 0..self.models.len() {
+            let r = t.rank_of(g, root) as u32;
+            let fwd_cut = t.fwd_cutoff(g, idx);
+            let bwd_first = t.bwd_first(g, idx);
+            if r < fwd_cut {
                 out.push(Member {
                     gene: g,
                     dir: Dir::Fwd,
                     denom: 0.0,
                 });
             }
-            if model.max_chain_bwd(r) >= min_c {
+            if r >= bwd_first {
                 out.push(Member {
                     gene: g,
                     dir: Dir::Bwd,
@@ -361,8 +386,13 @@ impl<'a> Miner<'a> {
     ) -> bool {
         children.clear();
         let NodeScratch {
-            is_candidate,
-            scored,
+            cand,
+            ctx,
+            counts,
+            offsets,
+            mem,
+            scores,
+            keys,
             hs,
             windows,
             p_genes,
@@ -445,27 +475,42 @@ impl<'a> Miner<'a> {
         // only, with per-gene MinC pruning (2). `need` is the minimum
         // max-chain length a candidate must support: the chain grows to
         // `len + 1` conditions and must be extensible to `MinC`.
+        //
+        // A member's candidates are always a rank *range* of its model —
+        // `[successor_start(r_last), fwd_cutoff(need))` — because the
+        // regulated successors of a rank form a rank suffix (Lemma 3.1)
+        // and the max-chain table is monotone in rank. The range is ORed
+        // into the packed candidate bitset word-parallel
+        // (`suffix(lo) & !suffix(hi)` per lane; see [`HotTables`]), and
+        // the same `[lo, hi)` bounds are cached per member as its
+        // qualification context for step 5 — by the proven pointer/value
+        // equivalence of `rwave.rs`, `lo ≤ rank(c) < hi` is bit-for-bit
+        // the old direction + regulation + max-chain test.
         let last = *chain.last().expect("chain is never empty here");
         let need = self.params.min_conds.saturating_sub(chain.len());
         let n_conds = self.matrix.n_conditions();
-        let is_candidate = &mut is_candidate[..n_conds];
-        is_candidate.fill(false);
-        let mut any = false;
-        for m in members.iter().filter(|m| m.dir == Dir::Fwd) {
-            let model = &self.models[m.gene];
-            if let Some(start) = model.successor_start(model.rank_of(last)) {
-                for r in start..n_conds {
-                    // max_chain_fwd is non-increasing in rank, so the first
-                    // failure ends the scan.
-                    if model.max_chain_fwd(r) < need {
-                        break;
-                    }
-                    is_candidate[model.cond_at(r)] = true;
-                    any = true;
+        let t = &self.tables;
+        let need_idx = t.need_index(need);
+        cand.prepare(n_conds);
+        cand.clear();
+        ctx.clear();
+        for m in members {
+            let r_last = t.rank_of(m.gene, last);
+            let (lo, hi) = match m.dir {
+                Dir::Fwd => {
+                    let (lo, hi) = t.fwd_range(m.gene, r_last, need_idx);
+                    t.accumulate_candidates(m.gene, lo, hi, cand);
+                    (lo, hi)
                 }
-            }
+                Dir::Bwd => t.bwd_range(m.gene, r_last, need_idx),
+            };
+            ctx.push(MemberCtx {
+                lo,
+                hi,
+                base: self.matrix.row(m.gene)[last],
+            });
         }
-        if !any {
+        if !cand.any() {
             // Pruning (2): no candidate keeps the chain extensible to MinC,
             // so the max-chain tables cut the subtree below a still-short
             // chain. A chain already at ≥ MinC conditions has simply been
@@ -479,57 +524,149 @@ impl<'a> Miner<'a> {
         // Step 5: for each candidate, select matching genes, apply the
         // coherence sliding window, and make every validated window a child
         // (a flat member range in `children` — no per-child `Vec`).
-        for c_i in 0..n_conds {
-            if !is_candidate[c_i] {
-                continue;
+        //
+        // Instead of testing every member against every candidate (a
+        // members × candidates random gather), the qualified pairs are
+        // bucketed by candidate condition with a two-pass counting sort
+        // over each member's qualifying rank range — sequential SoA walks
+        // costing O(qualified pairs). A member qualifies for exactly the
+        // conditions at ranks `[lo, hi)` of its model, so walking
+        // `conds_in_range` enumerates its pairs directly; within a bucket,
+        // members land in member order (pass 2 iterates members in order,
+        // one pair per member per condition), which is the order the old
+        // per-candidate scan produced — so the downstream sort, windows,
+        // and children are bit-identical.
+        //
+        // Forward ranges are subsets of the candidate mask by
+        // construction; backward ranges may cover non-candidate conditions
+        // (no p-member proposed them), which the old sweep never visited —
+        // the packed-bitset membership test filters them in O(1).
+        counts.resize(counts.len().max(n_conds), 0);
+        offsets.resize(offsets.len().max(n_conds + 1), 0);
+        let counts = &mut counts[..n_conds];
+        counts.fill(0);
+        for (m, cx) in members.iter().zip(ctx.iter()) {
+            match m.dir {
+                Dir::Fwd => {
+                    for &c in t.conds_in_range(m.gene, cx.lo, cx.hi) {
+                        counts[c as usize] += 1;
+                    }
+                }
+                Dir::Bwd => {
+                    for &c in t.conds_in_range(m.gene, cx.lo, cx.hi) {
+                        counts[c as usize] += cand.contains(c as usize) as u32;
+                    }
+                }
             }
-            scored.clear();
-            for m in members {
-                let model = &self.models[m.gene];
-                let r_last = model.rank_of(last);
-                let r_i = model.rank_of(c_i);
-                let ok = match m.dir {
-                    Dir::Fwd => {
-                        r_i > r_last
-                            && model.is_up_regulated(r_last, r_i)
-                            && model.max_chain_fwd(r_i) >= need
+        }
+        let mut total = 0u32;
+        for (c, &n) in counts.iter().enumerate() {
+            offsets[c] = total;
+            total += n;
+        }
+        offsets[n_conds] = total;
+        let total = total as usize;
+        const DUMMY: Member = Member {
+            gene: 0,
+            dir: Dir::Fwd,
+            denom: 0.0,
+        };
+
+        if chain.len() == 1 {
+            // Depth-1 fast path: every score is 1.0 by definition (the
+            // appended condition forms the baseline pair with the root), so
+            // no window pass runs and every candidate becomes one child
+            // whose members are its whole bucket. Pass 2 therefore writes
+            // members straight into the child arena at their bucket slots —
+            // no intermediate score/member arenas, no per-child copy.
+            children.members.resize(total, DUMMY);
+            counts.copy_from_slice(&offsets[..n_conds]);
+            for (m, cx) in members.iter().zip(ctx.iter()) {
+                let row = self.matrix.row(m.gene);
+                for &c in t.conds_in_range(m.gene, cx.lo, cx.hi) {
+                    let c = c as usize;
+                    if m.dir == Dir::Bwd && !cand.contains(c) {
+                        continue;
                     }
-                    Dir::Bwd => {
-                        r_i < r_last
-                            && model.is_up_regulated(r_i, r_last)
-                            && model.max_chain_bwd(r_i) >= need
-                    }
-                };
-                if !ok {
+                    let slot = counts[c] as usize;
+                    counts[c] += 1;
+                    let mut next = *m;
+                    // This step becomes the baseline pair (c_{k1}, c_{k2}).
+                    next.denom = row[c] - cx.base;
+                    children.members[slot] = next;
+                }
+            }
+            // Bit-scanning the packed words visits candidates in ascending
+            // condition order — the order the old per-condition sweep used.
+            cand.for_each(|c_i| {
+                children.index.push(crate::scratch::ChildNode {
+                    cond: c_i,
+                    start: offsets[c_i],
+                    len: offsets[c_i + 1] - offsets[c_i],
+                });
+            });
+            return false;
+        }
+
+        // Pass 2: `counts` becomes the per-bucket write cursor. Members and
+        // raw steps land struct-of-arrays so the division pass below
+        // streams a plain `f64` lane.
+        mem.resize(mem.len().max(total), DUMMY);
+        scores.resize(scores.len().max(total), 0.0);
+        counts.copy_from_slice(&offsets[..n_conds]);
+        for (m, cx) in members.iter().zip(ctx.iter()) {
+            let row = self.matrix.row(m.gene);
+            for &c in t.conds_in_range(m.gene, cx.lo, cx.hi) {
+                let c = c as usize;
+                if m.dir == Dir::Bwd && !cand.contains(c) {
                     continue;
                 }
-                let row = self.matrix.row(m.gene);
-                let mut next = *m;
-                let step = row[c_i] - row[last];
-                if chain.len() == 1 {
-                    // This step becomes the baseline pair (c_{k1}, c_{k2}).
-                    next.denom = step;
-                    scored.push((1.0, next));
-                } else {
-                    scored.push((step / next.denom, next));
-                }
+                let slot = counts[c] as usize;
+                counts[c] += 1;
+                mem[slot] = *m;
+                scores[slot] = row[c] - cx.base;
             }
-            if chain.len() == 1 {
-                // All scores are 1.0 by definition; no window needed.
-                children.push(c_i, scored.iter().map(|&(_, m)| m));
-            } else if scored.len() < self.params.min_genes {
-                // Pruning (1) fires before the coherence test when the
-                // candidate's gene set is already below MinG.
-                chain.push(c_i);
-                observer.pruned(chain, PruneRule::MinGenes);
-                chain.pop();
-            } else {
-                // Unstable sort: no allocation, and window membership is
-                // insensitive to the order of tied scores (a run of equal
-                // scores never straddles a maximal-window boundary).
-                scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        // H-scores in one dependency-free elementwise pass over the whole
+        // arena (the same IEEE divisions, in the same bucket-major order,
+        // the old per-candidate code performed).
+        for (s, m) in scores[..total].iter_mut().zip(mem[..total].iter()) {
+            *s /= m.denom;
+        }
+        // Bit-scanning the packed words visits candidates in ascending
+        // condition order — the order the old per-condition sweep used.
+        for (w_idx, &word) in cand.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let c_i = w_idx * crate::bitset::WORD_BITS + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let o0 = offsets[c_i] as usize;
+                let o1 = offsets[c_i + 1] as usize;
+                if o1 - o0 < self.params.min_genes {
+                    // Pruning (1) fires before the coherence test when the
+                    // candidate's gene set is already below MinG.
+                    chain.push(c_i);
+                    observer.pruned(chain, PruneRule::MinGenes);
+                    chain.pop();
+                    continue;
+                }
+                // Sort compact (score, bucket-index) keys — half the bytes
+                // of moving the members themselves — and gather members
+                // through the index when emitting windows. Unstable sort:
+                // no allocation, and neither window membership nor emitted
+                // output is sensitive to the order of tied scores (a run of
+                // equal scores never straddles a maximal-window boundary,
+                // and emission sorts member genes by id).
+                keys.clear();
+                keys.extend(
+                    scores[o0..o1]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &s)| (s, i as u32)),
+                );
+                keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                 hs.clear();
-                hs.extend(scored.iter().map(|&(h, _)| h));
+                hs.extend(keys.iter().map(|&(h, _)| h));
                 maximal_windows_into(hs, self.params.epsilon, self.params.min_genes, windows);
                 if windows.is_empty() {
                     // Pruning (4): no coherent interval of MinG genes.
@@ -539,7 +676,7 @@ impl<'a> Miner<'a> {
                     continue;
                 }
                 for &(s, e) in windows.iter() {
-                    children.push(c_i, scored[s..e].iter().map(|&(_, m)| m));
+                    children.push(c_i, keys[s..e].iter().map(|&(_, i)| mem[o0 + i as usize]));
                 }
             }
         }

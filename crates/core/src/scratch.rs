@@ -12,19 +12,39 @@
 
 use regcluster_matrix::{CondId, GeneId};
 
+use crate::bitset::BitMask;
 use crate::coherence::Window;
-use crate::miner::Member;
+use crate::miner::{Member, MemberCtx};
 
 /// Per-node working buffers of `expand_node`, reused across every node of a
 /// traversal. Each buffer is cleared (never shrunk) on use, so after the
 /// first few nodes of a run no call grows any of them.
 #[derive(Debug, Default)]
 pub(crate) struct NodeScratch {
-    /// Candidate-condition bitmask, `n_conditions` long; cleared per node
-    /// with `fill(false)`.
-    pub is_candidate: Vec<bool>,
-    /// `(H-score, member)` pairs for the candidate under evaluation.
-    pub scored: Vec<(f64, Member)>,
+    /// Packed candidate-condition bitset (one bit per condition); cleared
+    /// per node by zeroing its words.
+    pub cand: BitMask,
+    /// Per-member qualification context, parallel to the node's member
+    /// slice: the rank range `[lo, hi)` a candidate's rank must fall in,
+    /// plus the member's expression value at the chain tail. Computed once
+    /// per node instead of once per candidate × member.
+    pub ctx: Vec<MemberCtx>,
+    /// Per-condition bucket sizes (pass 1 of the counting sort), reused
+    /// as write cursors in pass 2.
+    pub counts: Vec<u32>,
+    /// Per-condition bucket offsets into the member/score arenas:
+    /// candidate `c`'s qualified entries are `[offsets[c], offsets[c + 1])`.
+    pub offsets: Vec<u32>,
+    /// Flat member arena holding every candidate's qualified members back
+    /// to back, bucketed by candidate condition (struct-of-arrays with
+    /// `scores` so the H division pass streams plain `f64`s).
+    pub mem: Vec<Member>,
+    /// H-scores parallel to `mem`.
+    pub scores: Vec<f64>,
+    /// Per-candidate `(score, index-in-bucket)` sort keys: sorting these
+    /// 16-byte pairs moves half the bytes the old `(f64, Member)` sort
+    /// did, and the index gathers the sorted members afterwards.
+    pub keys: Vec<(f64, u32)>,
     /// The bare score series handed to the sliding-window scan.
     pub hs: Vec<f64>,
     /// Maximal ε-windows of the candidate.
@@ -41,16 +61,14 @@ impl NodeScratch {
     /// A scratch whose candidate mask already covers `n_conds` conditions.
     pub fn with_conds(n_conds: usize) -> Self {
         NodeScratch {
-            is_candidate: vec![false; n_conds],
+            cand: BitMask::with_bits(n_conds),
             ..NodeScratch::default()
         }
     }
 
     /// Grows the candidate mask to cover `n_conds` conditions.
     pub fn prepare(&mut self, n_conds: usize) {
-        if self.is_candidate.len() < n_conds {
-            self.is_candidate.resize(n_conds, false);
-        }
+        self.cand.prepare(n_conds);
     }
 }
 

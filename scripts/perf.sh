@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Hot-path performance gate for dedicated (quiet) hardware.
+#
+# Runs the full hot-path sweep and compares every point's ns/node against
+# the committed baseline (BENCH_hotpath.json at the repo root), failing on
+# any regression past the noise threshold. On pass the baseline is
+# refreshed in place — commit the updated file together with the change
+# that moved the numbers.
+#
+#   scripts/perf.sh                # gate against the committed baseline
+#   REGCLUSTER_PERF_THRESHOLD=1.2 scripts/perf.sh   # tighter gate
+#
+# Do NOT wire this into shared-runner CI: wall-clock numbers there are too
+# noisy to gate on (see docs/PERFORMANCE.md). CI runs the structural
+# `--check-baseline` and `--quick` smoke instead (scripts/verify.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p regcluster-bench
+cargo run --release -q -p regcluster-bench --bin hotpath -- --check

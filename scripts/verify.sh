@@ -40,6 +40,15 @@ echo "==> engine-comparison bench, smoke mode"
 REGCLUSTER_RESULTS="$(mktemp -d)" \
   cargo run --release -q -p regcluster-bench --bin comparison -- --quick
 
+echo "==> perf smoke (hot-path baseline sanity + quick sweep; no absolute-time assertions)"
+# Shared runners are too noisy for wall-clock gates: --check-baseline only
+# validates the committed BENCH_hotpath.json structurally, and the --quick
+# sweep proves the harness itself still runs end to end. Regression gating
+# against real numbers is scripts/perf.sh, for dedicated hardware.
+cargo run --release -q -p regcluster-bench --bin hotpath -- --check-baseline
+REGCLUSTER_RESULTS="$(mktemp -d)" \
+  cargo run --release -q -p regcluster-bench --bin hotpath -- --quick
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
