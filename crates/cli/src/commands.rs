@@ -1470,13 +1470,15 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             })?;
             Ok(format!(
                 "mined {} lease{} ({} resumed from checkpoints), uploaded {} \
-                 shard{}, lost {}\n",
+                 shard{}, lost {} (upload retries: {} conn-refused, {} shed)\n",
                 report.leases_mined,
                 if report.leases_mined == 1 { "" } else { "s" },
                 report.leases_resumed,
                 report.shards_uploaded,
                 if report.shards_uploaded == 1 { "" } else { "s" },
-                report.leases_lost
+                report.leases_lost,
+                report.upload_conn_refused,
+                report.upload_retry_after
             ))
         }
     }

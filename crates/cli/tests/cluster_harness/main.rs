@@ -18,11 +18,14 @@
 //! start worker <name> [coord=<cname>] [workdir=K] [every-secs=F] [fail=SPEC]
 //! start replica <name>                 # serve --watch on the shared lineage
 //! crash <name>                         # SIGKILL
+//! stop <name>                          # POST /shutdown (graceful drain)
 //! sleep <ms>
 //! await exit <name> ok|fail            # process exits with(out) success
 //! await generation <N>                 # lineage CURRENT reaches N
 //! await done <K> [coord=<cname>]       # coordinator /status leases_done >= K
 //! await swap <replica> <N>             # replica /stats serves generation N
+//! await metric <M> >= <N> [coord=<c>]  # coordinator /metrics counter reaches N
+//! assert metric <M> ==|>= <N> [coord=<c>]  # counter check, no polling
 //! load start <replica> clients=N       # hammer the replica; every request
 //! load stop <replica>                  #   must return 200, verified at stop
 //! golden <N>                           # gen-<N>.rcs equals the golden's
@@ -143,6 +146,25 @@ fn get(port: u16, path: &str) -> Option<(u16, String)> {
     Some((status, body))
 }
 
+/// One blocking empty-bodied HTTP POST against a local port; returns
+/// (status, body), or `None` when the peer is unreachable.
+fn post(port: u16, path: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).ok()?;
+    let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string())?;
+    Some((status, body))
+}
+
 /// A running load generator against a replica: N clients asserting that
 /// every single request — including across a hot-swap — returns 200.
 struct LoadGen {
@@ -212,6 +234,7 @@ impl Harness {
             ["start", "worker", name, opts @ ..] => self.start_worker(name, opts),
             ["start", "replica", name] => self.start_replica(name),
             ["crash", name] => self.crash(name),
+            ["stop", name] => self.stop(name),
             ["sleep", ms] => {
                 std::thread::sleep(Duration::from_millis(ms.parse().map_err(|_| "bad ms")?));
                 Ok(())
@@ -224,6 +247,12 @@ impl Harness {
                 self.await_done(k.parse().map_err(|_| "bad count")?, opts)
             }
             ["await", "swap", name, n] => self.await_swap(name, n),
+            ["await", "metric", metric, ">=", n, opts @ ..] => {
+                self.await_metric(metric, n.parse().map_err(|_| "bad count")?, opts)
+            }
+            ["assert", "metric", metric, op, n, opts @ ..] => {
+                self.assert_metric(metric, op, n.parse().map_err(|_| "bad count")?, opts)
+            }
             ["load", "start", name, opts @ ..] => self.load_start(name, opts),
             ["load", "stop", name] => self.load_stop(name),
             ["golden", n] => self.golden(n.parse().map_err(|_| "bad generation")?),
@@ -386,7 +415,9 @@ impl Harness {
         }
     }
 
-    fn await_done(&self, k: u64, opts: &[&str]) -> Result<(), String> {
+    /// Resolve `coord=<name>` (default: the most recently started
+    /// coordinator) to its control-plane port.
+    fn coord_port(&self, opts: &[&str]) -> Result<u16, String> {
         let coord = match Self::opt(opts, "coord") {
             Some(c) => c.to_string(),
             None => self
@@ -394,11 +425,74 @@ impl Harness {
                 .clone()
                 .ok_or("no coordinator started yet")?,
         };
-        let port = self
+        Ok(self
             .procs
             .get(&coord)
             .ok_or_else(|| format!("unknown coordinator {coord:?}"))?
+            .port)
+    }
+
+    /// Scrape one label-free counter off a coordinator's `/metrics` page.
+    fn metric_value(port: u16, metric: &str) -> Option<u64> {
+        let (status, body) = get(port, "/metrics")?;
+        if status != 200 {
+            return None;
+        }
+        body.lines().find_map(|line| {
+            line.strip_prefix(metric)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+                .map(|v| v as u64)
+        })
+    }
+
+    /// Graceful drain: POST /shutdown and leave the process running so the
+    /// script can `await exit <name> ok` on it.
+    fn stop(&mut self, name: &str) -> Result<(), String> {
+        let port = self
+            .procs
+            .get(name)
+            .ok_or_else(|| format!("unknown process {name:?}"))?
             .port;
+        match post(port, "/shutdown") {
+            Some((200, _)) => Ok(()),
+            other => Err(format!("/shutdown failed: {other:?}")),
+        }
+    }
+
+    fn await_metric(&self, metric: &str, n: u64, opts: &[&str]) -> Result<(), String> {
+        let port = self.coord_port(opts)?;
+        let deadline = Instant::now() + AWAIT_TIMEOUT;
+        loop {
+            if let Some(v) = Self::metric_value(port, metric) {
+                if v >= n {
+                    return Ok(());
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(format!("{metric} never reached {n}"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn assert_metric(&self, metric: &str, op: &str, n: u64, opts: &[&str]) -> Result<(), String> {
+        let port = self.coord_port(opts)?;
+        let v = Self::metric_value(port, metric)
+            .ok_or_else(|| format!("{metric} is not exported by the coordinator"))?;
+        let pass = match op {
+            "==" => v == n,
+            ">=" => v >= n,
+            other => return Err(format!("unknown comparison {other:?}")),
+        };
+        if pass {
+            Ok(())
+        } else {
+            Err(format!("{metric} is {v}, expected {op} {n}"))
+        }
+    }
+
+    fn await_done(&self, k: u64, opts: &[&str]) -> Result<(), String> {
+        let port = self.coord_port(opts)?;
         let deadline = Instant::now() + AWAIT_TIMEOUT;
         loop {
             if let Some((200, body)) = get(port, "/status") {
@@ -539,4 +633,19 @@ fn torn_shard_upload_never_corrupts_the_generation() {
 #[test]
 fn replica_hot_swaps_under_load_with_zero_failures() {
     Harness::new("replica-swap").run(include_str!("scenarios/replica_swap.txt"));
+}
+
+#[test]
+fn coordinator_kill_mid_grant_replays_journal_without_fencing() {
+    Harness::new("kill-journal").run(include_str!("scenarios/coordinator_kill_journal.txt"));
+}
+
+#[test]
+fn renew_storm_survives_a_delayed_link() {
+    Harness::new("renew-delay").run(include_str!("scenarios/renew_storm_delay.txt"));
+}
+
+#[test]
+fn garbled_upload_response_is_retried_idempotently() {
+    Harness::new("garbled-upload").run(include_str!("scenarios/garbled_upload_response.txt"));
 }

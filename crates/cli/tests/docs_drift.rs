@@ -28,6 +28,7 @@ fn every_registered_metric_is_documented() {
     let _ = ServeMetrics::register(&registry);
     let _ = EngineMetrics::register(&registry, "reg-cluster");
     let _ = regcluster_cluster::ClusterMetrics::register(&registry);
+    let _ = regcluster_cluster::WorkerMetrics::register(&registry);
     regcluster_failpoint::register_metrics(&registry);
 
     let doc = observability_doc();

@@ -1,0 +1,214 @@
+//! Unified retry policy for the worker's control-plane loops.
+//!
+//! Every retry loop in `worker.rs` used to sleep a fixed `cfg.poll`
+//! between attempts, which synchronizes workers into thundering herds
+//! exactly when the coordinator is struggling (restart, shed, slow
+//! link). [`Backoff`] replaces those sleeps with **exponential backoff
+//! and decorrelated jitter**: each delay is drawn uniformly from
+//! `[base, 3 × previous]`, clamped to a cap — so consecutive retries
+//! spread out *and* desynchronize from other workers, while an optional
+//! budget bounds how long a loop keeps trying in total.
+//!
+//! When the coordinator sheds load it answers 503 with a `Retry-After`
+//! header; [`Backoff::sleep_hinted`] honors that server-chosen delay
+//! (still clamped to the cap and charged against the budget) instead of
+//! the computed one.
+
+use std::time::Duration;
+
+/// Exponential backoff with decorrelated jitter, a delay cap, and an
+/// optional total-sleep budget.
+///
+/// ```
+/// use std::time::Duration;
+/// use regcluster_cluster::Backoff;
+///
+/// let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
+///     .with_budget(Duration::from_secs(10));
+/// while b.sleep() {
+///     // ... retry the request; `sleep` returns false once the 10 s
+///     // budget is exhausted ...
+///     break;
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    budget: Option<Duration>,
+    slept: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A policy sleeping between `base` and `cap` per retry, with no
+    /// total budget (retries forever, like the acquire loop must).
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            budget: None,
+            slept: Duration::ZERO,
+            prev: Duration::ZERO,
+            rng: seed(),
+        }
+    }
+
+    /// Bounds the *total* time spent sleeping across retries; once spent,
+    /// [`next_delay`](Backoff::next_delay) returns `None` and
+    /// [`sleep`](Backoff::sleep) returns `false`.
+    pub fn with_budget(mut self, budget: Duration) -> Backoff {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Fixes the jitter stream (tests that assert delay sequences).
+    pub fn with_seed(mut self, seed: u64) -> Backoff {
+        self.rng = seed | 1;
+        self
+    }
+
+    /// Forgets accumulated growth and budget spend — call after a
+    /// *successful* exchange so the next failure starts from `base`.
+    pub fn reset(&mut self) {
+        self.prev = Duration::ZERO;
+        self.slept = Duration::ZERO;
+    }
+
+    /// Computes the next delay without sleeping: uniform in
+    /// `[base, 3 × previous]` (decorrelated jitter), clamped to the cap,
+    /// truncated to the remaining budget. `None` means the budget is
+    /// exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        self.delay_from(None)
+    }
+
+    /// Sleeps the next delay. Returns `false` (without sleeping further)
+    /// once the budget is exhausted.
+    pub fn sleep(&mut self) -> bool {
+        self.sleep_hinted(None)
+    }
+
+    /// Sleeps the next delay, preferring the server-provided `hint`
+    /// (a parsed `Retry-After`, still capped and budget-charged) over
+    /// the computed one. Returns `false` once the budget is exhausted.
+    pub fn sleep_hinted(&mut self, hint: Option<Duration>) -> bool {
+        match self.delay_from(hint) {
+            Some(d) => {
+                std::thread::sleep(d);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn delay_from(&mut self, hint: Option<Duration>) -> Option<Duration> {
+        let remaining = match self.budget {
+            Some(budget) => budget.checked_sub(self.slept)?,
+            None => Duration::MAX,
+        };
+        if remaining.is_zero() {
+            return None;
+        }
+        let computed = match hint {
+            Some(h) => h.max(self.base),
+            None => {
+                // Decorrelated jitter (the AWS "full jitter" variant):
+                // uniform in [base, 3 * prev], so delays both grow and
+                // desynchronize across workers.
+                let lo = self.base.as_millis() as u64;
+                let hi = (self.prev.as_millis() as u64).saturating_mul(3).max(lo);
+                Duration::from_millis(lo + self.next_u64() % (hi - lo + 1))
+            }
+        };
+        let delay = computed.min(self.cap).min(remaining);
+        self.prev = delay;
+        self.slept += delay;
+        Some(delay)
+    }
+
+    /// xorshift64* — tiny, dependency-free, plenty for jitter.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Seeds jitter from wall-clock nanos xor'd with a stack address, so
+/// concurrently-started workers draw different streams without any
+/// shared state.
+fn seed() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let addr = &t as *const u64 as u64;
+    (t ^ addr.rotate_left(32)) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut b = Backoff::new(base, cap).with_seed(42);
+        for _ in 0..100 {
+            let d = b.next_delay().unwrap();
+            assert!(
+                d >= base && d <= cap,
+                "delay {d:?} out of [{base:?}, {cap:?}]"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhausts_and_reset_restores_it() {
+        let mut b = Backoff::new(Duration::from_millis(40), Duration::from_millis(40))
+            .with_budget(Duration::from_millis(100))
+            .with_seed(7);
+        // 40 + 40 + 20 (truncated to remaining) = 100, then dry.
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(40)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(40)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(20)));
+        assert_eq!(b.next_delay(), None);
+        assert!(!b.sleep());
+        b.reset();
+        assert!(b.next_delay().is_some());
+    }
+
+    #[test]
+    fn hint_overrides_jitter_but_not_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500))
+            .with_budget(Duration::from_secs(5))
+            .with_seed(3);
+        assert_eq!(
+            b.delay_from(Some(Duration::from_millis(200))),
+            Some(Duration::from_millis(200))
+        );
+        // A hint above the cap is clamped to it.
+        assert_eq!(
+            b.delay_from(Some(Duration::from_secs(30))),
+            Some(Duration::from_millis(500))
+        );
+    }
+
+    #[test]
+    fn jitter_decorrelates_two_streams() {
+        let mk = |seed| {
+            let mut b =
+                Backoff::new(Duration::from_millis(1), Duration::from_secs(1)).with_seed(seed);
+            // Grow past the base so the [base, 3*prev] window is wide.
+            (0..8).map(|_| b.next_delay().unwrap()).collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2), "different seeds must draw different delays");
+    }
+}

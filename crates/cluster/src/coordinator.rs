@@ -20,24 +20,35 @@
 //!
 //! # Crash safety
 //!
-//! Staged shards survive a coordinator crash: on restart, every staged
-//! shard that still validates marks its lease `Done`, so only the
-//! missing ranges are re-mined. Failpoint sites `cluster::lease_grant`,
-//! `cluster::shard_upload` and `cluster::publish` let the fault harness
-//! kill each transition; `store::merge_seal` covers the merge itself.
+//! Every control-plane transition — job creation, grants, renewals,
+//! expiries, staged shards, publication — is appended to a checksummed
+//! write-ahead journal (`control.rcj`, [`regcluster_store::Journal`])
+//! *before* the in-memory state changes. On restart the coordinator
+//! replays the journal, reconciles it against the staged shards on disk
+//! (disk wins: a journal `Done` without a valid shard re-opens the
+//! slot), restores live leases with a fresh deadline — their workers
+//! keep mining and their renews are honored, not fenced — and resumes
+//! minting epochs above every epoch the journal ever saw, so a fenced
+//! epoch can never be resurrected. A journal whose `JobCreated` identity
+//! disagrees with the restarted configuration (different generation,
+//! matrix, params, or partition) is stale and replaced. Failpoint sites
+//! `cluster::lease_grant`, `cluster::shard_upload`,
+//! `cluster::journal_append` and `cluster::publish` let the fault
+//! harness kill each transition; `store::merge_seal` covers the merge
+//! itself.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use regcluster_core::{matrix_fingerprint, partition_roots, MiningParams};
 use regcluster_matrix::io::read_matrix_file;
 use regcluster_obs::MetricsRegistry;
-use regcluster_store::{merge_shards, ClusterStore, Generations};
+use regcluster_store::{merge_shards, ClusterStore, Generations, Journal, JournalRecord};
 
 use crate::error::ClusterError;
-use crate::http::{HttpServer, Request, Response};
+use crate::http::{HttpServer, Request, Response, MAX_INFLIGHT};
 use crate::metrics::ClusterMetrics;
 use crate::protocol::{AcquireRequest, AcquireResponse, JobInfo, RenewRequest, StatusDoc};
 
@@ -104,6 +115,8 @@ struct Slot {
 
 struct CoordState {
     slots: Mutex<Vec<Slot>>,
+    /// The write-ahead journal. Lock order: `slots` before `journal`.
+    journal: Mutex<Journal>,
     next_epoch: AtomicU64,
     phase: Mutex<&'static str>,
     job_json: String,
@@ -114,12 +127,94 @@ struct CoordState {
     lease_ttl: Duration,
     metrics: ClusterMetrics,
     registry: MetricsRegistry,
+    /// Set by `POST /shutdown`; the run loop and the linger park both
+    /// watch it, so shutdown drains promptly instead of on a timer.
+    shutdown: (Mutex<bool>, Condvar),
 }
 
 impl CoordState {
     fn shard_path(&self, lease: usize) -> PathBuf {
         self.work_dir.join(format!("shard-{lease}.rcs"))
     }
+
+    /// Appends one journal record, counting it. An `Err` means the
+    /// transition must not take effect in memory (write-ahead ordering).
+    fn journal_append(&self, rec: &JournalRecord) -> Result<(), regcluster_store::StoreError> {
+        self.journal.lock().unwrap().append(rec)?;
+        self.metrics.journal_records.inc();
+        Ok(())
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        *self.shutdown.0.lock().unwrap()
+    }
+}
+
+/// Journal file name under the coordinator's work dir.
+const JOURNAL_FILE: &str = "control.rcj";
+
+/// Per-slot lease state reconstructed from a journal replay.
+enum ReplaySlot {
+    Pending,
+    Leased { worker: String, epoch: u64 },
+    Done,
+}
+
+/// Replays journal records into per-slot state (last write wins) and the
+/// highest epoch ever minted. `Published` and `JobCreated` carry no slot
+/// state; an expiry only clears the grant it fenced.
+fn replay_records(records: &[JournalRecord], n_slots: usize) -> (Vec<ReplaySlot>, u64) {
+    let mut slots: Vec<ReplaySlot> = (0..n_slots).map(|_| ReplaySlot::Pending).collect();
+    let mut max_epoch = 0u64;
+    for rec in records {
+        match rec {
+            JournalRecord::JobCreated { .. } | JournalRecord::Published { .. } => {}
+            JournalRecord::LeaseGranted {
+                lease,
+                epoch,
+                worker,
+            } => {
+                max_epoch = max_epoch.max(*epoch);
+                if let Some(s) = slots.get_mut(*lease as usize) {
+                    *s = ReplaySlot::Leased {
+                        worker: worker.clone(),
+                        epoch: *epoch,
+                    };
+                }
+            }
+            JournalRecord::LeaseRenewed { epoch, .. } => {
+                max_epoch = max_epoch.max(*epoch);
+            }
+            JournalRecord::LeaseExpired { lease, epoch } => {
+                max_epoch = max_epoch.max(*epoch);
+                if let Some(s) = slots.get_mut(*lease as usize) {
+                    if matches!(s, ReplaySlot::Leased { epoch: e, .. } if e == epoch) {
+                        *s = ReplaySlot::Pending;
+                    }
+                }
+            }
+            JournalRecord::ShardStaged { lease, epoch } => {
+                max_epoch = max_epoch.max(*epoch);
+                if let Some(s) = slots.get_mut(*lease as usize) {
+                    *s = ReplaySlot::Done;
+                }
+            }
+        }
+    }
+    (slots, max_epoch)
+}
+
+/// Creates a fresh journal at `path` seeded with the run's `JobCreated`
+/// identity record.
+fn fresh_journal(
+    path: &Path,
+    identity: &JournalRecord,
+    metrics: &ClusterMetrics,
+) -> Result<Journal, ClusterError> {
+    let mut journal = Journal::create(path)?;
+    journal.append(identity)?;
+    metrics.journal_records.inc();
+    Ok(journal)
 }
 
 /// Checks a staged or uploaded shard against the run's identity and the
@@ -199,9 +294,95 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<CoordinatorReport, Clu
         n_roots: n_roots as u64,
     };
 
+    // Journal recovery: replay a journal whose JobCreated identity
+    // matches this run; anything else (missing, stale, unreadable) means
+    // a fresh journal seeded with this run's identity.
+    let journal_path = cfg.work_dir.join(JOURNAL_FILE);
+    let identity = JournalRecord::JobCreated {
+        generation,
+        matrix_fingerprint: matrix_fp,
+        params_json: job.params_json.clone(),
+        n_roots: n_roots as u64,
+        n_leases: ranges.len() as u64,
+    };
+    let mut replayed: Vec<ReplaySlot> = Vec::new();
+    let mut max_epoch = 0u64;
+    let journal = if journal_path.exists() {
+        match Journal::recover(&journal_path) {
+            Ok(rec) if rec.records.first() == Some(&identity) => {
+                metrics.journal_replayed.add(rec.records.len() as u64);
+                metrics.journal_truncated_bytes.add(rec.truncated_bytes);
+                eprintln!(
+                    "coordinator: replayed {} journal records ({} torn bytes truncated)",
+                    rec.records.len(),
+                    rec.truncated_bytes
+                );
+                let (slots, epoch) = replay_records(&rec.records, ranges.len());
+                replayed = slots;
+                max_epoch = epoch;
+                rec.journal
+            }
+            Ok(_) => {
+                eprintln!("coordinator: journal belongs to a different run; starting fresh");
+                fresh_journal(&journal_path, &identity, &metrics)?
+            }
+            Err(e) => {
+                eprintln!("coordinator: journal unrecoverable ({e}); starting fresh");
+                fresh_journal(&journal_path, &identity, &metrics)?
+            }
+        }
+    } else {
+        fresh_journal(&journal_path, &identity, &metrics)?
+    };
+
+    // Reconcile replayed state against the shards actually on disk. Disk
+    // wins for completion: a valid staged shard closes its slot even if
+    // the journal never saw it, and a journal `Done` without a valid
+    // shard re-opens the slot. Live leases are restored with a full TTL
+    // from now — their workers keep mining and renewing.
+    let mut slots = Vec::with_capacity(ranges.len());
+    let mut recovered_leases = 0u64;
+    for (i, &(start, end)) in ranges.iter().enumerate() {
+        let path = cfg.work_dir.join(format!("shard-{i}.rcs"));
+        let disk_ok = match ClusterStore::open(&path) {
+            Ok(store) => {
+                validate_shard(&store, &cfg.params, matrix_fp, generation, start, end).is_ok()
+            }
+            Err(_) => false,
+        };
+        if !disk_ok && path.exists() {
+            let _ = std::fs::remove_file(&path);
+        }
+        let slot_state = if disk_ok {
+            SlotState::Done
+        } else {
+            match replayed.get(i) {
+                Some(ReplaySlot::Leased { worker, epoch }) => {
+                    recovered_leases += 1;
+                    SlotState::Leased {
+                        worker: worker.clone(),
+                        epoch: *epoch,
+                        deadline: Instant::now() + cfg.lease_ttl,
+                    }
+                }
+                _ => SlotState::Pending,
+            }
+        };
+        slots.push(Slot {
+            start,
+            end,
+            state: slot_state,
+        });
+    }
+    if recovered_leases > 0 {
+        metrics.leases_recovered.add(recovered_leases);
+        eprintln!("coordinator: restored {recovered_leases} live leases from the journal");
+    }
+
     let state = Arc::new(CoordState {
-        slots: Mutex::new(Vec::new()),
-        next_epoch: AtomicU64::new(1),
+        slots: Mutex::new(slots),
+        journal: Mutex::new(journal),
+        next_epoch: AtomicU64::new(max_epoch + 1),
         phase: Mutex::new("mining"),
         job_json: serde_json::to_string(&job)?,
         params: cfg.params.clone(),
@@ -211,37 +392,15 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<CoordinatorReport, Clu
         lease_ttl: cfg.lease_ttl,
         metrics,
         registry,
+        shutdown: (Mutex::new(false), Condvar::new()),
     });
 
-    // Recover staged shards from a previous incarnation: any still-valid
-    // shard closes its lease before the first grant goes out.
-    {
-        let mut slots = state.slots.lock().unwrap();
-        for (i, &(start, end)) in ranges.iter().enumerate() {
-            let path = state.shard_path(i);
-            let recovered = match ClusterStore::open(&path) {
-                Ok(store) => {
-                    validate_shard(&store, &state.params, matrix_fp, generation, start, end).is_ok()
-                }
-                Err(_) => false,
-            };
-            if !recovered && path.exists() {
-                let _ = std::fs::remove_file(&path);
-            }
-            slots.push(Slot {
-                start,
-                end,
-                state: if recovered {
-                    SlotState::Done
-                } else {
-                    SlotState::Pending
-                },
-            });
-        }
-    }
-
     let handler_state = Arc::clone(&state);
-    let server = HttpServer::start(cfg.port, move |req| handle(&handler_state, req))?;
+    let shed_counter = state.metrics.requests_shed.clone();
+    let server =
+        HttpServer::start_capped(cfg.port, MAX_INFLIGHT, Some(shed_counter), move |req| {
+            handle(&handler_state, req)
+        })?;
     eprintln!(
         "coordinator: serving {} leases on 127.0.0.1:{} (generation {generation})",
         ranges.len(),
@@ -252,14 +411,32 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<CoordinatorReport, Clu
     // every range has a validated shard.
     loop {
         std::thread::sleep(SWEEP_EVERY);
+        if state.shutdown_requested() {
+            server.shutdown();
+            return Err(ClusterError::Protocol(
+                "shutdown requested before the run completed".into(),
+            ));
+        }
         let mut slots = state.slots.lock().unwrap();
         let now = Instant::now();
-        for slot in slots.iter_mut() {
+        for (i, slot) in slots.iter_mut().enumerate() {
             if let SlotState::Leased {
-                deadline, worker, ..
+                deadline,
+                worker,
+                epoch,
             } = &slot.state
             {
                 if *deadline < now {
+                    // Write-ahead: the expiry is durable before the slot
+                    // returns to the pool. If the append fails the lease
+                    // stays leased and the next sweep retries.
+                    let rec = JournalRecord::LeaseExpired {
+                        lease: i as u64,
+                        epoch: *epoch,
+                    };
+                    if state.journal_append(&rec).is_err() {
+                        continue;
+                    }
                     eprintln!(
                         "coordinator: lease on roots [{}, {}) expired (worker {worker}); reassigning",
                         slot.start, slot.end
@@ -279,6 +456,10 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<CoordinatorReport, Clu
     let summary = merge_shards(&shard_paths, gens.path_for(generation))?;
     regcluster_failpoint::io("cluster::publish").map_err(ClusterError::Io)?;
     gens.publish(generation)?;
+    // The run is already durable (CURRENT points at the generation);
+    // the Published record is informational, so a journal hiccup here
+    // must not fail a completed run.
+    let _ = state.journal_append(&JournalRecord::Published { generation });
     state.metrics.merges.inc();
     *state.phase.lock().unwrap() = "published";
     eprintln!(
@@ -294,9 +475,16 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<CoordinatorReport, Clu
         reassignments: state.metrics.leases_expired.get(),
     };
     if cfg.linger {
-        loop {
-            std::thread::sleep(Duration::from_secs(3600));
+        // Interruptible park: `POST /shutdown` (or any notifier) wakes
+        // the condvar and the process drains immediately — no
+        // sleep-loop latency between the signal and the exit.
+        let (lock, cvar) = &state.shutdown;
+        let mut stopped = lock.lock().unwrap();
+        while !*stopped {
+            stopped = cvar.wait(stopped).unwrap();
         }
+        drop(stopped);
+        eprintln!("coordinator: shutdown requested; draining");
     }
     server.shutdown();
     Ok(report)
@@ -310,12 +498,23 @@ fn handle(state: &CoordState, req: &Request) -> Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: state.registry.encode_prometheus().into_bytes(),
+            retry_after: None,
         },
         ("POST", "/lease/acquire") => acquire(state, &req.body),
         ("POST", "/lease/renew") => renew(state, &req.body),
+        ("POST", "/shutdown") => request_shutdown(state),
         ("POST", path) if path.starts_with("/shard/") => upload(state, path, &req.body),
         _ => Response::text(404, "not found"),
     }
+}
+
+/// `POST /shutdown`: wakes the linger park (and the mining sweep loop)
+/// so the process drains promptly.
+fn request_shutdown(state: &CoordState) -> Response {
+    let (lock, cvar) = &state.shutdown;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+    Response::json(200, "{\"kind\":\"stopping\"}".to_string())
 }
 
 fn status(state: &CoordState) -> Response {
@@ -359,6 +558,17 @@ fn acquire(state: &CoordState, body: &[u8]) -> Response {
     let response = match grant {
         Some((lease, slot)) => {
             let epoch = state.next_epoch.fetch_add(1, Ordering::SeqCst);
+            // Write-ahead: the grant is durable before the worker can
+            // ever see it. A failed append refuses the grant (the epoch
+            // is burned — epochs only ever move forward).
+            let rec = JournalRecord::LeaseGranted {
+                lease: lease as u64,
+                epoch,
+                worker: req.worker.clone(),
+            };
+            if let Err(e) = state.journal_append(&rec) {
+                return Response::text(500, format!("journal append failed: {e}"));
+            }
             slot.state = SlotState::Leased {
                 worker: req.worker.clone(),
                 epoch,
@@ -400,6 +610,12 @@ fn renew(state: &CoordState, body: &[u8]) -> Response {
         } if *epoch == req.epoch && *worker == req.worker => {
             *deadline = Instant::now() + state.lease_ttl;
             state.metrics.lease_renewals.inc();
+            // Best-effort: deadlines restart from "now + TTL" on replay
+            // anyway, so a journal hiccup must not fence a live worker.
+            let _ = state.journal_append(&JournalRecord::LeaseRenewed {
+                lease: req.lease,
+                epoch: req.epoch,
+            });
             Response::json(200, "{\"kind\":\"ok\"}".to_string())
         }
         _ => Response::text(409, "lease lost"),
@@ -454,6 +670,18 @@ fn upload(state: &CoordState, path: &str, body: &[u8]) -> Response {
             if let Err(e) = stage_shard(&state.shard_path(lease), body) {
                 state.metrics.shards_rejected.inc();
                 return Response::text(500, format!("staging failed: {e}"));
+            }
+            // Journal after the stage is durable (replay reconciles
+            // against disk either way) but before the slot closes, so
+            // a 200 is only ever sent for a fully-recorded shard. On
+            // append failure the worker retries; staging is idempotent.
+            let rec = JournalRecord::ShardStaged {
+                lease: lease as u64,
+                epoch,
+            };
+            if let Err(e) = state.journal_append(&rec) {
+                state.metrics.shards_rejected.inc();
+                return Response::text(500, format!("journal append failed: {e}"));
             }
             slot.state = SlotState::Done;
             state.metrics.shards_uploaded.inc();

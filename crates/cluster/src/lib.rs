@@ -25,6 +25,7 @@
 //! exercised end-to-end by the scripted multi-process harness in
 //! `crates/cli/tests/cluster_harness/`.
 
+pub mod backoff;
 pub mod coordinator;
 pub mod error;
 pub mod http;
@@ -32,8 +33,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod worker;
 
+pub use backoff::Backoff;
 pub use coordinator::{run_coordinator, CoordinatorConfig, CoordinatorReport, CLUSTER_ENGINE};
 pub use error::ClusterError;
-pub use metrics::ClusterMetrics;
+pub use http::HttpReply;
+pub use metrics::{ClusterMetrics, WorkerMetrics};
 pub use protocol::{AcquireRequest, AcquireResponse, JobInfo, RenewRequest, StatusDoc};
 pub use worker::{run_worker, WorkerConfig, WorkerReport};

@@ -16,6 +16,24 @@ pub const SHARDS_UPLOADED_METRIC: &str = "regcluster_cluster_shards_uploaded_tot
 pub const SHARDS_REJECTED_METRIC: &str = "regcluster_cluster_shards_rejected_total";
 /// Completed shard merges (one per published generation).
 pub const MERGES_METRIC: &str = "regcluster_cluster_merges_total";
+/// Control-plane transitions appended to the lease journal.
+pub const JOURNAL_RECORDS_METRIC: &str = "regcluster_cluster_journal_records_total";
+/// Journal records replayed during coordinator crash-recovery.
+pub const JOURNAL_REPLAYED_METRIC: &str = "regcluster_cluster_journal_replayed_total";
+/// Torn journal tail bytes truncated away during recovery.
+pub const JOURNAL_TRUNCATED_BYTES_METRIC: &str = "regcluster_cluster_journal_truncated_bytes_total";
+/// Live leases restored from the journal on restart (their workers keep
+/// mining; renews are honored, not fenced).
+pub const LEASES_RECOVERED_METRIC: &str = "regcluster_cluster_leases_recovered_total";
+/// Connections shed with 503 + `Retry-After` at the in-flight cap.
+pub const REQUESTS_SHED_METRIC: &str = "regcluster_cluster_requests_shed_total";
+
+/// Shard-upload attempts that failed to connect (coordinator down or
+/// unreachable — retried with backoff).
+pub const UPLOAD_CONN_REFUSED_METRIC: &str = "regcluster_cluster_upload_conn_refused_total";
+/// Shard-upload attempts answered 503 + `Retry-After` (coordinator up
+/// but shedding — retried after the server-chosen delay).
+pub const UPLOAD_RETRY_AFTER_METRIC: &str = "regcluster_cluster_upload_retry_after_total";
 
 /// The coordinator's instrument set.
 #[derive(Clone)]
@@ -32,6 +50,16 @@ pub struct ClusterMetrics {
     pub shards_rejected: Counter,
     /// See [`MERGES_METRIC`].
     pub merges: Counter,
+    /// See [`JOURNAL_RECORDS_METRIC`].
+    pub journal_records: Counter,
+    /// See [`JOURNAL_REPLAYED_METRIC`].
+    pub journal_replayed: Counter,
+    /// See [`JOURNAL_TRUNCATED_BYTES_METRIC`].
+    pub journal_truncated_bytes: Counter,
+    /// See [`LEASES_RECOVERED_METRIC`].
+    pub leases_recovered: Counter,
+    /// See [`REQUESTS_SHED_METRIC`].
+    pub requests_shed: Counter,
 }
 
 impl ClusterMetrics {
@@ -66,6 +94,60 @@ impl ClusterMetrics {
             merges: registry.counter(
                 MERGES_METRIC,
                 "Completed shard merges into a published generation",
+                &[],
+            ),
+            journal_records: registry.counter(
+                JOURNAL_RECORDS_METRIC,
+                "Control-plane transitions appended to the lease journal",
+                &[],
+            ),
+            journal_replayed: registry.counter(
+                JOURNAL_REPLAYED_METRIC,
+                "Journal records replayed during crash-recovery",
+                &[],
+            ),
+            journal_truncated_bytes: registry.counter(
+                JOURNAL_TRUNCATED_BYTES_METRIC,
+                "Torn journal tail bytes truncated during recovery",
+                &[],
+            ),
+            leases_recovered: registry.counter(
+                LEASES_RECOVERED_METRIC,
+                "Live leases restored from the journal on restart",
+                &[],
+            ),
+            requests_shed: registry.counter(
+                REQUESTS_SHED_METRIC,
+                "Connections shed with 503 at the in-flight cap",
+                &[],
+            ),
+        }
+    }
+}
+
+/// The worker's instrument set. Workers expose no `/metrics` endpoint;
+/// these counters back the end-of-run [`WorkerReport`](crate::WorkerReport)
+/// and exist as a registry set so the docs-drift test catalogues them.
+#[derive(Clone)]
+pub struct WorkerMetrics {
+    /// See [`UPLOAD_CONN_REFUSED_METRIC`].
+    pub upload_conn_refused: Counter,
+    /// See [`UPLOAD_RETRY_AFTER_METRIC`].
+    pub upload_retry_after: Counter,
+}
+
+impl WorkerMetrics {
+    /// Registers every worker instrument in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        WorkerMetrics {
+            upload_conn_refused: registry.counter(
+                UPLOAD_CONN_REFUSED_METRIC,
+                "Shard uploads that could not connect to the coordinator",
+                &[],
+            ),
+            upload_retry_after: registry.counter(
+                UPLOAD_RETRY_AFTER_METRIC,
+                "Shard uploads answered 503 with Retry-After (shed)",
                 &[],
             ),
         }

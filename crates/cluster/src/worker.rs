@@ -32,14 +32,20 @@ use regcluster_core::{
 };
 use regcluster_matrix::io::read_matrix_file;
 use regcluster_matrix::ExpressionMatrix;
+use regcluster_obs::MetricsRegistry;
 use regcluster_store::{
     read_checkpoint, CheckpointFile, ClusterStore, StoreProvenance, StoreWriter,
 };
 
+use crate::backoff::Backoff;
 use crate::coordinator::CLUSTER_ENGINE;
 use crate::error::ClusterError;
 use crate::http::http_request;
+use crate::metrics::WorkerMetrics;
 use crate::protocol::{AcquireRequest, AcquireResponse, JobInfo, RenewRequest};
+
+/// Longest single backoff delay in any worker retry loop.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// Worker configuration.
 #[derive(Debug, Clone)]
@@ -57,7 +63,8 @@ pub struct WorkerConfig {
     pub threads: usize,
     /// Checkpoint cadence while mining a lease.
     pub checkpoint_every: Duration,
-    /// Poll interval while waiting for the coordinator or a free lease.
+    /// Base retry delay: every control-plane retry loop backs off
+    /// exponentially with jitter from this base (see [`Backoff`]).
     pub poll: Duration,
 }
 
@@ -72,6 +79,10 @@ pub struct WorkerReport {
     pub shards_uploaded: u64,
     /// Leases lost mid-mine (cancelled by the heartbeat).
     pub leases_lost: u64,
+    /// Upload attempts that could not connect (coordinator down).
+    pub upload_conn_refused: u64,
+    /// Upload attempts answered 503 + `Retry-After` (coordinator shed).
+    pub upload_retry_after: u64,
 }
 
 /// Outcome of mining one granted lease.
@@ -110,7 +121,14 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, ClusterError> {
     params.validate()?;
     let miner = Miner::new(&matrix, &params)?;
 
+    let registry = MetricsRegistry::new();
+    let metrics = WorkerMetrics::register(&registry);
+
     let mut report = WorkerReport::default();
+    // Acquire retries forever (the coordinator may be restarting), so no
+    // budget — but the delay still grows and jitters so a fleet of
+    // waiting workers doesn't stampede a coordinator that comes back.
+    let mut backoff = Backoff::new(cfg.poll, BACKOFF_CAP);
     loop {
         let acquire = AcquireRequest {
             worker: cfg.worker_id.clone(),
@@ -118,31 +136,43 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, ClusterError> {
         let body = serde_json::to_string(&acquire)?;
         let response =
             match http_request(&cfg.coordinator, "POST", "/lease/acquire", body.as_bytes()) {
-                Ok((200, bytes)) => match parse_json::<AcquireResponse>(&bytes) {
-                    Some(r) => r,
-                    None => {
-                        std::thread::sleep(cfg.poll);
-                        continue;
+                Ok(reply) if reply.status == 200 => {
+                    match parse_json::<AcquireResponse>(&reply.body) {
+                        Some(r) => r,
+                        None => {
+                            backoff.sleep();
+                            continue;
+                        }
                     }
-                },
-                // Coordinator down or fault-injected: retry.
-                Ok(_) | Err(_) => {
-                    std::thread::sleep(cfg.poll);
+                }
+                // Shed, fault-injected, or coordinator down: back off
+                // (honoring a Retry-After hint when the server sent one).
+                Ok(reply) => {
+                    backoff.sleep_hinted(reply.retry_after);
+                    continue;
+                }
+                Err(_) => {
+                    backoff.sleep();
                     continue;
                 }
             };
+        backoff.reset();
         match response.kind.as_str() {
-            "grant" => match mine_lease(cfg, &job, &params, &matrix, &miner, &response)? {
-                LeaseOutcome::Uploaded { resumed } => {
-                    report.leases_mined += 1;
-                    report.shards_uploaded += 1;
-                    if resumed {
-                        report.leases_resumed += 1;
+            "grant" => {
+                match mine_lease(cfg, &job, &params, &matrix, &miner, &response, &metrics)? {
+                    LeaseOutcome::Uploaded { resumed } => {
+                        report.leases_mined += 1;
+                        report.shards_uploaded += 1;
+                        if resumed {
+                            report.leases_resumed += 1;
+                        }
                     }
+                    LeaseOutcome::Lost => report.leases_lost += 1,
                 }
-                LeaseOutcome::Lost => report.leases_lost += 1,
-            },
-            "wait" => std::thread::sleep(cfg.poll),
+            }
+            "wait" => {
+                backoff.sleep();
+            }
             "done" => break,
             other => {
                 return Err(ClusterError::Protocol(format!(
@@ -151,26 +181,40 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, ClusterError> {
             }
         }
     }
+    report.upload_conn_refused = metrics.upload_conn_refused.get();
+    report.upload_retry_after = metrics.upload_retry_after.get();
     eprintln!(
-        "worker {}: done ({} mined, {} resumed, {} uploaded, {} lost)",
+        "worker {}: done ({} mined, {} resumed, {} uploaded, {} lost, \
+         {} upload conn-refused, {} upload retry-after)",
         cfg.worker_id,
         report.leases_mined,
         report.leases_resumed,
         report.shards_uploaded,
-        report.leases_lost
+        report.leases_lost,
+        report.upload_conn_refused,
+        report.upload_retry_after
     );
     Ok(report)
 }
 
-/// Fetches `/job`, retrying until the coordinator answers.
+/// Fetches `/job`, retrying with backoff until the coordinator answers.
 fn fetch_job(cfg: &WorkerConfig) -> JobInfo {
+    let mut backoff = Backoff::new(cfg.poll, BACKOFF_CAP);
     loop {
-        if let Ok((200, bytes)) = http_request(&cfg.coordinator, "GET", "/job", &[]) {
-            if let Some(job) = parse_json::<JobInfo>(&bytes) {
-                return job;
+        match http_request(&cfg.coordinator, "GET", "/job", &[]) {
+            Ok(reply) if reply.status == 200 => {
+                if let Some(job) = parse_json::<JobInfo>(&reply.body) {
+                    return job;
+                }
+                backoff.sleep();
+            }
+            Ok(reply) => {
+                backoff.sleep_hinted(reply.retry_after);
+            }
+            Err(_) => {
+                backoff.sleep();
             }
         }
-        std::thread::sleep(cfg.poll);
     }
 }
 
@@ -189,6 +233,7 @@ fn mine_lease(
     matrix: &ExpressionMatrix,
     miner: &Miner<'_>,
     grant: &AcquireResponse,
+    metrics: &WorkerMetrics,
 ) -> Result<LeaseOutcome, ClusterError> {
     let (lease, start, end) = (grant.lease, grant.start as usize, grant.end as usize);
     let shard_path = cfg
@@ -205,7 +250,7 @@ fn mine_lease(
             "worker {}: re-uploading sealed shard for roots [{start}, {end})",
             cfg.worker_id
         );
-        return upload_shard(cfg, grant, &shard_path, &ck_path, false);
+        return upload_shard(cfg, grant, &shard_path, &ck_path, false, metrics);
     }
 
     let resume = read_checkpoint(&ck_path).ok();
@@ -274,58 +319,67 @@ fn mine_lease(
     }
     debug_assert!(!stream.stopped_by_sink, "store writer never refuses");
     writer.finish()?;
-    upload_shard(cfg, grant, &shard_path, &ck_path, resumed)
+    upload_shard(cfg, grant, &shard_path, &ck_path, resumed, metrics)
 }
 
 /// Uploads a sealed shard under the grant's epoch. 200 cleans up the
 /// local shard + checkpoint; 409 keeps the shard for a future grant of
-/// the same range; connection errors retry for one TTL, then give up
-/// back to the acquire loop (the shard also stays for retry).
+/// the same range; retryable failures back off within a one-TTL budget,
+/// then give up back to the acquire loop (the shard also stays for
+/// retry). Connection-refused and shed-503 retries are counted apart:
+/// one means the coordinator is *down*, the other that it is *pushing
+/// back* — operators page on the first and wait out the second.
 fn upload_shard(
     cfg: &WorkerConfig,
     grant: &AcquireResponse,
     shard_path: &PathBuf,
     ck_path: &PathBuf,
     resumed: bool,
+    metrics: &WorkerMetrics,
 ) -> Result<LeaseOutcome, ClusterError> {
     let bytes = std::fs::read(shard_path)?;
     let path = format!("/shard/{}/{}", grant.lease, grant.epoch);
-    let deadline = Instant::now() + Duration::from_millis(grant.ttl_ms.max(1000));
+    let mut backoff = Backoff::new(cfg.poll, BACKOFF_CAP)
+        .with_budget(Duration::from_millis(grant.ttl_ms.max(1000)));
     loop {
-        match http_request(&cfg.coordinator, "POST", &path, &bytes) {
-            Ok((200, _)) => {
+        let retry_hint = match http_request(&cfg.coordinator, "POST", &path, &bytes) {
+            Ok(reply) if reply.status == 200 => {
                 let _ = std::fs::remove_file(shard_path);
                 let _ = std::fs::remove_file(ck_path);
                 return Ok(LeaseOutcome::Uploaded { resumed });
             }
-            Ok((409, _)) => {
+            Ok(reply) if reply.status == 409 => {
                 eprintln!(
                     "worker {}: upload fenced (lease {} epoch {}); shard kept",
                     cfg.worker_id, grant.lease, grant.epoch
                 );
                 return Ok(LeaseOutcome::Lost);
             }
-            Ok((status, body)) => {
-                // 400: validation refused the shard — not retryable.
-                if status == 400 {
-                    let _ = std::fs::remove_file(shard_path);
-                    return Err(ClusterError::Protocol(format!(
-                        "coordinator refused shard: {}",
-                        String::from_utf8_lossy(&body)
-                    )));
-                }
-                // 500 (e.g. injected upload fault): retry within the TTL.
-                if Instant::now() > deadline {
-                    return Ok(LeaseOutcome::Lost);
-                }
-                std::thread::sleep(cfg.poll);
+            // 400: validation refused the shard — not retryable.
+            Ok(reply) if reply.status == 400 => {
+                let _ = std::fs::remove_file(shard_path);
+                return Err(ClusterError::Protocol(format!(
+                    "coordinator refused shard: {}",
+                    String::from_utf8_lossy(&reply.body)
+                )));
             }
-            Err(_) => {
-                if Instant::now() > deadline {
-                    return Ok(LeaseOutcome::Lost);
-                }
-                std::thread::sleep(cfg.poll);
+            // 503: the coordinator is shedding; honor its Retry-After.
+            Ok(reply) if reply.status == 503 => {
+                metrics.upload_retry_after.inc();
+                reply.retry_after
             }
+            // 500 (e.g. injected upload fault) or garbled/dropped
+            // responses: plain backoff within the budget.
+            Ok(_) => None,
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                    metrics.upload_conn_refused.inc();
+                }
+                None
+            }
+        };
+        if !backoff.sleep_hinted(retry_hint) {
+            return Ok(LeaseOutcome::Lost);
         }
     }
 }
@@ -371,8 +425,8 @@ fn spawn_heartbeat(
                 break;
             }
             match http_request(&coordinator, "POST", "/lease/renew", body.as_bytes()) {
-                Ok((200, _)) => last_ok = Instant::now(),
-                Ok((409, _)) => {
+                Ok(reply) if reply.status == 200 => last_ok = Instant::now(),
+                Ok(reply) if reply.status == 409 => {
                     control.cancel();
                     break;
                 }

@@ -16,9 +16,21 @@
 //! arms the second flush of the section writer to fail with an injected
 //! [`std::io::Error`] and the 40th engine worker loop iteration to panic.
 //! The grammar is `site=action[@n]` entries separated by `;`, where
-//! `action` is `io_err` or `panic` and the optional `@n` (1-based) fires
-//! the action only on the n-th evaluation of that site instead of every
-//! evaluation.
+//! `action` is `io_err`, `panic`, `drop`, `garble`, or `delay@ms` and the
+//! optional trailing `@n` (1-based) fires the action only on the n-th
+//! evaluation of that site instead of every evaluation. `delay` carries
+//! its millisecond argument first, so `delay@250@3` sleeps 250 ms on the
+//! third evaluation only.
+//!
+//! # Network fault actions
+//!
+//! The `drop`, `garble` and `delay@ms` actions model *network* failure at
+//! sites evaluated through [`net`] (the cluster HTTP layer on both ends):
+//! `delay` simulates a slow link, `drop` an accept-then-close peer or a
+//! partition, and `garble` a torn response (truncated + corrupted bytes).
+//! At an [`io`] site, `delay` sleeps then succeeds while `drop`/`garble`
+//! degrade to the injected I/O error; at a [`net`] site, `io_err`
+//! degrades to `Drop`. `panic` panics everywhere.
 //!
 //! # Cost when disabled
 //!
@@ -69,6 +81,10 @@ pub const SITES: &[&str] = &[
     "cluster::lease_grant",
     "cluster::shard_upload",
     "cluster::publish",
+    "cluster::journal_append",
+    "cluster::http_request",
+    "cluster::http_response",
+    "cluster::upload_response",
 ];
 
 /// Metric family name under which fired-fault counters are exported.
@@ -84,6 +100,28 @@ pub enum Action {
     IoErr,
     /// The site panics, simulating a crashed worker thread.
     Panic,
+    /// The site sleeps this many milliseconds, then proceeds — a slow
+    /// link or an overloaded peer.
+    Delay(u64),
+    /// A [`net`] site closes the connection without answering
+    /// (accept-then-close / partition); an [`io`] site degrades this to
+    /// the injected error.
+    Drop,
+    /// A [`net`] site truncates and corrupts the bytes it was about to
+    /// send (a torn response); an [`io`] site degrades this to the
+    /// injected error.
+    Garble,
+}
+
+/// What a [`net`]-evaluated site tells the networking code to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Proceed normally (any armed `delay` has already been slept).
+    Pass,
+    /// Close the connection without sending anything.
+    Drop,
+    /// Send a truncated, corrupted version of the payload, then close.
+    Garble,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +131,7 @@ struct Armed {
     fire_at: Option<u64>,
 }
 
-const N_SITES: usize = 13;
+const N_SITES: usize = 17;
 const _: () = assert!(SITES.len() == N_SITES, "keep N_SITES in sync with SITES");
 
 /// Fast-path gate: false (the default) means every site is a
@@ -139,28 +177,43 @@ pub fn configure(spec: &str) -> Result<(), String> {
                 SITES.join(", ")
             )
         })?;
-        let (action, ordinal) = match rest.split_once('@') {
-            Some((a, n)) => {
-                let n: u64 = n
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("failpoint entry {entry:?}: bad ordinal {n:?}"))?;
-                if n == 0 {
-                    return Err(format!("failpoint entry {entry:?}: ordinal is 1-based"));
-                }
-                (a, Some(n))
+        let mut at_parts = rest.split('@').map(str::trim);
+        let name = at_parts.next().unwrap_or_default();
+        let parse_ordinal = |n: &str| -> Result<u64, String> {
+            let v: u64 = n
+                .parse()
+                .map_err(|_| format!("failpoint entry {entry:?}: bad ordinal {n:?}"))?;
+            if v == 0 {
+                return Err(format!("failpoint entry {entry:?}: ordinal is 1-based"));
             }
-            None => (rest, None),
+            Ok(v)
         };
-        let action = match action.trim() {
+        let action = match name {
             "io_err" => Action::IoErr,
             "panic" => Action::Panic,
+            "drop" => Action::Drop,
+            "garble" => Action::Garble,
+            "delay" => {
+                let ms = at_parts.next().ok_or_else(|| {
+                    format!(
+                        "failpoint entry {entry:?}: delay needs a millisecond argument (delay@ms)"
+                    )
+                })?;
+                let ms: u64 = ms.parse().map_err(|_| {
+                    format!("failpoint entry {entry:?}: bad delay milliseconds {ms:?}")
+                })?;
+                Action::Delay(ms)
+            }
             other => {
                 return Err(format!(
-                    "unknown failpoint action {other:?}; want io_err or panic"
-                ))
+                "unknown failpoint action {other:?}; want io_err, panic, drop, garble, or delay@ms"
+            ))
             }
         };
+        let ordinal = at_parts.next().map(parse_ordinal).transpose()?;
+        if at_parts.next().is_some() {
+            return Err(format!("failpoint entry {entry:?}: too many @-arguments"));
+        }
         armed[idx] = Some(Armed {
             action,
             fire_at: ordinal,
@@ -215,8 +268,9 @@ pub fn clear() {
 ///
 /// # Errors
 ///
-/// The injected error when `site` is armed with `io_err` and its ordinal
-/// matches.
+/// The injected error when `site` is armed with `io_err` (or the
+/// network-shaped `drop`/`garble`, which degrade to it here) and its
+/// ordinal matches. A fired `delay` sleeps, then returns `Ok`.
 ///
 /// # Panics
 ///
@@ -226,13 +280,19 @@ pub fn io(site: &'static str) -> std::io::Result<()> {
     if !ACTIVE.load(Ordering::Relaxed) {
         return Ok(());
     }
-    slow(site)
+    match slow(site) {
+        Some((Action::IoErr | Action::Drop | Action::Garble, hit)) => Err(std::io::Error::other(
+            format!("injected failpoint error at {site} (hit {hit})"),
+        )),
+        Some((Action::Delay(_), _)) | None => Ok(()),
+        Some((Action::Panic, _)) => unreachable!("slow() panics on Panic"),
+    }
 }
 
 /// Evaluates the failpoint at `site` where no error can be returned —
-/// only the `panic` action is observable; a fired `io_err` is counted but
-/// otherwise ignored. Instrument infallible hot paths (the engine worker
-/// loop) with this.
+/// only the `panic` action is observable (and `delay` sleeps); a fired
+/// `io_err`/`drop`/`garble` is counted but otherwise ignored. Instrument
+/// infallible hot paths (the engine worker loop) with this.
 ///
 /// # Panics
 ///
@@ -245,37 +305,59 @@ pub fn trigger(site: &'static str) {
     let _ = slow(site);
 }
 
+/// Evaluates the failpoint at a network boundary: the cluster HTTP layer
+/// calls this just before sending bytes and acts on the returned
+/// [`NetFault`]. A fired `delay` has already been slept when this
+/// returns; `io_err` degrades to [`NetFault::Drop`] (the peer sees the
+/// same thing: a closed connection).
+///
+/// # Panics
+///
+/// When `site` is armed with `panic` and its ordinal matches.
+#[inline]
+pub fn net(site: &'static str) -> NetFault {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return NetFault::Pass;
+    }
+    match slow(site) {
+        Some((Action::Drop | Action::IoErr, _)) => NetFault::Drop,
+        Some((Action::Garble, _)) => NetFault::Garble,
+        Some((Action::Delay(_), _)) | None => NetFault::Pass,
+        Some((Action::Panic, _)) => unreachable!("slow() panics on Panic"),
+    }
+}
+
+/// Evaluates `site` against the armed table. Returns the fired action and
+/// hit ordinal, after sleeping a `Delay` and panicking on `Panic`; `None`
+/// when nothing fired.
 #[cold]
-fn slow(site: &'static str) -> std::io::Result<()> {
+fn slow(site: &'static str) -> Option<(Action, u64)> {
     let Some(idx) = site_index(site) else {
         // An uncatalogued site is a wiring bug; surface it in tests.
         debug_assert!(false, "failpoint site {site:?} is not in SITES");
-        return Ok(());
+        return None;
     };
     let armed = {
         let config = lock(&CONFIG);
         // Re-check under the lock: `clear` may have won the race.
-        let Some(table) = config.as_ref() else {
-            return Ok(());
-        };
-        let Some(armed) = table[idx] else {
-            return Ok(());
-        };
-        armed
+        let table = config.as_ref()?;
+        table[idx]?
     };
     let hit = HITS[idx].fetch_add(1, Ordering::Relaxed) + 1;
     if armed.fire_at.is_some_and(|n| n != hit) {
-        return Ok(());
+        return None;
     }
     FIRED[idx].fetch_add(1, Ordering::Relaxed);
     for mirror in lock(&MIRRORS).iter() {
         mirror[idx].inc();
     }
     match armed.action {
-        Action::IoErr => Err(std::io::Error::other(format!(
-            "injected failpoint error at {site} (hit {hit})"
-        ))),
         Action::Panic => panic!("injected failpoint panic at {site} (hit {hit})"),
+        Action::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Some((armed.action, hit))
+        }
+        _ => Some((armed.action, hit)),
     }
 }
 
@@ -380,10 +462,50 @@ mod tests {
         assert!(configure("engine::worker=explode").is_err());
         assert!(configure("engine::worker=panic@zero").is_err());
         assert!(configure("engine::worker=panic@0").is_err());
+        assert!(configure("cluster::http_request=delay").is_err());
+        assert!(configure("cluster::http_request=delay@fast").is_err());
+        assert!(configure("cluster::http_request=delay@10@2@9").is_err());
+        assert!(configure("cluster::http_request=io_err@1@2").is_err());
         // A failed configure leaves nothing armed.
         for &site in SITES {
             io(site).unwrap();
         }
+        clear();
+    }
+
+    #[test]
+    fn net_actions_parse_and_fire() {
+        let _guard = lock(&SERIAL);
+        configure("cluster::http_response=drop@1;cluster::upload_response=garble").unwrap();
+        assert_eq!(net("cluster::http_response"), NetFault::Drop);
+        assert_eq!(net("cluster::http_response"), NetFault::Pass);
+        assert_eq!(net("cluster::upload_response"), NetFault::Garble);
+        assert_eq!(net("cluster::http_request"), NetFault::Pass);
+        clear();
+    }
+
+    #[test]
+    fn delay_sleeps_then_passes_everywhere() {
+        let _guard = lock(&SERIAL);
+        configure("cluster::http_request=delay@30@1").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(net("cluster::http_request"), NetFault::Pass);
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        // Ordinal 1 already consumed: no further sleeping.
+        assert_eq!(net("cluster::http_request"), NetFault::Pass);
+        configure("store::fsync_file=delay@1").unwrap();
+        io("store::fsync_file").unwrap();
+        clear();
+    }
+
+    #[test]
+    fn net_degrades_io_err_and_io_degrades_net_actions() {
+        let _guard = lock(&SERIAL);
+        configure("cluster::http_response=io_err;store::rename=garble;store::fsync_file=drop")
+            .unwrap();
+        assert_eq!(net("cluster::http_response"), NetFault::Drop);
+        assert!(io("store::rename").is_err());
+        assert!(io("store::fsync_file").is_err());
         clear();
     }
 

@@ -65,6 +65,7 @@ mod checkpoint;
 mod error;
 mod format;
 mod generations;
+mod journal;
 mod merge;
 pub mod migrations;
 mod query;
@@ -75,6 +76,9 @@ pub use checkpoint::{read_checkpoint, CheckpointFile, CHECKPOINT_MAGIC, CHECKPOI
 pub use error::StoreError;
 pub use format::{FORMAT_VERSION, MIN_SUPPORTED_VERSION};
 pub use generations::{Generations, CURRENT_FILE};
+pub use journal::{
+    Journal, JournalRecord, JournalRecovery, JOURNAL_HEADER_LEN, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use merge::merge_shards;
 pub use query::Query;
 pub use reader::{ClusterStore, PostingsIter, StoreStats};

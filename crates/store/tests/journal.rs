@@ -1,0 +1,186 @@
+//! Exhaustive byte-level damage matrix for the `.rcj` control-plane
+//! journal: every single-byte flip and every truncation point of a
+//! multi-record journal must recover to a valid prefix of the original
+//! record sequence or fail with a typed [`StoreError`] — never panic,
+//! and never hand a restarted coordinator a prefix from which a fenced
+//! epoch could be re-minted.
+
+use std::path::PathBuf;
+
+use regcluster_store::{Journal, JournalRecord, StoreError, JOURNAL_HEADER_LEN};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "regcluster-journal-matrix-{}-{name}",
+        std::process::id()
+    ))
+}
+
+/// A realistic run: lease 0's first holder goes silent, its epoch 1 is
+/// fenced off (expired), the slot is re-granted under epoch 2, and that
+/// incarnation stages the shard. Epochs only ever move forward.
+fn records() -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::JobCreated {
+            generation: 3,
+            matrix_fingerprint: 0xdead_beef_cafe_f00d,
+            params_json: r#"{"min_genes":4,"min_conds":4,"gamma":0.1,"epsilon":0.5}"#.into(),
+            n_roots: 12,
+            n_leases: 6,
+        },
+        JournalRecord::LeaseGranted {
+            lease: 0,
+            epoch: 1,
+            worker: "w1".into(),
+        },
+        JournalRecord::LeaseGranted {
+            lease: 1,
+            epoch: 2,
+            worker: "w2".into(),
+        },
+        JournalRecord::LeaseRenewed { lease: 1, epoch: 2 },
+        JournalRecord::LeaseExpired { lease: 0, epoch: 1 },
+        JournalRecord::LeaseGranted {
+            lease: 0,
+            epoch: 3,
+            worker: "w2".into(),
+        },
+        JournalRecord::ShardStaged { lease: 1, epoch: 2 },
+        JournalRecord::ShardStaged { lease: 0, epoch: 3 },
+        JournalRecord::Published { generation: 3 },
+    ]
+}
+
+/// Writes the sample journal at `path` and returns its bytes plus the
+/// file length after each record — the valid record boundaries.
+fn build(path: &PathBuf) -> (Vec<u8>, Vec<u64>) {
+    let _ = std::fs::remove_file(path);
+    let mut journal = Journal::create(path).unwrap();
+    let mut boundaries = Vec::new();
+    for rec in records() {
+        journal.append(&rec).unwrap();
+        boundaries.push(std::fs::metadata(path).unwrap().len());
+    }
+    drop(journal);
+    (std::fs::read(path).unwrap(), boundaries)
+}
+
+/// Every epoch mentioned anywhere in `recs`.
+fn epochs(recs: &[JournalRecord]) -> Vec<u64> {
+    recs.iter()
+        .filter_map(|r| match r {
+            JournalRecord::LeaseGranted { epoch, .. }
+            | JournalRecord::LeaseRenewed { epoch, .. }
+            | JournalRecord::LeaseExpired { epoch, .. }
+            | JournalRecord::ShardStaged { epoch, .. } => Some(*epoch),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn every_single_byte_flip_recovers_a_prefix_or_errors_typed() {
+    let path = tmp("flip.rcj");
+    let (bytes, _) = build(&path);
+    let original = records();
+    for i in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[i] ^= 0xff;
+        std::fs::write(&path, &damaged).unwrap();
+        match Journal::recover(&path) {
+            Ok(rec) => {
+                // A flip inside the record stream may only shorten the
+                // recovered sequence — never alter or reorder survivors.
+                assert!(
+                    rec.records == original[..rec.records.len()],
+                    "flip at byte {i}: recovered records are not a prefix"
+                );
+                assert!(
+                    i >= JOURNAL_HEADER_LEN,
+                    "flip at header byte {i} was silently accepted"
+                );
+                assert!(
+                    rec.records.len() < original.len(),
+                    "flip at record byte {i} did not shorten the prefix"
+                );
+            }
+            // A damaged header is a typed refusal, not a panic. (Version
+            // damage surfaces as `Version`, anything else as `Format`.)
+            Err(StoreError::Format(_)) | Err(StoreError::Version { .. }) => {
+                assert!(i < JOURNAL_HEADER_LEN, "typed error for record byte {i}");
+            }
+            Err(other) => panic!("flip at byte {i}: unexpected error {other}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn every_truncation_point_recovers_the_complete_prefix() {
+    let path = tmp("cut.rcj");
+    let (bytes, boundaries) = build(&path);
+    let original = records();
+    for cut in 0..=bytes.len() as u64 {
+        std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+        if cut < JOURNAL_HEADER_LEN as u64 {
+            assert!(
+                matches!(Journal::recover(&path), Err(StoreError::Format(_))),
+                "cut at {cut}: a partial header must be a typed refusal"
+            );
+            continue;
+        }
+        let rec = Journal::recover(&path)
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery failed: {e}"));
+        // Exactly the records whose frames fit below the cut survive.
+        let want = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(rec.records.len(), want, "cut at {cut}");
+        assert_eq!(rec.records, original[..want], "cut at {cut}");
+        // The torn tail is gone: the file is truncated back to the last
+        // valid boundary and accepts appends again.
+        let boundary = boundaries[..want]
+            .last()
+            .copied()
+            .unwrap_or(JOURNAL_HEADER_LEN as u64);
+        assert_eq!(rec.truncated_bytes, cut - boundary, "cut at {cut}");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary);
+        let mut journal = rec.journal;
+        journal
+            .append(&JournalRecord::Published { generation: 99 })
+            .unwrap();
+        drop(journal);
+        let again = Journal::recover(&path).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(
+            again.records.last(),
+            Some(&JournalRecord::Published { generation: 99 })
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn no_recovered_prefix_can_resurrect_a_fenced_epoch() {
+    let path = tmp("fence.rcj");
+    let (bytes, _) = build(&path);
+    let mut last_max = 0;
+    for cut in JOURNAL_HEADER_LEN as u64..=bytes.len() as u64 {
+        std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        let seen = epochs(&rec.records);
+        let max = seen.iter().copied().max().unwrap_or(0);
+        // Longer surviving prefixes never lower the epoch horizon, so a
+        // restarted coordinator resuming at `max + 1` mints an epoch
+        // strictly above every grant — and every fence — it replayed.
+        assert!(
+            max >= last_max,
+            "cut at {cut}: epoch horizon went backwards"
+        );
+        last_max = max;
+        let next = max + 1;
+        assert!(
+            seen.iter().all(|&e| e < next),
+            "cut at {cut}: epoch {next} would collide with a replayed one"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}

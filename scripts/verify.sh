@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: release build, tests, formatting, lints.
 # Run from the repository root: scripts/verify.sh
+#
+# --quick trims the multi-process cluster chaos step to a subset cheap
+# enough for shared runners (one golden smoke + the durable-control-plane
+# scenarios); everything else runs identically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/verify.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -15,6 +27,7 @@ cargo test -q -p regcluster-store --test roundtrip --test corruption
 
 echo "==> chaos (failpoint-injected faults: torn writes, crash checkpoints, worker panics)"
 cargo test -q -p regcluster-store --test torn_write --test checkpoint_file
+cargo test -q -p regcluster-store --test journal
 cargo test -q -p regcluster-core --test fault --test checkpoint
 cargo test -q -p regcluster-cli --test binary -- failpoints_env interrupted_mine
 cargo test -q --test alloc disabled_failpoints
@@ -22,8 +35,19 @@ cargo test -q --test alloc disabled_failpoints
 echo "==> serve smoke (concurrent clients, overload shedding, graceful shutdown)"
 cargo test -q -p regcluster-cli --test serve_smoke
 
-echo "==> cluster smoke (coordinator/worker/replica processes, SIGKILL + restart, torn uploads, golden merges)"
-cargo test -q -p regcluster-cli --test cluster_harness
+echo "==> cluster smoke (coordinator/worker/replica processes, SIGKILL + restart, torn uploads, journal replay, network faults, golden merges)"
+if [[ "$QUICK" == 1 ]]; then
+  # Shared-runner subset: one golden smoke plus the durable-control-plane
+  # scenarios (journal replay after SIGKILL, renew storm through a delayed
+  # link, garbled upload ack retried idempotently).
+  cargo test -q -p regcluster-cli --test cluster_harness -- \
+    smoke_two_workers_match_single_node_golden \
+    coordinator_kill_mid_grant_replays_journal_without_fencing \
+    renew_storm_survives_a_delayed_link \
+    garbled_upload_response_is_retried_idempotently
+else
+  cargo test -q -p regcluster-cli --test cluster_harness
+fi
 
 echo "==> delta equivalence (mutated matrix delta-mined bit-identical to a full re-mine, 1-8 threads)"
 cargo test -q -p regcluster-core --test delta_golden
